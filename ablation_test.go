@@ -1,0 +1,137 @@
+package adiv_test
+
+import (
+	"testing"
+
+	"adiv"
+)
+
+// TestAblationLFCShiftsDiagonal charts what the paper's Section 5.5
+// deliberately excluded: Stide's locality frame count. Smoothing the
+// responses over a trailing frame of size f means a lone minimal foreign
+// sequence saturates the frame only when the incident span holds at least
+// f foreign windows — DW-AS+1 >= f — so the detection diagonal shifts up
+// by f-1 rows. Noise suppression is bought with exactly the coverage the
+// paper's evaluation charts.
+func TestAblationLFCShiftsDiagonal(t *testing.T) {
+	corpus := sharedCorpus(t)
+	const frame = 3
+	factory := func(dw int) (adiv.Detector, error) {
+		inner, err := adiv.NewStide(dw)
+		if err != nil {
+			return nil, err
+		}
+		return adiv.WithSmoothing(inner, frame)
+	}
+	m, err := corpus.PerformanceMap("stide+lfc", factory, adiv.DefaultEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		for dw := corpus.Config.MinWindow; dw <= corpus.Config.MaxWindow; dw++ {
+			got := m.Outcome(size, dw)
+			switch {
+			case dw >= size+frame-1:
+				if got != adiv.OutcomeCapable {
+					t.Errorf("AS=%d DW=%d: %v, want capable (shifted diagonal)", size, dw, got)
+				}
+			case dw >= size:
+				// Foreign windows exist but too few to saturate the frame.
+				if got != adiv.OutcomeWeak {
+					t.Errorf("AS=%d DW=%d: %v, want weak", size, dw, got)
+				}
+			default:
+				if got != adiv.OutcomeBlind {
+					t.Errorf("AS=%d DW=%d: %v, want blind", size, dw, got)
+				}
+			}
+		}
+	}
+}
+
+// TestAblationSmoothedMarkovCollapse: Laplace smoothing removes the
+// exact-zero probability estimates, so under the paper's strict detection
+// threshold the Markov detector's coverage collapses from 91 cells to
+// none — while a floor of 0.98 restores full coverage. The detector did
+// not change; one estimation constant moved every boundary on the map.
+func TestAblationSmoothedMarkovCollapse(t *testing.T) {
+	corpus := sharedCorpus(t)
+	factory := func(dw int) (adiv.Detector, error) { return adiv.NewSmoothedMarkov(dw, 0.05) }
+
+	strict, err := corpus.PerformanceMap("markov-smoothed", factory, adiv.DefaultEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strict.CountOutcome(adiv.OutcomeCapable); got != 0 {
+		t.Errorf("smoothed Markov detects %d cells at the strict threshold, want 0", got)
+	}
+
+	relaxed, err := corpus.PerformanceMap("markov-smoothed", factory, adiv.RareSensitiveEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
+		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
+	if got := relaxed.CountOutcome(adiv.OutcomeCapable); got != cells {
+		t.Errorf("smoothed Markov detects %d of %d cells at floor 0.98", got, cells)
+	}
+}
+
+// TestAblationSmoothingPreservesRanking: light Laplace smoothing barely
+// perturbs the Markov detector's graded responses — their pointwise
+// correlation with the maximum-likelihood detector stays near 1 — yet the
+// strict-threshold coverage still collapses (the previous test). The
+// threshold regime, not the response landscape, is what moved.
+func TestAblationSmoothingPreservesRanking(t *testing.T) {
+	corpus := sharedCorpus(t)
+	ml, err := adiv.NewMarkov(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothed, err := adiv.NewSmoothedMarkov(8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adiv.TrainAll(corpus.Training, ml, smoothed); err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := corpus.NoisyStream(5_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := adiv.ResponseCorrelation(ml, smoothed, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.999 {
+		t.Errorf("ML-vs-smoothed correlation %v, want ≈1", r)
+	}
+}
+
+// TestAblationQuantizationRestoresLB: quantization is the other direction
+// of the threshold knob — snapping L&B's sub-maximal responses to 1 at a
+// floor of 0.25 makes the structurally blind detector "capable" wherever
+// its window covers the whole anomaly. What reads as detection coverage is
+// partly an artifact of where the floor sits.
+func TestAblationQuantizationRestoresLB(t *testing.T) {
+	corpus := sharedCorpus(t)
+	factory := func(dw int) (adiv.Detector, error) {
+		inner, err := adiv.NewLaneBrodley(dw)
+		if err != nil {
+			return nil, err
+		}
+		return adiv.WithQuantization(inner, 0.25)
+	}
+	m, err := corpus.PerformanceMap("lb@0.25", factory, adiv.DefaultEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CountOutcome(adiv.OutcomeCapable); got == 0 {
+		t.Errorf("quantized L&B still detects nothing; the floor knob should matter")
+	}
+	// The raw detector remains blind (Figure 3).
+	raw := sharedMap(t, adiv.DetectorLaneBrodley, adiv.LaneBrodleyFactory, adiv.DefaultEvalOptions())
+	if raw.CountOutcome(adiv.OutcomeCapable) != 0 {
+		t.Errorf("raw L&B unexpectedly capable")
+	}
+}

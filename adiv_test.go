@@ -1,0 +1,235 @@
+package adiv_test
+
+import (
+	"strings"
+	"testing"
+
+	"adiv"
+)
+
+func TestDetectorConstructors(t *testing.T) {
+	for _, name := range adiv.AllDetectorNames() {
+		det, err := adiv.NewDetector(name, 4)
+		if err != nil {
+			t.Errorf("NewDetector(%q): %v", name, err)
+			continue
+		}
+		if det.Name() != name {
+			t.Errorf("NewDetector(%q).Name() = %q", name, det.Name())
+		}
+		if det.Window() != 4 {
+			t.Errorf("NewDetector(%q).Window() = %d", name, det.Window())
+		}
+		if det.Extent() < 4 || det.Extent() > 5 {
+			t.Errorf("NewDetector(%q).Extent() = %d", name, det.Extent())
+		}
+	}
+	if _, err := adiv.NewDetector("nosuch", 4); err == nil {
+		t.Errorf("NewDetector of unknown name succeeded")
+	}
+	if _, err := adiv.NewDetector(adiv.DetectorStide, 0); err == nil {
+		t.Errorf("NewDetector with window 0 succeeded")
+	}
+}
+
+func TestDetectorFactory(t *testing.T) {
+	for _, name := range adiv.AllDetectorNames() {
+		factory, opts, err := adiv.DetectorFactory(name)
+		if err != nil {
+			t.Errorf("DetectorFactory(%q): %v", name, err)
+			continue
+		}
+		if err := opts.Validate(); err != nil {
+			t.Errorf("DetectorFactory(%q) options invalid: %v", name, err)
+		}
+		det, err := factory(3)
+		if err != nil || det.Window() != 3 {
+			t.Errorf("factory(%q)(3): %v, %v", name, det, err)
+		}
+	}
+	if _, _, err := adiv.DetectorFactory("nosuch"); err == nil {
+		t.Errorf("DetectorFactory of unknown name succeeded")
+	}
+}
+
+func TestEvalOptionRegimes(t *testing.T) {
+	for name, opts := range map[string]adiv.EvalOptions{
+		"default":        adiv.DefaultEvalOptions(),
+		"rare-sensitive": adiv.RareSensitiveEvalOptions(),
+		"neural-net":     adiv.NeuralNetEvalOptions(),
+	} {
+		if err := opts.Validate(); err != nil {
+			t.Errorf("%s options invalid: %v", name, err)
+		}
+	}
+	if adiv.RareSensitiveEvalOptions().CapableAt >= adiv.DefaultEvalOptions().CapableAt {
+		t.Errorf("rare-sensitive regime should lower the capable floor")
+	}
+}
+
+func TestCanonicalMFSFacade(t *testing.T) {
+	m, err := adiv.CanonicalMFS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 5 || m[0] != 7 || m[4] != 7 {
+		t.Errorf("CanonicalMFS(5) = %v", m)
+	}
+	if _, err := adiv.CanonicalMFS(1); err == nil {
+		t.Errorf("CanonicalMFS(1) succeeded")
+	}
+}
+
+func TestEvaluationAlphabet(t *testing.T) {
+	a := adiv.EvaluationAlphabet()
+	if a.Size() != adiv.AlphabetSize {
+		t.Errorf("alphabet size %d, want %d", a.Size(), adiv.AlphabetSize)
+	}
+}
+
+func TestCorpusFacadeSizes(t *testing.T) {
+	corpus := sharedCorpus(t)
+	sizes := corpus.Sizes()
+	if len(sizes) != adiv.MaxAnomalySize-adiv.MinAnomalySize+1 {
+		t.Errorf("Sizes() = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("Sizes() not ascending: %v", sizes)
+		}
+	}
+}
+
+func TestWriteMapFacade(t *testing.T) {
+	m := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	var sb strings.Builder
+	if err := adiv.WriteMap(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Performance map: stide") {
+		t.Errorf("WriteMap output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := adiv.WriteMapCSV(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "detector,anomaly_size,window,outcome,max_response") {
+		t.Errorf("WriteMapCSV output:\n%s", sb.String())
+	}
+}
+
+// TestExtensionTStideMap charts the t-stide extension: at the classic 0.5%
+// cutoff, rare boundary windows raise maximal responses at every cell, so
+// its coverage strictly contains both Stide's and the Markov detector's —
+// the second instance (after the Markov rare regime) of coverage bought
+// with rare-sequence sensitivity.
+func TestExtensionTStideMap(t *testing.T) {
+	corpus := sharedCorpus(t)
+	tstide := sharedMap(t, adiv.DetectorTStide, adiv.TStideFactory, adiv.DefaultEvalOptions())
+	stide := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	markov := sharedMap(t, adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+
+	cells := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
+		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
+	if got := tstide.CountOutcome(adiv.OutcomeCapable); got != cells {
+		t.Errorf("t-stide detects %d of %d cells, want all", got, cells)
+	}
+	if got := adiv.RelateCoverage(stide, tstide); got != adiv.CoverageSubsetOf {
+		t.Errorf("Relate(stide, tstide) = %v, want subset", got)
+	}
+	if got := adiv.RelateCoverage(markov, tstide); got != adiv.CoverageSubsetOf {
+		t.Errorf("Relate(markov, tstide) = %v, want subset", got)
+	}
+
+	// The price: false alarms on naturally rare data where plain Stide is
+	// silent, and the Stide veto restores silence.
+	noisy, err := corpus.NoisyStream(8_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := corpus.InjectInto(noisy, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := adiv.NewTStide(7, adiv.RareCutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veto, err := adiv.NewStide(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adiv.TrainAll(corpus.Training, primary, veto); err != nil {
+		t.Fatal(err)
+	}
+	r, err := adiv.Suppress(primary, veto, placement, adiv.StrictThreshold, adiv.StrictThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Primary.FalseAlarms == 0 {
+		t.Errorf("t-stide raised no false alarms on rare-containing data")
+	}
+	if r.Suppressed.FalseAlarms != 0 || !r.Suppressed.Hit {
+		t.Errorf("suppression result %+v", r.Suppressed)
+	}
+}
+
+func TestCoverageRelationMatrixFacade(t *testing.T) {
+	stide := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	markov := sharedMap(t, adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+	var sb strings.Builder
+	if err := adiv.WriteCoverageRelations(&sb, []*adiv.Map{stide, markov}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "subset") || !strings.Contains(sb.String(), "superset") {
+		t.Errorf("relation matrix:\n%s", sb.String())
+	}
+}
+
+// TestROCOrdersDetectors: over rare-containing trials, the threshold-swept
+// trade-off ranks the detectors as the paper's analysis predicts — the
+// exact-match Stide pays no false alarms (AUC 1 when its window suffices),
+// while L&B never reaches a hit.
+func TestROCOrdersDetectors(t *testing.T) {
+	corpus := sharedCorpus(t)
+	const size, dw = 5, 7
+	var placements []adiv.Placement
+	for i := 0; i < 3; i++ {
+		noisy, err := corpus.NoisyStream(6_000, uint64(10+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := corpus.InjectInto(noisy, size, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements = append(placements, p)
+	}
+	thresholds := []float64{0.5, 0.9, 0.98, 1}
+
+	auc := make(map[string]float64)
+	for _, name := range []string{adiv.DetectorStide, adiv.DetectorLaneBrodley} {
+		det, err := adiv.NewDetector(name, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			t.Fatal(err)
+		}
+		curve, err := adiv.ROC(det, placements, thresholds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := curve.AUC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc[name] = a
+	}
+	if auc[adiv.DetectorStide] <= auc[adiv.DetectorLaneBrodley] {
+		t.Errorf("AUC ordering violated: stide %v vs lb %v", auc[adiv.DetectorStide], auc[adiv.DetectorLaneBrodley])
+	}
+	if auc[adiv.DetectorStide] < 0.99 {
+		t.Errorf("stide AUC %v, want ≈1 (no false alarms at DW >= AS)", auc[adiv.DetectorStide])
+	}
+}

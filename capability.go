@@ -1,0 +1,64 @@
+package adiv
+
+import (
+	"adiv/internal/capability"
+	"adiv/internal/core"
+	"adiv/internal/corpusio"
+	"adiv/internal/mimicry"
+	"adiv/internal/rng"
+)
+
+// Figure-1 diagnosis: the decision chain that determines whether a
+// deployed anomaly detector can possibly have detected an attack, and if
+// not, which stage broke (manifestation, observation, anomalousness,
+// detectability, tuning).
+type (
+	// DiagnosisInputs describes one attack/deployment pair to diagnose.
+	DiagnosisInputs = capability.Inputs
+	// DiagnosisVerdict is the outcome of walking the chain.
+	DiagnosisVerdict = capability.Verdict
+	// DiagnosisStage identifies one decision of the chain.
+	DiagnosisStage = capability.Stage
+)
+
+// Diagnosis stages, in chain order (paper Figure 1, A through E).
+const (
+	StageManifests  = capability.StageManifests
+	StageObserved   = capability.StageObserved
+	StageAnomalous  = capability.StageAnomalous
+	StageDetectable = capability.StageDetectable
+	StageTuned      = capability.StageTuned
+)
+
+// Diagnose walks the Figure-1 decision chain for the inputs.
+func Diagnose(in DiagnosisInputs) (DiagnosisVerdict, error) {
+	return capability.Evaluate(in)
+}
+
+// Camouflage generates a mimicry sequence of the given length that is
+// invisible to window-matching detection up to the given width: every
+// width-window of the result occurs in the indexed training stream
+// (Section 2's "attacks manipulated to manifest as normal behavior").
+func Camouflage(trainIx *SequenceIndex, width, length int, seed uint64) (Stream, error) {
+	return mimicry.Camouflage(trainIx, width, length, rng.New(seed), 0)
+}
+
+// MimicryDetectionWidth returns the smallest window width in
+// [minWidth, maxWidth] at which the sequence stops being invisible to
+// training, or 0 if it never does — how far a camouflaged attack survives
+// as the defender widens the window.
+func MimicryDetectionWidth(trainIx *SequenceIndex, s Stream, minWidth, maxWidth int) (int, error) {
+	return mimicry.DetectionWidth(trainIx, s, minWidth, maxWidth)
+}
+
+// SaveCorpus persists an evaluation corpus under dir (streams as
+// whitespace-separated decimal text plus a JSON manifest) and returns the
+// manifest path.
+func SaveCorpus(c *Corpus, dir string) (string, error) {
+	return corpusio.Save(c, dir)
+}
+
+// LoadCorpus restores a corpus from a directory written by SaveCorpus.
+func LoadCorpus(dir string) (*core.Corpus, error) {
+	return corpusio.Load(dir)
+}

@@ -1,0 +1,77 @@
+package adiv_test
+
+import (
+	"testing"
+
+	"adiv"
+)
+
+// TestClaimAlphabetSizeInvariance verifies the paper's Section-5.3 claim
+// that "the alphabet size of the training data does not affect the
+// synthesis of foreign sequences, nor does it affect a sequence-based
+// detector's ability to detect foreign sequences": rebuilding the whole
+// evaluation under larger alphabets (and a different cycle length) leaves
+// the Stide and Markov coverage shapes exactly where they were.
+func TestClaimAlphabetSizeInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-corpus rebuild skipped in -short mode")
+	}
+	specs := []struct {
+		name            string
+		alphabet, cycle int
+		excursionProb   float64
+	}{
+		{"alphabet-32", 32, 6, 0},
+		{"alphabet-64", 64, 6, 0},
+		// A shorter cycle raises the per-symbol excursion rate, so the
+		// excursion probability is lowered to keep the rare symbols below
+		// the 0.5% rarity cutoff.
+		{"alphabet-12-cycle-4", 12, 4, 0.018},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := adiv.NewDataSpec(tc.alphabet, tc.cycle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := adiv.QuickConfig()
+			cfg.Gen.TrainLen = 100_000
+			cfg.Gen.BackgroundLen = 1_500
+			cfg.Gen.Spec = &spec
+			if tc.excursionProb != 0 {
+				cfg.Gen.ExcursionProb = tc.excursionProb
+			}
+			corpus, err := adiv.BuildCorpus(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stideMap, err := corpus.PerformanceMap(adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			markovMap, err := corpus.PerformanceMap(adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for size := cfg.MinSize; size <= cfg.MaxSize; size++ {
+				for dw := cfg.MinWindow; dw <= cfg.MaxWindow; dw++ {
+					wantStide := adiv.OutcomeBlind
+					if dw >= size {
+						wantStide = adiv.OutcomeCapable
+					}
+					if got := stideMap.Outcome(size, dw); got != wantStide {
+						t.Errorf("stide AS=%d DW=%d: %v, want %v", size, dw, got, wantStide)
+					}
+					wantMarkov := adiv.OutcomeWeak
+					if dw >= size-1 {
+						wantMarkov = adiv.OutcomeCapable
+					}
+					if got := markovMap.Outcome(size, dw); got != wantMarkov {
+						t.Errorf("markov AS=%d DW=%d: %v, want %v", size, dw, got, wantMarkov)
+					}
+				}
+			}
+		})
+	}
+}

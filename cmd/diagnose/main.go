@@ -1,0 +1,83 @@
+// Command diagnose walks the paper's Figure-1 decision chain for a chosen
+// detector deployment against the synthetic evaluation data: given an
+// anomaly size, a detector, and a deployed window, it reports whether the
+// attack would be detected and — if not — exactly which stage broke
+// (not anomalous / not detectable by this algorithm / detector mistuned).
+//
+// Usage:
+//
+//	diagnose [-detector stide] [-size 7] [-window 5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adiv"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	detName := fs.String("detector", adiv.DetectorStide, "detector family (stide|markov|nn|lb|tstide)")
+	size := fs.Int("size", 7, "anomaly size (2-9)")
+	window := fs.Int("window", 5, "deployed detector window")
+	quick := fs.Bool("quick", true, "use the reduced configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := adiv.DefaultConfig()
+	if *quick {
+		cfg = adiv.QuickConfig()
+	}
+	corpus, err := adiv.BuildCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	p, ok := corpus.Placements[*size]
+	if !ok {
+		return fmt.Errorf("no size-%d anomaly in the corpus (sizes %v)", *size, corpus.Sizes())
+	}
+	factory, opts, err := adiv.DetectorFactory(*detName)
+	if err != nil {
+		return err
+	}
+
+	verdict, err := adiv.Diagnose(adiv.DiagnosisInputs{
+		Manifests:      true,
+		Observed:       true,
+		TrainIndex:     corpus.TrainIndex,
+		RareCutoff:     cfg.RareCutoff,
+		Placement:      p,
+		Factory:        factory,
+		MinWindow:      cfg.MinWindow,
+		MaxWindow:      cfg.MaxWindow,
+		DeployedWindow: *window,
+		Train:          corpus.Training,
+		Opts:           opts,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "detector %s, deployed window %d, size-%d minimal foreign sequence\n",
+		*detName, *window, *size)
+	fmt.Fprintln(w, verdict)
+	if len(verdict.DetectableWindows) > 0 {
+		fmt.Fprintf(w, "windows at which this detector family registers a maximal response: %v\n",
+			verdict.DetectableWindows)
+	} else if verdict.FailedAt == adiv.StageDetectable {
+		fmt.Fprintln(w, "no window in the evaluated range detects this anomaly — the blindness is")
+		fmt.Fprintln(w, "structural (the detector's similarity metric, not its tuning)")
+	}
+	return nil
+}

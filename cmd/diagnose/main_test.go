@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-detector", "nosuch"}); err == nil {
+		t.Errorf("unknown detector accepted")
+	}
+}
+
+func TestRunUnknownSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-size", "11"}); err == nil {
+		t.Errorf("size outside corpus accepted")
+	}
+}
+
+func TestRunMistunedStide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-detector", "stide", "-size", "7", "-window", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "NOT DETECTED") || !strings.Contains(out, "E:") {
+		t.Errorf("expected a mistuned (stage E) verdict:\n%s", out)
+	}
+}

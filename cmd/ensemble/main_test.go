@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-nosuch"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full combination analysis skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-quick", "-noisy", "6000"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"markov coverage contains stide coverage: true",
+		"cells lb adds over stide (the paper's null result): []",
+		"false_alarms=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

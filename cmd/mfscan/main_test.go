@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownProfile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-profile", "nosuch"}); err == nil {
+		t.Errorf("unknown profile accepted")
+	}
+}
+
+func TestRunMismatchedFiles(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-trainfile", "x"}); err == nil {
+		t.Errorf("trainfile without testfile accepted")
+	}
+}
+
+func TestRunGeneratedScan(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-profile", "shell", "-train", "30000", "-test", "8000", "-max", "8"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "minimal foreign sequences in test data:") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}

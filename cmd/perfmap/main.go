@@ -1,0 +1,145 @@
+// Command perfmap regenerates the paper's figures: the incident-span
+// diagram (Figure 2), the four detector performance maps (Figures 3-6), and
+// the Lane & Brodley similarity walkthrough (Figure 7).
+//
+// Usage:
+//
+//	perfmap [flags]
+//
+//	-figure N        regenerate only figure N (2-7); default all
+//	-detector name   regenerate only this detector's map (lb|markov|stide|nn)
+//	-regime name     classification regime: strict (threshold 1, default)
+//	                 or rare (count strong rare-sequence responses as hits)
+//	-quick           use the reduced configuration (fast; identical shapes)
+//	-csv             additionally emit each map as CSV to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adiv"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perfmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("perfmap", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "regenerate only this figure (2-7); 0 means all")
+	detName := fs.String("detector", "", "regenerate only this detector's map (lb|markov|stide|nn)")
+	regime := fs.String("regime", "strict", "classification regime: strict or rare")
+	quick := fs.Bool("quick", false, "use the reduced configuration")
+	csv := fs.Bool("csv", false, "additionally emit maps as CSV")
+	asJSON := fs.Bool("json", false, "additionally emit maps as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := adiv.DefaultConfig()
+	if *quick {
+		cfg = adiv.QuickConfig()
+	}
+
+	// Figure 7 needs no corpus.
+	if *figure == 7 {
+		return writeFigure7(w)
+	}
+
+	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
+	corpus, err := adiv.BuildCorpus(cfg)
+	if err != nil {
+		return err
+	}
+
+	figures := map[int]string{3: adiv.DetectorLaneBrodley, 4: adiv.DetectorMarkov, 5: adiv.DetectorStide, 6: adiv.DetectorNeuralNet}
+	wantFigure := func(n int) bool { return *figure == 0 || *figure == n }
+
+	if wantFigure(2) && *detName == "" {
+		if err := writeFigure2(w, corpus); err != nil {
+			return err
+		}
+	}
+	for _, n := range []int{3, 4, 5, 6} {
+		name := figures[n]
+		if !wantFigure(n) || (*detName != "" && *detName != name) {
+			continue
+		}
+		factory, opts, err := adiv.DetectorFactory(name)
+		if err != nil {
+			return err
+		}
+		if *regime == "rare" && name != adiv.DetectorNeuralNet {
+			opts = adiv.RareSensitiveEvalOptions()
+		}
+		m, err := corpus.PerformanceMap(name, factory, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nFigure %d —", n)
+		if err := adiv.WriteMap(w, m); err != nil {
+			return err
+		}
+		if *csv {
+			if err := adiv.WriteMapCSV(w, m); err != nil {
+				return err
+			}
+		}
+		if *asJSON {
+			data, err := json.Marshal(m)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+				return err
+			}
+		}
+	}
+	if wantFigure(7) && *detName == "" && *figure == 0 {
+		return writeFigure7(w)
+	}
+	return nil
+}
+
+func writeFigure2(w io.Writer, corpus *adiv.Corpus) error {
+	const size, width = 8, 5 // the paper's Figure 2 parameters
+	p, ok := corpus.Placements[size]
+	if !ok {
+		return fmt.Errorf("corpus has no size-%d placement", size)
+	}
+	fmt.Fprintln(w, "\nFigure 2 — boundary sequences and incident span")
+	return adiv.WriteIncidentSpan(w, adiv.EvaluationAlphabet(), p, width)
+}
+
+func writeFigure7(w io.Writer) error {
+	// The paper's shell-command example: two identical size-5 sequences,
+	// then a pair differing only in the final element.
+	names := []string{"cd", "<1>", "ls", "laf", "tar"}
+	a := adiv.EvaluationAlphabet()
+	normal := adiv.Stream{0, 1, 2, 3, 4}
+	foreign := adiv.Stream{0, 1, 2, 3, 0} // last element mismatches
+	fmt.Fprintln(w, "\nFigure 7 — Lane & Brodley similarity calculation")
+	fmt.Fprintf(w, "(symbols stand for the paper's commands %v)\n", names)
+
+	weights, total, err := adiv.LBSimilarityWeights(normal, normal)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "identical sequences:")
+	if err := adiv.WriteSimilarity(w, a, normal, normal, weights, total, adiv.LBMaxSimilarity(len(normal))); err != nil {
+		return err
+	}
+	weights, total, err = adiv.LBSimilarityWeights(normal, foreign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "normal vs foreign (final element differs):")
+	return adiv.WriteSimilarity(w, a, normal, foreign, weights, total, adiv.LBMaxSimilarity(len(normal)))
+}

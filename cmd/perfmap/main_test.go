@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-nosuch"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-figure", "7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"similarity 15 of maximum 15", "similarity 10 of maximum 15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleDetectorQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-quick", "-figure", "5", "-csv"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Performance map: stide") {
+		t.Errorf("missing map header:\n%s", out)
+	}
+	if !strings.Contains(out, "stide,2,2,capable") {
+		t.Errorf("missing CSV row:\n%s", out)
+	}
+}

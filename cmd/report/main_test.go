@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunQuickFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report regeneration skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-quick", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"# Regenerated experimental record",
+		"## Figure 2 — incident span",
+		"## Figure 5 — stide performance map",
+		"## Figure 7 — Lane & Brodley similarity walkthrough",
+		"markov ⊇ stide: true",
+		"## Parameter ablations",
+		"## Section 4.1 — MFS prevalence",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	if err := run([]string{"-quick", "-out", "/nonexistent-dir/report.md"}); err == nil {
+		t.Errorf("unwritable output path accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Command sweep runs the parameter-sensitivity studies behind the paper's
+// "heavily dependent on the parameter values of the detectors" finding and
+// emits CSV series.
+//
+// Modes:
+//
+//	-mode threshold   detection-threshold sweep per detector on
+//	                  rare-containing test data (hit rate, false-alarm
+//	                  rate, AUC) — the coverage-vs-false-alarm trade-off
+//	-mode nn          neural-network tuning grid (epochs × learning rate):
+//	                  capable cells out of the full evaluation grid
+//	-mode cutoff      t-stide rarity-cutoff sweep: coverage and false
+//	                  alarms as the cutoff moves
+//
+// Usage:
+//
+//	sweep -mode threshold [-quick] [-window N] [-size N] [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adiv"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	mode := fs.String("mode", "threshold", "sweep mode: threshold, nn, or cutoff")
+	quick := fs.Bool("quick", true, "use the reduced configuration (default true; sweeps retrain many detectors)")
+	window := fs.Int("window", 8, "detector window")
+	size := fs.Int("size", 6, "anomaly size")
+	trials := fs.Int("trials", 5, "number of rare-containing test streams (threshold mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := adiv.DefaultConfig()
+	if *quick {
+		cfg = adiv.QuickConfig()
+	}
+	corpus, err := adiv.BuildCorpus(cfg)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "threshold":
+		return thresholdSweep(w, corpus, *window, *size, *trials)
+	case "nn":
+		return nnGrid(w, corpus)
+	case "cutoff":
+		return cutoffSweep(w, corpus, *window, *size)
+	case "profile":
+		return profiles(w, corpus, *window)
+	case "hmm":
+		return hmmStates(w, corpus)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// hmmStates sweeps the HMM's hidden-state count and reports how well the
+// model tracks the clean background (its maximum response after burn-in):
+// too few states alias a cycle position and the predictive probability
+// collapses to ~0.5 there; enough states track the process down to the
+// excursion mass.
+func hmmStates(w io.Writer, corpus *adiv.Corpus) error {
+	fmt.Fprintln(w, "states,max_background_response,mean_background_response")
+	for _, states := range []int{4, 6, 8, 10, 12, 16} {
+		cfg := adiv.DefaultHMMConfig()
+		cfg.States = states
+		det, err := adiv.NewHMM(cfg)
+		if err != nil {
+			return err
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			return err
+		}
+		responses, err := det.Score(corpus.Background[:1_000])
+		if err != nil {
+			return err
+		}
+		settled := responses[12:]
+		maxR, sum := 0.0, 0.0
+		for _, r := range settled {
+			if r > maxR {
+				maxR = r
+			}
+			sum += r
+		}
+		fmt.Fprintf(w, "%d,%.4f,%.4f\n", states, maxR, sum/float64(len(settled)))
+	}
+	return nil
+}
+
+// profiles renders each detector's response distribution on clean
+// background versus rare-containing data — the operator's view when
+// placing a detection threshold.
+func profiles(w io.Writer, corpus *adiv.Corpus, window int) error {
+	noisy, err := corpus.NoisyStream(8_000, 1)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{adiv.DetectorStide, adiv.DetectorMarkov, adiv.DetectorLaneBrodley} {
+		det, err := adiv.NewDetector(name, window)
+		if err != nil {
+			return err
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			return err
+		}
+		for label, stream := range map[string]adiv.Stream{"clean background": corpus.Background, "rare-containing": noisy} {
+			p, err := adiv.ProfileResponses(det, stream, 10)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "== %s on %s ==\n", name, label)
+			if err := adiv.WriteProfile(w, p); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// thresholdSweep traces each detector's ROC over rare-containing trials.
+func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) error {
+	placements := make([]adiv.Placement, 0, trials)
+	for i := 0; i < trials; i++ {
+		noisy, err := corpus.NoisyStream(8_000, uint64(i+1))
+		if err != nil {
+			return err
+		}
+		p, err := corpus.InjectInto(noisy, size, window)
+		if err != nil {
+			return err
+		}
+		placements = append(placements, p)
+	}
+	thresholds := []float64{0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.999, 1}
+
+	fmt.Fprintln(w, "detector,threshold,hit_rate,false_alarm_rate")
+	for _, name := range []string{adiv.DetectorStide, adiv.DetectorMarkov, adiv.DetectorTStide, adiv.DetectorLaneBrodley} {
+		det, err := adiv.NewDetector(name, window)
+		if err != nil {
+			return err
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			return err
+		}
+		curve, err := adiv.ROC(det, placements, thresholds)
+		if err != nil {
+			return err
+		}
+		for _, pt := range curve.Points {
+			fmt.Fprintf(w, "%s,%.4f,%.3f,%.6f\n", name, pt.Threshold, pt.HitRate, pt.FalseAlarmRate)
+		}
+		auc, err := curve.AUC()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# %s AUC = %.4f\n", name, auc)
+	}
+	return nil
+}
+
+// nnGrid charts coverage across neural-network tuning parameters.
+func nnGrid(w io.Writer, corpus *adiv.Corpus) error {
+	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
+		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
+	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
+	for _, epochs := range []int{1, 25, 100, 400} {
+		for _, lr := range []float64{0.01, 0.1, 0.25} {
+			cfg := adiv.DefaultNNConfig()
+			cfg.Epochs = epochs
+			cfg.LearningRate = lr
+			m, err := corpus.PerformanceMap("nn", adiv.NeuralNetFactory(cfg), adiv.NeuralNetEvalOptions())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%d,%.3f,%d,%d\n", epochs, lr, m.CountOutcome(adiv.OutcomeCapable), total)
+		}
+	}
+	return nil
+}
+
+// cutoffSweep charts t-stide's coverage and false alarms against its
+// rarity cutoff.
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int) error {
+	noisy, err := corpus.NoisyStream(10_000, 1)
+	if err != nil {
+		return err
+	}
+	placement, err := corpus.InjectInto(noisy, size, window)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
+	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
+		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
+		m, err := corpus.PerformanceMap("tstide", factory, adiv.DefaultEvalOptions())
+		if err != nil {
+			return err
+		}
+		det, err := adiv.NewTStide(window, cutoff)
+		if err != nil {
+			return err
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			return err
+		}
+		stats, err := adiv.AssessAlarms(det, placement, adiv.StrictThreshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.4f,%d,%d\n", cutoff, m.CountOutcome(adiv.OutcomeCapable), stats.FalseAlarms)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-nosuch"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "nosuch"}); err == nil {
+		t.Errorf("unknown mode accepted")
+	}
+}
+
+func TestRunCutoffSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cutoff sweep skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "cutoff"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cutoff,capable_cells,false_alarms_on_rare_data") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0050,112,") {
+		t.Errorf("missing the full-coverage row at the classic cutoff:\n%s", out)
+	}
+}
+
+func TestRunProfileMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile mode skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "profile"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== stide on", "== markov on", "response profile:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHMMStatesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hmm sweep skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "hmm"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "states,max_background_response") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	// The well-sized model tracks the background down to the excursion
+	// mass (~3%).
+	if !strings.Contains(out, "10,0.0") {
+		t.Errorf("10-state row missing or off:\n%s", out)
+	}
+}
+
+func TestRunThresholdSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "threshold", "-trials", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "detector,threshold,hit_rate,false_alarm_rate") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "# stide AUC") {
+		t.Errorf("missing AUC line:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"adiv/internal/corpusio"
+)
+
+func TestRunMissingOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Errorf("missing -out accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunWritesLoadableCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-out", dir, "-train", "60000", "-background", "600"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	corpus, err := corpusio.Load(dir)
+	if err != nil {
+		t.Fatalf("loading written corpus: %v", err)
+	}
+	if len(corpus.Training) != 60000 {
+		t.Errorf("training length %d", len(corpus.Training))
+	}
+	if len(corpus.Placements) != 8 {
+		t.Errorf("%d placements", len(corpus.Placements))
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "test_as*.txt")); err != nil {
+		t.Errorf("glob: %v", err)
+	}
+}

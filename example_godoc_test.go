@@ -1,0 +1,69 @@
+package adiv_test
+
+import (
+	"fmt"
+
+	"adiv"
+)
+
+// The Figure-7 calculation: identical sequences score the metric's
+// maximum; mismatching only an edge element barely dents it.
+func ExampleLBSimilarity() {
+	normal := adiv.Stream{0, 1, 2, 3, 4}
+	foreign := adiv.Stream{0, 1, 2, 3, 0}
+	identical, _ := adiv.LBSimilarity(normal, normal)
+	weak, _ := adiv.LBSimilarity(normal, foreign)
+	fmt.Println(identical, weak, adiv.LBMaxSimilarity(5))
+	// Output: 15 10 15
+}
+
+// The canonical minimal foreign sequences the evaluation injects.
+func ExampleCanonicalMFS() {
+	a := adiv.EvaluationAlphabet()
+	for _, size := range []int{2, 3, 6} {
+		m, _ := adiv.CanonicalMFS(size)
+		fmt.Println(a.Format(m))
+	}
+	// Output:
+	// 7 7
+	// 7 0 7
+	// 7 0 0 0 0 7
+}
+
+// Stide in two lines: train on normal data, score a stream; a window that
+// never occurred in training scores 1.
+func ExampleNewStide() {
+	train := adiv.Stream{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}
+	det, _ := adiv.NewStide(2)
+	_ = det.Train(train)
+	responses, _ := det.Score(adiv.Stream{1, 2, 3, 2})
+	fmt.Println(responses)
+	// Output: [0 0 1]
+}
+
+// The Markov detector estimates conditional probabilities; a transition
+// seen every time scores 0, a never-seen one scores 1.
+func ExampleNewMarkov() {
+	train := adiv.Stream{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	det, _ := adiv.NewMarkov(1)
+	_ = det.Train(train)
+	responses, _ := det.Score(adiv.Stream{1, 2, 1})
+	fmt.Printf("%.2f\n", responses)
+	// Output: [0.00 1.00]
+}
+
+// Streaming deployment produces exactly the batch responses, one per
+// completed window.
+func ExampleNewStreamScorer() {
+	train := adiv.Stream{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	det, _ := adiv.NewStide(2)
+	_ = det.Train(train)
+	scorer, _ := adiv.NewStreamScorer(det)
+	for _, sym := range []adiv.Symbol{1, 2, 3, 3} {
+		r, ready, _ := scorer.Push(sym)
+		if ready {
+			fmt.Print(r, " ")
+		}
+	}
+	// Output: 0 0 1
+}

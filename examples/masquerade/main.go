@@ -1,0 +1,114 @@
+// Masquerade: the Lane & Brodley detector in its home setting — spotting an
+// intruder typing at a legitimate user's shell — and the blind spot the
+// paper exposes. The adjacency-weighted similarity metric flags a
+// masquerader whose command mix is wholesale different, but a minimal
+// foreign sequence embedded in otherwise-normal behavior slips by: the
+// foreign window still resembles some normal window almost everywhere, so
+// the similarity dips only slightly (the Figure-7 15 -> 10 effect) and
+// never reaches the maximal response the strict threshold requires.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adiv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	user := adiv.ShellTraceProfile()
+	train, err := adiv.GenerateTrace(user, 10, 100_000)
+	if err != nil {
+		return err
+	}
+	session, err := adiv.GenerateTrace(user, 11, 3_000)
+	if err != nil {
+		return err
+	}
+
+	const dw = 6
+	lb, err := adiv.NewLaneBrodley(dw)
+	if err != nil {
+		return err
+	}
+	if err := lb.Train(train); err != nil {
+		return err
+	}
+
+	// Scenario 1: a masquerader with an alien command mix. The daemon
+	// profile's symbols reinterpreted as shell commands stand in for an
+	// intruder running unfamiliar tools in unfamiliar orders.
+	intruder, err := adiv.GenerateTrace(adiv.DaemonTraceProfile(), 12, 60)
+	if err != nil {
+		return err
+	}
+	masq := append(append(adiv.Stream{}, session...), intruder...)
+	placementMasq := adiv.Placement{Stream: masq, Start: len(session), AnomalyLen: len(intruder)}
+	aMasq, err := adiv.AssessDetector(lb, placementMasq, adiv.DefaultEvalOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("masquerader block  (60 alien commands): outcome=%-7s maxResponse=%.3f\n",
+		aMasq.Outcome, aMasq.MaxResponse)
+
+	// Scenario 2: a minimal foreign sequence inside normal behavior.
+	held, err := adiv.GenerateTrace(user, 13, 50_000)
+	if err != nil {
+		return err
+	}
+	stats, err := adiv.ScanMFS(train, held, 10)
+	if err != nil {
+		return err
+	}
+	var mfs adiv.Stream
+	for _, size := range stats.Sizes() {
+		if size >= 4 && size <= dw {
+			mfs = stats.Examples[size]
+			break
+		}
+	}
+	if mfs == nil {
+		return fmt.Errorf("no suitable MFS found in held-out session data")
+	}
+	placementMFS, err := adiv.InjectAt(session, mfs, len(session)/2)
+	if err != nil {
+		return err
+	}
+	aMFS, err := adiv.AssessDetector(lb, placementMFS, adiv.DefaultEvalOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("embedded MFS %v: outcome=%-7s maxResponse=%.3f\n",
+		user.Alphabet.Format(mfs), aMFS.Outcome, aMFS.MaxResponse)
+
+	// Stide on the same MFS, for contrast.
+	stide, err := adiv.NewStide(dw)
+	if err != nil {
+		return err
+	}
+	if err := stide.Train(train); err != nil {
+		return err
+	}
+	aStide, err := adiv.AssessDetector(stide, placementMFS, adiv.DefaultEvalOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stide on the same MFS (DW=%d >= %d):       outcome=%-7s maxResponse=%.3f\n",
+		dw, len(mfs), aStide.Outcome, aStide.MaxResponse)
+
+	// At a sub-maximal threshold the L&B detector separates the two
+	// scenarios; at the strict threshold of 1 it alarms on neither.
+	const threshold = 0.8
+	fmt.Printf("\nat detection threshold %.1f: masquerade alarms=%v, embedded MFS alarms=%v\n",
+		threshold, aMasq.MaxResponse >= threshold, aMFS.MaxResponse >= threshold)
+	fmt.Println("the L&B metric sees the gross masquerade but scores the embedded foreign")
+	fmt.Println("sequence as close to normal — diversity in similarity metrics is diversity")
+	fmt.Println("in what is detectable at all.")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Mimicry: the attacker's side of the window-size story. An attack payload
+// is camouflaged by stitching it from sequences the monitored process
+// really executes, so that every window up to a chosen width exists in the
+// detector's normal database — the "manipulated to manifest as normal
+// behavior" scenario of the paper's background section. The defense is the
+// same dial the whole evaluation charts: widen the detector window past
+// the camouflage width and the seams between borrowed contexts become
+// foreign.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adiv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	corpus, err := adiv.BuildCorpus(adiv.QuickConfig())
+	if err != nil {
+		return err
+	}
+
+	const camouflageWidth = 6
+	var attack adiv.Stream
+	visibleAt := 0
+	for seed := uint64(1); seed <= 50; seed++ {
+		s, err := adiv.Camouflage(corpus.TrainIndex, camouflageWidth, 60, seed)
+		if err != nil {
+			return err
+		}
+		w, err := adiv.MimicryDetectionWidth(corpus.TrainIndex, s, 2, adiv.MaxWindow)
+		if err != nil {
+			return err
+		}
+		if w > camouflageWidth {
+			attack, visibleAt = s, w
+			break
+		}
+	}
+	if attack == nil {
+		return fmt.Errorf("no camouflage became visible in the window range; try more seeds")
+	}
+	alpha := adiv.EvaluationAlphabet()
+	fmt.Printf("camouflaged attack (every %d-window occurs in training):\n  %s\n",
+		camouflageWidth, alpha.Format(attack))
+	fmt.Printf("first foreign seam appears at window width %d\n\n", visibleAt)
+
+	fmt.Println("stide's view of the attack as the window widens:")
+	fmt.Println("DW   max response   verdict")
+	for _, dw := range []int{3, camouflageWidth, visibleAt, adiv.MaxWindow} {
+		det, err := adiv.NewStide(dw)
+		if err != nil {
+			return err
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			return err
+		}
+		responses, err := det.Score(attack)
+		if err != nil {
+			return err
+		}
+		maxResp := 0.0
+		for _, r := range responses {
+			if r > maxResp {
+				maxResp = r
+			}
+		}
+		verdict := "invisible"
+		if maxResp == 1 {
+			verdict = "caught"
+		}
+		fmt.Printf("%2d   %.2f           %s\n", dw, maxResp, verdict)
+	}
+	fmt.Println("\nthe camouflage holds exactly as far as the attacker's planning width;")
+	fmt.Println("a defender whose window is longer sees the stitching.")
+	return nil
+}

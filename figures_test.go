@@ -1,0 +1,305 @@
+// Figure-by-figure reproduction tests: one test per figure of the paper's
+// evaluation, asserting the qualitative result the figure reports. The
+// paper-vs-measured record is in EXPERIMENTS.md; these tests keep that
+// record true on every run.
+package adiv_test
+
+import (
+	"strings"
+	"testing"
+
+	"adiv"
+)
+
+// TestFigure2IncidentSpan reproduces Figure 2: with a detector window of 5
+// and a foreign sequence of size 8, the incident span comprises all
+// 5-element sequences containing at least one element of the anomaly —
+// DW-1+AS = 12 windows — and the boundary sequences flank the injection.
+func TestFigure2IncidentSpan(t *testing.T) {
+	corpus := sharedCorpus(t)
+	p := corpus.Placements[8]
+	lo, hi, ok := p.IncidentSpan(5)
+	if !ok {
+		t.Fatal("no incident span")
+	}
+	if got, want := hi-lo+1, 5-1+8; got != want {
+		t.Errorf("incident span holds %d windows, want %d", got, want)
+	}
+
+	var sb strings.Builder
+	if err := adiv.WriteIncidentSpan(&sb, adiv.EvaluationAlphabet(), p, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "F F F F F F F F") {
+		t.Errorf("rendering lacks the 8 anomaly marks:\n%s", out)
+	}
+	if !strings.Contains(out, "+ + + + F") || !strings.Contains(out, "F + + + +") {
+		t.Errorf("rendering lacks DW-1 boundary marks on each side:\n%s", out)
+	}
+}
+
+// TestFigure3LBMap reproduces Figure 3: the Lane & Brodley detector is
+// blind across the entire evaluated space — no (anomaly size, window) cell
+// ever registers a maximal response.
+func TestFigure3LBMap(t *testing.T) {
+	m := sharedMap(t, adiv.DetectorLaneBrodley, adiv.LaneBrodleyFactory, adiv.DefaultEvalOptions())
+	if got := m.CountOutcome(adiv.OutcomeCapable); got != 0 {
+		t.Errorf("L&B detects %d cells, want 0 (blind across the space)", got)
+	}
+	corpus := sharedCorpus(t)
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		for dw := corpus.Config.MinWindow; dw <= corpus.Config.MaxWindow; dw++ {
+			if a := m.At(size, dw); a.MaxResponse >= 1 {
+				t.Errorf("AS=%d DW=%d: maximal response %v", size, dw, a.MaxResponse)
+			}
+		}
+	}
+	// The blindness mechanism (Section 7): even when the whole anomaly is
+	// visible (DW = AS) the similarity to the closest normal sequence
+	// keeps the response well below 1.
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		if a := m.At(size, size); a.MaxResponse > 0.95 {
+			t.Errorf("AS=DW=%d: response %v unexpectedly close to maximal", size, a.MaxResponse)
+		}
+	}
+}
+
+// TestFigure4MarkovMap reproduces Figure 4 in both threshold regimes. At
+// the paper's strict threshold the Markov detector registers a maximal
+// response exactly when a foreign (DW+1)-gram falls in the incident span —
+// DW >= AS-1, one diagonal earlier than Stide (the "edge of the space"
+// gain) — and responds weakly everywhere below. Counting its strong
+// rare-sequence responses as hits (the rare-sensitive regime) extends its
+// coverage to the entire space, the reading of the paper's conclusion.
+func TestFigure4MarkovMap(t *testing.T) {
+	corpus := sharedCorpus(t)
+	strict := sharedMap(t, adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		for dw := corpus.Config.MinWindow; dw <= corpus.Config.MaxWindow; dw++ {
+			want := adiv.OutcomeWeak
+			if dw >= size-1 {
+				want = adiv.OutcomeCapable
+			}
+			if got := strict.Outcome(size, dw); got != want {
+				t.Errorf("strict: AS=%d DW=%d outcome %v, want %v", size, dw, got, want)
+			}
+		}
+	}
+
+	rare := sharedMap(t, "markov-rare", adiv.MarkovFactory, adiv.RareSensitiveEvalOptions())
+	cells := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) * (corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
+	if got := rare.CountOutcome(adiv.OutcomeCapable); got != cells {
+		t.Errorf("rare-sensitive regime covers %d of %d cells, want all", got, cells)
+	}
+}
+
+// TestFigure5StideMap reproduces Figure 5: Stide detects the minimal
+// foreign sequence exactly when its window is at least as long as the
+// anomaly, and is completely blind below that diagonal.
+func TestFigure5StideMap(t *testing.T) {
+	corpus := sharedCorpus(t)
+	m := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		for dw := corpus.Config.MinWindow; dw <= corpus.Config.MaxWindow; dw++ {
+			want := adiv.OutcomeBlind
+			if dw >= size {
+				want = adiv.OutcomeCapable
+			}
+			if got := m.Outcome(size, dw); got != want {
+				t.Errorf("AS=%d DW=%d outcome %v, want %v", size, dw, got, want)
+			}
+		}
+	}
+	// Undefined regions: anomaly size 1 and window 1 were not evaluated.
+	if got := m.Outcome(1, 5); got != adiv.OutcomeUndefined {
+		t.Errorf("AS=1 cell outcome %v, want undefined", got)
+	}
+	if got := m.Outcome(5, 1); got != adiv.OutcomeUndefined {
+		t.Errorf("DW=1 cell outcome %v, want undefined", got)
+	}
+}
+
+// TestFigure6NNMap reproduces Figure 6: the well-tuned neural network
+// mimics the Markov detector — its coverage contains Stide's and the
+// Markov detector's strict-regime coverage — while an undertrained network
+// loses cells (the tuning-sensitivity caveat of Section 7).
+func TestFigure6NNMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("neural-network map training skipped in -short mode")
+	}
+	nn := sharedMap(t, adiv.DetectorNeuralNet, adiv.NeuralNetFactory(adiv.DefaultNNConfig()), adiv.NeuralNetEvalOptions())
+	markov := sharedMap(t, adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+	stide := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	if !nn.CoversAtLeast(markov) {
+		t.Errorf("well-tuned NN coverage does not contain the Markov detector's")
+	}
+	if !nn.CoversAtLeast(stide) {
+		t.Errorf("well-tuned NN coverage does not contain Stide's")
+	}
+
+	// Mimicry is asserted at the coverage level above (the paper's sense).
+	// Pointwise agreement is deliberately NOT asserted: the learned
+	// approximation both over-suppresses rarely-trained contexts and
+	// generalizes over naturally-foreign gram combinations in rare data,
+	// so its graded responses differ from the Markov detector's away from
+	// the injected anomaly even though its detection coverage matches.
+
+	// Mistuned network: a crippled learning constant and a single epoch
+	// leave the softmax near its initialization, so the anomaly signal
+	// stays weak (Section 7: "some combinations of these values may result
+	// in weakened anomaly signals").
+	mistuned := adiv.DefaultNNConfig()
+	mistuned.Epochs = 1
+	mistuned.LearningRate = 0.001
+	corpus := sharedCorpus(t)
+	weakMap, err := corpus.PerformanceMap("nn-mistuned", adiv.NeuralNetFactory(mistuned), adiv.NeuralNetEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, full := weakMap.CountOutcome(adiv.OutcomeCapable), nn.CountOutcome(adiv.OutcomeCapable); got >= full {
+		t.Errorf("mistuned NN detects %d cells, tuned %d; expected a loss", got, full)
+	}
+}
+
+// TestSection7CombinationCoverage reproduces the combination findings:
+// Stide's coverage is a strict subset of the Markov detector's, the gain
+// sits exactly on the DW = AS-1 edge, and adding Lane & Brodley to Stide
+// gains nothing at all.
+func TestSection7CombinationCoverage(t *testing.T) {
+	corpus := sharedCorpus(t)
+	stide := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	markov := sharedMap(t, adiv.DetectorMarkov, adiv.MarkovFactory, adiv.DefaultEvalOptions())
+	lb := sharedMap(t, adiv.DetectorLaneBrodley, adiv.LaneBrodleyFactory, adiv.DefaultEvalOptions())
+
+	if !markov.CoversAtLeast(stide) {
+		t.Errorf("Markov coverage does not contain Stide coverage")
+	}
+	if stide.CoversAtLeast(markov) {
+		t.Errorf("Stide coverage unexpectedly contains Markov coverage")
+	}
+	gain := adiv.CoverageGain(stide, markov)
+	for _, cell := range gain {
+		size, dw := cell[0], cell[1]
+		if dw != size-1 {
+			t.Errorf("Markov gain cell (AS=%d, DW=%d) off the DW=AS-1 edge", size, dw)
+		}
+	}
+	if want := corpus.Config.MaxSize - corpus.Config.MinSize; len(gain) != want {
+		t.Errorf("gain has %d cells, want %d (one per size with DW >= 2)", len(gain), want)
+	}
+
+	if g := adiv.CoverageGain(stide, lb); len(g) != 0 {
+		t.Errorf("L&B adds %v over Stide, want nothing", g)
+	}
+	union, err := adiv.UnionCoverage(stide, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.CountOutcome(adiv.OutcomeCapable) != stide.CountOutcome(adiv.OutcomeCapable) {
+		t.Errorf("Stide+L&B union differs from Stide alone")
+	}
+}
+
+// TestSection7Suppression reproduces the operational recipe: on test data
+// containing naturally occurring rare sequences, the rare-sensitive Markov
+// detector raises false alarms that the Stide veto removes entirely, while
+// the minimal-foreign-sequence hit survives.
+func TestSection7Suppression(t *testing.T) {
+	corpus := sharedCorpus(t)
+	noisy, err := corpus.NoisyStream(8_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size, dw = 6, 8
+	placement, err := corpus.InjectInto(noisy, size, dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markov, err := adiv.NewMarkov(dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stide, err := adiv.NewStide(dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adiv.TrainAll(corpus.Training, markov, stide); err != nil {
+		t.Fatal(err)
+	}
+	r, err := adiv.Suppress(markov, stide, placement, adiv.RareSensitiveThreshold, adiv.StrictThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Primary.Hit {
+		t.Errorf("Markov alone missed the anomaly")
+	}
+	if r.Primary.FalseAlarms == 0 {
+		t.Errorf("Markov alone raised no false alarms on rare-containing data; the experiment is vacuous")
+	}
+	if r.Suppressed.FalseAlarms != 0 {
+		t.Errorf("Stide veto left %d false alarms", r.Suppressed.FalseAlarms)
+	}
+	if !r.Suppressed.Hit {
+		t.Errorf("Stide veto lost the hit")
+	}
+}
+
+// TestNaturalMFSPrevalence reproduces the Section 4.1 observation on the
+// quasi-natural substitute traces: held-out data contains minimal foreign
+// sequences of several distinct lengths.
+func TestNaturalMFSPrevalence(t *testing.T) {
+	for _, profile := range []*adiv.TraceProfile{
+		adiv.DaemonTraceProfile(),
+		adiv.ShellTraceProfile(),
+		adiv.WebServerTraceProfile(),
+	} {
+		train, err := adiv.GenerateTrace(profile, 1, 150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := adiv.GenerateTrace(profile, 2, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := adiv.ScanMFS(train, test, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Total() < 3 {
+			t.Errorf("profile %q: only %d MFS occurrences in held-out data", profile.Name, stats.Total())
+		}
+		if len(stats.Sizes()) < 2 {
+			t.Errorf("profile %q: MFS lengths %v, want several distinct lengths", profile.Name, stats.Sizes())
+		}
+	}
+}
+
+// TestFigure7LBSimilarity pins the Figure-7 walkthrough via the public API:
+// identical size-5 sequences score 15 = DW(DW+1)/2; mismatching only the
+// final element drops the score merely to 10 = DW(DW-1)/2.
+func TestFigure7LBSimilarity(t *testing.T) {
+	normal := adiv.Stream{0, 1, 2, 3, 4}
+	foreign := adiv.Stream{0, 1, 2, 3, 0}
+	sim, err := adiv.LBSimilarity(normal, normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 15 || adiv.LBMaxSimilarity(5) != 15 {
+		t.Errorf("identical similarity %d (max %d), want 15", sim, adiv.LBMaxSimilarity(5))
+	}
+	weights, total, err := adiv.LBSimilarityWeights(normal, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Errorf("edge-mismatch similarity %d, want 10", total)
+	}
+	want := []int{1, 2, 3, 4, 0}
+	for i := range want {
+		if weights[i] != want[i] {
+			t.Errorf("weights %v, want %v", weights, want)
+			break
+		}
+	}
+}

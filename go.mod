@@ -1,0 +1,3 @@
+module adiv
+
+go 1.22

@@ -1,0 +1,63 @@
+package adiv_test
+
+import (
+	"strings"
+	"testing"
+
+	"adiv"
+)
+
+// TestGoldenStideMapRendering pins the exact rendered layout of Figure 5
+// on the shared corpus: any change to the map's shape or the renderer's
+// format shows up as a diff against this golden block.
+func TestGoldenStideMapRendering(t *testing.T) {
+	m := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	var sb strings.Builder
+	if err := adiv.WriteMap(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `Performance map: stide (window 2-15 vs anomaly size 2-9)
+DW 15 | * * * * * * * *
+DW 14 | * * * * * * * *
+DW 13 | * * * * * * * *
+DW 12 | * * * * * * * *
+DW 11 | * * * * * * * *
+DW 10 | * * * * * * * *
+DW  9 | * * * * * * * *
+DW  8 | * * * * * * * .
+DW  7 | * * * * * * . .
+DW  6 | * * * * * . . .
+DW  5 | * * * * . . . .
+DW  4 | * * * . . . . .
+DW  3 | * * . . . . . .
+DW  2 | * . . . . . . .
+      +----------------
+   AS   2 3 4 5 6 7 8 9
+legend: * capable (maximal response)  w weak  . blind
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("rendered map differs from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestSynthesizeMFSFacade exercises the brute-force search on the
+// evaluation corpus: the found sequences verify independently.
+func TestSynthesizeMFSFacade(t *testing.T) {
+	corpus := sharedCorpus(t)
+	for _, size := range []int{3, 5} {
+		report, err := adiv.SynthesizeMFS(corpus.TrainIndex, size, adiv.AlphabetSize, adiv.RareCutoff, 11)
+		if err != nil {
+			t.Fatalf("SynthesizeMFS(size=%d): %v", size, err)
+		}
+		if len(report.Sequence) != size || !report.Foreign || !report.Minimal {
+			t.Errorf("size %d: report %+v", size, report)
+		}
+		check, err := adiv.VerifyMFS(corpus.TrainIndex, report.Sequence, adiv.RareCutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !check.Foreign || !check.Minimal {
+			t.Errorf("size %d: re-verification failed: %+v", size, check)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package adiv_test
+
+import (
+	"testing"
+
+	"adiv"
+)
+
+// TestExtensionHMMRespondsToMFS charts the HMM extension (Warrender et
+// al.'s fourth data model) against the evaluation anomalies. The HMM has
+// no detector window: it tracks the process with a recurrent hidden state
+// and scores each symbol's one-step predictive probability. The injected
+// minimal foreign sequences surface as strong responses at the excursion
+// entry — like the Markov detector's rare-transition responses — so the
+// HMM is never blind to any anomaly size, and under the rare-sensitive
+// regime it covers every size outright.
+func TestExtensionHMMRespondsToMFS(t *testing.T) {
+	corpus := sharedCorpus(t)
+	det, err := adiv.NewHMM(adiv.DefaultHMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(corpus.Training); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range corpus.Sizes() {
+		a, err := adiv.AssessDetector(det, corpus.Placements[size], adiv.RareSensitiveEvalOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Outcome == adiv.OutcomeBlind || a.Outcome == adiv.OutcomeUndefined {
+			t.Errorf("size %d: outcome %v (max response %v)", size, a.Outcome, a.MaxResponse)
+		}
+		if a.MaxResponse < 0.9 {
+			t.Errorf("size %d: max response %v, want strong", size, a.MaxResponse)
+		}
+	}
+
+	// And it stays quiet on the clean background: every response on pure
+	// cycle data is far from maximal once the belief has localized.
+	responses, err := det.Score(corpus.Background[:600])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range responses[12:] {
+		if r > 0.5 {
+			t.Errorf("background response[%d] = %v, want low", i+12, r)
+		}
+	}
+}

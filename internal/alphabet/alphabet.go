@@ -1,0 +1,131 @@
+// Package alphabet defines the categorical symbol domain that every stream,
+// sequence and detector in this repository operates over.
+//
+// The evaluation data of Tan & Maxion (DSN 2005) is categorical: a stream of
+// symbols drawn from a small, fixed alphabet (size 8 in the paper's training
+// data). Symbols are represented as small unsigned integers so that windows
+// over a stream can be used directly as map keys via a byte-string encoding.
+package alphabet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Symbol is one categorical element of a data stream. Symbols are dense:
+// a stream over an Alphabet of size K contains only symbols 0..K-1.
+type Symbol uint8
+
+// MaxSize is the largest supported alphabet size. It exists because symbols
+// are stored in a byte; real-world categorical alphabets (system calls,
+// shell commands, audit events) fit comfortably.
+const MaxSize = 256
+
+// Alphabet describes a symbol domain of a fixed size, with optional
+// human-readable names for rendering traces and reports.
+type Alphabet struct {
+	size  int
+	names []string
+}
+
+// New returns an alphabet of the given size with default numeric symbol
+// names ("0", "1", ...). It returns an error if size is out of range.
+func New(size int) (*Alphabet, error) {
+	if size < 1 || size > MaxSize {
+		return nil, fmt.Errorf("alphabet: size %d out of range [1,%d]", size, MaxSize)
+	}
+	return &Alphabet{size: size}, nil
+}
+
+// WithNames returns an alphabet whose symbols carry the given names, in
+// symbol order. It returns an error if names is empty or too large.
+func WithNames(names []string) (*Alphabet, error) {
+	a, err := New(len(names))
+	if err != nil {
+		return nil, err
+	}
+	a.names = make([]string, len(names))
+	copy(a.names, names)
+	return a, nil
+}
+
+// MustNew is like New but panics on error. It is intended for package-level
+// construction of compile-time-constant alphabets.
+func MustNew(size int) *Alphabet {
+	a, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Size returns the number of symbols in the alphabet.
+func (a *Alphabet) Size() int { return a.size }
+
+// Contains reports whether s is a valid symbol of the alphabet.
+func (a *Alphabet) Contains(s Symbol) bool { return int(s) < a.size }
+
+// Name returns the human-readable name of symbol s. Symbols without explicit
+// names render as their decimal value.
+func (a *Alphabet) Name(s Symbol) string {
+	if a.names != nil && int(s) < len(a.names) {
+		return a.names[s]
+	}
+	return strconv.Itoa(int(s))
+}
+
+// Index returns the symbol whose name is name, or an error if the alphabet
+// has no such symbol. For unnamed alphabets the name is the decimal value.
+func (a *Alphabet) Index(name string) (Symbol, error) {
+	if a.names != nil {
+		for i, n := range a.names {
+			if n == name {
+				return Symbol(i), nil
+			}
+		}
+		return 0, fmt.Errorf("alphabet: unknown symbol name %q", name)
+	}
+	v, err := strconv.Atoi(name)
+	if err != nil || v < 0 || v >= a.size {
+		return 0, fmt.Errorf("alphabet: unknown symbol name %q", name)
+	}
+	return Symbol(v), nil
+}
+
+// Validate reports the first out-of-alphabet symbol in stream, if any.
+func (a *Alphabet) Validate(stream []Symbol) error {
+	for i, s := range stream {
+		if !a.Contains(s) {
+			return fmt.Errorf("alphabet: symbol %d at position %d outside alphabet of size %d", s, i, a.size)
+		}
+	}
+	return nil
+}
+
+// Format renders a stream slice as space-separated symbol names, a compact
+// form used by the CLIs and test failure messages.
+func (a *Alphabet) Format(stream []Symbol) string {
+	var b strings.Builder
+	for i, s := range stream {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Name(s))
+	}
+	return b.String()
+}
+
+// Parse converts a space-separated list of symbol names back to symbols.
+func (a *Alphabet) Parse(text string) ([]Symbol, error) {
+	fields := strings.Fields(text)
+	out := make([]Symbol, 0, len(fields))
+	for _, f := range fields {
+		s, err := a.Index(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

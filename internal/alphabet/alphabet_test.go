@@ -1,0 +1,139 @@
+package alphabet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBounds(t *testing.T) {
+	tests := []struct {
+		size    int
+		wantErr bool
+	}{
+		{0, true},
+		{-1, true},
+		{1, false},
+		{8, false},
+		{MaxSize, false},
+		{MaxSize + 1, true},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.size)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("New(%d) error = %v, wantErr %v", tt.size, err, tt.wantErr)
+		}
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestContains(t *testing.T) {
+	a := MustNew(8)
+	if !a.Contains(0) || !a.Contains(7) {
+		t.Errorf("alphabet of size 8 should contain 0 and 7")
+	}
+	if a.Contains(8) {
+		t.Errorf("alphabet of size 8 should not contain 8")
+	}
+}
+
+func TestNamesRoundTrip(t *testing.T) {
+	names := []string{"open", "read", "write", "close"}
+	a, err := WithNames(names)
+	if err != nil {
+		t.Fatalf("WithNames: %v", err)
+	}
+	if a.Size() != len(names) {
+		t.Fatalf("Size() = %d, want %d", a.Size(), len(names))
+	}
+	for i, name := range names {
+		if got := a.Name(Symbol(i)); got != name {
+			t.Errorf("Name(%d) = %q, want %q", i, got, name)
+		}
+		s, err := a.Index(name)
+		if err != nil || s != Symbol(i) {
+			t.Errorf("Index(%q) = %v, %v; want %d, nil", name, s, err, i)
+		}
+	}
+	if _, err := a.Index("nosuch"); err == nil {
+		t.Errorf("Index of unknown name succeeded")
+	}
+}
+
+func TestWithNamesEmpty(t *testing.T) {
+	if _, err := WithNames(nil); err == nil {
+		t.Errorf("WithNames(nil) succeeded")
+	}
+}
+
+func TestNumericNames(t *testing.T) {
+	a := MustNew(10)
+	if got := a.Name(7); got != "7" {
+		t.Errorf("Name(7) = %q, want \"7\"", got)
+	}
+	s, err := a.Index("3")
+	if err != nil || s != 3 {
+		t.Errorf("Index(\"3\") = %v, %v", s, err)
+	}
+	for _, bad := range []string{"10", "-1", "x", ""} {
+		if _, err := a.Index(bad); err == nil {
+			t.Errorf("Index(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := MustNew(4)
+	if err := a.Validate([]Symbol{0, 1, 2, 3}); err != nil {
+		t.Errorf("Validate of in-range stream: %v", err)
+	}
+	err := a.Validate([]Symbol{0, 1, 4})
+	if err == nil {
+		t.Fatalf("Validate accepted out-of-range symbol")
+	}
+	if !strings.Contains(err.Error(), "position 2") {
+		t.Errorf("error %q does not identify the position", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	a := MustNew(16)
+	check := func(raw []byte) bool {
+		stream := make([]Symbol, len(raw))
+		for i, b := range raw {
+			stream[i] = Symbol(b % 16)
+		}
+		parsed, err := a.Parse(a.Format(stream))
+		if err != nil || len(parsed) != len(stream) {
+			return false
+		}
+		for i := range parsed {
+			if parsed[i] != stream[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatEmpty(t *testing.T) {
+	a := MustNew(4)
+	if got := a.Format(nil); got != "" {
+		t.Errorf("Format(nil) = %q, want empty", got)
+	}
+	parsed, err := a.Parse("")
+	if err != nil || len(parsed) != 0 {
+		t.Errorf("Parse(\"\") = %v, %v; want empty, nil", parsed, err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package anomaly synthesizes and verifies the paper's anomalous event: the
+// minimal foreign sequence (MFS, Section 5.1), a sequence that never occurs
+// in the training data while every proper contiguous subsequence of it does,
+// composed of rare sub-sequences.
+//
+// Two synthesis paths are provided. Canonical retrieves the MFS family the
+// data generator was engineered to support and verifies it against the
+// actual training stream — the verification the paper performs after its
+// "brute force" generation. Synthesize is the generic brute-force search
+// itself (grow a rare sequence until it turns foreign while its proper
+// subsequences keep occurring), usable against any stream, including the
+// quasi-natural traces of package trace.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/gen"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+// ErrNotFound reports that the brute-force search exhausted its candidates
+// without finding a minimal foreign sequence of the requested size.
+var ErrNotFound = errors.New("anomaly: no minimal foreign sequence found")
+
+// Report describes how a candidate sequence relates to a training stream.
+type Report struct {
+	// Sequence is the candidate under examination.
+	Sequence seq.Stream
+	// Foreign reports that the full sequence never occurs in training.
+	Foreign bool
+	// Minimal reports that every proper contiguous subsequence occurs.
+	Minimal bool
+	// RareParts reports that both proper (len-1)-subsequences are rare in
+	// training under the cutoff used (the paper composes its MFSs from rare
+	// sub-sequences).
+	RareParts bool
+	// MaxPartFreq is the larger relative frequency of the two proper
+	// (len-1)-subsequences.
+	MaxPartFreq float64
+}
+
+// IsMFS reports whether the candidate satisfies the full definition used in
+// the paper: foreign, minimal, and composed of rare sub-sequences.
+func (r Report) IsMFS() bool { return r.Foreign && r.Minimal && r.RareParts }
+
+// Verify checks a candidate sequence against the training index and returns
+// a Report. rareCutoff is the relative-frequency bound below which a
+// sequence counts as rare (the paper uses 0.5%).
+//
+// Sequences of length < 2 are never minimal foreign; their report has all
+// predicates false.
+func Verify(ix *seq.Index, candidate seq.Stream, rareCutoff float64) (Report, error) {
+	r := Report{Sequence: candidate.Clone()}
+	if len(candidate) < 2 {
+		return r, nil
+	}
+	foreign, err := ix.IsForeign(candidate)
+	if err != nil {
+		return r, fmt.Errorf("anomaly: verify foreignness: %w", err)
+	}
+	r.Foreign = foreign
+	minimal, err := ix.IsMinimalForeign(candidate)
+	if err != nil {
+		return r, fmt.Errorf("anomaly: verify minimality: %w", err)
+	}
+	// IsMinimalForeign includes foreignness; split the minimality component
+	// out so the report distinguishes "not foreign" from "not minimal".
+	if foreign {
+		r.Minimal = minimal
+	} else {
+		occur, perr := ix.ProperSubsequencesOccur(candidate)
+		if perr != nil {
+			return r, fmt.Errorf("anomaly: verify minimality: %w", perr)
+		}
+		r.Minimal = occur
+	}
+
+	db, err := ix.DB(len(candidate) - 1)
+	if err != nil {
+		return r, fmt.Errorf("anomaly: verify rarity: %w", err)
+	}
+	prefix, suffix := candidate[:len(candidate)-1], candidate[1:]
+	pf, sf := db.RelFreq(prefix), db.RelFreq(suffix)
+	r.MaxPartFreq = pf
+	if sf > pf {
+		r.MaxPartFreq = sf
+	}
+	r.RareParts = db.Contains(prefix) && db.Contains(suffix) && r.MaxPartFreq < rareCutoff
+	return r, nil
+}
+
+// MustBeMFS verifies a candidate and fails unless it satisfies the full
+// MFS definition with respect to the indexed training stream.
+func MustBeMFS(ix *seq.Index, candidate seq.Stream, rareCutoff float64) (Report, error) {
+	r, err := Verify(ix, candidate, rareCutoff)
+	if err != nil {
+		return Report{}, err
+	}
+	if !r.IsMFS() {
+		return r, fmt.Errorf("anomaly: size-%d candidate is not an MFS of this training stream (foreign=%v minimal=%v rareParts=%v): %w",
+			len(candidate), r.Foreign, r.Minimal, r.RareParts, ErrNotFound)
+	}
+	return r, nil
+}
+
+// Canonical returns the verified canonical MFS of the given size for a
+// training stream produced by package gen under the paper spec. It fails
+// if the stream does not actually support the canonical sequence (for
+// example, a training stream too short to have emitted both motifs).
+func Canonical(ix *seq.Index, size int, rareCutoff float64) (Report, error) {
+	m, err := gen.CanonicalMFS(size)
+	if err != nil {
+		return Report{}, err
+	}
+	return MustBeMFS(ix, m, rareCutoff)
+}
+
+// Synthesize searches for a minimal foreign sequence of the given size with
+// respect to the indexed stream, by the brute-force strategy the paper
+// describes: start from rare (size-1)-sequences that occur in the data and
+// extend each with every alphabet symbol, keeping extensions that are
+// foreign while their other (size-1)-subsequence occurs. The search order is
+// randomized by src for variety but is deterministic given the source state.
+//
+// alphabetSize bounds the extension symbols tried. maxCandidates caps the
+// number of (base, symbol) pairs examined; 0 means unlimited.
+func Synthesize(ix *seq.Index, size, alphabetSize int, rareCutoff float64, src *rng.Source, maxCandidates int) (Report, error) {
+	if size < 2 {
+		return Report{}, fmt.Errorf("anomaly: size %d too small for a minimal foreign sequence", size)
+	}
+	db, err := ix.DB(size - 1)
+	if err != nil {
+		return Report{}, err
+	}
+	bases := db.Rare(rareCutoff)
+	if len(bases) == 0 {
+		// Fall back to all occurring (size-1)-sequences: data without rare
+		// content can still harbor foreign extensions, though the resulting
+		// sequence will not satisfy the rare-parts requirement.
+		bases = db.Common(0)
+	}
+	src.Shuffle(len(bases), func(i, j int) { bases[i], bases[j] = bases[j], bases[i] })
+
+	tried := 0
+	for _, base := range bases {
+		perm := src.Perm(alphabetSize)
+		for _, s := range perm {
+			if maxCandidates > 0 && tried >= maxCandidates {
+				return Report{}, ErrNotFound
+			}
+			tried++
+			candidate := append(base.Clone(), alphabet.Symbol(s))
+			r, err := Verify(ix, candidate, rareCutoff)
+			if err != nil {
+				return Report{}, err
+			}
+			if r.Foreign && r.Minimal {
+				return r, nil
+			}
+		}
+	}
+	return Report{}, ErrNotFound
+}
+
+// SynthesizeAll finds one MFS per size in [minSize, maxSize], preferring
+// candidates whose parts are rare. Sizes for which no MFS exists are
+// reported in the returned map with a zero-value Report and ok=false via
+// absence.
+func SynthesizeAll(ix *seq.Index, minSize, maxSize, alphabetSize int, rareCutoff float64, src *rng.Source, maxCandidates int) (map[int]Report, error) {
+	out := make(map[int]Report, maxSize-minSize+1)
+	for size := minSize; size <= maxSize; size++ {
+		r, err := Synthesize(ix, size, alphabetSize, rareCutoff, src, maxCandidates)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[size] = r
+	}
+	return out, nil
+}

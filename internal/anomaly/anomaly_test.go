@@ -1,0 +1,218 @@
+package anomaly
+
+import (
+	"errors"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/gen"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+func mk(vals ...int) seq.Stream {
+	s := make(seq.Stream, len(vals))
+	for i, v := range vals {
+		s[i] = alphabet.Symbol(v)
+	}
+	return s
+}
+
+// handIndex builds a small handcrafted training stream:
+// 0 1 0 1 ... with a few "2 3" bursts, so pairs (0,1),(1,0) are common,
+// (1,2),(2,3),(3,0) are rare, and e.g. (3,1) is foreign.
+func handIndex() *seq.Index {
+	var s seq.Stream
+	for i := 0; i < 200; i++ {
+		s = append(s, 0, 1)
+	}
+	s = append(s, 2, 3)
+	for i := 0; i < 200; i++ {
+		s = append(s, 0, 1)
+	}
+	s = append(s, 2, 3)
+	s = append(s, 0, 1)
+	return seq.NewIndex(s)
+}
+
+func TestVerifyShortCandidate(t *testing.T) {
+	r, err := Verify(handIndex(), mk(0), 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Foreign || r.Minimal || r.RareParts || r.IsMFS() {
+		t.Errorf("length-1 candidate classified as %+v", r)
+	}
+}
+
+func TestVerifyNonForeign(t *testing.T) {
+	r, err := Verify(handIndex(), mk(0, 1), 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Foreign {
+		t.Errorf("occurring pair classified foreign")
+	}
+	if !r.Minimal {
+		t.Errorf("proper subsequences (single symbols) do occur; Minimal should hold")
+	}
+}
+
+func TestVerifyMinimalForeign(t *testing.T) {
+	ix := handIndex()
+	// (3,1): both symbols occur, pair never does.
+	r, err := Verify(ix, mk(3, 1), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Foreign || !r.Minimal {
+		t.Errorf("foreign pair misclassified: %+v", r)
+	}
+	// Parts are single symbols: 3 occurs twice (rare), 1 is common — the
+	// max part frequency governs RareParts.
+	if r.RareParts {
+		t.Errorf("pair with one common part classified rare-composed")
+	}
+}
+
+func TestVerifyNonMinimalForeign(t *testing.T) {
+	ix := handIndex()
+	// (3,1,0): foreign, and its subsequence (3,1) is also foreign → not minimal.
+	r, err := Verify(ix, mk(3, 1, 0), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Foreign {
+		t.Errorf("(3,1,0) not foreign")
+	}
+	if r.Minimal {
+		t.Errorf("(3,1,0) classified minimal though (3,1) is foreign")
+	}
+	if r.IsMFS() {
+		t.Errorf("non-minimal candidate classified MFS")
+	}
+}
+
+func TestVerifyRareCompositeMFS(t *testing.T) {
+	// 1000 copies of "0 1", plus single occurrences of "2 3 4" and
+	// "3 4 5". The candidate "2 3 4 5" is then foreign, minimal (every
+	// proper substring occurs inside one of the two bursts), and composed
+	// of rare parts.
+	var s seq.Stream
+	for i := 0; i < 500; i++ {
+		s = append(s, 0, 1)
+	}
+	s = append(s, 2, 3, 4)
+	for i := 0; i < 500; i++ {
+		s = append(s, 0, 1)
+	}
+	s = append(s, 3, 4, 5)
+	ix := seq.NewIndex(s)
+
+	r, err := Verify(ix, mk(2, 3, 4, 5), 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsMFS() {
+		t.Errorf("expected a verified MFS, got %+v", r)
+	}
+	if r.MaxPartFreq <= 0 || r.MaxPartFreq >= 0.005 {
+		t.Errorf("MaxPartFreq = %v, want a small positive frequency", r.MaxPartFreq)
+	}
+}
+
+func TestCanonicalAgainstGeneratedData(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.TrainLen = 150_000
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := seq.NewIndex(g.Training())
+	for size := gen.MinAnomalySize; size <= gen.MaxAnomalySize; size++ {
+		r, err := Canonical(ix, size, gen.RareCutoff)
+		if err != nil {
+			t.Errorf("Canonical(size=%d): %v", size, err)
+			continue
+		}
+		if !r.IsMFS() {
+			t.Errorf("size %d: report %+v", size, r)
+		}
+	}
+	if _, err := Canonical(ix, 1, gen.RareCutoff); err == nil {
+		t.Errorf("Canonical(size=1) succeeded")
+	}
+}
+
+func TestCanonicalFailsOnUnsupportiveStream(t *testing.T) {
+	// A pure-cycle stream has no rare excursions, so the canonical MFS's
+	// parts never occur: verification must fail with ErrNotFound.
+	ix := seq.NewIndex(gen.PureCycle(5_000))
+	_, err := Canonical(ix, 4, gen.RareCutoff)
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("Canonical on pure cycle: error %v, want ErrNotFound", err)
+	}
+}
+
+func TestSynthesizeFindsMFS(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.TrainLen = 150_000
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := seq.NewIndex(g.Training())
+	src := rng.New(77)
+	for _, size := range []int{2, 3, 4, 5} {
+		r, err := Synthesize(ix, size, gen.AlphabetSize, gen.RareCutoff, src, 0)
+		if err != nil {
+			t.Errorf("Synthesize(size=%d): %v", size, err)
+			continue
+		}
+		if len(r.Sequence) != size {
+			t.Errorf("size %d: got length %d", size, len(r.Sequence))
+		}
+		if !r.Foreign || !r.Minimal {
+			t.Errorf("size %d: synthesized candidate not minimal foreign: %+v", size, r)
+		}
+		// Independent re-verification.
+		minimal, err := ix.IsMinimalForeign(r.Sequence)
+		if err != nil || !minimal {
+			t.Errorf("size %d: re-verification failed: %v, %v", size, minimal, err)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	ix := handIndex()
+	if _, err := Synthesize(ix, 1, 4, 0.05, rng.New(1), 0); err == nil {
+		t.Errorf("Synthesize(size=1) succeeded")
+	}
+	// With a candidate budget of 1 the search usually exhausts; accept
+	// either ErrNotFound or success, but never a different error.
+	if _, err := Synthesize(ix, 3, 4, 0.05, rng.New(1), 1); err != nil && !errors.Is(err, ErrNotFound) {
+		t.Errorf("Synthesize with tiny budget: %v", err)
+	}
+}
+
+func TestSynthesizeAll(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.TrainLen = 150_000
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := seq.NewIndex(g.Training())
+	found, err := SynthesizeAll(ix, 2, 5, gen.AlphabetSize, gen.RareCutoff, rng.New(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size, r := range found {
+		if len(r.Sequence) != size || !r.Foreign || !r.Minimal {
+			t.Errorf("size %d: bad report %+v", size, r)
+		}
+	}
+	if len(found) == 0 {
+		t.Errorf("SynthesizeAll found nothing")
+	}
+}

@@ -1,0 +1,208 @@
+// Package capability operationalizes the paper's Figure 1: the decision
+// chain that determines whether an anomaly detector can possibly have
+// detected an attack, and if not, which stage broke.
+//
+//	A. Does the attack manifest in monitored data?
+//	B. Is the detector analyzing the data containing the manifestation?
+//	C. Is the manifestation anomalous?
+//	D. Is the anomalous manifestation detectable by the detector in
+//	   question (under some parameterization)?
+//	E. Is the detector correctly tuned to detect it (under the deployed
+//	   parameterization)?
+//
+// Stages A and B are facts about the monitoring setup, supplied by the
+// caller. Stage C is decided against the training data (is the
+// manifestation foreign, or at least rare, at any evaluated width). Stage D
+// asks whether any window length in the deployment family yields a maximal
+// in-span response; stage E asks whether the deployed window does. The
+// result pins the paper's distinction between "attack not detectable" and
+// "detector mistuned" — the difference between Figures 3 and 5's blind
+// regions and an unlucky parameter choice.
+package capability
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/eval"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Stage identifies one decision of the Figure-1 chain.
+type Stage int
+
+// Stage values, in chain order.
+const (
+	StageManifests Stage = iota + 1
+	StageObserved
+	StageAnomalous
+	StageDetectable
+	StageTuned
+)
+
+// String renders the stage as the paper labels it.
+func (s Stage) String() string {
+	switch s {
+	case StageManifests:
+		return "A: attack manifests in monitored data"
+	case StageObserved:
+		return "B: detector analyzes the containing data"
+	case StageAnomalous:
+		return "C: manifestation is anomalous"
+	case StageDetectable:
+		return "D: anomaly detectable by this detector"
+	case StageTuned:
+		return "E: detector tuned to detect it"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Inputs describes one attack/deployment pair to diagnose.
+type Inputs struct {
+	// Manifests and Observed are the monitoring facts of stages A and B.
+	Manifests, Observed bool
+	// TrainIndex indexes the training data (stage C).
+	TrainIndex *seq.Index
+	// RareCutoff is the rarity bound used for stage C's "anomalous"
+	// judgment (a manifestation that is merely rare is still anomalous to
+	// rare-sensitive detectors).
+	RareCutoff float64
+	// Placement is the manifestation embedded in the monitored stream.
+	Placement inject.Placement
+	// Factory builds the deployed detector family (stage D sweeps windows).
+	Factory eval.Factory
+	// MinWindow and MaxWindow bound the family sweep for stage D.
+	MinWindow, MaxWindow int
+	// DeployedWindow is the window the operator actually chose (stage E).
+	DeployedWindow int
+	// Train is the training stream the detectors learn from.
+	Train seq.Stream
+	// Opts classifies responses (capable floor).
+	Opts eval.Options
+}
+
+// Verdict is the outcome of walking the chain.
+type Verdict struct {
+	// Detected is true when every stage passed.
+	Detected bool
+	// FailedAt is the first failing stage when Detected is false.
+	FailedAt Stage
+	// DetectableWindows lists the family's window lengths that yield a
+	// maximal in-span response (computed during stage D; empty if the
+	// chain broke earlier).
+	DetectableWindows []int
+}
+
+// String summarizes the verdict.
+func (v Verdict) String() string {
+	if v.Detected {
+		return "ATTACK DETECTED"
+	}
+	return fmt.Sprintf("ATTACK NOT DETECTED (failed at %s)", v.FailedAt)
+}
+
+// Evaluate walks the Figure-1 chain for the inputs.
+func Evaluate(in Inputs) (Verdict, error) {
+	if err := validate(in); err != nil {
+		return Verdict{}, err
+	}
+	if !in.Manifests {
+		return Verdict{FailedAt: StageManifests}, nil
+	}
+	if !in.Observed {
+		return Verdict{FailedAt: StageObserved}, nil
+	}
+
+	anomalous, err := isAnomalous(in.TrainIndex, in.Placement.Anomaly(), in.RareCutoff)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if !anomalous {
+		return Verdict{FailedAt: StageAnomalous}, nil
+	}
+
+	detectable, err := detectableWindows(in)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(detectable) == 0 {
+		return Verdict{FailedAt: StageDetectable}, nil
+	}
+	for _, w := range detectable {
+		if w == in.DeployedWindow {
+			return Verdict{Detected: true, DetectableWindows: detectable}, nil
+		}
+	}
+	return Verdict{FailedAt: StageTuned, DetectableWindows: detectable}, nil
+}
+
+func validate(in Inputs) error {
+	if in.TrainIndex == nil {
+		return fmt.Errorf("capability: nil training index")
+	}
+	if in.Factory == nil {
+		return fmt.Errorf("capability: nil detector factory")
+	}
+	if in.MinWindow < 1 || in.MaxWindow < in.MinWindow {
+		return fmt.Errorf("capability: invalid window range [%d,%d]", in.MinWindow, in.MaxWindow)
+	}
+	if in.RareCutoff <= 0 || in.RareCutoff >= 1 {
+		return fmt.Errorf("capability: rare cutoff %v outside (0,1)", in.RareCutoff)
+	}
+	return in.Opts.Validate()
+}
+
+// isAnomalous implements stage C: the manifestation is anomalous when it —
+// or any window of it — is foreign or rare with respect to training.
+func isAnomalous(ix *seq.Index, manifestation seq.Stream, rareCutoff float64) (bool, error) {
+	if len(manifestation) == 0 {
+		return false, nil
+	}
+	for width := 1; width <= len(manifestation); width++ {
+		db, err := ix.DB(width)
+		if err != nil {
+			return false, err
+		}
+		for i := 0; i+width <= len(manifestation); i++ {
+			w := manifestation[i : i+width]
+			if db.IsForeign(w) || db.IsRare(w, rareCutoff) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// detectableWindows implements stage D: sweep the family and collect the
+// window lengths whose trained detector registers a maximal response in
+// the incident span.
+func detectableWindows(in Inputs) ([]int, error) {
+	var out []int
+	for w := in.MinWindow; w <= in.MaxWindow; w++ {
+		det, err := in.Factory(w)
+		if err != nil {
+			return nil, fmt.Errorf("capability: constructing detector (DW=%d): %w", w, err)
+		}
+		if err := det.Train(in.Train); err != nil {
+			return nil, fmt.Errorf("capability: training (DW=%d): %w", w, err)
+		}
+		a, err := assess(det, in.Placement, in.Opts)
+		if err != nil {
+			return nil, err
+		}
+		if a == eval.Capable {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+func assess(det detector.Detector, p inject.Placement, opts eval.Options) (eval.Outcome, error) {
+	a, err := eval.Assess(det, p, opts)
+	if err != nil {
+		return eval.Undefined, err
+	}
+	return a.Outcome, nil
+}

@@ -1,0 +1,201 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+
+	"adiv/internal/detector"
+	"adiv/internal/detector/stide"
+	"adiv/internal/eval"
+	"adiv/internal/gen"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// fixture builds a shared generated training stream and a size-5 canonical
+// MFS placement for the package's tests.
+type fixture struct {
+	train     seq.Stream
+	ix        *seq.Index
+	placement inject.Placement
+}
+
+var sharedFixture = func() func(t *testing.T) *fixture {
+	var f *fixture
+	return func(t *testing.T) *fixture {
+		t.Helper()
+		if f != nil {
+			return f
+		}
+		cfg := gen.DefaultConfig()
+		cfg.TrainLen = 120_000
+		cfg.BackgroundLen = 1_500
+		g, err := gen.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train := g.Training()
+		ix := seq.NewIndex(train)
+		m, err := gen.CanonicalMFS(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := inject.Inject(ix, g.Background(), m, inject.Options{MinWidth: 2, MaxWidth: 8, ContextWidths: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = &fixture{train: train, ix: ix, placement: p}
+		return f
+	}
+}()
+
+func stideFactory(w int) (detector.Detector, error) { return stide.New(w) }
+
+func baseInputs(f *fixture) Inputs {
+	return Inputs{
+		Manifests:      true,
+		Observed:       true,
+		TrainIndex:     f.ix,
+		RareCutoff:     gen.RareCutoff,
+		Placement:      f.placement,
+		Factory:        stideFactory,
+		MinWindow:      2,
+		MaxWindow:      8,
+		DeployedWindow: 6,
+		Train:          f.train,
+		Opts:           eval.DefaultOptions(),
+	}
+}
+
+func TestChainDetected(t *testing.T) {
+	f := sharedFixture(t)
+	v, err := Evaluate(baseInputs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Detected {
+		t.Fatalf("verdict %v, want detected", v)
+	}
+	// Stide detects the size-5 MFS exactly at windows 5..8 of the sweep.
+	want := []int{5, 6, 7, 8}
+	if len(v.DetectableWindows) != len(want) {
+		t.Fatalf("detectable windows %v, want %v", v.DetectableWindows, want)
+	}
+	for i := range want {
+		if v.DetectableWindows[i] != want[i] {
+			t.Errorf("detectable windows %v, want %v", v.DetectableWindows, want)
+			break
+		}
+	}
+	if !strings.Contains(v.String(), "DETECTED") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestChainFailsAtManifest(t *testing.T) {
+	f := sharedFixture(t)
+	in := baseInputs(f)
+	in.Manifests = false
+	v, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected || v.FailedAt != StageManifests {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestChainFailsAtObserved(t *testing.T) {
+	f := sharedFixture(t)
+	in := baseInputs(f)
+	in.Observed = false
+	v, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected || v.FailedAt != StageObserved {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestChainFailsAtAnomalous(t *testing.T) {
+	f := sharedFixture(t)
+	in := baseInputs(f)
+	// A manifestation of pure common-cycle data is not anomalous at all.
+	normal, err := inject.At(gen.PureCycle(1_500), gen.PureCycle(6), 750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Placement = normal
+	v, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected || v.FailedAt != StageAnomalous {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestChainFailsAtTuned(t *testing.T) {
+	f := sharedFixture(t)
+	in := baseInputs(f)
+	in.DeployedWindow = 3 // shorter than the size-5 anomaly: mistuned
+	v, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected || v.FailedAt != StageTuned {
+		t.Errorf("verdict %+v", v)
+	}
+	if len(v.DetectableWindows) == 0 {
+		t.Errorf("mistuned verdict should still report the detectable windows")
+	}
+	if !strings.Contains(v.String(), "E:") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestChainFailsAtDetectable(t *testing.T) {
+	f := sharedFixture(t)
+	in := baseInputs(f)
+	// Constrain the sweep below the anomaly size: no window of this
+	// (artificially narrowed) family detects it.
+	in.MinWindow, in.MaxWindow, in.DeployedWindow = 2, 4, 3
+	v, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detected || v.FailedAt != StageDetectable {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	f := sharedFixture(t)
+	mutations := []func(*Inputs){
+		func(in *Inputs) { in.TrainIndex = nil },
+		func(in *Inputs) { in.Factory = nil },
+		func(in *Inputs) { in.MinWindow = 0 },
+		func(in *Inputs) { in.MaxWindow = 1 },
+		func(in *Inputs) { in.RareCutoff = 0 },
+		func(in *Inputs) { in.Opts = eval.Options{CapableAt: 2} },
+	}
+	for i, mutate := range mutations {
+		in := baseInputs(f)
+		mutate(&in)
+		if _, err := Evaluate(in); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := StageManifests; s <= StageTuned; s++ {
+		if str := s.String(); !strings.Contains(str, ":") {
+			t.Errorf("Stage(%d).String() = %q", s, str)
+		}
+	}
+	if str := Stage(99).String(); !strings.Contains(str, "99") {
+		t.Errorf("unknown stage string %q", str)
+	}
+}

@@ -1,0 +1,213 @@
+// Package core orchestrates the paper's evaluation methodology end to end
+// (Section 5): define the anomaly, synthesize the training data, synthesize
+// the background and inject one verified minimal foreign sequence per
+// anomaly size, deploy detectors over the full (anomaly size × detector
+// window) grid, and assemble performance maps.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"adiv/internal/anomaly"
+	"adiv/internal/eval"
+	"adiv/internal/gen"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Config parameterizes a full evaluation. Zero value is not useful; start
+// from DefaultConfig (the paper's parameters) and shrink for quick runs.
+type Config struct {
+	// Gen configures the data generator (training length, excursion
+	// probability, seed).
+	Gen gen.Config
+	// MinSize and MaxSize bound the injected minimal-foreign-sequence
+	// lengths (paper: 2 to 9).
+	MinSize, MaxSize int
+	// MinWindow and MaxWindow bound the detector-window lengths
+	// (paper: 2 to 15).
+	MinWindow, MaxWindow int
+	// RareCutoff is the rare-sequence relative-frequency bound
+	// (paper: 0.5%).
+	RareCutoff float64
+}
+
+// DefaultConfig returns the paper-faithful evaluation parameters: a
+// one-million-element training stream, anomaly sizes 2–9, detector windows
+// 2–15, rare cutoff 0.5%.
+func DefaultConfig() Config {
+	return Config{
+		Gen:        gen.DefaultConfig(),
+		MinSize:    gen.MinAnomalySize,
+		MaxSize:    gen.MaxAnomalySize,
+		MinWindow:  gen.MinWindow,
+		MaxWindow:  gen.MaxWindow,
+		RareCutoff: gen.RareCutoff,
+	}
+}
+
+// QuickConfig returns a reduced configuration (shorter streams, same grid)
+// sized for unit tests and example programs.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Gen.TrainLen = 120_000
+	cfg.Gen.BackgroundLen = 2_000
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	if c.MinSize < gen.MinAnomalySize || c.MaxSize > gen.MaxAnomalySize || c.MinSize > c.MaxSize {
+		return fmt.Errorf("core: anomaly size range [%d,%d] outside [%d,%d]",
+			c.MinSize, c.MaxSize, gen.MinAnomalySize, gen.MaxAnomalySize)
+	}
+	if c.MinWindow < 1 || c.MinWindow > c.MaxWindow {
+		return fmt.Errorf("core: invalid window range [%d,%d]", c.MinWindow, c.MaxWindow)
+	}
+	if c.RareCutoff <= 0 || c.RareCutoff >= 1 {
+		return fmt.Errorf("core: rare cutoff %v outside (0,1)", c.RareCutoff)
+	}
+	return nil
+}
+
+// Corpus is the paper's full evaluation data suite: one training stream and
+// one test stream per anomaly size, each test stream holding a single
+// verified minimal foreign sequence injected under the boundary-sequence
+// constraint for every window width in the configured range. (The paper
+// counts 8 sizes × 14 window lengths = 112 test streams; the streams are
+// identical across window lengths, so the suite stores one per size and the
+// harness deploys each at all fourteen widths.)
+type Corpus struct {
+	// Config records the parameters the corpus was built with.
+	Config Config
+	// Training is the synthesized training (normal) stream.
+	Training seq.Stream
+	// TrainIndex serves sequence-database queries over Training.
+	TrainIndex *seq.Index
+	// Background is the clean test background (pure common-cycle).
+	Background seq.Stream
+	// Anomalies holds the verification report of the injected MFS for each
+	// anomaly size.
+	Anomalies map[int]anomaly.Report
+	// Placements holds the injected test stream for each anomaly size.
+	Placements map[int]inject.Placement
+}
+
+// BuildCorpus synthesizes and verifies the full evaluation suite.
+func BuildCorpus(cfg Config) (*Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := gen.New(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	training := g.Training()
+	ix := seq.NewIndex(training)
+	background := g.Background()
+
+	corpus := &Corpus{
+		Config:     cfg,
+		Training:   training,
+		TrainIndex: ix,
+		Background: background,
+		Anomalies:  make(map[int]anomaly.Report, cfg.MaxSize-cfg.MinSize+1),
+		Placements: make(map[int]inject.Placement, cfg.MaxSize-cfg.MinSize+1),
+	}
+	opts := inject.Options{
+		MinWidth:      cfg.MinWindow,
+		MaxWidth:      cfg.MaxWindow,
+		ContextWidths: true, // keep (DW+1)-gram boundaries clean for the predictors
+	}
+	spec := g.Spec()
+	for size := cfg.MinSize; size <= cfg.MaxSize; size++ {
+		m, err := spec.CanonicalMFS(size)
+		if err != nil {
+			return nil, fmt.Errorf("core: anomaly size %d: %w", size, err)
+		}
+		report, err := anomaly.MustBeMFS(ix, m, cfg.RareCutoff)
+		if err != nil {
+			return nil, fmt.Errorf("core: anomaly size %d: %w", size, err)
+		}
+		placement, err := inject.Inject(ix, background, report.Sequence, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: injecting size-%d anomaly: %w", size, err)
+		}
+		corpus.Anomalies[size] = report
+		corpus.Placements[size] = placement
+	}
+	return corpus, nil
+}
+
+// Sizes returns the anomaly sizes present in the corpus, ascending.
+func (c *Corpus) Sizes() []int {
+	sizes := make([]int, 0, len(c.Placements))
+	for s := range c.Placements {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// NoisyStream generates n symbols of test data containing naturally
+// occurring rare sequences (the same Markov model as the training stream,
+// an independent substream of the seed) — the substrate of the Section-7
+// false-alarm experiments. stream selects the substream.
+func (c *Corpus) NoisyStream(n int, stream uint64) (seq.Stream, error) {
+	g, err := gen.New(c.Config.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return g.Noisy(n, stream), nil
+}
+
+// InjectInto injects the corpus's verified anomaly of the given size into an
+// arbitrary background stream at a position satisfying the
+// boundary-sequence constraint for the given detector window (and its
+// (window+1)-gram contexts).
+func (c *Corpus) InjectInto(background seq.Stream, size, window int) (inject.Placement, error) {
+	report, ok := c.Anomalies[size]
+	if !ok {
+		// A corpus loaded from disk carries placements but no verification
+		// reports; fall back to the configured spec's canonical sequence.
+		g, err := gen.New(c.Config.Gen)
+		if err != nil {
+			return inject.Placement{}, err
+		}
+		m, err := g.Spec().CanonicalMFS(size)
+		if err != nil {
+			return inject.Placement{}, fmt.Errorf("core: no size-%d anomaly in corpus: %w", size, err)
+		}
+		report = anomaly.Report{Sequence: m}
+	}
+	opts := inject.Options{MinWidth: window, MaxWidth: window, ContextWidths: true}
+	return inject.Inject(c.TrainIndex, background, report.Sequence, opts)
+}
+
+// InjectMultiInto injects one verified anomaly per requested size (in
+// order, repeats allowed) into an arbitrary background stream at
+// boundary-safe, non-overlapping positions for the given detector window —
+// the substrate for hit-rate statistics over many independent events.
+func (c *Corpus) InjectMultiInto(background seq.Stream, sizes []int, window int) (inject.MultiPlacement, error) {
+	anomalies := make([]seq.Stream, 0, len(sizes))
+	for _, size := range sizes {
+		report, ok := c.Anomalies[size]
+		if !ok {
+			return inject.MultiPlacement{}, fmt.Errorf("core: no size-%d anomaly in corpus", size)
+		}
+		anomalies = append(anomalies, report.Sequence)
+	}
+	opts := inject.Options{MinWidth: window, MaxWidth: window, ContextWidths: true}
+	return inject.InjectMulti(c.TrainIndex, background, anomalies, opts, 0)
+}
+
+// PerformanceMap deploys a detector family (one instance per window length,
+// via factory) across the whole corpus and returns its performance map.
+func (c *Corpus) PerformanceMap(name string, factory eval.Factory, opts eval.Options) (*eval.Map, error) {
+	return eval.BuildMap(name, factory, c.Training, c.Placements,
+		c.Config.MinWindow, c.Config.MaxWindow, opts)
+}

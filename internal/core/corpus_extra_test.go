@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"adiv/internal/eval"
+	"adiv/internal/gen"
+	"adiv/internal/inject"
+)
+
+func TestNoisyStream(t *testing.T) {
+	c := quickCorpus(t)
+	a, err := c.NoisyStream(3_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3_000 {
+		t.Fatalf("length %d", len(a))
+	}
+	// Reproducible per substream, distinct across substreams.
+	b, err := c.NoisyStream(3_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("substream 1 not reproducible at %d", i)
+		}
+	}
+	other, err := c.NoisyStream(3_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("substreams 1 and 2 identical")
+	}
+	// Noisy data must contain rare symbols (excursions) — that is its point.
+	rare := 0
+	for _, s := range a {
+		if s == 0 || s == 7 {
+			rare++
+		}
+	}
+	if rare == 0 {
+		t.Errorf("noisy stream has no rare content")
+	}
+}
+
+func TestNoisyStreamInvalidConfig(t *testing.T) {
+	c := &Corpus{Config: Config{}} // zero Gen config fails validation
+	if _, err := c.NoisyStream(100, 1); err == nil {
+		t.Errorf("NoisyStream with invalid config succeeded")
+	}
+}
+
+func TestInjectInto(t *testing.T) {
+	c := quickCorpus(t)
+	noisy, err := c.NoisyStream(4_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.InjectInto(noisy, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AnomalyLen != 6 || len(p.Stream) != len(noisy)+6 {
+		t.Errorf("placement %+v", p)
+	}
+	ok, err := inject.Valid(c.TrainIndex, p, inject.Options{MinWidth: 8, MaxWidth: 8, ContextWidths: true})
+	if err != nil || !ok {
+		t.Errorf("placement fails boundary validation: %v, %v", ok, err)
+	}
+}
+
+func TestInjectIntoWithoutReports(t *testing.T) {
+	// A corpus restored from disk has no Anomalies map; InjectInto must
+	// fall back to the spec's canonical sequence.
+	c := quickCorpus(t)
+	restored := &Corpus{
+		Config:     c.Config,
+		Training:   c.Training,
+		TrainIndex: c.TrainIndex,
+		Background: c.Background,
+		Placements: c.Placements,
+		Anomalies:  nil,
+	}
+	p, err := restored.InjectInto(gen.PureCycle(2_000), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.CanonicalMFS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Anomaly()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fallback anomaly %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestInjectIntoUnknownSize(t *testing.T) {
+	c := quickCorpus(t)
+	if _, err := c.InjectInto(gen.PureCycle(2_000), 1, 6); err == nil {
+		t.Errorf("size 1 accepted")
+	}
+}
+
+func TestInjectMultiInto(t *testing.T) {
+	c := quickCorpus(t)
+	mp, err := c.InjectMultiInto(gen.PureCycle(3_000), []int{3, 5, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(mp.Events))
+	}
+	if mp.Events[0].Len != 3 || mp.Events[1].Len != 5 || mp.Events[2].Len != 3 {
+		t.Errorf("event lengths %+v", mp.Events)
+	}
+	if _, err := c.InjectMultiInto(gen.PureCycle(3_000), []int{1}, 7); err == nil {
+		t.Errorf("unknown size accepted")
+	}
+}
+
+func TestBuildCorpusWithCustomSpec(t *testing.T) {
+	spec, err := gen.NewSpec(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.Gen.TrainLen = 80_000
+	cfg.Gen.Spec = &spec
+	corpus, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected anomalies carry the custom spec's rare symbol 15.
+	m := corpus.Anomalies[3].Sequence
+	if m[0] != 15 || m[2] != 15 {
+		t.Errorf("custom-spec anomaly %v", m)
+	}
+}
+
+func TestPerformanceMapInvalidOptions(t *testing.T) {
+	c := quickCorpus(t)
+	if _, err := c.PerformanceMap("x", nil, eval.Options{CapableAt: 2}); err == nil {
+		t.Errorf("invalid options accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package corpusio persists evaluation data suites to disk and loads them
+// back: symbol streams as whitespace-separated decimal text (one stream per
+// file, diff-friendly and language-neutral) and a JSON manifest tying the
+// suite together (configuration, anomaly inventory, injection positions).
+package corpusio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/core"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Manifest describes a persisted corpus.
+type Manifest struct {
+	// Config is the configuration the corpus was built with.
+	Config core.Config `json:"config"`
+	// TrainingFile and BackgroundFile name the stream files, relative to
+	// the manifest's directory.
+	TrainingFile   string `json:"trainingFile"`
+	BackgroundFile string `json:"backgroundFile"`
+	// Tests holds one entry per anomaly size.
+	Tests []ManifestTest `json:"tests"`
+}
+
+// ManifestTest describes one persisted test stream.
+type ManifestTest struct {
+	// AnomalySize is the injected MFS length.
+	AnomalySize int `json:"anomalySize"`
+	// File names the stream file, relative to the manifest's directory.
+	File string `json:"file"`
+	// Start is the index of the first anomaly element in the stream.
+	Start int `json:"start"`
+	// Anomaly is the injected sequence, space-separated.
+	Anomaly string `json:"anomaly"`
+}
+
+// WriteStream writes a stream as whitespace-separated decimals, 20 symbols
+// per line.
+func WriteStream(w io.Writer, s seq.Stream) error {
+	bw := bufio.NewWriter(w)
+	for i, sym := range s {
+		sep := byte(' ')
+		if i%20 == 19 || i == len(s)-1 {
+			sep = '\n'
+		}
+		if _, err := bw.WriteString(strconv.Itoa(int(sym))); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(sep); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream parses a whitespace-separated decimal stream.
+func ReadStream(r io.Reader) (seq.Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Split(bufio.ScanWords)
+	var out seq.Stream
+	for sc.Scan() {
+		v, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("corpusio: parsing symbol %q: %w", sc.Text(), err)
+		}
+		if v < 0 || v >= alphabet.MaxSize {
+			return nil, fmt.Errorf("corpusio: symbol %d outside [0,%d)", v, alphabet.MaxSize)
+		}
+		out = append(out, alphabet.Symbol(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteStreamFile writes a stream to path.
+func WriteStreamFile(path string, s seq.Stream) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteStream(f, s)
+}
+
+// ReadStreamFile reads a stream from path.
+func ReadStreamFile(path string) (seq.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStream(f)
+}
+
+// Save persists a corpus under dir, creating it if necessary, and returns
+// the manifest path.
+func Save(c *core.Corpus, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	man := Manifest{
+		Config:         c.Config,
+		TrainingFile:   "training.txt",
+		BackgroundFile: "background.txt",
+	}
+	if err := WriteStreamFile(filepath.Join(dir, man.TrainingFile), c.Training); err != nil {
+		return "", fmt.Errorf("corpusio: writing training stream: %w", err)
+	}
+	if err := WriteStreamFile(filepath.Join(dir, man.BackgroundFile), c.Background); err != nil {
+		return "", fmt.Errorf("corpusio: writing background stream: %w", err)
+	}
+	a := alphabet.MustNew(alphabet.MaxSize)
+	for _, size := range c.Sizes() {
+		p := c.Placements[size]
+		name := fmt.Sprintf("test_as%d.txt", size)
+		if err := WriteStreamFile(filepath.Join(dir, name), p.Stream); err != nil {
+			return "", fmt.Errorf("corpusio: writing test stream (size %d): %w", size, err)
+		}
+		man.Tests = append(man.Tests, ManifestTest{
+			AnomalySize: size,
+			File:        name,
+			Start:       p.Start,
+			Anomaly:     a.Format(p.Anomaly()),
+		})
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	manPath := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(manPath, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return manPath, nil
+}
+
+// Load restores a corpus from a directory written by Save. The training
+// index is rebuilt lazily; anomaly verification reports are not persisted
+// and are re-derived from the loaded streams.
+func Load(dir string) (*core.Corpus, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("corpusio: parsing manifest: %w", err)
+	}
+	training, err := ReadStreamFile(filepath.Join(dir, man.TrainingFile))
+	if err != nil {
+		return nil, fmt.Errorf("corpusio: reading training stream: %w", err)
+	}
+	background, err := ReadStreamFile(filepath.Join(dir, man.BackgroundFile))
+	if err != nil {
+		return nil, fmt.Errorf("corpusio: reading background stream: %w", err)
+	}
+	c := &core.Corpus{
+		Config:     man.Config,
+		Training:   training,
+		TrainIndex: seq.NewIndex(training),
+		Background: background,
+		Placements: make(map[int]inject.Placement, len(man.Tests)),
+		Anomalies:  nil,
+	}
+	for _, t := range man.Tests {
+		stream, err := ReadStreamFile(filepath.Join(dir, t.File))
+		if err != nil {
+			return nil, fmt.Errorf("corpusio: reading test stream %q: %w", t.File, err)
+		}
+		if t.Start < 0 || t.Start+t.AnomalySize > len(stream) {
+			return nil, fmt.Errorf("corpusio: test %q: anomaly [%d,%d) outside stream of length %d",
+				t.File, t.Start, t.Start+t.AnomalySize, len(stream))
+		}
+		c.Placements[t.AnomalySize] = inject.Placement{
+			Stream:     stream,
+			Start:      t.Start,
+			AnomalyLen: t.AnomalySize,
+		}
+	}
+	return c, nil
+}

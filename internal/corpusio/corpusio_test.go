@@ -1,0 +1,142 @@
+package corpusio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/core"
+	"adiv/internal/seq"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	check := func(raw []byte) bool {
+		s := seq.FromBytes(raw)
+		var sb strings.Builder
+		if err := WriteStream(&sb, s); err != nil {
+			return false
+		}
+		back, err := ReadStream(strings.NewReader(sb.String()))
+		if err != nil || len(back) != len(s) {
+			return false
+		}
+		for i := range back {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadStreamRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"1 2 x", "1 -3", "300"} {
+		if _, err := ReadStream(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadStream(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestReadStreamEmpty(t *testing.T) {
+	s, err := ReadStream(strings.NewReader(""))
+	if err != nil || len(s) != 0 {
+		t.Errorf("ReadStream(\"\") = %v, %v", s, err)
+	}
+}
+
+func TestStreamFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.txt")
+	s := seq.Stream{1, 2, 3, 4, 5, 6, 7, 0}
+	if err := WriteStreamFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.Gen.TrainLen = 60_000
+	cfg.Gen.BackgroundLen = 500
+	corpus, err := core.BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	manPath, err := Save(corpus, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(manPath) != dir {
+		t.Errorf("manifest written to %q", manPath)
+	}
+
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Training) != len(corpus.Training) {
+		t.Fatalf("training length %d, want %d", len(loaded.Training), len(corpus.Training))
+	}
+	for i := range corpus.Training {
+		if loaded.Training[i] != corpus.Training[i] {
+			t.Fatalf("training mismatch at %d", i)
+		}
+	}
+	if len(loaded.Placements) != len(corpus.Placements) {
+		t.Fatalf("placements %d, want %d", len(loaded.Placements), len(corpus.Placements))
+	}
+	for size, p := range corpus.Placements {
+		lp, ok := loaded.Placements[size]
+		if !ok {
+			t.Errorf("size %d missing after load", size)
+			continue
+		}
+		if lp.Start != p.Start || lp.AnomalyLen != p.AnomalyLen || len(lp.Stream) != len(p.Stream) {
+			t.Errorf("size %d placement %+v vs %+v", size, lp, p)
+		}
+		got, want := lp.Anomaly(), p.Anomaly()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("size %d anomaly mismatch", size)
+				break
+			}
+		}
+	}
+	// The loaded index must serve queries identically.
+	minimal, err := loaded.TrainIndex.IsMinimalForeign(corpus.Placements[4].Anomaly())
+	if err != nil || !minimal {
+		t.Errorf("loaded index verification failed: %v, %v", minimal, err)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nonexistent")); err == nil {
+		t.Errorf("Load of missing directory succeeded")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteStreamFile(filepath.Join(dir, "manifest.json"), seq.Stream{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Errorf("Load with corrupt manifest succeeded")
+	}
+}

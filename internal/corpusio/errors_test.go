@@ -1,0 +1,99 @@
+package corpusio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adiv/internal/core"
+)
+
+// writeManifest persists a manifest literal for corruption tests.
+func writeManifest(t *testing.T, dir string, man Manifest) {
+	t.Helper()
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validManifest() Manifest {
+	return Manifest{
+		Config:         core.QuickConfig(),
+		TrainingFile:   "training.txt",
+		BackgroundFile: "background.txt",
+		Tests: []ManifestTest{
+			{AnomalySize: 3, File: "test_as3.txt", Start: 4, Anomaly: "7 0 7"},
+		},
+	}
+}
+
+func TestLoadMissingTrainingFile(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, validManifest())
+	if _, err := Load(dir); err == nil {
+		t.Errorf("Load without training file succeeded")
+	}
+}
+
+func TestLoadMissingBackground(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, validManifest())
+	if err := os.WriteFile(filepath.Join(dir, "training.txt"), []byte("1 2 3 4 5 6"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Errorf("Load without background file succeeded")
+	}
+}
+
+func TestLoadMissingTestStream(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, validManifest())
+	for _, f := range []string{"training.txt", "background.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("1 2 3 4 5 6"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(dir); err == nil {
+		t.Errorf("Load without test stream succeeded")
+	}
+}
+
+func TestLoadOutOfRangeAnomaly(t *testing.T) {
+	dir := t.TempDir()
+	man := validManifest()
+	man.Tests[0].Start = 100 // beyond the tiny stream written below
+	writeManifest(t, dir, man)
+	for _, f := range []string{"training.txt", "background.txt", "test_as3.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("1 2 3 4 5 6"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(dir); err == nil {
+		t.Errorf("Load with out-of-range anomaly position succeeded")
+	}
+}
+
+func TestSaveToUnwritableDir(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.Gen.TrainLen = 60_000
+	cfg.Gen.BackgroundLen = 500
+	corpus, err := core.BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A file where the directory should be forces MkdirAll to fail.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(corpus, filepath.Join(blocker, "corpus")); err == nil {
+		t.Errorf("Save into a path through a file succeeded")
+	}
+}

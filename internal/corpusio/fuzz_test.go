@@ -1,0 +1,39 @@
+package corpusio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadStream guards the parser against arbitrary input: it must never
+// panic, and whatever it accepts must round-trip through WriteStream.
+func FuzzReadStream(f *testing.F) {
+	f.Add("1 2 3 4 5 6 7 0")
+	f.Add("")
+	f.Add("255\n0 17")
+	f.Add("1 2 x")
+	f.Add("-4")
+	f.Add("999999999999999999999")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadStream(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteStream(&sb, s); err != nil {
+			t.Fatalf("WriteStream of accepted stream: %v", err)
+		}
+		back, err := ReadStream(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parsing own output: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("round trip changed element %d", i)
+			}
+		}
+	})
+}

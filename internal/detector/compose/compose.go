@@ -1,0 +1,128 @@
+// Package compose provides detector decorators: wrappers that transform a
+// detector's response stream while preserving the detector interface, so
+// post-processing stages can be charted on the same performance maps as
+// the detectors themselves.
+//
+// Two stages from the literature are provided. Smoothed applies Stide's
+// locality-frame-count idea generically — each response becomes the mean
+// of the trailing frame — which suppresses isolated blips and rewards
+// bursts (the paper's evaluation deliberately bypasses this stage, Section
+// 5.5; here it is an ablation). Quantized snaps responses at or above a
+// floor to exactly 1, the "detection threshold becomes critical" knob that
+// turns graded detectors (neural network, Markov) into binary ones.
+package compose
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+// Smoothed decorates a detector with trailing-frame mean smoothing.
+type Smoothed struct {
+	inner detector.Detector
+	frame int
+}
+
+var _ detector.Detector = (*Smoothed)(nil)
+
+// NewSmoothed wraps a detector with a locality frame of the given size.
+func NewSmoothed(inner detector.Detector, frame int) (*Smoothed, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("compose: nil inner detector")
+	}
+	if frame < 1 {
+		return nil, fmt.Errorf("compose: non-positive frame %d", frame)
+	}
+	return &Smoothed{inner: inner, frame: frame}, nil
+}
+
+// Name implements detector.Detector.
+func (d *Smoothed) Name() string { return d.inner.Name() + "+lfc" }
+
+// Window implements detector.Detector.
+func (d *Smoothed) Window() int { return d.inner.Window() }
+
+// Extent implements detector.Detector. Smoothing is causal (trailing
+// frame), so each smoothed response still covers the inner extent.
+func (d *Smoothed) Extent() int { return d.inner.Extent() }
+
+// Frame returns the locality frame size.
+func (d *Smoothed) Frame() int { return d.frame }
+
+// Train implements detector.Detector.
+func (d *Smoothed) Train(train seq.Stream) error { return d.inner.Train(train) }
+
+// Score implements detector.Detector: each response is the mean of the
+// inner detector's responses over the trailing frame (clipped at the
+// stream start).
+func (d *Smoothed) Score(test seq.Stream) ([]float64, error) {
+	raw, err := d.inner.Score(test)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(raw))
+	sum := 0.0
+	for i, r := range raw {
+		sum += r
+		if i >= d.frame {
+			sum -= raw[i-d.frame]
+		}
+		window := d.frame
+		if i+1 < d.frame {
+			window = i + 1
+		}
+		out[i] = sum / float64(window)
+	}
+	return out, nil
+}
+
+// Quantized decorates a detector by snapping responses at or above a floor
+// to exactly 1, leaving others untouched.
+type Quantized struct {
+	inner detector.Detector
+	floor float64
+}
+
+var _ detector.Detector = (*Quantized)(nil)
+
+// NewQuantized wraps a detector with a maximal-response floor in (0,1].
+func NewQuantized(inner detector.Detector, floor float64) (*Quantized, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("compose: nil inner detector")
+	}
+	if floor <= 0 || floor > 1 {
+		return nil, fmt.Errorf("compose: floor %v outside (0,1]", floor)
+	}
+	return &Quantized{inner: inner, floor: floor}, nil
+}
+
+// Name implements detector.Detector.
+func (d *Quantized) Name() string { return d.inner.Name() + "@1" }
+
+// Window implements detector.Detector.
+func (d *Quantized) Window() int { return d.inner.Window() }
+
+// Extent implements detector.Detector.
+func (d *Quantized) Extent() int { return d.inner.Extent() }
+
+// Floor returns the quantization floor.
+func (d *Quantized) Floor() float64 { return d.floor }
+
+// Train implements detector.Detector.
+func (d *Quantized) Train(train seq.Stream) error { return d.inner.Train(train) }
+
+// Score implements detector.Detector.
+func (d *Quantized) Score(test seq.Stream) ([]float64, error) {
+	out, err := d.inner.Score(test)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range out {
+		if r >= d.floor {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

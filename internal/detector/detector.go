@@ -1,0 +1,117 @@
+// Package detector defines the common anatomy of the sequence-based anomaly
+// detectors under study (paper Section 4.2): a mechanism for modeling normal
+// behavior (Train), a metric for measuring deviation from that model
+// (Score), and a thresholding mechanism applied downstream by the evaluation
+// harness. The four detectors are deliberately invariant in the first and
+// third components — all consume fixed-length sequences of categorical data
+// and all are thresholded identically — and diverse only in the second, the
+// similarity metric, which is the single dimension of diversity the paper
+// isolates.
+package detector
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"adiv/internal/seq"
+)
+
+// Detector is a sequence-based anomaly detector.
+//
+// Responses are real values in [0, 1] where 0 means completely normal and 1
+// means maximal abnormality (paper Section 5.5). Score returns one response
+// per position: responses[i] is the detector's judgment of the stream
+// elements test[i : i+Extent()].
+type Detector interface {
+	// Name identifies the detector ("stide", "markov", "nn", "lb").
+	Name() string
+	// Window returns the detector-window length DW the detector was
+	// configured with.
+	Window() int
+	// Extent returns the number of consecutive stream elements each
+	// response covers: DW for pure window-matching detectors (Stide, L&B),
+	// DW+1 for next-element predictors (Markov, neural network) whose unit
+	// of judgment is the window plus the predicted element.
+	Extent() int
+	// Train builds the model of normal behavior from the training stream.
+	// Training replaces any previous model.
+	Train(train seq.Stream) error
+	// Score returns the per-position responses over the test stream. It
+	// returns an error if called before Train or if the stream is shorter
+	// than Extent().
+	Score(test seq.Stream) ([]float64, error)
+}
+
+// ErrNotTrained is returned by Score when the detector has no model yet.
+var ErrNotTrained = errors.New("detector: not trained")
+
+// ErrStreamTooShort is returned by Score when the test stream cannot hold a
+// single detector window.
+var ErrStreamTooShort = errors.New("detector: test stream shorter than detector extent")
+
+// ValidateWindow rejects non-positive detector windows with a uniform error.
+func ValidateWindow(dw int) error {
+	if dw < 1 {
+		return fmt.Errorf("detector: non-positive window %d", dw)
+	}
+	return nil
+}
+
+// CheckScorable is the shared precondition check for Score implementations.
+func CheckScorable(trained bool, extent int, test seq.Stream) error {
+	if !trained {
+		return ErrNotTrained
+	}
+	if len(test) < extent {
+		return fmt.Errorf("%w: stream length %d, extent %d", ErrStreamTooShort, len(test), extent)
+	}
+	return nil
+}
+
+// Factory constructs a detector with the given window from an opaque
+// per-detector configuration established at registration time.
+type Factory func(window int) (Detector, error)
+
+// registry maps detector names to factories. It is populated by Register,
+// typically from package adiv which wires the concrete implementations.
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register associates a detector name with a factory. Registering a name
+// twice replaces the earlier factory; registering a nil factory is a
+// programming error and panics.
+func Register(name string, f Factory) {
+	if f == nil {
+		panic("detector: Register with nil factory")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.m[name] = f
+}
+
+// New constructs a registered detector by name.
+func New(name string, window int) (Detector, error) {
+	registry.mu.RLock()
+	f, ok := registry.m[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("detector: unknown detector %q (registered: %v)", name, Names())
+	}
+	return f(window)
+}
+
+// Names returns the registered detector names in sorted order.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+package detector
+
+import (
+	"errors"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+// fake is a minimal Detector for registry tests.
+type fake struct{ window int }
+
+func (f *fake) Name() string                          { return "fake" }
+func (f *fake) Window() int                           { return f.window }
+func (f *fake) Extent() int                           { return f.window }
+func (f *fake) Train(seq.Stream) error                { return nil }
+func (f *fake) Score(t seq.Stream) ([]float64, error) { return make([]float64, len(t)), nil }
+
+var _ Detector = (*fake)(nil)
+
+func TestValidateWindow(t *testing.T) {
+	if err := ValidateWindow(1); err != nil {
+		t.Errorf("ValidateWindow(1) = %v", err)
+	}
+	for _, w := range []int{0, -5} {
+		if err := ValidateWindow(w); err == nil {
+			t.Errorf("ValidateWindow(%d) accepted", w)
+		}
+	}
+}
+
+func TestCheckScorable(t *testing.T) {
+	if err := CheckScorable(false, 3, make(seq.Stream, 10)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained: %v, want ErrNotTrained", err)
+	}
+	if err := CheckScorable(true, 5, make(seq.Stream, 4)); !errors.Is(err, ErrStreamTooShort) {
+		t.Errorf("short stream: %v, want ErrStreamTooShort", err)
+	}
+	if err := CheckScorable(true, 5, make(seq.Stream, 5)); err != nil {
+		t.Errorf("exact-length stream rejected: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("fake", func(w int) (Detector, error) { return &fake{window: w}, nil })
+	d, err := New("fake", 4)
+	if err != nil {
+		t.Fatalf("New(fake): %v", err)
+	}
+	if d.Window() != 4 || d.Name() != "fake" {
+		t.Errorf("constructed detector %s window %d", d.Name(), d.Window())
+	}
+	if _, err := New("nosuch", 4); err == nil {
+		t.Errorf("New of unregistered name succeeded")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v does not include fake", Names())
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Register(nil) did not panic")
+		}
+	}()
+	Register("nil-factory", nil)
+}

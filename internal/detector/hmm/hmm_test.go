@@ -1,0 +1,235 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+func mk(vals ...int) seq.Stream {
+	s := make(seq.Stream, len(vals))
+	for i, v := range vals {
+		s[i] = alphabet.Symbol(v)
+	}
+	return s
+}
+
+func cyclic(n int) seq.Stream {
+	var s seq.Stream
+	for i := 0; i < n; i++ {
+		s = append(s, 0, 1, 2, 3)
+	}
+	return s
+}
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.States = 4
+	cfg.Iterations = 25
+	cfg.MaxTrainSymbols = 2_000
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []func(*Config){
+		func(c *Config) { c.States = 0 },
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.MaxTrainSymbols = -1 },
+		func(c *Config) { c.AlphabetSize = 1000 },
+		func(c *Config) { c.Smoothing = -1 },
+	}
+	for i, mutate := range tests {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted mutation %d", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "hmm" || d.Window() != 1 || d.Extent() != 1 {
+		t.Errorf("metadata %s %d %d", d.Name(), d.Window(), d.Extent())
+	}
+}
+
+func TestScoreBeforeTrain(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score(mk(0, 1)); !errors.Is(err, detector.ErrNotTrained) {
+		t.Errorf("Score before Train: %v", err)
+	}
+}
+
+func TestTrainDegenerate(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(mk(0, 0, 0)); err == nil {
+		t.Errorf("single-symbol alphabet accepted")
+	}
+	if err := d.Train(mk(0)); err == nil {
+		t.Errorf("length-1 stream accepted")
+	}
+}
+
+func TestLearnsCycle(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(cyclic(400)); err != nil {
+		t.Fatal(err)
+	}
+	// On continued cycle data the predictive probabilities settle near 1.
+	probs, err := d.PredictiveProb(cyclic(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled := probs[8:] // allow burn-in while the belief localizes
+	for i, p := range settled {
+		if p < 0.8 {
+			t.Errorf("predictive prob[%d] = %v on in-distribution data", i+8, p)
+		}
+	}
+}
+
+func TestRespondsToForeignSymbolOrder(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(cyclic(400)); err != nil {
+		t.Fatal(err)
+	}
+	// Burn in on the cycle, then break the order: ... 0 1 2 3 0 0.
+	test := append(cyclic(5), 0, 0)
+	responses, err := d.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalyResp := responses[len(responses)-1]
+	normalResp := responses[len(responses)-3] // final in-order symbol
+	if anomalyResp < 0.5 {
+		t.Errorf("out-of-order symbol response %v, want high", anomalyResp)
+	}
+	if anomalyResp <= normalResp {
+		t.Errorf("anomaly response %v not above normal response %v", anomalyResp, normalResp)
+	}
+}
+
+func TestUnseenSymbolMaximal(t *testing.T) {
+	cfg := quickCfg()
+	cfg.AlphabetSize = 6 // leaves symbols 4,5 trained only via smoothing
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(cyclic(200)); err != nil {
+		t.Fatal(err)
+	}
+	test := append(cyclic(3), 5)
+	responses, err := d.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := responses[len(responses)-1]; r < 0.99 {
+		t.Errorf("never-seen symbol response %v, want ≈1", r)
+	}
+	// A symbol outside even the declared alphabet scores exactly 1.
+	test = append(cyclic(3), 7)
+	responses, err = d.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := responses[len(responses)-1]; r != 1 {
+		t.Errorf("out-of-alphabet symbol response %v, want 1", r)
+	}
+}
+
+func TestResponsesInUnitInterval(t *testing.T) {
+	d, err := New(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(cyclic(200)); err != nil {
+		t.Fatal(err)
+	}
+	responses, err := d.Score(mk(3, 3, 0, 1, 2, 3, 2, 1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range responses {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			t.Errorf("response[%d] = %v", i, r)
+		}
+	}
+	if len(responses) != 10 {
+		t.Errorf("%d responses, want one per symbol", len(responses))
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	train := cyclic(300)
+	test := mk(0, 1, 2, 3, 0, 1, 0)
+	var first []float64
+	for run := 0; run < 2; run++ {
+		d, err := New(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		responses, err := d.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = responses
+			continue
+		}
+		for i := range responses {
+			if responses[i] != first[i] {
+				t.Fatalf("training not deterministic at %d", i)
+			}
+		}
+	}
+}
+
+func TestTruncationBoundsTrainingWork(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxTrainSymbols = 500
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long stream trains fine because EM sees only the prefix.
+	if err := d.Train(cyclic(100_000)); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := d.PredictiveProb(cyclic(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[len(probs)-1] < 0.5 {
+		t.Errorf("truncated training failed to learn the cycle: %v", probs)
+	}
+}

@@ -1,0 +1,158 @@
+// Package lbr implements the Lane & Brodley anomaly detector (Lane &
+// Brodley 1997; paper Section 5.2 and Figure 7).
+//
+// The detector stores the distinct fixed-length sequences of the training
+// data as its model of normal behavior. Its similarity metric compares two
+// equal-length sequences position by position: a mismatching position
+// contributes 0, and a matching position contributes a weight that grows
+// with the length of the adjacent run of matches —
+//
+//	w(i) = 0            if x[i] != y[i]
+//	w(i) = 1 + w(i-1)   if x[i] == y[i]      (w(-1) = 0)
+//
+// so identical sequences of length DW score DW(DW+1)/2 and totally
+// dissimilar sequences score 0. A test sequence's similarity is its maximum
+// over the stored normal sequences; the anomaly response is that similarity
+// complemented into [0,1]. The adjacency bias is exactly what blinds the
+// detector to minimal foreign sequences: a foreign sequence differing from a
+// normal one only at an edge position scores DW(DW-1)/2 — barely below the
+// maximum (Figure 7's 15 -> 10 dip for DW=5) and nowhere near the maximal
+// response that the paper's detection threshold of 1 requires.
+package lbr
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+// Detector is a Lane & Brodley instance. Construct with New.
+type Detector struct {
+	window int
+	normal [][]byte // distinct training windows, byte-encoded
+}
+
+var _ detector.Detector = (*Detector)(nil)
+
+// New returns an untrained Lane & Brodley detector with the given window
+// length.
+func New(window int) (*Detector, error) {
+	if err := detector.ValidateWindow(window); err != nil {
+		return nil, err
+	}
+	return &Detector{window: window}, nil
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "lb" }
+
+// Window implements detector.Detector.
+func (d *Detector) Window() int { return d.window }
+
+// Extent implements detector.Detector.
+func (d *Detector) Extent() int { return d.window }
+
+// MaxSimilarity returns the metric's maximum value DW(DW+1)/2 for a window
+// length of dw: the score of two identical sequences.
+func MaxSimilarity(dw int) int { return dw * (dw + 1) / 2 }
+
+// Similarity computes the Lane & Brodley adjacency-weighted similarity of
+// two sequences of equal length. It returns an error on a length mismatch.
+func Similarity(x, y seq.Stream) (int, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("lbr: similarity of sequences with lengths %d and %d", len(x), len(y))
+	}
+	sim, run := 0, 0
+	for i := range x {
+		if x[i] == y[i] {
+			run++
+			sim += run
+		} else {
+			run = 0
+		}
+	}
+	return sim, nil
+}
+
+// SimilarityWeights returns the per-position weight contributions of the
+// similarity calculation alongside the total, the decomposition shown in the
+// paper's Figure 7 (the "step curve").
+func SimilarityWeights(x, y seq.Stream) (weights []int, total int, err error) {
+	if len(x) != len(y) {
+		return nil, 0, fmt.Errorf("lbr: similarity of sequences with lengths %d and %d", len(x), len(y))
+	}
+	weights = make([]int, len(x))
+	run := 0
+	for i := range x {
+		if x[i] == y[i] {
+			run++
+			weights[i] = run
+			total += run
+		} else {
+			run = 0
+		}
+	}
+	return weights, total, nil
+}
+
+// Train stores the distinct training windows as the profile of normal
+// behavior, in deterministic (lexicographic) order.
+func (d *Detector) Train(train seq.Stream) error {
+	db, err := seq.Build(train, d.window)
+	if err != nil {
+		return fmt.Errorf("lbr: %w", err)
+	}
+	normal := make([][]byte, 0, db.Distinct())
+	for _, w := range db.Common(0) { // Common(0) = all distinct windows, sorted
+		normal = append(normal, w.Bytes())
+	}
+	d.normal = normal
+	return nil
+}
+
+// NormalCount returns the number of stored normal sequences, or 0 before
+// training.
+func (d *Detector) NormalCount() int { return len(d.normal) }
+
+// similarityBytes is Similarity specialized to the byte-encoded profile,
+// avoiding per-comparison conversions in the scoring hot path.
+func similarityBytes(x []byte, y seq.Stream) int {
+	sim, run := 0, 0
+	for i := range x {
+		if x[i] == byte(y[i]) {
+			run++
+			sim += run
+		} else {
+			run = 0
+		}
+	}
+	return sim
+}
+
+// Score implements detector.Detector: for each test window, the response is
+// 1 - maxSim/MaxSimilarity(DW), where maxSim is the similarity to the most
+// similar stored normal sequence. A response of 1 therefore requires the
+// window to share no position with any normal sequence.
+func (d *Detector) Score(test seq.Stream) ([]float64, error) {
+	if err := detector.CheckScorable(d.normal != nil, d.window, test); err != nil {
+		return nil, err
+	}
+	simMax := float64(MaxSimilarity(d.window))
+	n := seq.NumWindows(len(test), d.window)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := test[i : i+d.window]
+		best := 0
+		for _, normal := range d.normal {
+			if s := similarityBytes(normal, w); s > best {
+				best = s
+				if best == int(simMax) {
+					break
+				}
+			}
+		}
+		out[i] = 1 - float64(best)/simMax
+	}
+	return out, nil
+}

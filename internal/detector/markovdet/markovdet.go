@@ -1,0 +1,140 @@
+// Package markovdet implements the Markov-based anomaly detector (paper
+// Section 5.2; in the style of Jha, Tan & Maxion 2001 and Teng et al. 1990).
+//
+// For every fixed-length sequence of size DW obtained from the test data the
+// detector calculates the conditional probability that the (DW+1)st element
+// follows it, estimated by maximum likelihood from the training data:
+//
+//	P(next | context) = count(context·next) / count(context)
+//
+// The response is 1 - P: 0 for a transition that always happens, 1 for a
+// transition never seen in training (including a context never seen at all).
+// Because the estimate is frequency-based, the detector responds not only to
+// foreign sequences (response exactly 1) but also, weakly, to rare
+// transitions (response close to 1) — the source of both its superior
+// coverage and its higher false-alarm propensity (paper Section 7).
+package markovdet
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+// Detector is a Markov conditional-probability detector. Construct with New.
+type Detector struct {
+	window   int
+	lambda   float64 // Laplace smoothing constant; 0 = maximum likelihood
+	k        int     // alphabet size inferred at training (for smoothing)
+	contexts *seq.DB // DW-grams
+	grams    *seq.DB // (DW+1)-grams
+}
+
+var _ detector.Detector = (*Detector)(nil)
+
+// New returns an untrained Markov detector with the given window length.
+// The smallest meaningful window is 1 (the Markov assumption proper); the
+// paper deploys it from 2 upward to align the axes across detectors.
+func New(window int) (*Detector, error) {
+	if err := detector.ValidateWindow(window); err != nil {
+		return nil, err
+	}
+	return &Detector{window: window}, nil
+}
+
+// NewSmoothed returns a Markov detector with Laplace (add-lambda)
+// smoothing of the conditional probabilities:
+//
+//	P(next | ctx) = (count(ctx·next) + λ) / (count(ctx) + λ·K)
+//
+// Smoothing is the textbook cure for zero-probability estimates — and an
+// instructive ablation here: with λ > 0 no transition ever scores exactly
+// 1, so under the paper's strict detection threshold the detector's entire
+// coverage evaporates. Parameter values decide detectability.
+func NewSmoothed(window int, lambda float64) (*Detector, error) {
+	if err := detector.ValidateWindow(window); err != nil {
+		return nil, err
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("markovdet: negative smoothing constant %v", lambda)
+	}
+	return &Detector{window: window, lambda: lambda}, nil
+}
+
+// Lambda returns the Laplace smoothing constant (0 for maximum likelihood).
+func (d *Detector) Lambda() float64 { return d.lambda }
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "markov" }
+
+// Window implements detector.Detector.
+func (d *Detector) Window() int { return d.window }
+
+// Extent implements detector.Detector: each response covers the context
+// window plus the predicted element.
+func (d *Detector) Extent() int { return d.window + 1 }
+
+// Train estimates the conditional transition probabilities from the
+// training stream by counting DW-grams and (DW+1)-grams.
+func (d *Detector) Train(train seq.Stream) error {
+	contexts, err := seq.Build(train, d.window)
+	if err != nil {
+		return fmt.Errorf("markovdet: %w", err)
+	}
+	grams, err := seq.Build(train, d.window+1)
+	if err != nil {
+		return fmt.Errorf("markovdet: %w", err)
+	}
+	k := 0
+	for _, s := range train {
+		if int(s)+1 > k {
+			k = int(s) + 1
+		}
+	}
+	d.contexts, d.grams, d.k = contexts, grams, k
+	return nil
+}
+
+// Prob returns the trained estimate of P(next | context) for the
+// (window+1)-gram g (context plus next element). A context never seen in
+// training has probability 0 for every continuation.
+func (d *Detector) Prob(g seq.Stream) (float64, error) {
+	if d.contexts == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(g) != d.window+1 {
+		return 0, fmt.Errorf("markovdet: gram length %d, want %d", len(g), d.window+1)
+	}
+	ctxCount := d.contexts.Count(g[:d.window])
+	if d.lambda == 0 {
+		if ctxCount == 0 {
+			return 0, nil
+		}
+		return float64(d.grams.Count(g)) / float64(ctxCount), nil
+	}
+	denom := float64(ctxCount) + d.lambda*float64(d.k)
+	if denom == 0 {
+		return 0, nil
+	}
+	return (float64(d.grams.Count(g)) + d.lambda) / denom, nil
+}
+
+// Score implements detector.Detector: responses[i] = 1 - P(test[i+DW] |
+// test[i:i+DW]), one response per (DW+1)-gram of the test stream, i.e. one
+// per element beginning at the (DW+1)st element as the paper puts it.
+func (d *Detector) Score(test seq.Stream) ([]float64, error) {
+	if err := detector.CheckScorable(d.contexts != nil, d.window+1, test); err != nil {
+		return nil, err
+	}
+	n := seq.NumWindows(len(test), d.window+1)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p, err := d.Prob(test[i : i+d.window+1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = 1 - p
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package markovdet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+func mk(vals ...int) seq.Stream {
+	s := make(seq.Stream, len(vals))
+	for i, v := range vals {
+		s[i] = alphabet.Symbol(v)
+	}
+	return s
+}
+
+func TestNewValidatesWindow(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Errorf("New(0) succeeded")
+	}
+	d, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Window() != 2 || d.Extent() != 3 || d.Name() != "markov" {
+		t.Errorf("metadata: %s window %d extent %d", d.Name(), d.Window(), d.Extent())
+	}
+}
+
+func TestScoreBeforeTrain(t *testing.T) {
+	d, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score(mk(1, 2)); !errors.Is(err, detector.ErrNotTrained) {
+		t.Errorf("Score before Train: %v", err)
+	}
+}
+
+func TestConditionalProbabilities(t *testing.T) {
+	d, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 0 1 0 1 0 2: contexts "0" x3 (→1,→1,→2), "1" x2 (→0,→0).
+	if err := d.Train(mk(0, 1, 0, 1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		gram seq.Stream
+		want float64
+	}{
+		{mk(0, 1), 2.0 / 3},
+		{mk(0, 2), 1.0 / 3},
+		{mk(0, 0), 0},
+		{mk(1, 0), 1},
+		{mk(2, 0), 0}, // context "2" occurs only as the final element: count 1, no continuation recorded
+		{mk(3, 0), 0}, // unseen context
+	}
+	for _, tt := range tests {
+		got, err := d.Prob(tt.gram)
+		if err != nil {
+			t.Fatalf("Prob(%v): %v", tt.gram, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Prob(%v) = %v, want %v", tt.gram, got, tt.want)
+		}
+	}
+	if _, err := d.Prob(mk(1, 2, 3)); err == nil {
+		t.Errorf("Prob of wrong-length gram succeeded")
+	}
+}
+
+func TestScoreComplementsProb(t *testing.T) {
+	d, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(mk(0, 1, 0, 1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	test := mk(0, 1, 0, 0)
+	responses, err := d.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(responses) != 3 {
+		t.Fatalf("%d responses, want 3", len(responses))
+	}
+	want := []float64{1 - 2.0/3, 0, 1} // P(1|0)=2/3, P(0|1)=1, P(0|0)=0
+	for i := range want {
+		if math.Abs(responses[i]-want[i]) > 1e-12 {
+			t.Errorf("response[%d] = %v, want %v", i, responses[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicStreamScoresZero(t *testing.T) {
+	d, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cyc seq.Stream
+	for i := 0; i < 50; i++ {
+		cyc = append(cyc, 0, 1, 2, 3, 4)
+	}
+	if err := d.Train(cyc); err != nil {
+		t.Fatal(err)
+	}
+	responses, err := d.Score(cyc[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The training stream's final context has no recorded continuation, so
+	// one context per cycle estimates P = 49/50 instead of 1; responses
+	// are therefore bounded by 1/50, not exactly zero.
+	for i, r := range responses {
+		if r > 1.0/50+1e-12 {
+			t.Errorf("response[%d] = %v on fully deterministic data", i, r)
+		}
+	}
+}
+
+// TestResponsesInUnitInterval: for arbitrary training and test data, every
+// response lies in [0,1].
+func TestResponsesInUnitInterval(t *testing.T) {
+	check := func(trainRaw, testRaw []byte, wRaw uint8) bool {
+		w := int(wRaw%3) + 1
+		train := seq.FromBytes(clamp(trainRaw, 5))
+		test := seq.FromBytes(clamp(testRaw, 5))
+		if len(train) < w+1 || len(test) < w+1 {
+			return true
+		}
+		d, err := New(w)
+		if err != nil {
+			return false
+		}
+		if err := d.Train(train); err != nil {
+			return false
+		}
+		responses, err := d.Score(test)
+		if err != nil {
+			return false
+		}
+		for _, r := range responses {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForeignGramScoresOne: a (DW+1)-gram absent from training must always
+// receive the maximal response.
+func TestForeignGramScoresOne(t *testing.T) {
+	check := func(trainRaw, testRaw []byte, wRaw uint8) bool {
+		w := int(wRaw%3) + 1
+		train := seq.FromBytes(clamp(trainRaw, 4))
+		test := seq.FromBytes(clamp(testRaw, 4))
+		if len(train) < w+1 || len(test) < w+1 {
+			return true
+		}
+		d, err := New(w)
+		if err != nil {
+			return false
+		}
+		if err := d.Train(train); err != nil {
+			return false
+		}
+		responses, err := d.Score(test)
+		if err != nil {
+			return false
+		}
+		grams, err := seq.Build(train, w+1)
+		if err != nil {
+			return false
+		}
+		for i, r := range responses {
+			if grams.IsForeign(test[i:i+w+1]) && r != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamTooShort(t *testing.T) {
+	d, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(mk(0, 1, 2, 3, 4, 0, 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Extent is DW+1 = 5; a 4-element stream is too short.
+	if _, err := d.Score(mk(0, 1, 2, 3)); !errors.Is(err, detector.ErrStreamTooShort) {
+		t.Errorf("short stream: %v", err)
+	}
+}
+
+func clamp(raw []byte, k byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b % k
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package markovdet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSmoothedValidation(t *testing.T) {
+	if _, err := NewSmoothed(0, 0.1); err == nil {
+		t.Errorf("window 0 accepted")
+	}
+	if _, err := NewSmoothed(2, -1); err == nil {
+		t.Errorf("negative lambda accepted")
+	}
+	d, err := NewSmoothed(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lambda() != 0.5 {
+		t.Errorf("Lambda() = %v", d.Lambda())
+	}
+}
+
+func TestSmoothedProbabilities(t *testing.T) {
+	d, err := NewSmoothed(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 0 1 0 1 0 2: alphabet size 3; context "0" count 3, gram
+	// "0 1" count 2 → (2+1)/(3+3) = 0.5.
+	if err := d.Train(mk(0, 1, 0, 1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Prob(mk(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(1|0) = %v, want 0.5", p)
+	}
+	// Never-seen transition is smoothed above zero: (0+1)/(3+3).
+	p, err = d.Prob(mk(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/6) > 1e-12 {
+		t.Errorf("P(0|0) = %v, want 1/6", p)
+	}
+	// Unseen context: (0+1)/(0+3).
+	p, err = d.Prob(mk(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context "2" occurs once (final element): count 1 → (0+1)/(1+3).
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("P(0|2) = %v, want 1/4", p)
+	}
+}
+
+// TestSmoothingForfeitsMaximalResponses: the strict-threshold lesson — a
+// smoothed detector never scores exactly 1, even on a foreign gram.
+func TestSmoothingForfeitsMaximalResponses(t *testing.T) {
+	ml, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSmoothed(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []byte
+	for i := 0; i < 50; i++ {
+		train = append(train, 0, 1, 2, 3)
+	}
+	trainStream := mk(bytesToInts(train)...)
+	if err := ml.Train(trainStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Train(trainStream); err != nil {
+		t.Fatal(err)
+	}
+	test := mk(0, 1, 3) // gram (0 1 -> 3) is foreign
+	mlResp, err := ml.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smResp, err := sm.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlResp[0] != 1 {
+		t.Errorf("maximum-likelihood response %v, want exactly 1", mlResp[0])
+	}
+	if smResp[0] >= 1 {
+		t.Errorf("smoothed response %v, want strictly below 1", smResp[0])
+	}
+	if smResp[0] < 0.9 {
+		t.Errorf("smoothed response %v implausibly low for a foreign gram", smResp[0])
+	}
+}
+
+func bytesToInts(b []byte) []int {
+	out := make([]int, len(b))
+	for i, v := range b {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func TestZeroLambdaMatchesNew(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSmoothed(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := mk(0, 1, 0, 1, 0, 2)
+	if err := a.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	test := mk(0, 1, 0, 0, 2, 1)
+	ra, err := a.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("response[%d]: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}

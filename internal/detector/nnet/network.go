@@ -1,0 +1,228 @@
+package nnet
+
+import (
+	"math"
+
+	"adiv/internal/rng"
+)
+
+// network is a feed-forward net over one-hot encoded symbol windows with a
+// softmax readout and one or two tanh hidden layers. Because the input is
+// a concatenation of one-hot blocks, the first-layer matrix product
+// reduces to summing one column per window position, which both forward
+// and step exploit; no dense input vector is ever materialized.
+type network struct {
+	window  int // context length DW
+	k       int // alphabet size
+	hidden  int
+	hidden2 int // 0 = single hidden layer
+
+	// First layer: w1[j][pos*k+sym] is the weight from input (pos, sym) to
+	// hidden unit j; b1 the hidden biases.
+	w1, v1  [][]float64
+	b1, vb1 []float64
+	// Optional middle layer: wm[m][j] from hidden j to hidden2 unit m.
+	wm, vm  [][]float64
+	bm, vbm []float64
+	// Output layer: w2[o][t] from the top hidden layer to output o.
+	w2, v2  [][]float64
+	b2, vb2 []float64
+
+	// Scratch buffers reused across calls. The network is therefore not
+	// safe for concurrent use; the detector types own one each.
+	h, dh, h2, dh2, probs, dout []float64
+}
+
+// top returns the size of the hidden layer feeding the output.
+func (n *network) top() int {
+	if n.hidden2 > 0 {
+		return n.hidden2
+	}
+	return n.hidden
+}
+
+func newNetwork(window, k, hidden, hidden2 int, src *rng.Source) *network {
+	n := &network{window: window, k: k, hidden: hidden, hidden2: hidden2}
+	inputs := window * k
+	inScale := 1 / math.Sqrt(float64(window)) // each pattern activates DW inputs
+	n.w1 = randomMatrix(src, hidden, inputs, inScale)
+	n.v1 = zeroMatrix(hidden, inputs)
+	n.b1 = make([]float64, hidden)
+	n.vb1 = make([]float64, hidden)
+	if hidden2 > 0 {
+		mScale := 1 / math.Sqrt(float64(hidden))
+		n.wm = randomMatrix(src, hidden2, hidden, mScale)
+		n.vm = zeroMatrix(hidden2, hidden)
+		n.bm = make([]float64, hidden2)
+		n.vbm = make([]float64, hidden2)
+		n.h2 = make([]float64, hidden2)
+		n.dh2 = make([]float64, hidden2)
+	}
+	top := n.top()
+	tScale := 1 / math.Sqrt(float64(top))
+	n.w2 = randomMatrix(src, k, top, tScale)
+	n.v2 = zeroMatrix(k, top)
+	n.b2 = make([]float64, k)
+	n.vb2 = make([]float64, k)
+	n.h = make([]float64, hidden)
+	n.dh = make([]float64, hidden)
+	n.probs = make([]float64, k)
+	n.dout = make([]float64, k)
+	return n
+}
+
+func randomMatrix(src *rng.Source, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = (src.Float64()*2 - 1) * scale
+		}
+	}
+	return m
+}
+
+func zeroMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// forward runs the context (byte-encoded window) through the network and
+// returns the softmax output distribution. The returned slice is a scratch
+// buffer owned by the network, valid until the next forward or step call.
+func (n *network) forward(context []byte) []float64 {
+	for j := 0; j < n.hidden; j++ {
+		a := n.b1[j]
+		row := n.w1[j]
+		for pos, sym := range context {
+			a += row[pos*n.k+int(sym)]
+		}
+		n.h[j] = math.Tanh(a)
+	}
+	topAct := n.h
+	if n.hidden2 > 0 {
+		for m := 0; m < n.hidden2; m++ {
+			a := n.bm[m]
+			row := n.wm[m]
+			for j := 0; j < n.hidden; j++ {
+				a += row[j] * n.h[j]
+			}
+			n.h2[m] = math.Tanh(a)
+		}
+		topAct = n.h2
+	}
+	maxLogit := math.Inf(-1)
+	for o := 0; o < n.k; o++ {
+		a := n.b2[o]
+		row := n.w2[o]
+		for t := range topAct {
+			a += row[t] * topAct[t]
+		}
+		n.probs[o] = a
+		if a > maxLogit {
+			maxLogit = a
+		}
+	}
+	sum := 0.0
+	for o := 0; o < n.k; o++ {
+		n.probs[o] = math.Exp(n.probs[o] - maxLogit)
+		sum += n.probs[o]
+	}
+	for o := 0; o < n.k; o++ {
+		n.probs[o] /= sum
+	}
+	return n.probs
+}
+
+// step performs one weighted SGD-with-momentum update on the cross-entropy
+// loss for a single (context, target) example and returns the example's
+// weighted loss before the update.
+func (n *network) step(context []byte, target int, weight, lr, momentum float64) float64 {
+	probs := n.forward(context)
+	loss := weight * crossEntropy(probs[target])
+
+	// Softmax + cross-entropy gradient at the output.
+	for o := 0; o < n.k; o++ {
+		n.dout[o] = probs[o]
+	}
+	n.dout[target] -= 1
+
+	topAct, topDelta := n.h, n.dh
+	if n.hidden2 > 0 {
+		topAct, topDelta = n.h2, n.dh2
+	}
+
+	// Top hidden deltas through the tanh derivative.
+	for t := range topAct {
+		s := 0.0
+		for o := 0; o < n.k; o++ {
+			s += n.w2[o][t] * n.dout[o]
+		}
+		topDelta[t] = s * (1 - topAct[t]*topAct[t])
+	}
+	// With a middle layer, propagate further down to the first hidden.
+	if n.hidden2 > 0 {
+		for j := 0; j < n.hidden; j++ {
+			s := 0.0
+			for m := 0; m < n.hidden2; m++ {
+				s += n.wm[m][j] * n.dh2[m]
+			}
+			n.dh[j] = s * (1 - n.h[j]*n.h[j])
+		}
+	}
+
+	step := lr * weight
+
+	// Output-layer update against the top activations.
+	for o := 0; o < n.k; o++ {
+		g := n.dout[o]
+		row, vel := n.w2[o], n.v2[o]
+		for t := range topAct {
+			vel[t] = momentum*vel[t] - step*g*topAct[t]
+			row[t] += vel[t]
+		}
+		n.vb2[o] = momentum*n.vb2[o] - step*g
+		n.b2[o] += n.vb2[o]
+	}
+
+	// Middle-layer update.
+	if n.hidden2 > 0 {
+		for m := 0; m < n.hidden2; m++ {
+			g := n.dh2[m]
+			row, vel := n.wm[m], n.vm[m]
+			for j := 0; j < n.hidden; j++ {
+				vel[j] = momentum*vel[j] - step*g*n.h[j]
+				row[j] += vel[j]
+			}
+			n.vbm[m] = momentum*n.vbm[m] - step*g
+			n.bm[m] += n.vbm[m]
+		}
+	}
+
+	// First-layer update: only the DW active inputs have nonzero gradient.
+	for j := 0; j < n.hidden; j++ {
+		g := n.dh[j]
+		row, vel := n.w1[j], n.v1[j]
+		for pos, sym := range context {
+			i := pos*n.k + int(sym)
+			vel[i] = momentum*vel[i] - step*g
+			row[i] += vel[i]
+		}
+		n.vb1[j] = momentum*n.vb1[j] - step*g
+		n.b1[j] += n.vb1[j]
+	}
+	return loss
+}
+
+// crossEntropy returns -log(p) with a floor that keeps the loss finite
+// when the softmax underflows.
+func crossEntropy(p float64) float64 {
+	const floor = 1e-300
+	if p < floor {
+		p = floor
+	}
+	return -math.Log(p)
+}

@@ -1,0 +1,167 @@
+package tstide
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+func mk(vals ...int) seq.Stream {
+	s := make(seq.Stream, len(vals))
+	for i, v := range vals {
+		s[i] = alphabet.Symbol(v)
+	}
+	return s
+}
+
+// trainStream: 198 copies of "0 1" plus one "2 3" burst: pairs (0,1),(1,0)
+// common, (1,2),(2,3),(3,0) rare singletons.
+func trainStream() seq.Stream {
+	var s seq.Stream
+	for i := 0; i < 99; i++ {
+		s = append(s, 0, 1)
+	}
+	s = append(s, 2, 3)
+	for i := 0; i < 99; i++ {
+		s = append(s, 0, 1)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.01); err == nil {
+		t.Errorf("New(0, ...) succeeded")
+	}
+	for _, cutoff := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := New(2, cutoff); err == nil {
+			t.Errorf("cutoff %v accepted", cutoff)
+		}
+	}
+	d, err := New(4, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Window() != 4 || d.Extent() != 4 || d.Name() != "tstide" || d.Cutoff() != 0.005 {
+		t.Errorf("metadata: %s window %d extent %d cutoff %v", d.Name(), d.Window(), d.Extent(), d.Cutoff())
+	}
+}
+
+func TestScoreBeforeTrain(t *testing.T) {
+	d, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score(mk(0, 1, 0)); !errors.Is(err, detector.ErrNotTrained) {
+		t.Errorf("Score before Train: %v", err)
+	}
+}
+
+func TestRespondsToRareAndForeign(t *testing.T) {
+	d, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(trainStream()); err != nil {
+		t.Fatal(err)
+	}
+	// Test stream 0 1 2 3 1 1: pairs 01(common) 12(rare) 23(rare) 31(foreign) 11(foreign).
+	got, err := d.Score(mk(0, 1, 2, 3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("response[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStideSubset: every window plain Stide alarms on (foreign), t-stide
+// alarms on too; t-stide adds only rare windows. Checked over random data.
+func TestStideSubset(t *testing.T) {
+	check := func(trainRaw, testRaw []byte, wRaw uint8) bool {
+		w := int(wRaw%3) + 1
+		train := seq.FromBytes(clamp(trainRaw, 4))
+		test := seq.FromBytes(clamp(testRaw, 4))
+		if len(train) < w || len(test) < w {
+			return true
+		}
+		d, err := New(w, 0.3)
+		if err != nil {
+			return false
+		}
+		if err := d.Train(train); err != nil {
+			return false
+		}
+		responses, err := d.Score(test)
+		if err != nil {
+			return false
+		}
+		db, err := seq.Build(train, w)
+		if err != nil {
+			return false
+		}
+		for i, r := range responses {
+			win := test[i : i+w]
+			foreign := db.IsForeign(win)
+			rare := db.IsRare(win, 0.3)
+			want := 0.0
+			if foreign || rare {
+				want = 1.0
+			}
+			if r != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(raw []byte, k byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b % k
+	}
+	return out
+}
+
+func TestCutoffBoundary(t *testing.T) {
+	// The pair (2,3) occurs once among 397 windows ≈ 0.252%: rare at a
+	// 0.3% cutoff, normal at 0.2%.
+	sensitive, err := New(2, 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := New(2, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sensitive.Train(trainStream()); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Train(trainStream()); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sensitive.Score(mk(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := strict.Score(mk(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0] != 1 {
+		t.Errorf("0.3%% cutoff: response %v, want 1", rs[0])
+	}
+	if rt[0] != 0 {
+		t.Errorf("0.2%% cutoff: response %v, want 0", rt[0])
+	}
+}

@@ -1,0 +1,116 @@
+package ensemble
+
+import (
+	"fmt"
+	"io"
+
+	"adiv/internal/eval"
+)
+
+// Relation classifies how one detector's detection coverage relates to
+// another's — the structural fact that determines whether combining them
+// adds coverage, merely corroborates, or does nothing (paper Sections 7-8).
+type Relation int
+
+// Relation values.
+const (
+	// Equal: identical detection regions.
+	Equal Relation = iota + 1
+	// SubsetOf: a's detection region is strictly inside b's (a alarms only
+	// where b also alarms — a can serve as a false-alarm suppressor for b).
+	SubsetOf
+	// SupersetOf: a strictly contains b.
+	SupersetOf
+	// Overlapping: each detects cells the other misses.
+	Overlapping
+	// Disjoint: no common detected cell (including the case where one or
+	// both detect nothing).
+	Disjoint
+)
+
+// String renders the relation for reports.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case SubsetOf:
+		return "subset"
+	case SupersetOf:
+		return "superset"
+	case Overlapping:
+		return "overlapping"
+	case Disjoint:
+		return "disjoint"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// Relate classifies the coverage relation of a with respect to b.
+func Relate(a, b *eval.Map) Relation {
+	aCells := detectionSet(a)
+	bCells := detectionSet(b)
+	common := 0
+	for c := range aCells {
+		if bCells[c] {
+			common++
+		}
+	}
+	switch {
+	case common == len(aCells) && common == len(bCells) && common > 0:
+		return Equal
+	case len(aCells) == 0 && len(bCells) == 0:
+		return Equal
+	case common == len(aCells) && len(aCells) > 0:
+		return SubsetOf
+	case common == len(bCells) && len(bCells) > 0:
+		return SupersetOf
+	case common > 0:
+		return Overlapping
+	default:
+		return Disjoint
+	}
+}
+
+func detectionSet(m *eval.Map) map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for _, c := range m.DetectionRegion() {
+		set[c] = true
+	}
+	return set
+}
+
+// WriteRelationMatrix renders the pairwise coverage relations of the given
+// maps as a table: row detector's coverage relative to the column
+// detector's.
+func WriteRelationMatrix(w io.Writer, maps []*eval.Map) error {
+	if _, err := fmt.Fprintf(w, "%-10s", ""); err != nil {
+		return err
+	}
+	for _, m := range maps {
+		if _, err := fmt.Fprintf(w, " %-12s", m.Detector); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, a := range maps {
+		if _, err := fmt.Fprintf(w, "%-10s", a.Detector); err != nil {
+			return err
+		}
+		for _, b := range maps {
+			rel := "-"
+			if a != b {
+				rel = Relate(a, b).String()
+			}
+			if _, err := fmt.Fprintf(w, " %-12s", rel); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

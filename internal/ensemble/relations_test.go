@@ -1,0 +1,62 @@
+package ensemble
+
+import (
+	"strings"
+	"testing"
+
+	"adiv/internal/eval"
+)
+
+func TestRelate(t *testing.T) {
+	stideLike := mkMap(t, "stide", [][2]int{{2, 2}, {2, 3}, {3, 3}})
+	markovLike := mkMap(t, "markov", [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}})
+	lbLike := mkMap(t, "lb", nil)
+	other := mkMap(t, "other", [][2]int{{2, 2}, {4, 4}})
+
+	tests := []struct {
+		name string
+		a, b *eval.Map
+		want Relation
+	}{
+		{"self", stideLike, stideLike, Equal},
+		{"stide subset of markov", stideLike, markovLike, SubsetOf},
+		{"markov superset of stide", markovLike, stideLike, SupersetOf},
+		{"blind vs anything", lbLike, stideLike, Disjoint},
+		{"anything vs blind", stideLike, lbLike, Disjoint},
+		{"blind vs blind", lbLike, lbLike, Equal},
+		{"partial overlap", stideLike, other, Overlapping},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Relate(tt.a, tt.b); got != tt.want {
+				t.Errorf("Relate(%s,%s) = %v, want %v", tt.a.Detector, tt.b.Detector, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Equal: "equal", SubsetOf: "subset", SupersetOf: "superset",
+		Overlapping: "overlapping", Disjoint: "disjoint", Relation(42): "relation(42)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestWriteRelationMatrix(t *testing.T) {
+	a := mkMap(t, "stide", [][2]int{{2, 2}})
+	b := mkMap(t, "markov", [][2]int{{2, 2}, {3, 3}})
+	var sb strings.Builder
+	if err := WriteRelationMatrix(&sb, []*eval.Map{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stide", "markov", "subset", "superset"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+}

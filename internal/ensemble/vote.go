@@ -1,0 +1,132 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/eval"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Voter combines several trained detectors by k-of-n voting over stream
+// elements: an element is alarmed when at least Quorum detectors raise an
+// alarm whose covered elements include it. Quorum 1 is the union
+// ("alarm on either") and Quorum n the conjunction (the paper's
+// suppression pipeline generalized beyond one primary and one veto).
+type Voter struct {
+	// Members are the trained detectors; all must be trained on the same
+	// data for the vote to be meaningful.
+	Members []detector.Detector
+	// Thresholds holds each member's detection threshold, index-aligned
+	// with Members.
+	Thresholds []float64
+	// Quorum is the number of members that must alarm on an element.
+	Quorum int
+}
+
+// Validate reports structural errors.
+func (v *Voter) Validate() error {
+	if len(v.Members) == 0 {
+		return fmt.Errorf("ensemble: voter with no members")
+	}
+	if len(v.Thresholds) != len(v.Members) {
+		return fmt.Errorf("ensemble: %d thresholds for %d members", len(v.Thresholds), len(v.Members))
+	}
+	for i, t := range v.Thresholds {
+		if t <= 0 || t > 1 {
+			return fmt.Errorf("ensemble: member %d threshold %v outside (0,1]", i, t)
+		}
+	}
+	if v.Quorum < 1 || v.Quorum > len(v.Members) {
+		return fmt.Errorf("ensemble: quorum %d outside [1,%d]", v.Quorum, len(v.Members))
+	}
+	return nil
+}
+
+// Votes returns, per stream element, how many members alarm on it.
+func (v *Voter) Votes(stream seq.Stream) ([]int, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	votes := make([]int, len(stream))
+	for i, det := range v.Members {
+		responses, err := det.Score(stream)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: member %s(DW=%d): %w", det.Name(), det.Window(), err)
+		}
+		extent := det.Extent()
+		covered := make([]bool, len(stream))
+		for _, a := range eval.Alarms(responses, v.Thresholds[i]) {
+			for j := a.Position; j < a.Position+extent && j < len(stream); j++ {
+				covered[j] = true
+			}
+		}
+		for j, c := range covered {
+			if c {
+				votes[j]++
+			}
+		}
+	}
+	return votes, nil
+}
+
+// AlarmedElements returns the element indices reaching the quorum.
+func (v *Voter) AlarmedElements(stream seq.Stream) ([]int, error) {
+	votes, err := v.Votes(stream)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, n := range votes {
+		if n >= v.Quorum {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// VoteStats tallies a voter's output against one placement's ground truth
+// at the element level.
+type VoteStats struct {
+	// Quorum echoes the voter's quorum.
+	Quorum int
+	// Hit reports at least one alarmed element inside the anomaly.
+	Hit bool
+	// AlarmedInSpan and AlarmedOutside count alarmed elements inside and
+	// outside the injected anomaly.
+	AlarmedInSpan, AlarmedOutside int
+	// Elements is the number of out-of-anomaly elements, the denominator
+	// of FalseAlarmRate.
+	Elements int
+}
+
+// FalseAlarmRate returns alarmed out-of-anomaly elements per out-of-anomaly
+// element.
+func (s VoteStats) FalseAlarmRate() float64 {
+	if s.Elements == 0 {
+		return 0
+	}
+	return float64(s.AlarmedOutside) / float64(s.Elements)
+}
+
+// AssessVote evaluates the voter on a placement.
+func (v *Voter) AssessVote(p inject.Placement) (VoteStats, error) {
+	alarmed, err := v.AlarmedElements(p.Stream)
+	if err != nil {
+		return VoteStats{}, err
+	}
+	stats := VoteStats{
+		Quorum:   v.Quorum,
+		Elements: len(p.Stream) - p.AnomalyLen,
+	}
+	for _, i := range alarmed {
+		if i >= p.Start && i < p.Start+p.AnomalyLen {
+			stats.AlarmedInSpan++
+		} else {
+			stats.AlarmedOutside++
+		}
+	}
+	stats.Hit = stats.AlarmedInSpan > 0
+	return stats, nil
+}

@@ -1,0 +1,134 @@
+package ensemble
+
+import (
+	"testing"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// voterOf builds a Voter from scripted members with threshold 1 each.
+func voterOf(quorum int, members ...*scripted) *Voter {
+	dets := make([]detector.Detector, len(members))
+	ths := make([]float64, len(members))
+	for i, m := range members {
+		dets[i] = m
+		ths[i] = 1
+	}
+	return &Voter{Members: dets, Thresholds: ths, Quorum: quorum}
+}
+
+func respAt(n int, positions ...int) []float64 {
+	out := make([]float64, n)
+	for _, p := range positions {
+		out[p] = 1
+	}
+	return out
+}
+
+func TestVoterValidate(t *testing.T) {
+	m := &scripted{name: "m", window: 2, extent: 2, trained: true, responses: make([]float64, 10)}
+	bad := []*Voter{
+		{},
+		{Members: []detector.Detector{m}, Thresholds: []float64{1, 1}, Quorum: 1},
+		{Members: []detector.Detector{m}, Thresholds: []float64{0}, Quorum: 1},
+		{Members: []detector.Detector{m}, Thresholds: []float64{1}, Quorum: 0},
+		{Members: []detector.Detector{m}, Thresholds: []float64{1}, Quorum: 2},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("voter %d accepted", i)
+		}
+	}
+	if err := voterOf(1, m).Validate(); err != nil {
+		t.Errorf("valid voter rejected: %v", err)
+	}
+}
+
+func TestVotesAndQuorum(t *testing.T) {
+	// 20-element stream; extent-3 members.
+	a := &scripted{name: "a", window: 3, extent: 3, trained: true, responses: respAt(18, 5, 10)}
+	b := &scripted{name: "b", window: 3, extent: 3, trained: true, responses: respAt(18, 6, 14)}
+	stream := make(seq.Stream, 20)
+
+	union := voterOf(1, a, b)
+	alarmed, err := union.AlarmedElements(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a covers 5-7 and 10-12; b covers 6-8 and 14-16 → union 5-8,10-12,14-16.
+	want := []int{5, 6, 7, 8, 10, 11, 12, 14, 15, 16}
+	if len(alarmed) != len(want) {
+		t.Fatalf("union alarmed %v, want %v", alarmed, want)
+	}
+	for i := range want {
+		if alarmed[i] != want[i] {
+			t.Fatalf("union alarmed %v, want %v", alarmed, want)
+		}
+	}
+
+	both := voterOf(2, a, b)
+	alarmed, err = both.AlarmedElements(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection of coverage: elements 6-7.
+	if len(alarmed) != 2 || alarmed[0] != 6 || alarmed[1] != 7 {
+		t.Fatalf("quorum-2 alarmed %v, want [6 7]", alarmed)
+	}
+}
+
+func TestAssessVote(t *testing.T) {
+	// Anomaly at elements [6,8); member a alarms over 5-7 (hit), member b
+	// over 14-16 (false alarm region).
+	a := &scripted{name: "a", window: 3, extent: 3, trained: true, responses: respAt(18, 5)}
+	b := &scripted{name: "b", window: 3, extent: 3, trained: true, responses: respAt(18, 14)}
+	p := inject.Placement{Stream: make(seq.Stream, 20), Start: 6, AnomalyLen: 2}
+
+	union := voterOf(1, a, b)
+	stats, err := union.AssessVote(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Hit {
+		t.Errorf("union missed: %+v", stats)
+	}
+	if stats.AlarmedInSpan != 2 { // elements 6,7
+		t.Errorf("in-span elements %d, want 2", stats.AlarmedInSpan)
+	}
+	if stats.AlarmedOutside != 4 { // element 5 + 14,15,16
+		t.Errorf("outside elements %d, want 4", stats.AlarmedOutside)
+	}
+	if stats.Elements != 18 {
+		t.Errorf("Elements = %d, want 18", stats.Elements)
+	}
+	if rate := stats.FalseAlarmRate(); rate != 4.0/18 {
+		t.Errorf("rate %v", rate)
+	}
+
+	// Quorum 2 suppresses everything here (members never overlap).
+	both := voterOf(2, a, b)
+	stats, err = both.AssessVote(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hit || stats.AlarmedOutside != 0 {
+		t.Errorf("quorum-2 stats %+v, want silence", stats)
+	}
+}
+
+func TestVoteStatsEmpty(t *testing.T) {
+	var s VoteStats
+	if s.FalseAlarmRate() != 0 {
+		t.Errorf("empty rate %v", s.FalseAlarmRate())
+	}
+}
+
+func TestVotesPropagatesErrors(t *testing.T) {
+	untrained := &scripted{name: "u", window: 3, extent: 3}
+	v := voterOf(1, untrained)
+	if _, err := v.Votes(make(seq.Stream, 10)); err == nil {
+		t.Errorf("untrained member accepted")
+	}
+}

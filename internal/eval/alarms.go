@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+)
+
+// Alarm is one thresholded detector response.
+type Alarm struct {
+	// Position is the response index; the alarmed elements are
+	// [Position, Position+extent).
+	Position int
+	// Response is the raw detector response that crossed the threshold.
+	Response float64
+}
+
+// Alarms thresholds a response sequence: every response >= threshold raises
+// an alarm at its position.
+func Alarms(responses []float64, threshold float64) []Alarm {
+	var out []Alarm
+	for i, r := range responses {
+		if r >= threshold {
+			out = append(out, Alarm{Position: i, Response: r})
+		}
+	}
+	return out
+}
+
+// AlarmStats summarizes thresholded detector output against ground truth:
+// alarms inside the incident span are (candidate) hits, alarms outside are
+// false alarms, and a span with no alarm at all is a miss.
+type AlarmStats struct {
+	// Detector, Window, Threshold identify the deployment.
+	Detector  string
+	Window    int
+	Threshold float64
+	// Hit reports that at least one alarm fell inside the incident span.
+	Hit bool
+	// SpanAlarms counts alarms inside the incident span.
+	SpanAlarms int
+	// FalseAlarms counts alarms outside the incident span.
+	FalseAlarms int
+	// Positions is the number of scored positions outside the span, the
+	// denominator of FalseAlarmRate.
+	Positions int
+}
+
+// FalseAlarmRate returns false alarms per scored out-of-span position.
+func (s AlarmStats) FalseAlarmRate() float64 {
+	if s.Positions == 0 {
+		return 0
+	}
+	return float64(s.FalseAlarms) / float64(s.Positions)
+}
+
+// AssessAlarms deploys a trained detector on a placement's stream at a
+// detection threshold and tallies hits and false alarms. Unlike Assess,
+// which implements the paper's capability charting, this implements the
+// conventional hit/miss/false-alarm accounting used by the Section 7
+// combination experiments.
+func AssessAlarms(det detector.Detector, p inject.Placement, threshold float64) (AlarmStats, error) {
+	if threshold <= 0 || threshold > 1 {
+		return AlarmStats{}, fmt.Errorf("eval: detection threshold %v outside (0,1]", threshold)
+	}
+	responses, err := det.Score(p.Stream)
+	if err != nil {
+		return AlarmStats{}, fmt.Errorf("eval: scoring with %s(DW=%d): %w", det.Name(), det.Window(), err)
+	}
+	lo, hi, ok := p.IncidentSpan(det.Extent())
+	if !ok {
+		return AlarmStats{}, fmt.Errorf("eval: incident span empty for %s(DW=%d)", det.Name(), det.Window())
+	}
+	if hi >= len(responses) {
+		hi = len(responses) - 1
+	}
+	stats := AlarmStats{
+		Detector:  det.Name(),
+		Window:    det.Window(),
+		Threshold: threshold,
+		Positions: len(responses) - (hi - lo + 1),
+	}
+	for _, a := range Alarms(responses, threshold) {
+		if a.Position >= lo && a.Position <= hi {
+			stats.SpanAlarms++
+		} else {
+			stats.FalseAlarms++
+		}
+	}
+	stats.Hit = stats.SpanAlarms > 0
+	return stats, nil
+}
+
+// MultiAlarmStats tallies thresholded output against a multi-anomaly
+// stream: per-event hits and out-of-span false alarms.
+type MultiAlarmStats struct {
+	// Detector, Window, Threshold identify the deployment.
+	Detector  string
+	Window    int
+	Threshold float64
+	// Hits counts events with at least one in-span alarm; Events is the
+	// total injected.
+	Hits, Events int
+	// FalseAlarms counts alarms touching no event; Positions is the number
+	// of scored positions outside every span.
+	FalseAlarms, Positions int
+}
+
+// HitRate returns the fraction of events hit.
+func (s MultiAlarmStats) HitRate() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Events)
+}
+
+// FalseAlarmRate returns false alarms per out-of-span position.
+func (s MultiAlarmStats) FalseAlarmRate() float64 {
+	if s.Positions == 0 {
+		return 0
+	}
+	return float64(s.FalseAlarms) / float64(s.Positions)
+}
+
+// AssessMultiAlarms deploys a trained detector on a multi-anomaly stream
+// at a detection threshold and tallies per-event hits and false alarms.
+func AssessMultiAlarms(det detector.Detector, mp inject.MultiPlacement, threshold float64) (MultiAlarmStats, error) {
+	if threshold <= 0 || threshold > 1 {
+		return MultiAlarmStats{}, fmt.Errorf("eval: detection threshold %v outside (0,1]", threshold)
+	}
+	responses, err := det.Score(mp.Stream)
+	if err != nil {
+		return MultiAlarmStats{}, fmt.Errorf("eval: scoring with %s(DW=%d): %w", det.Name(), det.Window(), err)
+	}
+	extent := det.Extent()
+	stats := MultiAlarmStats{
+		Detector:  det.Name(),
+		Window:    det.Window(),
+		Threshold: threshold,
+		Events:    len(mp.Events),
+	}
+	hitEvent := make([]bool, len(mp.Events))
+	for pos, r := range responses {
+		inSpan := mp.InSpan(pos, extent)
+		if !inSpan {
+			stats.Positions++
+		}
+		if r < threshold {
+			continue
+		}
+		if !inSpan {
+			stats.FalseAlarms++
+			continue
+		}
+		for i, e := range mp.Events {
+			if pos+extent > e.Start && pos < e.Start+e.Len {
+				hitEvent[i] = true
+			}
+		}
+	}
+	for _, h := range hitEvent {
+		if h {
+			stats.Hits++
+		}
+	}
+	return stats, nil
+}
+
+// OperatingPoint is one point of a threshold sweep.
+type OperatingPoint struct {
+	Threshold      float64
+	Hit            bool
+	FalseAlarmRate float64
+}
+
+// Sweep evaluates the detector on the placement across the given detection
+// thresholds, returning one operating point per threshold, sorted by
+// threshold. It reproduces the paper's observation that detector coverage
+// and false-alarm behaviour are heavily dependent on parameter values.
+func Sweep(det detector.Detector, p inject.Placement, thresholds []float64) ([]OperatingPoint, error) {
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+	out := make([]OperatingPoint, 0, len(ts))
+	for _, t := range ts {
+		stats, err := AssessAlarms(det, p, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OperatingPoint{
+			Threshold:      t,
+			Hit:            stats.Hit,
+			FalseAlarmRate: stats.FalseAlarmRate(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+func TestAlarms(t *testing.T) {
+	responses := []float64{0, 0.5, 0.98, 1, 0.97}
+	got := Alarms(responses, 0.98)
+	if len(got) != 2 {
+		t.Fatalf("%d alarms, want 2", len(got))
+	}
+	if got[0].Position != 2 || got[1].Position != 3 {
+		t.Errorf("alarm positions %v", got)
+	}
+	if len(Alarms(responses, 1.1)) != 0 {
+		t.Errorf("alarms above the response range")
+	}
+}
+
+func TestAssessAlarms(t *testing.T) {
+	p := placementOf(40, 20, 2)
+	// Extent 3: span = [18, 21].
+	d := &fakeDetector{name: "fake", window: 3, extent: 3, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-2)
+			out[5] = 1  // false alarm
+			out[19] = 1 // span alarm
+			out[30] = 1 // false alarm
+			return out
+		}}
+	stats, err := AssessAlarms(d, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Hit || stats.SpanAlarms != 1 || stats.FalseAlarms != 2 {
+		t.Errorf("stats %+v", stats)
+	}
+	wantPositions := 38 - 4 // 38 responses minus 4 span positions
+	if stats.Positions != wantPositions {
+		t.Errorf("Positions = %d, want %d", stats.Positions, wantPositions)
+	}
+	if rate := stats.FalseAlarmRate(); math.Abs(rate-2.0/float64(wantPositions)) > 1e-12 {
+		t.Errorf("FalseAlarmRate = %v", rate)
+	}
+}
+
+func TestAssessAlarmsThresholdValidation(t *testing.T) {
+	p := placementOf(40, 20, 2)
+	d := &fakeDetector{name: "fake", window: 3, extent: 3, trained: true, scoreFunc: constantScores(0)}
+	for _, th := range []float64{0, -0.5, 1.5} {
+		if _, err := AssessAlarms(d, p, th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+}
+
+func TestFalseAlarmRateEmpty(t *testing.T) {
+	var s AlarmStats
+	if s.FalseAlarmRate() != 0 {
+		t.Errorf("empty stats rate %v", s.FalseAlarmRate())
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	p := placementOf(60, 30, 2)
+	d := &fakeDetector{name: "fake", window: 2, extent: 2, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-1)
+			for i := range out {
+				out[i] = float64(i%10) / 10
+			}
+			out[30] = 1
+			return out
+		}}
+	points, err := Sweep(d, p, []float64{0.9, 0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Sorted ascending by threshold; false-alarm rate must be
+	// non-increasing in the threshold.
+	for i := 1; i < len(points); i++ {
+		if points[i].Threshold < points[i-1].Threshold {
+			t.Errorf("points not sorted by threshold")
+		}
+		if points[i].FalseAlarmRate > points[i-1].FalseAlarmRate {
+			t.Errorf("false-alarm rate increased with threshold: %+v", points)
+		}
+	}
+	for _, pt := range points {
+		if !pt.Hit {
+			t.Errorf("maximal in-span response should hit at every threshold: %+v", pt)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+)
+
+// ResponseCorrelation returns the Pearson correlation of two trained
+// detectors' response sequences over the same stream. It quantifies
+// mimicry — the paper's observation that the neural network "appears to be
+// as good as the Markov-based detector" becomes a measurable statement
+// about their response streams. The detectors must share an extent so that
+// responses at the same index judge the same elements.
+func ResponseCorrelation(a, b detector.Detector, stream seq.Stream) (float64, error) {
+	if a.Extent() != b.Extent() {
+		return 0, fmt.Errorf("eval: correlating extents %d and %d", a.Extent(), b.Extent())
+	}
+	ra, err := a.Score(stream)
+	if err != nil {
+		return 0, fmt.Errorf("eval: scoring %s: %w", a.Name(), err)
+	}
+	rb, err := b.Score(stream)
+	if err != nil {
+		return 0, fmt.Errorf("eval: scoring %s: %w", b.Name(), err)
+	}
+	if len(ra) != len(rb) {
+		return 0, fmt.Errorf("eval: response lengths %d and %d", len(ra), len(rb))
+	}
+	return pearson(ra, rb)
+}
+
+// pearson computes the sample Pearson correlation coefficient. Constant
+// sequences have undefined correlation and are reported as an error.
+func pearson(x, y []float64) (float64, error) {
+	n := len(x)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: correlation of %d samples", n)
+	}
+	var sumX, sumY float64
+	for i := range x {
+		sumX += x[i]
+		sumY += y[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var cov, varX, varY float64
+	for i := range x {
+		dx, dy := x[i]-meanX, y[i]-meanY
+		cov += dx * dy
+		varX += dx * dx
+		varY += dy * dy
+	}
+	if varX == 0 || varY == 0 {
+		return 0, fmt.Errorf("eval: correlation with a constant response sequence")
+	}
+	r := cov / math.Sqrt(varX*varY)
+	// Clamp floating-point overshoot.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, nil
+}

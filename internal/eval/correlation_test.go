@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+func scriptedDet(extent int, responses []float64) *fakeDetector {
+	return &fakeDetector{name: "scripted", window: extent, extent: extent, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-extent+1)
+			copy(out, responses)
+			return out
+		}}
+}
+
+func TestResponseCorrelationPerfect(t *testing.T) {
+	resp := []float64{0, 0.5, 1, 0.25, 0.75}
+	a := scriptedDet(2, resp)
+	b := scriptedDet(2, resp)
+	r, err := ResponseCorrelation(a, b, make(seq.Stream, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("identical responses: r = %v, want 1", r)
+	}
+}
+
+func TestResponseCorrelationInverse(t *testing.T) {
+	a := scriptedDet(2, []float64{0, 0.25, 0.5, 0.75, 1})
+	b := scriptedDet(2, []float64{1, 0.75, 0.5, 0.25, 0})
+	r, err := ResponseCorrelation(a, b, make(seq.Stream, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti-correlated responses: r = %v, want -1", r)
+	}
+}
+
+func TestResponseCorrelationErrors(t *testing.T) {
+	a := scriptedDet(2, []float64{0, 1})
+	b := scriptedDet(3, []float64{0, 1})
+	if _, err := ResponseCorrelation(a, b, make(seq.Stream, 6)); err == nil {
+		t.Errorf("extent mismatch accepted")
+	}
+	constant := scriptedDet(2, []float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	varied := scriptedDet(2, []float64{0, 1, 0, 1, 0})
+	if _, err := ResponseCorrelation(constant, varied, make(seq.Stream, 6)); err == nil {
+		t.Errorf("constant sequence accepted")
+	}
+	untrained := &fakeDetector{name: "u", window: 2, extent: 2, scoreFunc: constantScores(0)}
+	if _, err := ResponseCorrelation(untrained, varied, make(seq.Stream, 6)); err == nil {
+		t.Errorf("untrained detector accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package eval implements the paper's deployment and scoring methodology
+// (Sections 5.5 and 6): detectors are deployed on test streams containing a
+// single injected anomaly, the maximum response within the incident span
+// classifies the detector as blind, weak, or capable for that (anomaly size,
+// detector window) cell, and the cells assemble into the per-detector
+// performance maps of Figures 3–6.
+package eval
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+)
+
+// Outcome classifies a detector's reaction to an injected anomaly from the
+// maximum response it registered anywhere in the incident span.
+type Outcome int
+
+// Outcome values. Undefined marks cells outside the evaluated region (the
+// paper's "undefined region", e.g. anomaly size 1).
+const (
+	Undefined Outcome = iota
+	// Blind: response 0 for every sequence of the incident span; the
+	// detector perceives the anomaly as completely normal.
+	Blind
+	// Weak: a maximum response strictly between 0 and the capable floor;
+	// something abnormal was seen but not a maximal response.
+	Weak
+	// Capable: at least one maximal response registered in the span. Such a
+	// response registers as an alarm regardless of where a detection
+	// threshold is later placed.
+	Capable
+)
+
+// String renders the outcome for reports.
+func (o Outcome) String() string {
+	switch o {
+	case Blind:
+		return "blind"
+	case Weak:
+		return "weak"
+	case Capable:
+		return "capable"
+	default:
+		return "undefined"
+	}
+}
+
+// Options tunes response classification.
+type Options struct {
+	// CapableAt is the response value at or above which a response counts
+	// as maximal. Binary and count-ratio detectors emit exactly 1; the
+	// neural network's softmax approaches but never reaches it, so its
+	// harness uses a documented floor (e.g. 0.999) — the "detection
+	// threshold becomes critical" tuning knob of Section 7.
+	CapableAt float64
+	// BlindBelow is the response value below which a response counts as
+	// zero, absorbing floating-point fuzz.
+	BlindBelow float64
+}
+
+// DefaultOptions matches the paper's exact-threshold regime: only responses
+// of 1 are maximal.
+func DefaultOptions() Options {
+	return Options{CapableAt: 1 - 1e-9, BlindBelow: 1e-9}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if !(o.BlindBelow >= 0 && o.BlindBelow < o.CapableAt && o.CapableAt <= 1) {
+		return fmt.Errorf("eval: need 0 <= BlindBelow < CapableAt <= 1, got %v and %v", o.BlindBelow, o.CapableAt)
+	}
+	return nil
+}
+
+// SpanMax returns the maximum response over the incident span of the
+// placement: all responses whose covered elements [i, i+extent) include at
+// least one element of the injected anomaly. ok is false when no response
+// touches the anomaly (stream too short for the extent).
+func SpanMax(p inject.Placement, extent int, responses []float64) (maxResp float64, ok bool) {
+	lo, hi, ok := p.IncidentSpan(extent)
+	if !ok {
+		return 0, false
+	}
+	if hi >= len(responses) {
+		hi = len(responses) - 1
+	}
+	if hi < lo {
+		return 0, false
+	}
+	maxResp = responses[lo]
+	for i := lo + 1; i <= hi; i++ {
+		if responses[i] > maxResp {
+			maxResp = responses[i]
+		}
+	}
+	return maxResp, true
+}
+
+// Classify converts a span-maximum response into an Outcome under opts.
+func Classify(maxResp float64, opts Options) Outcome {
+	switch {
+	case maxResp < opts.BlindBelow:
+		return Blind
+	case maxResp >= opts.CapableAt:
+		return Capable
+	default:
+		return Weak
+	}
+}
+
+// Assessment is the result of deploying one trained detector on one test
+// stream containing one injected anomaly.
+type Assessment struct {
+	// Detector and Window identify the deployment.
+	Detector string
+	Window   int
+	// AnomalySize is the length of the injected anomaly.
+	AnomalySize int
+	// MaxResponse is the maximum response registered in the incident span.
+	MaxResponse float64
+	// Outcome classifies MaxResponse under the evaluation options.
+	Outcome Outcome
+}
+
+// Assess scores the placement's stream with an already-trained detector and
+// classifies the span-maximum response.
+func Assess(det detector.Detector, p inject.Placement, opts Options) (Assessment, error) {
+	if err := opts.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	responses, err := det.Score(p.Stream)
+	if err != nil {
+		return Assessment{}, fmt.Errorf("eval: scoring with %s(DW=%d): %w", det.Name(), det.Window(), err)
+	}
+	maxResp, ok := SpanMax(p, det.Extent(), responses)
+	if !ok {
+		return Assessment{}, fmt.Errorf("eval: incident span empty for %s(DW=%d) on stream of length %d",
+			det.Name(), det.Window(), len(p.Stream))
+	}
+	return Assessment{
+		Detector:    det.Name(),
+		Window:      det.Window(),
+		AnomalySize: p.AnomalyLen,
+		MaxResponse: maxResp,
+		Outcome:     Classify(maxResp, opts),
+	}, nil
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// mapJSON is the serialized form of a performance map, consumable by
+// external plotting tools.
+type mapJSON struct {
+	Detector  string     `json:"detector"`
+	MinSize   int        `json:"minSize"`
+	MaxSize   int        `json:"maxSize"`
+	MinWindow int        `json:"minWindow"`
+	MaxWindow int        `json:"maxWindow"`
+	Cells     []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	AnomalySize int     `json:"anomalySize"`
+	Window      int     `json:"window"`
+	Outcome     string  `json:"outcome"`
+	MaxResponse float64 `json:"maxResponse"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic cell order.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	out := mapJSON{
+		Detector:  m.Detector,
+		MinSize:   m.MinSize,
+		MaxSize:   m.MaxSize,
+		MinWindow: m.MinWindow,
+		MaxWindow: m.MaxWindow,
+	}
+	for _, a := range m.Cells() {
+		out.Cells = append(out.Cells, cellJSON{
+			AnomalySize: a.AnomalySize,
+			Window:      a.Window,
+			Outcome:     a.Outcome.String(),
+			MaxResponse: a.MaxResponse,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var raw mapJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	restored, err := NewMap(raw.Detector, raw.MinSize, raw.MaxSize, raw.MinWindow, raw.MaxWindow)
+	if err != nil {
+		return fmt.Errorf("eval: restoring map: %w", err)
+	}
+	for _, c := range raw.Cells {
+		outcome, err := parseOutcome(c.Outcome)
+		if err != nil {
+			return err
+		}
+		restored.Set(Assessment{
+			Detector:    raw.Detector,
+			AnomalySize: c.AnomalySize,
+			Window:      c.Window,
+			Outcome:     outcome,
+			MaxResponse: c.MaxResponse,
+		})
+	}
+	*m = *restored
+	return nil
+}
+
+func parseOutcome(s string) (Outcome, error) {
+	switch s {
+	case "blind":
+		return Blind, nil
+	case "weak":
+		return Weak, nil
+	case "capable":
+		return Capable, nil
+	case "undefined":
+		return Undefined, nil
+	default:
+		return Undefined, fmt.Errorf("eval: unknown outcome %q", s)
+	}
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func jsonSampleMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := NewMap("stide", 2, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 2; size <= 3; size++ {
+		for dw := 2; dw <= 3; dw++ {
+			o := Blind
+			resp := 0.0
+			if dw >= size {
+				o, resp = Capable, 1
+			}
+			m.Set(Assessment{Detector: "stide", AnomalySize: size, Window: dw, Outcome: o, MaxResponse: resp})
+		}
+	}
+	return m
+}
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	orig := jsonSampleMap(t)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"detector":"stide"`) {
+		t.Errorf("serialized form missing detector: %s", data)
+	}
+	var back Map
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Detector != orig.Detector || back.MinSize != orig.MinSize || back.MaxWindow != orig.MaxWindow {
+		t.Errorf("metadata changed: %+v", back)
+	}
+	for size := 2; size <= 3; size++ {
+		for dw := 2; dw <= 3; dw++ {
+			if back.Outcome(size, dw) != orig.Outcome(size, dw) {
+				t.Errorf("cell (%d,%d): %v vs %v", size, dw, back.Outcome(size, dw), orig.Outcome(size, dw))
+			}
+			if back.At(size, dw).MaxResponse != orig.At(size, dw).MaxResponse {
+				t.Errorf("cell (%d,%d) response changed", size, dw)
+			}
+		}
+	}
+}
+
+func TestMapJSONRejectsCorrupt(t *testing.T) {
+	var m Map
+	for _, bad := range []string{
+		`not json`,
+		`{"detector":"x","minSize":0,"maxSize":3,"minWindow":2,"maxWindow":3}`,
+		`{"detector":"x","minSize":2,"maxSize":3,"minWindow":2,"maxWindow":3,"cells":[{"anomalySize":2,"window":2,"outcome":"nosuch"}]}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &m); err == nil {
+			t.Errorf("corrupt map %q accepted", bad)
+		}
+	}
+}
+
+func TestParseOutcomeRoundTrip(t *testing.T) {
+	for _, o := range []Outcome{Blind, Weak, Capable, Undefined} {
+		got, err := parseOutcome(o.String())
+		if err != nil || got != o {
+			t.Errorf("parseOutcome(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+}

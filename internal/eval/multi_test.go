@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"testing"
+
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+func multiPlacementOf() inject.MultiPlacement {
+	return inject.MultiPlacement{
+		Stream: make(seq.Stream, 100),
+		Events: []inject.Event{{Start: 20, Len: 3}, {Start: 60, Len: 2}},
+	}
+}
+
+func TestAssessMultiAlarms(t *testing.T) {
+	mp := multiPlacementOf()
+	det := &fakeDetector{name: "fake", window: 3, extent: 3, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-2)
+			out[21] = 1 // inside event 0
+			out[5] = 1  // false alarm
+			out[90] = 1 // false alarm
+			return out
+		}}
+	stats, err := AssessMultiAlarms(det, mp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 2 || stats.Hits != 1 {
+		t.Errorf("hits %d of %d events, want 1 of 2", stats.Hits, stats.Events)
+	}
+	if stats.FalseAlarms != 2 {
+		t.Errorf("false alarms %d, want 2", stats.FalseAlarms)
+	}
+	if stats.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", stats.HitRate())
+	}
+	// Spans (extent 3): event 0 positions 18-22 (5), event 1 positions
+	// 58-61 (4); 98 responses - 9 in-span = 89 outside.
+	if stats.Positions != 89 {
+		t.Errorf("out-of-span positions %d, want 89", stats.Positions)
+	}
+	if rate := stats.FalseAlarmRate(); rate != 2.0/89 {
+		t.Errorf("false-alarm rate %v", rate)
+	}
+}
+
+func TestAssessMultiAlarmsValidation(t *testing.T) {
+	mp := multiPlacementOf()
+	det := &fakeDetector{name: "fake", window: 3, extent: 3, trained: true, scoreFunc: constantScores(0)}
+	for _, th := range []float64{0, 1.5} {
+		if _, err := AssessMultiAlarms(det, mp, th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+	untrained := &fakeDetector{name: "fake", window: 3, extent: 3, scoreFunc: constantScores(0)}
+	if _, err := AssessMultiAlarms(untrained, mp, 1); err == nil {
+		t.Errorf("untrained detector accepted")
+	}
+}
+
+func TestMultiAlarmStatsEmpty(t *testing.T) {
+	var s MultiAlarmStats
+	if s.HitRate() != 0 || s.FalseAlarmRate() != 0 {
+		t.Errorf("empty stats rates %v, %v", s.HitRate(), s.FalseAlarmRate())
+	}
+}

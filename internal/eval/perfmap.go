@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Map is a detector's performance map (paper Figures 3–6): for every
+// (anomaly size, detector window) cell in the evaluated grid, the outcome of
+// deploying the detector on the test stream holding an injected minimal
+// foreign sequence of that size.
+type Map struct {
+	// Detector names the detector the map describes.
+	Detector string
+	// MinSize/MaxSize span the anomaly-size axis (x-axis in the paper).
+	MinSize, MaxSize int
+	// MinWindow/MaxWindow span the detector-window axis (y-axis).
+	MinWindow, MaxWindow int
+
+	cells map[[2]int]Assessment // key: {anomaly size, window}
+}
+
+// NewMap returns an empty map covering the given grid.
+func NewMap(name string, minSize, maxSize, minWindow, maxWindow int) (*Map, error) {
+	if minSize < 1 || maxSize < minSize || minWindow < 1 || maxWindow < minWindow {
+		return nil, fmt.Errorf("eval: invalid map grid sizes [%d,%d] windows [%d,%d]",
+			minSize, maxSize, minWindow, maxWindow)
+	}
+	return &Map{
+		Detector:  name,
+		MinSize:   minSize,
+		MaxSize:   maxSize,
+		MinWindow: minWindow,
+		MaxWindow: maxWindow,
+		cells:     make(map[[2]int]Assessment, (maxSize-minSize+1)*(maxWindow-minWindow+1)),
+	}, nil
+}
+
+// Set records the assessment for one cell.
+func (m *Map) Set(a Assessment) {
+	m.cells[[2]int{a.AnomalySize, a.Window}] = a
+}
+
+// At returns the assessment at the cell, with Outcome Undefined for cells
+// never recorded (including everything outside the grid).
+func (m *Map) At(size, window int) Assessment {
+	if a, ok := m.cells[[2]int{size, window}]; ok {
+		return a
+	}
+	return Assessment{
+		Detector:    m.Detector,
+		Window:      window,
+		AnomalySize: size,
+		Outcome:     Undefined,
+	}
+}
+
+// Outcome is shorthand for At(size, window).Outcome.
+func (m *Map) Outcome(size, window int) Outcome { return m.At(size, window).Outcome }
+
+// Cells returns all recorded assessments ordered by (size, window), for
+// deterministic rendering and comparison.
+func (m *Map) Cells() []Assessment {
+	out := make([]Assessment, 0, len(m.cells))
+	for _, a := range m.cells {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AnomalySize != out[j].AnomalySize {
+			return out[i].AnomalySize < out[j].AnomalySize
+		}
+		return out[i].Window < out[j].Window
+	})
+	return out
+}
+
+// CountOutcome returns how many recorded cells have the given outcome.
+func (m *Map) CountOutcome(o Outcome) int {
+	n := 0
+	for _, a := range m.cells {
+		if a.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// DetectionRegion returns the set of (size, window) cells classified
+// Capable, ordered by (size, window).
+func (m *Map) DetectionRegion() [][2]int {
+	var out [][2]int
+	for _, a := range m.Cells() {
+		if a.Outcome == Capable {
+			out = append(out, [2]int{a.AnomalySize, a.Window})
+		}
+	}
+	return out
+}
+
+// CoversAtLeast reports whether every cell Capable in other is also Capable
+// in m — the paper's "Stide's detection coverage is a subset of the
+// Markov-based detector's coverage" relation.
+func (m *Map) CoversAtLeast(other *Map) bool {
+	for _, cell := range other.DetectionRegion() {
+		if m.Outcome(cell[0], cell[1]) != Capable {
+			return false
+		}
+	}
+	return true
+}
+
+// Factory builds a detector for a window length; eval uses it to construct
+// one detector per row of the map.
+type Factory func(window int) (detector.Detector, error)
+
+// BuildMap deploys a detector family over the full evaluation grid: for
+// every window in [minWindow, maxWindow] a detector is constructed and
+// trained once on the training stream, then scored against every placement
+// (one per anomaly size). Rows are evaluated concurrently — training the
+// neural network fourteen times dominates the Figure 6 wall time otherwise.
+func BuildMap(name string, factory Factory, train seq.Stream, placements map[int]inject.Placement,
+	minWindow, maxWindow int, opts Options) (*Map, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(placements) == 0 {
+		return nil, fmt.Errorf("eval: no placements to evaluate")
+	}
+	minSize, maxSize := 0, 0
+	for size := range placements {
+		if minSize == 0 || size < minSize {
+			minSize = size
+		}
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	m, err := NewMap(name, minSize, maxSize, minWindow, maxWindow)
+	if err != nil {
+		return nil, err
+	}
+
+	type rowResult struct {
+		assessments []Assessment
+		err         error
+	}
+	results := make([]rowResult, maxWindow-minWindow+1)
+	var wg sync.WaitGroup
+	for window := minWindow; window <= maxWindow; window++ {
+		wg.Add(1)
+		go func(window int) {
+			defer wg.Done()
+			res := &results[window-minWindow]
+			det, err := factory(window)
+			if err != nil {
+				res.err = fmt.Errorf("eval: constructing %s(DW=%d): %w", name, window, err)
+				return
+			}
+			if err := det.Train(train); err != nil {
+				res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
+				return
+			}
+			for size := minSize; size <= maxSize; size++ {
+				p, ok := placements[size]
+				if !ok {
+					continue
+				}
+				a, err := Assess(det, p, opts)
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.assessments = append(res.assessments, a)
+			}
+		}(window)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		for _, a := range res.assessments {
+			m.Set(a)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+
+	"adiv/internal/detector"
+	"adiv/internal/seq"
+	"adiv/internal/stats"
+)
+
+// Profile characterizes a detector's response distribution over a stream:
+// the raw summary statistics, a fixed-bin histogram, and exact counts of
+// the two special values (0 = completely normal, 1 = maximal anomaly) that
+// the paper's blind/capable classification keys on. Profiling clean versus
+// rare-containing data is how an operator chooses a detection threshold.
+type Profile struct {
+	// Detector and Window identify the deployment.
+	Detector string
+	Window   int
+	// Summary holds descriptive statistics of the responses.
+	Summary stats.Summary
+	// Histogram counts responses per equal-width bin over [0,1];
+	// Histogram[len-1] includes the value 1.
+	Histogram []int
+	// AtZero and AtOne count responses exactly at the extremes.
+	AtZero, AtOne int
+}
+
+// ProfileResponses scores the stream with a trained detector and profiles
+// the responses into the given number of bins (at least 2).
+func ProfileResponses(det detector.Detector, stream seq.Stream, bins int) (Profile, error) {
+	if bins < 2 {
+		return Profile{}, fmt.Errorf("eval: profile with %d bins", bins)
+	}
+	responses, err := det.Score(stream)
+	if err != nil {
+		return Profile{}, fmt.Errorf("eval: profiling %s(DW=%d): %w", det.Name(), det.Window(), err)
+	}
+	p := Profile{
+		Detector:  det.Name(),
+		Window:    det.Window(),
+		Summary:   stats.Summarize(responses),
+		Histogram: make([]int, bins),
+	}
+	for _, r := range responses {
+		switch {
+		case r <= 0:
+			p.AtZero++
+		case r >= 1:
+			p.AtOne++
+		}
+		idx := int(r * float64(bins))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		p.Histogram[idx]++
+	}
+	return p, nil
+}
+
+// AlarmFraction returns the fraction of responses at or above the
+// threshold, estimated from the histogram's bin boundaries (exact when the
+// threshold falls on a boundary).
+func (p Profile) AlarmFraction(threshold float64) float64 {
+	if p.Summary.N == 0 {
+		return 0
+	}
+	bins := len(p.Histogram)
+	start := int(threshold * float64(bins))
+	if start < 0 {
+		start = 0
+	}
+	count := 0
+	for i := start; i < bins; i++ {
+		count += p.Histogram[i]
+	}
+	return float64(count) / float64(p.Summary.N)
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+func TestProfileResponses(t *testing.T) {
+	det := &fakeDetector{name: "fake", window: 2, extent: 2, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			return []float64{0, 0, 0.25, 0.5, 0.75, 1, 1, 1}
+		}}
+	p, err := ProfileResponses(det, make(seq.Stream, 9), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Detector != "fake" || p.Window != 2 {
+		t.Errorf("metadata %+v", p)
+	}
+	if p.Summary.N != 8 {
+		t.Errorf("N = %d", p.Summary.N)
+	}
+	if p.AtZero != 2 || p.AtOne != 3 {
+		t.Errorf("AtZero=%d AtOne=%d, want 2 and 3", p.AtZero, p.AtOne)
+	}
+	// Bins of width 0.25: [0,.25)=2, [.25,.5)=1, [.5,.75)=1, [.75,1]=4.
+	want := []int{2, 1, 1, 4}
+	for i := range want {
+		if p.Histogram[i] != want[i] {
+			t.Errorf("histogram %v, want %v", p.Histogram, want)
+			break
+		}
+	}
+	if mean := p.Summary.Mean; math.Abs(mean-0.5625) > 1e-12 {
+		t.Errorf("mean %v", mean)
+	}
+}
+
+func TestProfileAlarmFraction(t *testing.T) {
+	det := &fakeDetector{name: "fake", window: 2, extent: 2, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			return []float64{0, 0.3, 0.6, 0.9}
+		}}
+	p, err := ProfileResponses(det, make(seq.Stream, 5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AlarmFraction(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AlarmFraction(0.5) = %v, want 0.5", got)
+	}
+	if got := p.AlarmFraction(0); got != 1 {
+		t.Errorf("AlarmFraction(0) = %v, want 1", got)
+	}
+	if got := p.AlarmFraction(1); got != 0 {
+		t.Errorf("AlarmFraction(1) = %v, want 0 (no responses at 1)", got)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	det := &fakeDetector{name: "fake", window: 2, extent: 2, trained: true, scoreFunc: constantScores(0)}
+	if _, err := ProfileResponses(det, make(seq.Stream, 5), 1); err == nil {
+		t.Errorf("1 bin accepted")
+	}
+	untrained := &fakeDetector{name: "fake", window: 2, extent: 2, scoreFunc: constantScores(0)}
+	if _, err := ProfileResponses(untrained, make(seq.Stream, 5), 4); err == nil {
+		t.Errorf("untrained detector accepted")
+	}
+}
+
+func TestProfileEmptyStreamSummary(t *testing.T) {
+	var p Profile
+	if p.AlarmFraction(0.5) != 0 {
+		t.Errorf("empty profile alarm fraction nonzero")
+	}
+}

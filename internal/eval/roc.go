@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/stats"
+)
+
+// ROCPoint is one operating point of a receiver-operating-characteristic
+// estimate: the fraction of trials whose injected anomaly was hit, against
+// the mean false-alarm rate, at one detection threshold.
+type ROCPoint struct {
+	Threshold      float64
+	HitRate        float64
+	FalseAlarmRate float64
+}
+
+// ROCCurve is a detector's threshold-swept operating characteristic over a
+// set of trials.
+type ROCCurve struct {
+	Detector string
+	Window   int
+	Points   []ROCPoint
+}
+
+// ROC evaluates a trained detector over multiple trials (one placement per
+// trial — ideally on test streams with natural rare content) at each
+// threshold and assembles the operating characteristic. Thresholds are
+// evaluated in ascending order.
+func ROC(det detector.Detector, placements []inject.Placement, thresholds []float64) (ROCCurve, error) {
+	if len(placements) == 0 {
+		return ROCCurve{}, fmt.Errorf("eval: ROC with no trials")
+	}
+	if len(thresholds) == 0 {
+		return ROCCurve{}, fmt.Errorf("eval: ROC with no thresholds")
+	}
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+	curve := ROCCurve{Detector: det.Name(), Window: det.Window()}
+	for _, th := range ts {
+		hits, faSum := 0, 0.0
+		for _, p := range placements {
+			s, err := AssessAlarms(det, p, th)
+			if err != nil {
+				return ROCCurve{}, err
+			}
+			if s.Hit {
+				hits++
+			}
+			faSum += s.FalseAlarmRate()
+		}
+		curve.Points = append(curve.Points, ROCPoint{
+			Threshold:      th,
+			HitRate:        float64(hits) / float64(len(placements)),
+			FalseAlarmRate: faSum / float64(len(placements)),
+		})
+	}
+	return curve, nil
+}
+
+// ROCMulti assembles an operating characteristic from one multi-anomaly
+// stream: the hit rate is the fraction of injected events detected at each
+// threshold, a tighter estimate than one-event trials when the stream
+// holds many independent events.
+func ROCMulti(det detector.Detector, mp inject.MultiPlacement, thresholds []float64) (ROCCurve, error) {
+	if len(mp.Events) == 0 {
+		return ROCCurve{}, fmt.Errorf("eval: ROC over a stream with no events")
+	}
+	if len(thresholds) == 0 {
+		return ROCCurve{}, fmt.Errorf("eval: ROC with no thresholds")
+	}
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+	curve := ROCCurve{Detector: det.Name(), Window: det.Window()}
+	for _, th := range ts {
+		stats, err := AssessMultiAlarms(det, mp, th)
+		if err != nil {
+			return ROCCurve{}, err
+		}
+		curve.Points = append(curve.Points, ROCPoint{
+			Threshold:      th,
+			HitRate:        stats.HitRate(),
+			FalseAlarmRate: stats.FalseAlarmRate(),
+		})
+	}
+	return curve, nil
+}
+
+// AUC returns the area under the curve's (false-alarm rate, hit rate)
+// points, anchored at (0,0) and (1,1), by trapezoidal integration. It is a
+// single-number summary of the coverage-versus-false-alarm trade-off the
+// paper's Section 7 discusses qualitatively.
+func (c ROCCurve) AUC() (float64, error) {
+	if len(c.Points) == 0 {
+		return 0, fmt.Errorf("eval: AUC of empty curve")
+	}
+	xs := make([]float64, 0, len(c.Points)+2)
+	ys := make([]float64, 0, len(c.Points)+2)
+	xs = append(xs, 0)
+	ys = append(ys, 0)
+	for _, p := range c.Points {
+		xs = append(xs, p.FalseAlarmRate)
+		ys = append(ys, p.HitRate)
+	}
+	xs = append(xs, 1)
+	ys = append(ys, 1)
+	return stats.AUC(xs, ys)
+}

@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// rocDetector responds 1 inside each trial's anomaly region (trials are
+// distinguished by stream length) and 0.6 at one fixed out-of-span
+// position, so lowering the threshold below 0.6 buys false alarms without
+// changing the hit rate.
+func rocDetector() *fakeDetector {
+	return &fakeDetector{name: "fake", window: 3, extent: 3, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-2)
+			out[5] = 0.6
+			if len(test) == 60 {
+				out[20] = 1
+			} else {
+				out[40] = 1
+			}
+			return out
+		}}
+}
+
+func rocPlacements() []inject.Placement {
+	return []inject.Placement{placementOf(60, 20, 2), placementOf(61, 40, 2)}
+}
+
+func TestROCCurve(t *testing.T) {
+	placements := rocPlacements()
+	curve, err := ROC(rocDetector(), placements, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Detector != "fake" || curve.Window != 3 {
+		t.Errorf("curve metadata %+v", curve)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(curve.Points))
+	}
+	// Ascending threshold order.
+	if curve.Points[0].Threshold != 0.5 || curve.Points[1].Threshold != 1 {
+		t.Errorf("thresholds %v", curve.Points)
+	}
+	// Both trials hit at both thresholds (maximal in-span response).
+	for _, pt := range curve.Points {
+		if pt.HitRate != 1 {
+			t.Errorf("threshold %v: hit rate %v, want 1", pt.Threshold, pt.HitRate)
+		}
+	}
+	// At 0.5 the out-of-span 0.6 response false-alarms; at 1 it does not.
+	if curve.Points[0].FalseAlarmRate <= 0 {
+		t.Errorf("low threshold produced no false alarms")
+	}
+	if curve.Points[1].FalseAlarmRate != 0 {
+		t.Errorf("strict threshold false-alarm rate %v, want 0", curve.Points[1].FalseAlarmRate)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	placements := rocPlacements()[:1]
+	if _, err := ROC(rocDetector(), nil, []float64{1}); err == nil {
+		t.Errorf("no trials accepted")
+	}
+	if _, err := ROC(rocDetector(), placements, nil); err == nil {
+		t.Errorf("no thresholds accepted")
+	}
+	if _, err := ROC(rocDetector(), placements, []float64{2}); err == nil {
+		t.Errorf("invalid threshold accepted")
+	}
+}
+
+func TestROCMulti(t *testing.T) {
+	mp := multiPlacementOf() // events at 20(len 3) and 60(len 2)
+	det := &fakeDetector{name: "fake", window: 3, extent: 3, trained: true,
+		scoreFunc: func(test seq.Stream) []float64 {
+			out := make([]float64, len(test)-2)
+			out[21] = 1   // hits event 0 at every threshold
+			out[59] = 0.7 // hits event 1 only below 0.7
+			out[5] = 0.7  // false alarm at thresholds below 0.7
+			return out
+		}}
+	curve, err := ROCMulti(det, mp, []float64{1, 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("%d points", len(curve.Points))
+	}
+	low, high := curve.Points[0], curve.Points[1]
+	if low.Threshold != 0.65 || high.Threshold != 1 {
+		t.Fatalf("thresholds %v", curve.Points)
+	}
+	if high.HitRate != 0.5 || high.FalseAlarmRate != 0 {
+		t.Errorf("strict point %+v, want hit 0.5, FA 0", high)
+	}
+	if low.HitRate != 1 || low.FalseAlarmRate == 0 {
+		t.Errorf("loose point %+v, want hit 1 with false alarms", low)
+	}
+
+	if _, err := ROCMulti(det, inject.MultiPlacement{Stream: make(seq.Stream, 10)}, []float64{1}); err == nil {
+		t.Errorf("no events accepted")
+	}
+	if _, err := ROCMulti(det, mp, nil); err == nil {
+		t.Errorf("no thresholds accepted")
+	}
+}
+
+func TestROCAUC(t *testing.T) {
+	placements := rocPlacements()
+	curve, err := ROC(rocDetector(), placements, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := curve.AUC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit rate 1 already at false-alarm rate 0: the curve is the perfect
+	// step and the anchored area is 1.
+	if math.Abs(auc-1) > 1e-9 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+
+	var empty ROCCurve
+	if _, err := empty.AUC(); err == nil {
+		t.Errorf("AUC of empty curve succeeded")
+	}
+}

@@ -1,0 +1,273 @@
+// Package gen synthesizes the evaluation data of Tan & Maxion (DSN 2005,
+// Section 5.3–5.4.1): a Markov-model training stream over an 8-symbol
+// alphabet in which 98% of the data is a repetition of a fixed 6-symbol
+// common cycle and the remaining ~2% consists of rare sequences produced by
+// a small amount of nondeterminism in the generation matrix, plus the clean
+// background test data composed solely of common sequences.
+//
+// # Construction
+//
+// The generating Markov chain has one state per cycle position plus one
+// state per position of each "excursion motif". From the last cycle state
+// the chain either continues the cycle (probability 1-ε) or enters one of
+// the motifs (probability ε, uniform over motifs), emits it in full, and
+// resumes the cycle. Motifs are drawn from the rare symbols {0,7}, which the
+// common cycle (1 2 3 4 5 6) never uses.
+//
+// The motif set is chosen so that the canonical minimal foreign sequence of
+// every size AS in [2,9] is supported: for the canonical MFS m of size AS,
+// the two proper (AS-1)-subsequences m[:AS-1] and m[1:] are motifs. This
+// guarantees (a) every proper contiguous subsequence of m occurs in
+// training, as a substring of an emitted motif, (b) m itself never occurs —
+// the canonical MFS family is an antichain under the substring relation and
+// motifs are flanked by cycle symbols — and (c) the injection of m directly
+// after a cycle boundary produces only boundary sequences that exist in the
+// training data (paper Section 5.4.2), because training contains m[:AS-1]
+// and m[1:] in exactly that cycle context.
+package gen
+
+import (
+	"fmt"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/markov"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+// Paper-dictated constants.
+const (
+	// AlphabetSize is the training-data alphabet size (paper Section 5.3).
+	AlphabetSize = 8
+	// TrainLen is the paper's training-stream length of one million elements.
+	TrainLen = 1_000_000
+	// RareCutoff is the paper's rare-sequence definition: relative frequency
+	// below 0.5% in the training data.
+	RareCutoff = 0.005
+	// MinAnomalySize and MaxAnomalySize bound the minimal-foreign-sequence
+	// lengths evaluated (paper: "sizes 2 to 9").
+	MinAnomalySize = 2
+	MaxAnomalySize = 9
+	// MinWindow and MaxWindow bound the detector-window lengths evaluated
+	// (paper: "2 to 15").
+	MinWindow = 2
+	MaxWindow = 15
+)
+
+// Cycle returns the common 6-symbol cycle (1 2 3 4 5 6) whose repetition
+// forms 98% of the training stream and 100% of the background test data
+// (the paper's construction; see Spec for generalized ones).
+func Cycle() seq.Stream {
+	return DefaultSpec().Cycle()
+}
+
+// CanonicalMFS returns the canonical minimal foreign sequence of the given
+// size with respect to the paper-spec training data:
+//
+//	size 2:  7 7
+//	size k:  7 0^(k-2) 7   (k >= 3)
+//
+// The family is an antichain under the substring relation, so supporting the
+// proper subsequences of one member in training never accidentally realizes
+// another member.
+func CanonicalMFS(size int) (seq.Stream, error) {
+	return DefaultSpec().CanonicalMFS(size)
+}
+
+// Motifs returns the paper-spec excursion motif set: for every anomaly
+// size, the two proper (size-1)-subsequences of the canonical MFS,
+// deduplicated in a deterministic order.
+func Motifs() []seq.Stream {
+	return DefaultSpec().Motifs()
+}
+
+// Config parameterizes the data generator. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// TrainLen is the number of symbols in the training stream.
+	TrainLen int
+	// BackgroundLen is the number of symbols in each background test stream.
+	BackgroundLen int
+	// ExcursionProb is the probability, at the end of each cycle, of
+	// branching into a rare excursion motif instead of restarting the cycle.
+	ExcursionProb float64
+	// Seed seeds the deterministic generator.
+	Seed uint64
+	// Spec selects the data construction; nil uses the paper's DefaultSpec
+	// (alphabet 8, 6-symbol cycle). Alternative specs support the
+	// alphabet-size-invariance experiments.
+	Spec *Spec
+}
+
+// spec resolves the configured construction, defaulting to the paper's.
+func (c Config) spec() Spec {
+	if c.Spec != nil {
+		return *c.Spec
+	}
+	return DefaultSpec()
+}
+
+// DefaultConfig returns the paper-faithful configuration: a one-million-
+// element training stream with ~2% rare content.
+func DefaultConfig() Config {
+	return Config{
+		TrainLen:      TrainLen,
+		BackgroundLen: 20_000,
+		// With mean motif length 4.5 and cycle length 6, symbol mass from
+		// excursions is ε·4.5/(6+ε·4.5); ε=0.0272 yields ≈2%.
+		ExcursionProb: 0.0272,
+		Seed:          20050628, // DSN 2005 conference date; any fixed value works
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TrainLen < 10*len(c.spec().cycle) {
+		return fmt.Errorf("gen: training length %d too short", c.TrainLen)
+	}
+	if c.BackgroundLen < MaxWindow*2 {
+		return fmt.Errorf("gen: background length %d too short", c.BackgroundLen)
+	}
+	if c.ExcursionProb <= 0 || c.ExcursionProb >= 0.5 {
+		return fmt.Errorf("gen: excursion probability %v outside (0, 0.5)", c.ExcursionProb)
+	}
+	return nil
+}
+
+// Generator produces the training stream, background streams, and noisy
+// (rare-containing) streams from the paper's Markov model.
+type Generator struct {
+	cfg    Config
+	spec   Spec
+	chain  *markov.Chain
+	emit   []alphabet.Symbol
+	alpha  *alphabet.Alphabet
+	motifs []seq.Stream
+}
+
+// New constructs a Generator from cfg.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.spec()
+	motifs := spec.Motifs()
+	chain, emit, err := buildChain(spec, cfg.ExcursionProb, motifs)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := alphabet.New(spec.AlphabetSize())
+	if err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
+	return &Generator{
+		cfg:    cfg,
+		spec:   spec,
+		chain:  chain,
+		emit:   emit,
+		alpha:  alpha,
+		motifs: motifs,
+	}, nil
+}
+
+// buildChain expands cycle positions and motif positions into the state
+// space of a first-order Markov chain with deterministic per-state symbol
+// emission — the "Markov-model transition matrix" of the paper.
+func buildChain(spec Spec, eps float64, motifs []seq.Stream) (*markov.Chain, []alphabet.Symbol, error) {
+	cycle := spec.Cycle()
+	nStates := len(cycle)
+	motifStart := make([]int, len(motifs))
+	for i, m := range motifs {
+		motifStart[i] = nStates
+		nStates += len(m)
+	}
+	emit := make([]alphabet.Symbol, nStates)
+	for i, s := range cycle {
+		emit[i] = s
+	}
+	for i, m := range motifs {
+		copy(emit[motifStart[i]:], m)
+	}
+
+	trans := make([][]float64, nStates)
+	for i := range trans {
+		trans[i] = make([]float64, nStates)
+	}
+	// Cycle interior: deterministic progression.
+	for i := 0; i < len(cycle)-1; i++ {
+		trans[i][i+1] = 1
+	}
+	// Cycle end: restart with probability 1-ε, else enter a motif.
+	last := len(cycle) - 1
+	trans[last][0] = 1 - eps
+	per := eps / float64(len(motifs))
+	for i := range motifs {
+		trans[last][motifStart[i]] = per
+	}
+	// Motif interiors: deterministic progression; motif ends resume the cycle.
+	for i, m := range motifs {
+		for j := 0; j < len(m)-1; j++ {
+			trans[motifStart[i]+j][motifStart[i]+j+1] = 1
+		}
+		trans[motifStart[i]+len(m)-1][0] = 1
+	}
+
+	initial := make([]float64, nStates)
+	initial[0] = 1
+	chain, err := markov.NewChain(initial, trans)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gen: building chain: %w", err)
+	}
+	return chain, emit, nil
+}
+
+// Alphabet returns the evaluation alphabet (size 8 under the paper spec).
+func (g *Generator) Alphabet() *alphabet.Alphabet { return g.alpha }
+
+// Spec returns the data construction the generator follows.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Chain exposes the expanded-state generating chain, mainly for analysis and
+// tests (stationary rare-symbol mass, likelihoods).
+func (g *Generator) Chain() *markov.Chain { return g.chain }
+
+// Training generates the training stream: cfg.TrainLen symbols from the
+// generating chain, seeded deterministically from cfg.Seed.
+func (g *Generator) Training() seq.Stream {
+	src := rng.New(g.cfg.Seed)
+	return g.project(g.chain.Generate(src, g.cfg.TrainLen))
+}
+
+// Noisy generates a stream of n symbols from the same model as Training but
+// from an independent substream of the seed; it contains naturally occurring
+// rare sequences and is the substrate for the Section-7 false-alarm
+// experiments.
+func (g *Generator) Noisy(n int, stream uint64) seq.Stream {
+	src := rng.New(g.cfg.Seed ^ (0x9E3779B97F4A7C15 * (stream + 1)))
+	return g.project(g.chain.Generate(src, n))
+}
+
+// Background generates the clean background test data (paper Section
+// 5.4.1): cfg.BackgroundLen symbols of pure cycle repetition, starting at
+// cycle phase 0, containing no rare or foreign sequences of any width.
+func (g *Generator) Background() seq.Stream {
+	return g.spec.PureCycle(g.cfg.BackgroundLen)
+}
+
+// PureCycle returns n symbols of uninterrupted common-cycle repetition
+// under the paper spec.
+func PureCycle(n int) seq.Stream {
+	return DefaultSpec().PureCycle(n)
+}
+
+// project maps a state stream from the expanded chain to emitted symbols.
+func (g *Generator) project(states seq.Stream) seq.Stream {
+	out := make(seq.Stream, len(states))
+	for i, st := range states {
+		out[i] = g.emit[st]
+	}
+	return out
+}

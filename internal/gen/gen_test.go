@@ -1,0 +1,328 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/seq"
+)
+
+// testConfig returns a shortened configuration; the structural properties
+// under test hold at any length.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TrainLen = 150_000
+	cfg.BackgroundLen = 3_000
+	return cfg
+}
+
+// sharedTraining caches one generated training stream for the package's
+// heavier tests.
+var sharedTraining = func() func(t *testing.T) (seq.Stream, *seq.Index) {
+	var (
+		stream seq.Stream
+		ix     *seq.Index
+	)
+	return func(t *testing.T) (seq.Stream, *seq.Index) {
+		t.Helper()
+		if stream == nil {
+			g, err := New(testConfig())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			stream = g.Training()
+			ix = seq.NewIndex(stream)
+		}
+		return stream, ix
+	}
+}()
+
+func TestCanonicalMFSShapes(t *testing.T) {
+	tests := []struct {
+		size int
+		want string
+	}{
+		{2, "7 7"},
+		{3, "7 0 7"},
+		{5, "7 0 0 0 7"},
+		{9, "7 0 0 0 0 0 0 0 7"},
+	}
+	a := alphabet.MustNew(AlphabetSize)
+	for _, tt := range tests {
+		m, err := CanonicalMFS(tt.size)
+		if err != nil {
+			t.Fatalf("CanonicalMFS(%d): %v", tt.size, err)
+		}
+		if got := a.Format(m); got != tt.want {
+			t.Errorf("CanonicalMFS(%d) = %q, want %q", tt.size, got, tt.want)
+		}
+	}
+	for _, bad := range []int{0, 1, 10, -1} {
+		if _, err := CanonicalMFS(bad); err == nil {
+			t.Errorf("CanonicalMFS(%d) succeeded", bad)
+		}
+	}
+}
+
+// TestCanonicalFamilyIsAntichain: no canonical MFS is a substring of
+// another, the property that lets the motif set support all sizes at once.
+func TestCanonicalFamilyIsAntichain(t *testing.T) {
+	family := make(map[int]string)
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		m, err := CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		family[size] = string(m.Bytes())
+	}
+	for a, sa := range family {
+		for b, sb := range family {
+			if a != b && strings.Contains(sb, sa) {
+				t.Errorf("canonical MFS of size %d is a substring of size %d", a, b)
+			}
+		}
+	}
+}
+
+// TestNoMotifContainsAnyCanonicalMFS: emitting motifs must never realize a
+// canonical MFS in the training stream.
+func TestNoMotifContainsAnyCanonicalMFS(t *testing.T) {
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		m, err := CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		needle := string(m.Bytes())
+		for _, motif := range Motifs() {
+			if strings.Contains(string(motif.Bytes()), needle) {
+				t.Errorf("motif %v contains canonical MFS of size %d", motif, size)
+			}
+		}
+	}
+}
+
+func TestMotifsDeduplicated(t *testing.T) {
+	motifs := Motifs()
+	seen := make(map[string]bool)
+	for _, m := range motifs {
+		k := string(m.Bytes())
+		if seen[k] {
+			t.Errorf("duplicate motif %v", m)
+		}
+		seen[k] = true
+		for _, s := range m {
+			if s != 0 && s != 7 {
+				t.Errorf("motif %v uses non-rare symbol %d", m, s)
+			}
+		}
+	}
+	// Sizes 2..9 contribute prefixes/suffixes of lengths 1..8; the size-2
+	// prefix and suffix coincide ("7"), and the "7 0..." prefixes differ
+	// from "0 ... 7" suffixes, so 15 distinct motifs result.
+	if len(motifs) != 15 {
+		t.Errorf("got %d motifs, want 15", len(motifs))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"short training", func(c *Config) { c.TrainLen = 10 }},
+		{"short background", func(c *Config) { c.BackgroundLen = 5 }},
+		{"zero excursion", func(c *Config) { c.ExcursionProb = 0 }},
+		{"excursion too large", func(c *Config) { c.ExcursionProb = 0.7 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted invalid config")
+			}
+			if _, err := New(cfg); err == nil {
+				t.Errorf("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	g1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.Training(), g2.Training()
+	if len(a) != len(b) || len(a) != testConfig().TrainLen {
+		t.Fatalf("lengths %d, %d, want %d", len(a), len(b), testConfig().TrainLen)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training streams with equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestTrainingAlphabetAndRareMass(t *testing.T) {
+	training, _ := sharedTraining(t)
+	a := alphabet.MustNew(AlphabetSize)
+	if err := a.Validate(training); err != nil {
+		t.Fatalf("training stream outside alphabet: %v", err)
+	}
+	rare := 0
+	for _, s := range training {
+		if s == 0 || s == 7 {
+			rare++
+		}
+	}
+	frac := float64(rare) / float64(len(training))
+	if frac < 0.01 || frac > 0.03 {
+		t.Errorf("rare-symbol mass = %.4f, want ≈0.02 (paper: ~2%%)", frac)
+	}
+}
+
+// TestBackgroundIsClean: every window of the background, at every width up
+// to the maximum detector window plus one, occurs (commonly) in training —
+// the paper's requirement that background data contain no spurious foreign
+// or rare sequences.
+func TestBackgroundIsClean(t *testing.T) {
+	training, ix := sharedTraining(t)
+	_ = training
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	background := g.Background()
+	for width := 1; width <= MaxWindow+1; width++ {
+		db, err := ix.DB(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+width <= len(background); i++ {
+			w := background[i : i+width]
+			if !db.Contains(w) {
+				t.Fatalf("width %d: background window at %d is foreign to training", width, i)
+			}
+			if db.IsRare(w, RareCutoff) {
+				t.Fatalf("width %d: background window at %d is rare in training", width, i)
+			}
+		}
+	}
+}
+
+// TestCanonicalMFSIsForeignAndMinimal: with respect to an actual generated
+// training stream, every canonical MFS verifies foreign + minimal, and its
+// proper parts are rare.
+func TestCanonicalMFSIsForeignAndMinimal(t *testing.T) {
+	_, ix := sharedTraining(t)
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		m, err := CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minimal, err := ix.IsMinimalForeign(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minimal {
+			t.Errorf("canonical MFS of size %d is not minimal foreign in generated training data", size)
+		}
+		if size > 2 {
+			db, err := ix.DB(size - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, part := range []seq.Stream{m[:size-1], m[1:]} {
+				if !db.IsRare(part, RareCutoff) {
+					t.Errorf("size %d: part %v not rare (freq %.5f)", size, part, db.RelFreq(part))
+				}
+			}
+		}
+	}
+}
+
+func TestPureCyclePhase(t *testing.T) {
+	s := PureCycle(14)
+	cycle := Cycle()
+	for i, sym := range s {
+		if sym != cycle[i%len(cycle)] {
+			t.Fatalf("position %d: %d, want %d", i, sym, cycle[i%len(cycle)])
+		}
+	}
+}
+
+func TestNoisyStreamsDiffer(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.Noisy(5000, 1), g.Noisy(5000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("noisy substreams 1 and 2 are identical")
+	}
+	// And the same substream is reproducible.
+	c := g.Noisy(5000, 1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("noisy substream 1 not reproducible at %d", i)
+		}
+	}
+}
+
+func TestChainEntropyRateIsLow(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evaluation chain is nearly deterministic: its only branching is
+	// the rare excursion choice at the cycle end. Entropy stays well under
+	// a tenth of a bit per symbol.
+	h := g.Chain().EntropyRate()
+	if h <= 0 || h > 0.1 {
+		t.Errorf("generator entropy rate %v bits/symbol, want small positive", h)
+	}
+}
+
+func TestChainStationaryMatchesEmpirical(t *testing.T) {
+	training, _ := sharedTraining(t)
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := g.Chain().Stationary(10_000)
+	// Aggregate stationary mass by emitted symbol and compare with the
+	// empirical symbol frequencies of the training stream.
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("stationary distribution sums to %v", sum)
+	}
+	counts := make([]float64, AlphabetSize)
+	for _, s := range training {
+		counts[s]++
+	}
+	symMass := make([]float64, AlphabetSize)
+	for state, p := range pi {
+		symMass[g.emit[state]] += p
+	}
+	for sym := 0; sym < AlphabetSize; sym++ {
+		emp := counts[sym] / float64(len(training))
+		if diff := symMass[sym] - emp; diff > 0.01 || diff < -0.01 {
+			t.Errorf("symbol %d: stationary mass %.4f vs empirical %.4f", sym, symMass[sym], emp)
+		}
+	}
+}

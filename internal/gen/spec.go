@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/seq"
+)
+
+// Spec generalizes the evaluation-data construction beyond the paper's
+// exact parameters: a common cycle over an arbitrary-size alphabet, with
+// two designated rare symbols carrying the excursion motifs. The paper
+// argues (Section 5.3) that "the alphabet size of the training data does
+// not affect the synthesis of foreign sequences, nor does it affect a
+// sequence-based detector's ability to detect foreign sequences"; Spec
+// makes that claim testable by re-running the whole evaluation at other
+// alphabet and cycle sizes (see the alphabet-invariance test at the
+// repository root).
+type Spec struct {
+	alphabetSize int
+	cycle        seq.Stream
+	rareA, rareB alphabet.Symbol
+}
+
+// DefaultSpec returns the paper's construction: alphabet 8, common cycle
+// 1 2 3 4 5 6, rare symbols 0 and 7.
+func DefaultSpec() Spec {
+	return Spec{
+		alphabetSize: AlphabetSize,
+		cycle:        seq.Stream{1, 2, 3, 4, 5, 6},
+		rareA:        0,
+		rareB:        7,
+	}
+}
+
+// NewSpec returns a construction with the given alphabet size and cycle
+// length: the cycle is 1..cycleLen, symbol 0 and the alphabet's last
+// symbol carry the excursions. The alphabet must leave the last symbol
+// outside the cycle (alphabetSize >= cycleLen+2) and the cycle must have
+// at least two symbols.
+func NewSpec(alphabetSize, cycleLen int) (Spec, error) {
+	if cycleLen < 2 {
+		return Spec{}, fmt.Errorf("gen: cycle length %d too short", cycleLen)
+	}
+	if alphabetSize < cycleLen+2 {
+		return Spec{}, fmt.Errorf("gen: alphabet size %d leaves no rare symbols beside a %d-cycle", alphabetSize, cycleLen)
+	}
+	if alphabetSize > alphabet.MaxSize {
+		return Spec{}, fmt.Errorf("gen: alphabet size %d exceeds maximum %d", alphabetSize, alphabet.MaxSize)
+	}
+	cycle := make(seq.Stream, cycleLen)
+	for i := range cycle {
+		cycle[i] = alphabet.Symbol(i + 1)
+	}
+	return Spec{
+		alphabetSize: alphabetSize,
+		cycle:        cycle,
+		rareA:        0,
+		rareB:        alphabet.Symbol(alphabetSize - 1),
+	}, nil
+}
+
+// AlphabetSize returns the spec's alphabet size.
+func (s Spec) AlphabetSize() int { return s.alphabetSize }
+
+// Cycle returns a copy of the spec's common cycle.
+func (s Spec) Cycle() seq.Stream { return s.cycle.Clone() }
+
+// CanonicalMFS returns the spec's canonical minimal foreign sequence of
+// the given size: b b for size 2 and b a^(size-2) b otherwise, over the
+// spec's two rare symbols. The family is an antichain under the substring
+// relation for any choice of distinct rare symbols.
+func (s Spec) CanonicalMFS(size int) (seq.Stream, error) {
+	if size < MinAnomalySize || size > MaxAnomalySize {
+		return nil, fmt.Errorf("gen: anomaly size %d outside [%d,%d]", size, MinAnomalySize, MaxAnomalySize)
+	}
+	m := make(seq.Stream, size)
+	m[0] = s.rareB
+	m[size-1] = s.rareB
+	for i := 1; i < size-1; i++ {
+		m[i] = s.rareA
+	}
+	return m, nil
+}
+
+// Motifs returns the spec's excursion motif set: the two proper
+// (size-1)-subsequences of each canonical MFS, deduplicated.
+func (s Spec) Motifs() []seq.Stream {
+	seen := make(map[string]bool, 2*(MaxAnomalySize-MinAnomalySize+1))
+	var out []seq.Stream
+	add := func(m seq.Stream) {
+		k := string(m.Bytes())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		m, err := s.CanonicalMFS(size)
+		if err != nil {
+			// Unreachable: the loop stays within the valid range.
+			panic(err)
+		}
+		add(m[:size-1].Clone())
+		add(m[1:].Clone())
+	}
+	return out
+}
+
+// PureCycle returns n symbols of uninterrupted cycle repetition under the
+// spec.
+func (s Spec) PureCycle(n int) seq.Stream {
+	out := make(seq.Stream, n)
+	for i := range out {
+		out[i] = s.cycle[i%len(s.cycle)]
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler so specs survive corpus
+// persistence despite their unexported fields.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	cycle := make([]int, len(s.cycle))
+	for i, sym := range s.cycle {
+		cycle[i] = int(sym)
+	}
+	return json.Marshal(map[string]interface{}{
+		"alphabetSize": s.alphabetSize,
+		"cycle":        cycle,
+		"rareA":        int(s.rareA),
+		"rareB":        int(s.rareB),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		AlphabetSize int   `json:"alphabetSize"`
+		Cycle        []int `json:"cycle"`
+		RareA        int   `json:"rareA"`
+		RareB        int   `json:"rareB"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.AlphabetSize < 1 || raw.AlphabetSize > alphabet.MaxSize {
+		return fmt.Errorf("gen: persisted spec alphabet size %d out of range", raw.AlphabetSize)
+	}
+	if len(raw.Cycle) < 2 {
+		return fmt.Errorf("gen: persisted spec cycle of length %d", len(raw.Cycle))
+	}
+	cycle := make(seq.Stream, len(raw.Cycle))
+	for i, v := range raw.Cycle {
+		if v < 0 || v >= raw.AlphabetSize {
+			return fmt.Errorf("gen: persisted spec cycle symbol %d outside alphabet", v)
+		}
+		cycle[i] = alphabet.Symbol(v)
+	}
+	if raw.RareA < 0 || raw.RareA >= raw.AlphabetSize || raw.RareB < 0 || raw.RareB >= raw.AlphabetSize {
+		return fmt.Errorf("gen: persisted spec rare symbols (%d,%d) outside alphabet", raw.RareA, raw.RareB)
+	}
+	s.alphabetSize = raw.AlphabetSize
+	s.cycle = cycle
+	s.rareA = alphabet.Symbol(raw.RareA)
+	s.rareB = alphabet.Symbol(raw.RareB)
+	return nil
+}

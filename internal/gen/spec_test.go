@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+func TestNewSpecValidation(t *testing.T) {
+	tests := []struct {
+		alphabet, cycle int
+		wantErr         bool
+	}{
+		{8, 6, false},
+		{32, 6, false},
+		{8, 1, true},   // cycle too short
+		{7, 6, true},   // no room for rare symbols
+		{500, 6, true}, // alphabet too large
+		{4, 2, false},
+	}
+	for _, tt := range tests {
+		_, err := NewSpec(tt.alphabet, tt.cycle)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("NewSpec(%d,%d) error = %v, wantErr %v", tt.alphabet, tt.cycle, err, tt.wantErr)
+		}
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	s, err := NewSpec(32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AlphabetSize() != 32 {
+		t.Errorf("AlphabetSize() = %d", s.AlphabetSize())
+	}
+	cycle := s.Cycle()
+	if len(cycle) != 6 || cycle[0] != 1 || cycle[5] != 6 {
+		t.Errorf("Cycle() = %v", cycle)
+	}
+	// Returned cycle is a copy.
+	cycle[0] = 9
+	if s.Cycle()[0] != 1 {
+		t.Errorf("Cycle() aliases internal state")
+	}
+	m, err := s.CanonicalMFS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 31 || m[1] != 0 || m[2] != 0 || m[3] != 31 {
+		t.Errorf("CanonicalMFS(4) = %v (alphabet 32)", m)
+	}
+}
+
+func TestDefaultSpecMatchesPackageFunctions(t *testing.T) {
+	s := DefaultSpec()
+	if got, want := s.Cycle(), Cycle(); string(got.Bytes()) != string(want.Bytes()) {
+		t.Errorf("spec cycle %v vs package cycle %v", got, want)
+	}
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		a, err := s.CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a.Bytes()) != string(b.Bytes()) {
+			t.Errorf("size %d: spec %v vs package %v", size, a, b)
+		}
+	}
+	if len(s.Motifs()) != len(Motifs()) {
+		t.Errorf("motif counts differ")
+	}
+}
+
+// TestSpecFamilyAntichain: the canonical family stays substring-free for a
+// non-default spec.
+func TestSpecFamilyAntichain(t *testing.T) {
+	s, err := NewSpec(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	family := make(map[int]string)
+	for size := MinAnomalySize; size <= MaxAnomalySize; size++ {
+		m, err := s.CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		family[size] = string(m.Bytes())
+	}
+	for a, sa := range family {
+		for b, sb := range family {
+			if a != b && strings.Contains(sb, sa) {
+				t.Errorf("size-%d MFS is a substring of size-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig, err := NewSpec(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.AlphabetSize() != orig.AlphabetSize() {
+		t.Errorf("alphabet %d, want %d", back.AlphabetSize(), orig.AlphabetSize())
+	}
+	if string(back.Cycle().Bytes()) != string(orig.Cycle().Bytes()) {
+		t.Errorf("cycle %v, want %v", back.Cycle(), orig.Cycle())
+	}
+	mo, err := orig.CanonicalMFS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := back.CanonicalMFS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mo.Bytes()) != string(mb.Bytes()) {
+		t.Errorf("canonical MFS changed across round trip")
+	}
+}
+
+func TestSpecJSONRejectsCorrupt(t *testing.T) {
+	for _, bad := range []string{
+		`{"alphabetSize":0,"cycle":[1,2],"rareA":0,"rareB":1}`,
+		`{"alphabetSize":8,"cycle":[1],"rareA":0,"rareB":7}`,
+		`{"alphabetSize":8,"cycle":[1,9],"rareA":0,"rareB":7}`,
+		`{"alphabetSize":8,"cycle":[1,2],"rareA":0,"rareB":9}`,
+		`not json`,
+	} {
+		var s Spec
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("corrupt spec %q accepted", bad)
+		}
+	}
+}
+
+// TestGeneratorWithCustomSpec: the full generation pipeline works under a
+// larger alphabet and the canonical MFS verifies against the stream.
+func TestGeneratorWithCustomSpec(t *testing.T) {
+	spec, err := NewSpec(32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TrainLen = 120_000
+	cfg.Spec = &spec
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := g.Training()
+	if err := g.Alphabet().Validate(train); err != nil {
+		t.Fatalf("training outside alphabet: %v", err)
+	}
+	ix := seq.NewIndex(train)
+	for _, size := range []int{2, 5, 9} {
+		m, err := spec.CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minimal, err := ix.IsMinimalForeign(m)
+		if err != nil || !minimal {
+			t.Errorf("size %d: canonical MFS not minimal foreign under alphabet 32: %v, %v", size, minimal, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+
+	"adiv/internal/seq"
+)
+
+// Event is one injected anomaly within a multi-anomaly stream.
+type Event struct {
+	// Start is the index of the event's first element.
+	Start int
+	// Len is the event's length.
+	Len int
+}
+
+// MultiPlacement is a test stream holding several injected anomalies, the
+// substrate for hit-rate statistics over many independent events.
+type MultiPlacement struct {
+	Stream seq.Stream
+	Events []Event
+}
+
+// Placement returns the single-anomaly view of event i (sharing the
+// stream), so the standard assessment machinery applies per event.
+func (m MultiPlacement) Placement(i int) (Placement, error) {
+	if i < 0 || i >= len(m.Events) {
+		return Placement{}, fmt.Errorf("inject: event %d of %d", i, len(m.Events))
+	}
+	e := m.Events[i]
+	return Placement{Stream: m.Stream, Start: e.Start, AnomalyLen: e.Len}, nil
+}
+
+// InSpan reports whether a response at position pos with the given extent
+// touches any injected event.
+func (m MultiPlacement) InSpan(pos, extent int) bool {
+	for _, e := range m.Events {
+		if pos+extent > e.Start && pos < e.Start+e.Len {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectMulti injects the anomalies, in order, into the background at
+// boundary-safe positions separated by at least minGap background elements
+// (minGap also keeps incident spans disjoint when it is at least the
+// largest width validated). It returns ErrNoValidPosition when some
+// anomaly cannot be placed in the remaining background.
+func InjectMulti(trainIx *seq.Index, background seq.Stream, anomalies []seq.Stream, opts Options, minGap int) (MultiPlacement, error) {
+	if err := opts.Validate(); err != nil {
+		return MultiPlacement{}, err
+	}
+	if len(anomalies) == 0 {
+		return MultiPlacement{}, errors.New("inject: no anomalies to inject")
+	}
+	if minGap < opts.MaxWidth+1 {
+		minGap = opts.MaxWidth + 1
+	}
+
+	out := MultiPlacement{Stream: make(seq.Stream, 0, len(background)+len(anomalies)*8)}
+	// cursor walks the background; each anomaly is placed at the first
+	// valid boundary position at or after the cursor plus the gap.
+	cursor := 0
+	for idx, anomaly := range anomalies {
+		if len(anomaly) == 0 {
+			return MultiPlacement{}, fmt.Errorf("inject: anomaly %d is empty", idx)
+		}
+		placed := false
+		for pos := cursor + minGap; pos <= len(background)-minGap; pos++ {
+			candidate, err := At(background, anomaly, pos)
+			if err != nil {
+				return MultiPlacement{}, err
+			}
+			ok, err := Valid(trainIx, candidate, opts)
+			if err != nil {
+				return MultiPlacement{}, err
+			}
+			if !ok {
+				continue
+			}
+			// Append the background up to pos, then the anomaly.
+			out.Stream = append(out.Stream, background[cursor:pos]...)
+			out.Events = append(out.Events, Event{Start: len(out.Stream), Len: len(anomaly)})
+			out.Stream = append(out.Stream, anomaly...)
+			cursor = pos
+			placed = true
+			break
+		}
+		if !placed {
+			return MultiPlacement{}, fmt.Errorf("inject: anomaly %d (length %d): %w", idx, len(anomaly), ErrNoValidPosition)
+		}
+	}
+	out.Stream = append(out.Stream, background[cursor:]...)
+	return out, nil
+}

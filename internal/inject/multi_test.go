@@ -1,0 +1,117 @@
+package inject
+
+import (
+	"errors"
+	"testing"
+
+	"adiv/internal/gen"
+	"adiv/internal/seq"
+)
+
+func TestInjectMultiCanonical(t *testing.T) {
+	ix := trainedIndex(t)
+	background := gen.PureCycle(4_000)
+	var anomalies []seq.Stream
+	for _, size := range []int{3, 5, 7, 4} {
+		m, err := gen.CanonicalMFS(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anomalies = append(anomalies, m)
+	}
+	opts := Options{MinWidth: 2, MaxWidth: 10, ContextWidths: true}
+	mp, err := InjectMulti(ix, background, anomalies, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Events) != len(anomalies) {
+		t.Fatalf("%d events, want %d", len(mp.Events), len(anomalies))
+	}
+	total := 0
+	for i, e := range mp.Events {
+		total += e.Len
+		if e.Len != len(anomalies[i]) {
+			t.Errorf("event %d length %d, want %d", i, e.Len, len(anomalies[i]))
+		}
+		got := mp.Stream[e.Start : e.Start+e.Len]
+		for j := range anomalies[i] {
+			if got[j] != anomalies[i][j] {
+				t.Errorf("event %d content corrupted", i)
+				break
+			}
+		}
+		// Each event's single-anomaly view must satisfy Valid.
+		p, err := mp.Placement(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Valid(ix, p, opts)
+		if err != nil || !ok {
+			t.Errorf("event %d fails boundary validation: %v, %v", i, ok, err)
+		}
+		if i > 0 {
+			prev := mp.Events[i-1]
+			if e.Start-(prev.Start+prev.Len) < opts.MaxWidth+1 {
+				t.Errorf("events %d and %d closer than the gap", i-1, i)
+			}
+		}
+	}
+	if len(mp.Stream) != len(background)+total {
+		t.Errorf("stream length %d, want %d", len(mp.Stream), len(background)+total)
+	}
+}
+
+func TestInjectMultiErrors(t *testing.T) {
+	ix := trainedIndex(t)
+	background := gen.PureCycle(200)
+	opts := Options{MinWidth: 2, MaxWidth: 6, ContextWidths: true}
+	if _, err := InjectMulti(ix, background, nil, opts, 0); err == nil {
+		t.Errorf("no anomalies accepted")
+	}
+	if _, err := InjectMulti(ix, background, []seq.Stream{{}}, opts, 0); err == nil {
+		t.Errorf("empty anomaly accepted")
+	}
+	// Too many anomalies for the background length: placement must fail.
+	m, err := gen.CanonicalMFS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := make([]seq.Stream, 40)
+	for i := range many {
+		many[i] = m
+	}
+	if _, err := InjectMulti(ix, background, many, opts, 0); !errors.Is(err, ErrNoValidPosition) {
+		t.Errorf("overfull injection: %v, want ErrNoValidPosition", err)
+	}
+}
+
+func TestMultiPlacementInSpan(t *testing.T) {
+	mp := MultiPlacement{
+		Stream: make(seq.Stream, 100),
+		Events: []Event{{Start: 20, Len: 3}, {Start: 60, Len: 2}},
+	}
+	tests := []struct {
+		pos, extent int
+		want        bool
+	}{
+		{20, 3, true},
+		{18, 3, true},  // covers 18-20
+		{17, 3, false}, // covers 17-19
+		{22, 1, true},
+		{23, 1, false},
+		{59, 2, true},
+		{40, 5, false},
+	}
+	for _, tt := range tests {
+		if got := mp.InSpan(tt.pos, tt.extent); got != tt.want {
+			t.Errorf("InSpan(%d,%d) = %v, want %v", tt.pos, tt.extent, got, tt.want)
+		}
+	}
+	if _, err := mp.Placement(2); err == nil {
+		t.Errorf("out-of-range event accepted")
+	}
+	p, err := mp.Placement(1)
+	if err != nil || p.Start != 60 || p.AnomalyLen != 2 {
+		t.Errorf("Placement(1) = %+v, %v", p, err)
+	}
+}

@@ -1,0 +1,208 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+func twoState() *Chain {
+	c, err := NewChain(
+		[]float64{1, 0},
+		[][]float64{{0.9, 0.1}, {0.4, 0.6}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestNewChainValidation(t *testing.T) {
+	valid := [][]float64{{0.5, 0.5}, {1, 0}}
+	tests := []struct {
+		name    string
+		initial []float64
+		trans   [][]float64
+	}{
+		{"empty initial", nil, valid},
+		{"initial not summing to 1", []float64{0.3, 0.3}, valid},
+		{"negative initial", []float64{-0.5, 1.5}, valid},
+		{"NaN initial", []float64{math.NaN(), 1}, valid},
+		{"row count mismatch", []float64{1, 0}, [][]float64{{1, 0}}},
+		{"column count mismatch", []float64{1, 0}, [][]float64{{1, 0}, {1}}},
+		{"row not stochastic", []float64{1, 0}, [][]float64{{0.5, 0.4}, {1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewChain(tt.initial, tt.trans); err == nil {
+				t.Errorf("NewChain accepted invalid input")
+			}
+		})
+	}
+	if _, err := NewChain([]float64{1, 0}, valid); err != nil {
+		t.Errorf("NewChain rejected valid input: %v", err)
+	}
+}
+
+func TestProbAndInitial(t *testing.T) {
+	c := twoState()
+	if got := c.Prob(0, 1); got != 0.1 {
+		t.Errorf("Prob(0,1) = %v", got)
+	}
+	if got := c.Prob(1, 1); got != 0.6 {
+		t.Errorf("Prob(1,1) = %v", got)
+	}
+	if got := c.Prob(5, 0); got != 0 {
+		t.Errorf("Prob of out-of-range state = %v", got)
+	}
+	if got := c.InitialProb(0); got != 1 {
+		t.Errorf("InitialProb(0) = %v", got)
+	}
+	if got := c.InitialProb(9); got != 0 {
+		t.Errorf("InitialProb(9) = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := twoState()
+	a := c.Generate(rng.New(5), 500)
+	b := c.Generate(rng.New(5), 500)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestGenerateRespectsSupport(t *testing.T) {
+	// A deterministic cycle 0 -> 1 -> 2 -> 0.
+	c, err := NewChain(
+		[]float64{1, 0, 0},
+		[][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Generate(rng.New(1), 99)
+	for i, sym := range s {
+		if want := alphabet.Symbol(i % 3); sym != want {
+			t.Fatalf("position %d: %d, want %d", i, sym, want)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if got := twoState().Generate(rng.New(1), 0); got != nil {
+		t.Errorf("Generate(0) = %v, want nil", got)
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	c := twoState()
+	ll := c.LogLikelihood(seq.Stream{0, 0, 1})
+	want := math.Log(1) + math.Log(0.9) + math.Log(0.1)
+	if math.Abs(ll-want) > 1e-12 {
+		t.Errorf("LogLikelihood = %v, want %v", ll, want)
+	}
+	if got := c.LogLikelihood(nil); got != 0 {
+		t.Errorf("LogLikelihood(empty) = %v", got)
+	}
+	if got := c.LogLikelihood(seq.Stream{1, 0}); !math.IsInf(math.Log(0), -1) && got == 0 {
+		t.Errorf("expected finite value; got %v", got)
+	}
+	// Starting state 1 has initial probability 0.
+	if got := c.LogLikelihood(seq.Stream{1}); !math.IsInf(got, -1) {
+		t.Errorf("impossible start: LogLikelihood = %v, want -Inf", got)
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	pi := twoState().Stationary(1000)
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("stationary distribution sums to %v", sum)
+	}
+	// Analytic stationary distribution of the two-state chain:
+	// pi0 = 0.4/(0.1+0.4) = 0.8.
+	if math.Abs(pi[0]-0.8) > 1e-6 {
+		t.Errorf("pi[0] = %v, want 0.8", pi[0])
+	}
+}
+
+func TestEntropyRate(t *testing.T) {
+	// Deterministic cycle: zero entropy.
+	cycle, err := NewChain(
+		[]float64{1, 0, 0},
+		[][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := cycle.EntropyRate(); h != 0 {
+		t.Errorf("deterministic cycle entropy %v, want 0", h)
+	}
+	// Uniform coin: 1 bit per symbol.
+	coin, err := NewChain(
+		[]float64{0.5, 0.5},
+		[][]float64{{0.5, 0.5}, {0.5, 0.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := coin.EntropyRate(); math.Abs(h-1) > 1e-9 {
+		t.Errorf("fair coin entropy %v, want 1", h)
+	}
+	// The two-state test chain: H = pi0*H(0.9) + pi1*H(0.6) with pi0=0.8.
+	h09 := -(0.9*math.Log2(0.9) + 0.1*math.Log2(0.1))
+	h06 := -(0.6*math.Log2(0.6) + 0.4*math.Log2(0.4))
+	want := 0.8*h09 + 0.2*h06
+	if h := twoState().EntropyRate(); math.Abs(h-want) > 1e-6 {
+		t.Errorf("two-state entropy %v, want %v", h, want)
+	}
+}
+
+func TestEstimateRecoversChain(t *testing.T) {
+	c := twoState()
+	s := c.Generate(rng.New(123), 200_000)
+	est, err := Estimate(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for from := alphabet.Symbol(0); from < 2; from++ {
+		for to := alphabet.Symbol(0); to < 2; to++ {
+			if math.Abs(est.Prob(from, to)-c.Prob(from, to)) > 0.01 {
+				t.Errorf("Prob(%d,%d): estimated %v, true %v", from, to, est.Prob(from, to), c.Prob(from, to))
+			}
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(seq.Stream{0, 1}, 0); err == nil {
+		t.Errorf("Estimate with size 0 succeeded")
+	}
+	if _, err := Estimate(seq.Stream{0, 5}, 2); err == nil {
+		t.Errorf("Estimate with out-of-alphabet symbol succeeded")
+	}
+}
+
+func TestEstimateUnseenStateUniform(t *testing.T) {
+	est, err := Estimate(seq.Stream{0, 0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for to := alphabet.Symbol(0); to < 3; to++ {
+		if got := est.Prob(2, to); math.Abs(got-1.0/3) > 1e-12 {
+			t.Errorf("unseen state row: Prob(2,%d) = %v, want 1/3", to, got)
+		}
+	}
+}

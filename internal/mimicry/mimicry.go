@@ -1,0 +1,120 @@
+// Package mimicry constructs camouflaged sequences: streams that are
+// invisible to window-matching anomaly detectors up to a chosen window
+// length, because every window of that length occurs in the training data.
+//
+// The paper's background section leans on exactly this possibility:
+// "attacks may manifest, or even be manipulated to manifest, as normal
+// behavior or as anomalous events that are invisible to a given
+// anomaly-based intrusion detection system" (Section 2, after Tan,
+// Killourhy & Maxion 2002 and Wagner & Soto 2002). The construction here is
+// the classic one — a walk on the training stream's window-overlap graph:
+// each step appends a symbol such that the trailing window of the target
+// width still occurs in training. Any detector that only checks width-w
+// windows (Stide at DW <= w; the Markov detector's (DW+1)-grams at
+// DW < w) sees nothing but normal sequences. Detectors looking through
+// *longer* windows can still catch the seams where the walk jumps between
+// training contexts — the window-size lesson from the other side.
+package mimicry
+
+import (
+	"errors"
+	"fmt"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+// ErrDeadEnd reports that every attempted walk ran into a window with no
+// continuation before reaching the requested length.
+var ErrDeadEnd = errors.New("mimicry: walk dead-ended; training data too sparse at this width")
+
+// Camouflage generates a sequence of the given length whose every
+// width-window occurs in the training stream indexed by ix. The walk is
+// randomized by src but deterministic given the source state; attempts
+// bounds the number of restarts after dead ends (0 means a generous
+// default).
+func Camouflage(ix *seq.Index, width, length int, src *rng.Source, attempts int) (seq.Stream, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("mimicry: width %d too small", width)
+	}
+	if length < width {
+		return nil, fmt.Errorf("mimicry: length %d shorter than width %d", length, width)
+	}
+	if attempts <= 0 {
+		attempts = 64
+	}
+	db, err := ix.DB(width)
+	if err != nil {
+		return nil, err
+	}
+	if db.Distinct() == 0 {
+		return nil, fmt.Errorf("mimicry: training stream holds no width-%d window", width)
+	}
+
+	// Adjacency: (width-1)-suffix -> possible next symbols, from the
+	// distinct training windows.
+	starts := db.Common(0) // all distinct windows, deterministic order
+	nextSyms := make(map[string][]alphabet.Symbol)
+	for _, w := range starts {
+		b := w.Bytes()
+		prefix := string(b[:width-1])
+		nextSyms[prefix] = append(nextSyms[prefix], alphabet.Symbol(b[width-1]))
+	}
+
+	for attempt := 0; attempt < attempts; attempt++ {
+		out := append(seq.Stream(nil), starts[src.Intn(len(starts))]...)
+		for len(out) < length {
+			suffix := string(out[len(out)-width+1:].Bytes())
+			candidates := nextSyms[suffix]
+			if len(candidates) == 0 {
+				out = nil
+				break
+			}
+			out = append(out, candidates[src.Intn(len(candidates))])
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+	return nil, ErrDeadEnd
+}
+
+// Invisible reports whether every width-window of s occurs in the indexed
+// training stream — the property Camouflage guarantees at its own width.
+func Invisible(ix *seq.Index, s seq.Stream, width int) (bool, error) {
+	if width < 1 || width > len(s) {
+		return false, fmt.Errorf("mimicry: width %d outside [1,%d]", width, len(s))
+	}
+	db, err := ix.DB(width)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i+width <= len(s); i++ {
+		if !db.Contains(s[i : i+width]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DetectionWidth returns the smallest window width in [minWidth, maxWidth]
+// at which s stops being invisible (some window of s is foreign to
+// training), or 0 if s stays invisible across the whole range. It charts
+// how far a camouflaged attack survives as the defender widens the
+// detector window.
+func DetectionWidth(ix *seq.Index, s seq.Stream, minWidth, maxWidth int) (int, error) {
+	if minWidth < 1 || maxWidth < minWidth {
+		return 0, fmt.Errorf("mimicry: invalid width range [%d,%d]", minWidth, maxWidth)
+	}
+	for width := minWidth; width <= maxWidth && width <= len(s); width++ {
+		inv, err := Invisible(ix, s, width)
+		if err != nil {
+			return 0, err
+		}
+		if !inv {
+			return width, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,229 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+	"adiv/internal/detector/lbr"
+	"adiv/internal/detector/markovdet"
+	"adiv/internal/detector/stide"
+	"adiv/internal/seq"
+)
+
+func mk(vals ...int) seq.Stream {
+	s := make(seq.Stream, len(vals))
+	for i, v := range vals {
+		s[i] = alphabet.Symbol(v)
+	}
+	return s
+}
+
+func trainStream() seq.Stream {
+	var s seq.Stream
+	for i := 0; i < 60; i++ {
+		s = append(s, 0, 1, 2, 3)
+	}
+	return s
+}
+
+func trained(t *testing.T, build func() (detector.Detector, error)) detector.Detector {
+	t.Helper()
+	det, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(trainStream()); err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestNewScorerValidation(t *testing.T) {
+	if _, err := NewScorer(nil); err == nil {
+		t.Errorf("nil detector accepted")
+	}
+}
+
+func TestPushUntrained(t *testing.T) {
+	det, err := stide.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScorer(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Push(0); err != nil {
+		t.Fatalf("push during fill should not score: %v", err)
+	}
+	if _, _, err := s.Push(1); err == nil {
+		t.Errorf("scoring with untrained detector succeeded")
+	}
+}
+
+// TestStreamingMatchesBatch pins the core equivalence for all three
+// deterministic detectors: pushing a stream symbol by symbol yields the
+// batch Score of the same stream.
+func TestStreamingMatchesBatch(t *testing.T) {
+	builders := map[string]func() (detector.Detector, error){
+		"stide":  func() (detector.Detector, error) { return stide.New(3) },
+		"markov": func() (detector.Detector, error) { return markovdet.New(3) },
+		"lb":     func() (detector.Detector, error) { return lbr.New(3) },
+	}
+	test := mk(0, 1, 2, 3, 0, 1, 3, 3, 2, 1, 0, 1, 2, 3)
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			det := trained(t, build)
+			batch, err := det.Score(test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scorer, err := NewScorer(det)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := scorer.PushAll(test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(streamed) != len(batch) {
+				t.Fatalf("%d streamed responses, %d batch", len(streamed), len(batch))
+			}
+			for i := range batch {
+				if streamed[i] != batch[i] {
+					t.Errorf("response[%d]: streamed %v, batch %v", i, streamed[i], batch[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingMatchesBatchProperty extends the equivalence to random
+// streams and window lengths for Stide.
+func TestStreamingMatchesBatchProperty(t *testing.T) {
+	check := func(raw []byte, wRaw uint8) bool {
+		w := int(wRaw%4) + 1
+		test := make(seq.Stream, len(raw))
+		for i, b := range raw {
+			test[i] = alphabet.Symbol(b % 4)
+		}
+		if len(test) < w {
+			return true
+		}
+		det, err := stide.New(w)
+		if err != nil {
+			return false
+		}
+		if err := det.Train(trainStream()); err != nil {
+			return false
+		}
+		batch, err := det.Score(test)
+		if err != nil {
+			return false
+		}
+		scorer, err := NewScorer(det)
+		if err != nil {
+			return false
+		}
+		streamed, err := scorer.PushAll(test)
+		if err != nil || len(streamed) != len(batch) {
+			return false
+		}
+		for i := range batch {
+			if streamed[i] != batch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	det := trained(t, func() (detector.Detector, error) { return stide.New(2) })
+	scorer, err := NewScorer(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scorer.PushAll(mk(0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	scorer.Reset()
+	if scorer.Seen() != 0 {
+		t.Errorf("Seen() = %d after reset", scorer.Seen())
+	}
+	// After reset the first window must wait for a full fill again.
+	_, ready, err := scorer.Push(3)
+	if err != nil || ready {
+		t.Errorf("first push after reset: ready=%v err=%v", ready, err)
+	}
+}
+
+func TestAlarmer(t *testing.T) {
+	det := trained(t, func() (detector.Detector, error) { return stide.New(2) })
+	alarmer, err := NewAlarmer(det, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 0 1 2 3 1 1: the pair (3,1) and (1,1) are foreign to the
+	// 0 1 2 3 cycle.
+	alarms, err := alarmer.PushAll(mk(0, 1, 2, 3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 2 {
+		t.Fatalf("%d alarms, want 2: %+v", len(alarms), alarms)
+	}
+	if alarms[0].Position != 3 || alarms[1].Position != 4 {
+		t.Errorf("alarm positions %+v, want windows starting at 3 and 4", alarms)
+	}
+	for _, a := range alarms {
+		if a.Response != 1 {
+			t.Errorf("alarm response %v", a.Response)
+		}
+	}
+}
+
+func TestAlarmerValidation(t *testing.T) {
+	det := trained(t, func() (detector.Detector, error) { return stide.New(2) })
+	for _, th := range []float64{0, -1, 1.01} {
+		if _, err := NewAlarmer(det, th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+}
+
+func TestAlarmerMatchesBatchAlarms(t *testing.T) {
+	det := trained(t, func() (detector.Detector, error) { return markovdet.New(2) })
+	test := mk(0, 1, 2, 3, 0, 2, 2, 3, 0, 1)
+	batch, err := det.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarmer, err := NewAlarmer(det, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := alarmer.PushAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPositions []int
+	for i, r := range batch {
+		if r >= 0.9 {
+			wantPositions = append(wantPositions, i)
+		}
+	}
+	if len(alarms) != len(wantPositions) {
+		t.Fatalf("%d alarms, want %d", len(alarms), len(wantPositions))
+	}
+	for i := range alarms {
+		if alarms[i].Position != wantPositions[i] {
+			t.Errorf("alarm %d at %d, want %d", i, alarms[i].Position, wantPositions[i])
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package online
+
+import (
+	"fmt"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+)
+
+// VetoPipeline is the Section-7 suppression recipe as a reusable streaming
+// component: a rare-sensitive primary detector raises candidate alarms and
+// a foreign-only veto detector corroborates them; only corroborated alarms
+// are escalated. Corroboration is by element overlap within the trailing
+// horizon, so the two detectors may have different extents.
+type VetoPipeline struct {
+	primary *Alarmer
+	veto    *Alarmer
+
+	// pending holds primary alarms still awaiting corroboration, oldest
+	// first; an alarm expires once the stream has advanced past its
+	// covered elements plus the veto's extent.
+	pending []Alarm
+	// vetoCovered tracks recently veto-alarmed element positions within
+	// the horizon.
+	vetoCovered []int
+
+	primaryExtent, vetoExtent int
+	seen                      int
+	suppressed                int
+}
+
+// EscalatedAlarm is a primary alarm corroborated by the veto detector.
+type EscalatedAlarm struct {
+	// Primary is the corroborated alarm.
+	Primary Alarm
+	// VetoPosition is the window start of the corroborating veto alarm.
+	VetoPosition int
+}
+
+// NewVetoPipeline wraps two trained detectors with their thresholds.
+func NewVetoPipeline(primary, veto detector.Detector, primaryThreshold, vetoThreshold float64) (*VetoPipeline, error) {
+	pa, err := NewAlarmer(primary, primaryThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("online: primary: %w", err)
+	}
+	va, err := NewAlarmer(veto, vetoThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("online: veto: %w", err)
+	}
+	return &VetoPipeline{
+		primary:       pa,
+		veto:          va,
+		primaryExtent: primary.Extent(),
+		vetoExtent:    veto.Extent(),
+	}, nil
+}
+
+// Push feeds one symbol to both detectors and returns any alarms escalated
+// by it (a symbol can complete both a primary and a corroborating veto
+// window, or corroborate older pending alarms).
+func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
+	p.seen++
+	primaryAlarm, primaryRaised, err := p.primary.Push(sym)
+	if err != nil {
+		return nil, err
+	}
+	vetoAlarm, vetoRaised, err := p.veto.Push(sym)
+	if err != nil {
+		return nil, err
+	}
+
+	var escalated []EscalatedAlarm
+	if primaryRaised {
+		p.pending = append(p.pending, primaryAlarm)
+	}
+	if vetoRaised {
+		p.vetoCovered = append(p.vetoCovered, vetoAlarm.Position)
+		// Corroborate pending primaries overlapping this veto window.
+		kept := p.pending[:0]
+		for _, pa := range p.pending {
+			if overlaps(pa.Position, p.primaryExtent, vetoAlarm.Position, p.vetoExtent) {
+				escalated = append(escalated, EscalatedAlarm{Primary: pa, VetoPosition: vetoAlarm.Position})
+			} else {
+				kept = append(kept, pa)
+			}
+		}
+		p.pending = kept
+	}
+	if primaryRaised && len(escalated) == 0 {
+		// A fresh primary may be corroborated by a recent veto window.
+		for _, vp := range p.vetoCovered {
+			if overlaps(primaryAlarm.Position, p.primaryExtent, vp, p.vetoExtent) {
+				escalated = append(escalated, EscalatedAlarm{Primary: primaryAlarm, VetoPosition: vp})
+				p.pending = p.pending[:len(p.pending)-1] // drop the one just appended
+				break
+			}
+		}
+	}
+	p.expire()
+	return escalated, nil
+}
+
+// PushAll feeds a slice and collects the escalated alarms.
+func (p *VetoPipeline) PushAll(stream []alphabet.Symbol) ([]EscalatedAlarm, error) {
+	var out []EscalatedAlarm
+	for _, sym := range stream {
+		e, err := p.Push(sym)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e...)
+	}
+	return out, nil
+}
+
+// Suppressed returns the number of primary alarms that expired without
+// corroboration so far.
+func (p *VetoPipeline) Suppressed() int { return p.suppressed }
+
+// expire drops pending primaries and stale veto windows that can no longer
+// overlap anything new.
+func (p *VetoPipeline) expire() {
+	horizon := p.seen - p.primaryExtent - p.vetoExtent
+	kept := p.pending[:0]
+	for _, pa := range p.pending {
+		if pa.Position >= horizon {
+			kept = append(kept, pa)
+		} else {
+			p.suppressed++
+		}
+	}
+	p.pending = kept
+	keptVeto := p.vetoCovered[:0]
+	for _, vp := range p.vetoCovered {
+		if vp >= horizon {
+			keptVeto = append(keptVeto, vp)
+		}
+	}
+	p.vetoCovered = keptVeto
+}
+
+// overlaps reports whether [aPos, aPos+aExt) and [bPos, bPos+bExt) share an
+// element.
+func overlaps(aPos, aExt, bPos, bExt int) bool {
+	return aPos < bPos+bExt && bPos < aPos+aExt
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"errors"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/ensemble"
+	"adiv/internal/eval"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// failAfter is an io.Writer that errors after n successful writes,
+// exercising every error-propagation branch of the renderers.
+type failAfter struct {
+	n int
+}
+
+var errWriter = errors.New("writer broke")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriter
+	}
+	f.n--
+	return len(p), nil
+}
+
+// countingWriter tallies successful writes.
+type countingWriter struct{ n int }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n++
+	return len(p), nil
+}
+
+func TestWriteMapPropagatesWriterErrors(t *testing.T) {
+	m := sampleMap(t)
+	// Count the renderer's writes, then fail at every proper prefix: each
+	// must surface the writer's error rather than panic or succeed.
+	var counter countingWriter
+	if err := WriteMap(&counter, m); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < counter.n; n++ {
+		if err := WriteMap(&failAfter{n: n}, m); !errors.Is(err, errWriter) {
+			t.Fatalf("WriteMap with writer failing after %d of %d writes: %v", n, counter.n, err)
+		}
+	}
+}
+
+func TestWriteMapCSVPropagatesWriterErrors(t *testing.T) {
+	m := sampleMap(t)
+	for n := 0; n < 3; n++ {
+		if err := WriteMapCSV(&failAfter{n: n}, m); err == nil {
+			t.Fatalf("WriteMapCSV with writer failing after %d writes succeeded", n)
+		}
+	}
+}
+
+func TestWriteIncidentSpanPropagatesWriterErrors(t *testing.T) {
+	a := alphabet.MustNew(8)
+	p, err := inject.At(make(seq.Stream, 30), seq.Stream{7, 7}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		if err := WriteIncidentSpan(&failAfter{n: n}, a, p, 4); err == nil {
+			t.Fatalf("WriteIncidentSpan with writer failing after %d writes succeeded", n)
+		}
+	}
+}
+
+func TestWriteSimilarityPropagatesWriterErrors(t *testing.T) {
+	a := alphabet.MustNew(8)
+	for n := 0; n < 2; n++ {
+		err := WriteSimilarity(&failAfter{n: n}, a, seq.Stream{0, 1}, seq.Stream{0, 2}, []int{1, 0}, 1, 3)
+		if err == nil {
+			t.Fatalf("WriteSimilarity with writer failing after %d writes succeeded", n)
+		}
+	}
+}
+
+func TestWriteSuppressionPropagatesWriterErrors(t *testing.T) {
+	r := ensemble.SuppressionResult{
+		Primary:    eval.AlarmStats{Detector: "a", Positions: 10},
+		Suppressed: eval.AlarmStats{Detector: "a&b", Positions: 10},
+	}
+	for n := 0; n < 3; n++ {
+		if err := WriteSuppression(&failAfter{n: n}, r); err == nil {
+			t.Fatalf("WriteSuppression with writer failing after %d writes succeeded", n)
+		}
+	}
+}
+
+func TestWriteRelationMatrixPropagatesWriterErrors(t *testing.T) {
+	m1 := sampleMap(t)
+	for n := 0; n < 3; n++ {
+		if err := ensemble.WriteRelationMatrix(&failAfter{n: n}, []*eval.Map{m1, m1}); err == nil {
+			t.Fatalf("WriteRelationMatrix with writer failing after %d writes succeeded", n)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package report renders the evaluation's outputs — performance maps,
+// incident-span diagrams, similarity walkthroughs, and alarm tables — as
+// plain text and CSV, mirroring the figures of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/ensemble"
+	"adiv/internal/eval"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// Map glyphs: the paper marks detection cells with a star and leaves blind
+// regions empty.
+const (
+	glyphCapable   = '*'
+	glyphWeak      = 'w'
+	glyphBlind     = '.'
+	glyphUndefined = ' '
+)
+
+func glyph(o eval.Outcome) rune {
+	switch o {
+	case eval.Capable:
+		return glyphCapable
+	case eval.Weak:
+		return glyphWeak
+	case eval.Blind:
+		return glyphBlind
+	default:
+		return glyphUndefined
+	}
+}
+
+// WriteMap renders a performance map in the layout of the paper's Figures
+// 3–6: detector window on the y-axis (descending), anomaly size on the
+// x-axis. Stars mark cells where the detector registered a maximal response
+// in the incident span; 'w' marks weak responses; '.' marks blindness.
+func WriteMap(w io.Writer, m *eval.Map) error {
+	if _, err := fmt.Fprintf(w, "Performance map: %s (window %d-%d vs anomaly size %d-%d)\n",
+		m.Detector, m.MinWindow, m.MaxWindow, m.MinSize, m.MaxSize); err != nil {
+		return err
+	}
+	for dw := m.MaxWindow; dw >= m.MinWindow; dw-- {
+		var row strings.Builder
+		fmt.Fprintf(&row, "DW %2d |", dw)
+		for size := m.MinSize; size <= m.MaxSize; size++ {
+			fmt.Fprintf(&row, " %c", glyph(m.Outcome(size, dw)))
+		}
+		if _, err := fmt.Fprintln(w, row.String()); err != nil {
+			return err
+		}
+	}
+	var axis strings.Builder
+	axis.WriteString("      +")
+	for size := m.MinSize; size <= m.MaxSize; size++ {
+		axis.WriteString("--")
+	}
+	axis.WriteString("\n   AS  ")
+	for size := m.MinSize; size <= m.MaxSize; size++ {
+		fmt.Fprintf(&axis, " %d", size%10)
+	}
+	if _, err := fmt.Fprintln(w, axis.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "legend: %c capable (maximal response)  %c weak  %c blind\n",
+		glyphCapable, glyphWeak, glyphBlind)
+	return err
+}
+
+// WriteMapCSV emits the map as size,window,outcome,maxResponse rows.
+func WriteMapCSV(w io.Writer, m *eval.Map) error {
+	if _, err := fmt.Fprintln(w, "detector,anomaly_size,window,outcome,max_response"); err != nil {
+		return err
+	}
+	for _, a := range m.Cells() {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%.6f\n",
+			m.Detector, a.AnomalySize, a.Window, a.Outcome, a.MaxResponse); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIncidentSpan renders the Figure-2 diagram for one placement and
+// window width: the injected anomaly, the boundary sequences, and the
+// incident span extent.
+func WriteIncidentSpan(w io.Writer, a *alphabet.Alphabet, p inject.Placement, width int) error {
+	lo, hi, ok := p.IncidentSpan(width)
+	if !ok {
+		return fmt.Errorf("report: no incident span for width %d", width)
+	}
+	from := lo
+	to := hi + width
+	if to > len(p.Stream) {
+		to = len(p.Stream)
+	}
+	var line, marks strings.Builder
+	for i := from; i < to; i++ {
+		name := a.Name(p.Stream[i])
+		line.WriteString(name)
+		line.WriteByte(' ')
+		mark := "+"
+		if i >= p.Start && i < p.Start+p.AnomalyLen {
+			mark = "F"
+		}
+		marks.WriteString(mark)
+		marks.WriteString(strings.Repeat(" ", len(name)))
+	}
+	if _, err := fmt.Fprintf(w, "incident span for DW=%d, AS=%d: window starts %d..%d (%d windows)\n",
+		width, p.AnomalyLen, lo, hi, hi-lo+1); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line.String()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, marks.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "F: injected foreign sequence; +: background elements involved in boundary sequences")
+	return err
+}
+
+// WriteSimilarity renders the Figure-7 walkthrough: the per-position weights
+// of the Lane & Brodley similarity calculation between two sequences.
+func WriteSimilarity(w io.Writer, a *alphabet.Alphabet, x, y seq.Stream, weights []int, total, maximum int) error {
+	if _, err := fmt.Fprintf(w, "  seq A: %s\n  seq B: %s\n", a.Format(x), a.Format(y)); err != nil {
+		return err
+	}
+	var ws strings.Builder
+	for i, wt := range weights {
+		if i > 0 {
+			ws.WriteByte(' ')
+		}
+		fmt.Fprintf(&ws, "%d", wt)
+	}
+	_, err := fmt.Fprintf(w, "  weights: %s\n  similarity %d of maximum %d\n", ws.String(), total, maximum)
+	return err
+}
+
+// WriteProfile renders a response-distribution profile as an ASCII
+// histogram, the operator's view when choosing a detection threshold.
+func WriteProfile(w io.Writer, p eval.Profile) error {
+	if _, err := fmt.Fprintf(w, "response profile: %s (DW=%d), %d responses, mean %.4f\n",
+		p.Detector, p.Window, p.Summary.N, p.Summary.Mean); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  exactly 0: %d   exactly 1: %d\n", p.AtZero, p.AtOne); err != nil {
+		return err
+	}
+	maxCount := 0
+	for _, c := range p.Histogram {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	bins := len(p.Histogram)
+	for i, c := range p.Histogram {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = c * 40 / maxCount
+		}
+		lo := float64(i) / float64(bins)
+		hi := float64(i+1) / float64(bins)
+		if _, err := fmt.Fprintf(w, "  [%.2f,%.2f) %8d %s\n",
+			lo, hi, c, strings.Repeat("#", barLen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSuppression renders a Section-7 suppression comparison as a small
+// table: the primary detector's alarm statistics alone and gated by the
+// suppressor.
+func WriteSuppression(w io.Writer, r ensemble.SuppressionResult) error {
+	row := func(label string, s eval.AlarmStats) error {
+		_, err := fmt.Fprintf(w, "  %-16s hit=%-5v span_alarms=%-4d false_alarms=%-5d fa_rate=%.5f\n",
+			label, s.Hit, s.SpanAlarms, s.FalseAlarms, s.FalseAlarmRate())
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "suppression (DW=%d, threshold=%.3f):\n", r.Primary.Window, r.Primary.Threshold); err != nil {
+		return err
+	}
+	if err := row(r.Primary.Detector, r.Primary); err != nil {
+		return err
+	}
+	return row(r.Suppressed.Detector, r.Suppressed)
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/ensemble"
+	"adiv/internal/eval"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+func sampleMap(t *testing.T) *eval.Map {
+	t.Helper()
+	m, err := eval.NewMap("stide", 2, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 2; size <= 4; size++ {
+		for dw := 2; dw <= 4; dw++ {
+			o := eval.Blind
+			if dw >= size {
+				o = eval.Capable
+			}
+			m.Set(eval.Assessment{
+				Detector: "stide", AnomalySize: size, Window: dw,
+				Outcome: o, MaxResponse: map[eval.Outcome]float64{eval.Capable: 1}[o],
+			})
+		}
+	}
+	return m
+}
+
+func TestWriteMap(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMap(&sb, sampleMap(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Performance map: stide",
+		"DW  4 | * * *",
+		"DW  3 | * * .",
+		"DW  2 | * . .",
+		"legend:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMapCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMapCSV(&sb, sampleMap(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "detector,anomaly_size,window,outcome,max_response" {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) != 10 { // header + 9 cells
+		t.Errorf("%d lines, want 10", len(lines))
+	}
+	if !strings.Contains(sb.String(), "stide,2,2,capable,1.000000") {
+		t.Errorf("missing expected row:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "stide,4,2,blind,0.000000") {
+		t.Errorf("missing blind row:\n%s", sb.String())
+	}
+}
+
+func TestWriteIncidentSpan(t *testing.T) {
+	a := alphabet.MustNew(8)
+	background := make(seq.Stream, 30)
+	for i := range background {
+		background[i] = alphabet.Symbol(i%6 + 1)
+	}
+	p, err := inject.At(background, seq.Stream{7, 0, 7}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteIncidentSpan(&sb, a, p, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "incident span for DW=5, AS=3") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "F F F") {
+		t.Errorf("anomaly marks missing:\n%s", out)
+	}
+	if strings.Count(out, "F") != 4 { // 3 marks + legend "F:"
+		t.Errorf("unexpected number of F marks:\n%s", out)
+	}
+	if err := WriteIncidentSpan(&sb, a, p, 1000); err == nil {
+		t.Errorf("oversized width accepted")
+	}
+}
+
+func TestWriteSimilarity(t *testing.T) {
+	a := alphabet.MustNew(8)
+	var sb strings.Builder
+	err := WriteSimilarity(&sb, a, seq.Stream{0, 1, 2}, seq.Stream{0, 1, 3}, []int{1, 2, 0}, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"seq A: 0 1 2", "seq B: 0 1 3", "weights: 1 2 0", "similarity 3 of maximum 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteProfile(t *testing.T) {
+	p := eval.Profile{
+		Detector:  "markov",
+		Window:    8,
+		Histogram: []int{90, 5, 3, 2},
+		AtZero:    80,
+		AtOne:     2,
+	}
+	p.Summary.N = 100
+	p.Summary.Mean = 0.08
+	var sb strings.Builder
+	if err := WriteProfile(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"response profile: markov (DW=8), 100 responses",
+		"exactly 0: 80   exactly 1: 2",
+		"[0.00,0.25)       90 ########################################",
+		"[0.75,1.00)        2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSuppression(t *testing.T) {
+	r := ensemble.SuppressionResult{
+		Primary: eval.AlarmStats{
+			Detector: "markov", Window: 8, Threshold: 0.98,
+			Hit: true, SpanAlarms: 5, FalseAlarms: 37, Positions: 8000,
+		},
+		Suppressed: eval.AlarmStats{
+			Detector: "markov&stide", Window: 8, Threshold: 0.98,
+			Hit: true, SpanAlarms: 5, FalseAlarms: 0, Positions: 8000,
+		},
+	}
+	var sb strings.Builder
+	if err := WriteSuppression(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"markov", "markov&stide", "false_alarms=37", "false_alarms=0", "hit=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

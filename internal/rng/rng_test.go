@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("sources with different seeds agreed on %d of 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// Drawing from the parent must not affect the child's stream.
+	reference := New(99)
+	referenceChild := reference.Split()
+	for i := 0; i < 100; i++ {
+		parent.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := child.Uint64(), referenceChild.Uint64(); got != want {
+			t.Fatalf("draw %d: child stream affected by parent draws", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	src := New(3)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from expectation %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(11)
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(21)
+	check := func(n uint8) bool {
+		p := src.Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	src := New(5)
+	vals := []int{1, 1, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	src.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed element sum: %d vs %d", got, sum)
+	}
+}
+
+func TestShuffleActuallyShuffles(t *testing.T) {
+	src := New(17)
+	n := 64
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	src.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	fixed := 0
+	for i, v := range vals {
+		if i == v {
+			fixed++
+		}
+	}
+	if fixed > n/4 {
+		t.Errorf("%d of %d elements left in place", fixed, n)
+	}
+}
+
+func TestIntnCoversFullRange(t *testing.T) {
+	src := New(31)
+	const n = 16
+	seen := make([]bool, n)
+	for i := 0; i < 5000; i++ {
+		seen[src.Intn(n)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("Intn(%d) never produced %d in 5000 draws", n, v)
+		}
+	}
+}

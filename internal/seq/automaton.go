@@ -1,0 +1,170 @@
+package seq
+
+// Automaton is a suffix automaton over one stream: a minimal DFA of all the
+// stream's substrings, answering "does w occur?" in O(len(w)) and "how many
+// times?" in O(len(w)) for *any* length, without building per-width
+// databases. The MFS scanner probes many widths per position, which makes
+// the automaton the natural index there; the per-width DB remains the tool
+// for enumerating and classifying whole width-classes (rare/common lists).
+//
+// Construction is Blumer/Crochemore online construction in O(n · alphabet)
+// time and O(n) states; occurrence counts are endpos-set sizes, aggregated
+// over the suffix-link tree in a counting sort by state length.
+type Automaton struct {
+	next   []map[byte]int32 // transitions
+	link   []int32          // suffix links
+	length []int32          // longest substring length per state
+	count  []int64          // occurrence count (endpos size) per state
+	n      int              // stream length
+}
+
+// BuildAutomaton constructs the suffix automaton of the stream.
+func BuildAutomaton(stream Stream) *Automaton {
+	a := &Automaton{n: len(stream)}
+	// Reserve for the worst case of 2n-1 states plus the root.
+	cap := 2*len(stream) + 2
+	a.next = make([]map[byte]int32, 0, cap)
+	a.link = make([]int32, 0, cap)
+	a.length = make([]int32, 0, cap)
+	a.count = make([]int64, 0, cap)
+
+	newState := func(length, link int32) int32 {
+		a.next = append(a.next, nil)
+		a.link = append(a.link, link)
+		a.length = append(a.length, length)
+		a.count = append(a.count, 0)
+		return int32(len(a.next) - 1)
+	}
+	root := newState(0, -1)
+	last := root
+
+	for _, sym := range stream {
+		c := byte(sym)
+		cur := newState(a.length[last]+1, root)
+		a.count[cur] = 1 // cur's endpos gains this position
+		p := last
+		for p != -1 && !hasEdge(a.next[p], c) {
+			setEdge(&a.next[p], c, cur)
+			p = a.link[p]
+		}
+		if p == -1 {
+			a.link[cur] = root
+		} else {
+			q := a.next[p][c]
+			if a.length[p]+1 == a.length[q] {
+				a.link[cur] = q
+			} else {
+				clone := newState(a.length[p]+1, a.link[q])
+				a.next[clone] = cloneEdges(a.next[q])
+				for p != -1 && hasEdge(a.next[p], c) && a.next[p][c] == q {
+					setEdge(&a.next[p], c, clone)
+					p = a.link[p]
+				}
+				a.link[q] = clone
+				a.link[cur] = clone
+			}
+		}
+		last = cur
+	}
+
+	a.aggregateCounts()
+	return a
+}
+
+func hasEdge(m map[byte]int32, c byte) bool {
+	_, ok := m[c]
+	return ok
+}
+
+func setEdge(m *map[byte]int32, c byte, to int32) {
+	if *m == nil {
+		*m = make(map[byte]int32, 2)
+	}
+	(*m)[c] = to
+}
+
+func cloneEdges(m map[byte]int32) map[byte]int32 {
+	out := make(map[byte]int32, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// aggregateCounts propagates endpos sizes up the suffix-link tree by
+// processing states in decreasing length order (counting sort on length).
+func (a *Automaton) aggregateCounts() {
+	maxLen := 0
+	for _, l := range a.length {
+		if int(l) > maxLen {
+			maxLen = int(l)
+		}
+	}
+	buckets := make([]int, maxLen+2)
+	for _, l := range a.length {
+		buckets[l]++
+	}
+	for i := 1; i <= maxLen; i++ {
+		buckets[i] += buckets[i-1]
+	}
+	order := make([]int32, len(a.length))
+	for s := range a.length {
+		buckets[a.length[s]]--
+		order[buckets[a.length[s]]] = int32(s)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		if a.link[s] >= 0 {
+			a.count[a.link[s]] += a.count[s]
+		}
+	}
+}
+
+// state walks the automaton along w, returning the reached state or -1.
+func (a *Automaton) state(w Stream) int32 {
+	s := int32(0)
+	for _, sym := range w {
+		m := a.next[s]
+		t, ok := m[byte(sym)]
+		if !ok {
+			return -1
+		}
+		s = t
+	}
+	return s
+}
+
+// Contains reports whether w occurs in the indexed stream (the empty
+// sequence trivially occurs).
+func (a *Automaton) Contains(w Stream) bool { return a.state(w) >= 0 }
+
+// Count returns the number of occurrences of w in the indexed stream; the
+// empty sequence occurs n+1 times by convention (every boundary).
+func (a *Automaton) Count(w Stream) int {
+	if len(w) == 0 {
+		return a.n + 1
+	}
+	s := a.state(w)
+	if s < 0 {
+		return 0
+	}
+	return int(a.count[s])
+}
+
+// IsForeign reports whether w never occurs in the stream.
+func (a *Automaton) IsForeign(w Stream) bool { return len(w) > 0 && !a.Contains(w) }
+
+// IsMinimalForeign reports whether w is a minimal foreign sequence with
+// respect to the indexed stream, via the two-subsequence shortcut.
+func (a *Automaton) IsMinimalForeign(w Stream) bool {
+	if len(w) < 2 {
+		return false
+	}
+	return a.IsForeign(w) && a.Contains(w[:len(w)-1]) && a.Contains(w[1:])
+}
+
+// States returns the number of automaton states (diagnostics).
+func (a *Automaton) States() int { return len(a.next) }
+
+// StreamLen returns the length of the indexed stream.
+func (a *Automaton) StreamLen() int { return a.n }

@@ -1,0 +1,127 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAutomatonBasics(t *testing.T) {
+	// Stream "abcbc" (0 1 2 1 2).
+	a := BuildAutomaton(mk(0, 1, 2, 1, 2))
+	tests := []struct {
+		w     Stream
+		count int
+	}{
+		{Stream{}, 6},
+		{mk(0), 1},
+		{mk(1), 2},
+		{mk(2), 2},
+		{mk(3), 0},
+		{mk(1, 2), 2},
+		{mk(2, 1), 1},
+		{mk(0, 1, 2), 1},
+		{mk(1, 2, 1, 2), 1},
+		{mk(0, 1, 2, 1, 2), 1},
+		{mk(2, 2), 0},
+		{mk(0, 1, 2, 1, 2, 0), 0},
+	}
+	for _, tt := range tests {
+		if got := a.Count(tt.w); got != tt.count {
+			t.Errorf("Count(%v) = %d, want %d", tt.w, got, tt.count)
+		}
+		if got, want := a.Contains(tt.w), tt.count > 0; got != want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.w, got, want)
+		}
+	}
+	if a.StreamLen() != 5 {
+		t.Errorf("StreamLen() = %d", a.StreamLen())
+	}
+	if a.States() < 6 || a.States() > 11 {
+		t.Errorf("States() = %d, outside the suffix-automaton bound", a.States())
+	}
+}
+
+func TestAutomatonEmptyStream(t *testing.T) {
+	a := BuildAutomaton(nil)
+	if !a.Contains(Stream{}) {
+		t.Errorf("empty sequence should occur in empty stream")
+	}
+	if a.Contains(mk(0)) {
+		t.Errorf("symbol found in empty stream")
+	}
+	if a.Count(Stream{}) != 1 {
+		t.Errorf("Count(empty) = %d", a.Count(Stream{}))
+	}
+}
+
+// TestAutomatonMatchesDB cross-checks the automaton against the per-width
+// database on random streams: same membership, same counts, every width.
+func TestAutomatonMatchesDB(t *testing.T) {
+	check := func(raw []byte, probeRaw []byte) bool {
+		stream := FromBytes(clampSymbols(raw, 4))
+		if len(stream) > 300 {
+			stream = stream[:300]
+		}
+		a := BuildAutomaton(stream)
+		// Check every window of the stream itself at widths 1..6.
+		for width := 1; width <= 6 && width <= len(stream); width++ {
+			db, err := Build(stream, width)
+			if err != nil {
+				return false
+			}
+			for i := 0; i+width <= len(stream); i++ {
+				w := stream[i : i+width]
+				if a.Count(w) != db.Count(w) {
+					return false
+				}
+			}
+		}
+		// And arbitrary probes, occurring or not.
+		probe := FromBytes(clampSymbols(probeRaw, 4))
+		if len(probe) > 0 && len(probe) <= len(stream) {
+			db, err := Build(stream, len(probe))
+			if err != nil {
+				return false
+			}
+			if a.Count(probe) != db.Count(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAutomatonMinimalForeignMatchesIndex cross-checks the automaton's MFS
+// predicate against the Index implementation.
+func TestAutomatonMinimalForeignMatchesIndex(t *testing.T) {
+	check := func(raw []byte, candRaw []byte) bool {
+		if len(candRaw) > 6 {
+			return true
+		}
+		stream := FromBytes(clampSymbols(raw, 3))
+		candidate := FromBytes(clampSymbols(candRaw, 3))
+		a := BuildAutomaton(stream)
+		ix := NewIndex(stream)
+		want, err := ix.IsMinimalForeign(candidate)
+		if err != nil {
+			return false
+		}
+		return a.IsMinimalForeign(candidate) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutomatonStateBound(t *testing.T) {
+	// The suffix automaton of a length-n stream has at most 2n-1 states
+	// (n >= 3); verify on a worst-case-ish string.
+	stream := mk(0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	a := BuildAutomaton(stream)
+	if a.States() > 2*len(stream) {
+		t.Errorf("%d states for stream of length %d", a.States(), len(stream))
+	}
+}

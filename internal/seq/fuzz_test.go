@@ -1,0 +1,62 @@
+package seq
+
+import "testing"
+
+// FuzzMinimalityShortcut cross-checks the two-subsequence minimality
+// shortcut against the exhaustive definition on fuzzer-chosen streams and
+// candidates.
+func FuzzMinimalityShortcut(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 1, 2}, []byte{0, 1, 2})
+	f.Add([]byte{2, 3, 2, 4, 2}, []byte{2, 3, 4})
+	f.Add([]byte{0, 0, 0}, []byte{0, 0})
+	f.Add([]byte{}, []byte{1, 2})
+	f.Fuzz(func(t *testing.T, streamRaw, candRaw []byte) {
+		if len(candRaw) > 8 || len(streamRaw) > 256 {
+			return
+		}
+		stream := FromBytes(streamRaw)
+		candidate := FromBytes(candRaw)
+		ix := NewIndex(stream)
+		shortcut, err := ix.IsMinimalForeign(candidate)
+		if err != nil {
+			t.Fatalf("IsMinimalForeign: %v", err)
+		}
+		if len(candidate) < 2 {
+			if shortcut {
+				t.Fatalf("short candidate classified minimal foreign")
+			}
+			return
+		}
+		foreign, err := ix.IsForeign(candidate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proper, err := ix.ProperSubsequencesOccur(candidate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shortcut != (foreign && proper) {
+			t.Fatalf("shortcut %v, exhaustive %v (stream %v, candidate %v)",
+				shortcut, foreign && proper, stream, candidate)
+		}
+	})
+}
+
+// FuzzBuildCounts guards the sequence database against arbitrary streams:
+// counts must sum to the window total at every width.
+func FuzzBuildCounts(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, widthRaw uint8) {
+		width := int(widthRaw%16) + 1
+		db, err := Build(FromBytes(raw), width)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		sum := 0
+		db.Each(func(_ Stream, count int) { sum += count })
+		if sum != db.Total() || db.Total() != NumWindows(len(raw), width) {
+			t.Fatalf("counts %d, total %d, windows %d", sum, db.Total(), NumWindows(len(raw), width))
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package seq
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Index provides sequence databases of a training stream at every window
+// width, built lazily and cached. The anomaly synthesizer and the injection
+// verifier query many widths (1 through the largest detector window plus
+// one); the Index amortizes those builds and is safe for concurrent use.
+type Index struct {
+	stream Stream
+
+	mu   sync.Mutex
+	dbs  map[int]*DB
+	auto *Automaton
+}
+
+// NewIndex returns an Index over stream. The Index copies the stream so that
+// later caller mutations cannot corrupt cached databases.
+func NewIndex(stream Stream) *Index {
+	return &Index{
+		stream: stream.Clone(),
+		dbs:    make(map[int]*DB),
+	}
+}
+
+// StreamLen returns the length of the indexed stream.
+func (ix *Index) StreamLen() int { return len(ix.stream) }
+
+// DB returns the sequence database at the given width, building it on first
+// use. It returns an error for a non-positive width.
+func (ix *Index) DB(width int) (*DB, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("seq: non-positive window width %d", width)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if db, ok := ix.dbs[width]; ok {
+		return db, nil
+	}
+	db, err := Build(ix.stream, width)
+	if err != nil {
+		return nil, err
+	}
+	ix.dbs[width] = db
+	return db, nil
+}
+
+// Automaton returns a suffix automaton over the indexed stream, built on
+// first use and cached. It answers membership and occurrence counts for
+// sequences of any length in O(len) — the index of choice for scans that
+// probe many lengths per position.
+func (ix *Index) Automaton() *Automaton {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.auto == nil {
+		ix.auto = BuildAutomaton(ix.stream)
+	}
+	return ix.auto
+}
+
+// Contains reports whether w occurs in the indexed stream (at w's own
+// length). An empty sequence trivially occurs.
+func (ix *Index) Contains(w Stream) (bool, error) {
+	if len(w) == 0 {
+		return true, nil
+	}
+	db, err := ix.DB(len(w))
+	if err != nil {
+		return false, err
+	}
+	return db.Contains(w), nil
+}
+
+// IsForeign reports whether w never occurs in the indexed stream.
+func (ix *Index) IsForeign(w Stream) (bool, error) {
+	ok, err := ix.Contains(w)
+	return err == nil && !ok, err
+}
+
+// IsMinimalForeign reports whether w is a minimal foreign sequence with
+// respect to the indexed stream: w itself is foreign and every proper
+// contiguous subsequence of w occurs.
+//
+// It suffices to check the two (len(w)-1)-length subsequences: every shorter
+// contiguous subsequence of w is contained in one of them, and containment
+// in an occurring sequence implies occurrence. Sequences of length < 2 can
+// never be minimal foreign (a length-1 foreign sequence would be a symbol
+// absent from training, which the paper's definition of foreignness — every
+// element a member of the training alphabet — rules out).
+func (ix *Index) IsMinimalForeign(w Stream) (bool, error) {
+	if len(w) < 2 {
+		return false, nil
+	}
+	foreign, err := ix.IsForeign(w)
+	if err != nil || !foreign {
+		return false, err
+	}
+	prefix, err := ix.Contains(w[:len(w)-1])
+	if err != nil || !prefix {
+		return false, err
+	}
+	suffix, err := ix.Contains(w[1:])
+	return err == nil && suffix, err
+}
+
+// ProperSubsequencesOccur reports whether every proper contiguous
+// subsequence of w occurs in the indexed stream, checking each length
+// explicitly. IsMinimalForeign uses the equivalent two-subsequence shortcut;
+// this exhaustive form backs the property tests that validate the shortcut.
+func (ix *Index) ProperSubsequencesOccur(w Stream) (bool, error) {
+	for width := 1; width < len(w); width++ {
+		for i := 0; i+width <= len(w); i++ {
+			ok, err := ix.Contains(w[i : i+width])
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

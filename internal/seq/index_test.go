@@ -1,0 +1,162 @@
+package seq
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexDBCaching(t *testing.T) {
+	ix := NewIndex(mk(0, 1, 2, 3, 0, 1, 2, 3))
+	db1, err := ix.DB(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ix.DB(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 != db2 {
+		t.Errorf("DB(3) rebuilt instead of cached")
+	}
+	if _, err := ix.DB(0); err == nil {
+		t.Errorf("DB(0) succeeded")
+	}
+}
+
+func TestIndexCopiesStream(t *testing.T) {
+	s := mk(0, 1, 2, 3)
+	ix := NewIndex(s)
+	s[0] = 7
+	ok, err := ix.Contains(mk(0, 1))
+	if err != nil || !ok {
+		t.Errorf("index affected by caller mutation: Contains(0 1) = %v, %v", ok, err)
+	}
+}
+
+func TestIndexContains(t *testing.T) {
+	ix := NewIndex(mk(0, 1, 2, 0, 1, 3))
+	tests := []struct {
+		w    Stream
+		want bool
+	}{
+		{Stream{}, true},
+		{mk(0), true},
+		{mk(4), false},
+		{mk(0, 1), true},
+		{mk(1, 3), true},
+		{mk(3, 0), false},
+		{mk(0, 1, 2), true},
+		{mk(0, 1, 3), true},
+		{mk(1, 2, 3), false},
+		{mk(0, 1, 2, 0, 1, 3), true},
+		{mk(0, 1, 2, 0, 1, 3, 0), false}, // longer than stream
+	}
+	for _, tt := range tests {
+		got, err := ix.Contains(tt.w)
+		if err != nil || got != tt.want {
+			t.Errorf("Contains(%v) = %v, %v; want %v", tt.w, got, err, tt.want)
+		}
+	}
+}
+
+func TestIsMinimalForeign(t *testing.T) {
+	// Stream 0 1 3 1 2 contains the pairs 01, 13, 31, 12 but not the
+	// triple 012, making "0 1 2" a minimal foreign sequence.
+	ix := NewIndex(mk(0, 1, 3, 1, 2))
+	tests := []struct {
+		w    Stream
+		want bool
+	}{
+		{mk(0, 1, 2), true}, // foreign; prefix "0 1" and suffix "1 2" occur
+		{mk(0, 1), false},   // occurs → not foreign
+		{mk(2, 0), true},    // foreign pair over occurring symbols
+		{mk(4, 0), false},   // prefix symbol 4 never occurs → not minimal
+		{mk(0), false},      // too short
+		{Stream{}, false},
+	}
+	for _, tt := range tests {
+		got, err := ix.IsMinimalForeign(tt.w)
+		if err != nil {
+			t.Fatalf("IsMinimalForeign(%v): %v", tt.w, err)
+		}
+		if got != tt.want {
+			t.Errorf("IsMinimalForeign(%v) = %v, want %v", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestIsMinimalForeignRejectsNonMinimal(t *testing.T) {
+	// "3 4" never occurs, so "2 3 4" is foreign but NOT minimal (its
+	// subsequence "3 4" is itself foreign).
+	ix := NewIndex(mk(2, 3, 2, 4, 2))
+	got, err := ix.IsMinimalForeign(mk(2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Errorf("non-minimal foreign sequence classified minimal")
+	}
+}
+
+// TestMinimalityShortcutEquivalence validates the two-subsequence shortcut
+// against the exhaustive definition on random streams and candidates.
+func TestMinimalityShortcutEquivalence(t *testing.T) {
+	check := func(raw []byte, cand []byte) bool {
+		if len(cand) < 2 || len(cand) > 6 {
+			return true
+		}
+		stream := FromBytes(clampSymbols(raw, 4))
+		if len(stream) < 8 {
+			return true
+		}
+		candidate := FromBytes(clampSymbols(cand, 4))
+		ix := NewIndex(stream)
+		foreign, err := ix.IsForeign(candidate)
+		if err != nil {
+			return false
+		}
+		proper, err := ix.ProperSubsequencesOccur(candidate)
+		if err != nil {
+			return false
+		}
+		shortcut, err := ix.IsMinimalForeign(candidate)
+		if err != nil {
+			return false
+		}
+		return shortcut == (foreign && proper)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampSymbols(raw []byte, k byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b % k
+	}
+	return out
+}
+
+func TestIndexConcurrentAccess(t *testing.T) {
+	ix := NewIndex(mk(0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(width int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := ix.DB(width%6 + 1); err != nil {
+					t.Errorf("DB: %v", err)
+					return
+				}
+				if _, err := ix.Contains(mk(0, 1)); err != nil {
+					t.Errorf("Contains: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

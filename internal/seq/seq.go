@@ -1,0 +1,188 @@
+// Package seq provides the fixed-length-sequence machinery that the entire
+// evaluation rests on: sliding windows over symbol streams, per-width
+// sequence databases with occurrence counts, and the foreignness, rarity and
+// minimality predicates of Tan & Maxion's methodology.
+//
+// Terminology (paper, Section 5.1):
+//
+//   - A sequence of length N is "foreign" with respect to a training stream
+//     if every symbol is in the training alphabet but the length-N sequence
+//     itself never occurs in the training stream.
+//   - A sequence is "rare" if its relative frequency among same-length
+//     windows of the training stream is below a cutoff (0.5% in the paper).
+//   - A "minimal foreign sequence" (MFS) is a foreign sequence all of whose
+//     proper contiguous subsequences occur in the training stream: a foreign
+//     sequence containing no smaller foreign sequence.
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"adiv/internal/alphabet"
+)
+
+// Stream is a stream of categorical symbols, the unit of data every detector
+// trains on and scores.
+type Stream []alphabet.Symbol
+
+// Clone returns an independent copy of the stream.
+func (s Stream) Clone() Stream {
+	out := make(Stream, len(s))
+	copy(out, s)
+	return out
+}
+
+// Bytes returns the stream as a byte slice usable for map keying. The result
+// aliases freshly allocated memory, never the stream itself.
+func (s Stream) Bytes() []byte {
+	b := make([]byte, len(s))
+	for i, sym := range s {
+		b[i] = byte(sym)
+	}
+	return b
+}
+
+// FromBytes converts a byte-encoded window back to a Stream.
+func FromBytes(b []byte) Stream {
+	s := make(Stream, len(b))
+	for i, c := range b {
+		s[i] = alphabet.Symbol(c)
+	}
+	return s
+}
+
+// NumWindows returns the number of width-sized windows in a stream of length
+// n: max(0, n-width+1).
+func NumWindows(n, width int) int {
+	if width <= 0 || n < width {
+		return 0
+	}
+	return n - width + 1
+}
+
+// DB is a sequence database for one fixed window width: the multiset of all
+// width-length windows of a stream, with occurrence counts. It answers the
+// membership and frequency queries behind every detector and every
+// data-synthesis verification step.
+//
+// A DB is immutable after Build and safe for concurrent readers.
+type DB struct {
+	width  int
+	total  int
+	counts map[string]int
+}
+
+// Build slides a window of the given width across the stream and records
+// every window with its occurrence count. It returns an error for a
+// non-positive width; a stream shorter than the width yields an empty DB.
+func Build(stream Stream, width int) (*DB, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("seq: non-positive window width %d", width)
+	}
+	n := NumWindows(len(stream), width)
+	db := &DB{
+		width:  width,
+		total:  n,
+		counts: make(map[string]int, min(n, 1<<16)),
+	}
+	b := stream.Bytes()
+	for i := 0; i < n; i++ {
+		db.counts[string(b[i:i+width])]++
+	}
+	return db, nil
+}
+
+// Width returns the window width the database was built for.
+func (db *DB) Width() int { return db.width }
+
+// Total returns the total number of windows recorded (with multiplicity).
+func (db *DB) Total() int { return db.total }
+
+// Distinct returns the number of distinct sequences in the database.
+func (db *DB) Distinct() int { return len(db.counts) }
+
+// Count returns the number of occurrences of w. Sequences of the wrong
+// length never occur and count zero.
+func (db *DB) Count(w Stream) int {
+	if len(w) != db.width {
+		return 0
+	}
+	return db.counts[string(w.Bytes())]
+}
+
+// Contains reports whether w occurs at least once.
+func (db *DB) Contains(w Stream) bool { return db.Count(w) > 0 }
+
+// RelFreq returns the relative frequency of w among all recorded windows,
+// in [0,1]. An empty database yields 0.
+func (db *DB) RelFreq(w Stream) float64 {
+	if db.total == 0 {
+		return 0
+	}
+	return float64(db.Count(w)) / float64(db.total)
+}
+
+// IsForeign reports whether w (of the database's width) never occurs:
+// the paper's definition of a foreign sequence at this width.
+func (db *DB) IsForeign(w Stream) bool {
+	return len(w) == db.width && !db.Contains(w)
+}
+
+// IsRare reports whether w occurs with relative frequency in (0, cutoff).
+// A foreign sequence is not rare: it does not occur at all.
+func (db *DB) IsRare(w Stream, cutoff float64) bool {
+	c := db.Count(w)
+	return c > 0 && float64(c) < cutoff*float64(db.total)
+}
+
+// Each calls fn for every distinct sequence with its count, in unspecified
+// order. fn must not retain the Stream beyond the call.
+func (db *DB) Each(fn func(w Stream, count int)) {
+	for k, c := range db.counts {
+		fn(FromBytes([]byte(k)), c)
+	}
+}
+
+// Rare returns all distinct sequences whose relative frequency is below
+// cutoff, sorted lexicographically for determinism.
+func (db *DB) Rare(cutoff float64) []Stream {
+	keys := make([]string, 0)
+	limit := cutoff * float64(db.total)
+	for k, c := range db.counts {
+		if float64(c) < limit {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Stream, len(keys))
+	for i, k := range keys {
+		out[i] = FromBytes([]byte(k))
+	}
+	return out
+}
+
+// Common returns all distinct sequences whose relative frequency is at least
+// cutoff, sorted lexicographically for determinism.
+func (db *DB) Common(cutoff float64) []Stream {
+	keys := make([]string, 0)
+	limit := cutoff * float64(db.total)
+	for k, c := range db.counts {
+		if float64(c) >= limit {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Stream, len(keys))
+	for i, k := range keys {
+		out[i] = FromBytes([]byte(k))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

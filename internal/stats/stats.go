@@ -1,0 +1,164 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: descriptive summaries, proportion confidence
+// intervals for hit/false-alarm rates, and deterministic bootstrap
+// resampling for comparing detector configurations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adiv/internal/rng"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample by linear interpolation. It panics on an empty sample; that is a
+// programming error in the caller.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies within the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// WilsonInterval returns the Wilson score interval for a proportion of
+// successes among n trials at approximately the given z (1.96 ≈ 95%). It
+// returns an error for invalid inputs. The Wilson interval behaves sanely
+// at the extreme rates the suppression experiments produce (0 false alarms
+// out of thousands of positions).
+func WilsonInterval(successes, n int, z float64) (Interval, error) {
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("stats: Wilson interval with n = %d", n)
+	}
+	if successes < 0 || successes > n {
+		return Interval{}, fmt.Errorf("stats: %d successes out of %d trials", successes, n)
+	}
+	if z <= 0 {
+		return Interval{}, fmt.Errorf("stats: non-positive z %v", z)
+	}
+	p := float64(successes) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo := center - margin
+	hi := center + margin
+	// The Wilson bounds are exactly 0 (resp. 1) at the empty (resp. full)
+	// success count; pin them against floating-point residue.
+	if lo < 0 || successes == 0 {
+		lo = 0
+	}
+	if hi > 1 || successes == n {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// BootstrapMeanCI returns a percentile bootstrap confidence interval for
+// the mean of xs, using resamples draws from the deterministic source.
+// confidence is the two-sided level in (0,1), e.g. 0.95.
+func BootstrapMeanCI(xs []float64, resamples int, confidence float64, src *rng.Source) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: too few resamples %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[src.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return Interval{
+		Lo: Quantile(means, alpha),
+		Hi: Quantile(means, 1-alpha),
+	}, nil
+}
+
+// AUC returns the area under a curve given as (x, y) points by trapezoidal
+// integration after sorting by x. Points must have equal lengths and at
+// least two entries; x values outside [0,1] are accepted (the caller
+// normalizes).
+func AUC(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: AUC with %d x and %d y values", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: AUC needs at least two points, got %d", len(x))
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(x))
+	for i := range x {
+		pts[i] = pt{x[i], y[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	area := 0.0
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].x - pts[i-1].x) * (pts[i].y + pts[i-1].y) / 2
+	}
+	return area, nil
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary %+v", s)
+	}
+	// Sample standard deviation of this classic data set is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-6 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.Median != 3 {
+		t.Errorf("singleton summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almost(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestWilsonInterval(t *testing.T) {
+	iv, err := WilsonInterval(5, 100, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0.05) {
+		t.Errorf("interval %+v excludes the point estimate", iv)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 || iv.Lo >= iv.Hi {
+		t.Errorf("interval %+v malformed", iv)
+	}
+	// Zero successes: the lower bound is exactly zero and the upper bound
+	// is small but positive — the rule-of-three regime.
+	iv, err = WilsonInterval(0, 1000, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0 || iv.Hi <= 0 || iv.Hi > 0.01 {
+		t.Errorf("zero-successes interval %+v", iv)
+	}
+}
+
+func TestWilsonIntervalErrors(t *testing.T) {
+	if _, err := WilsonInterval(1, 0, 1.96); err == nil {
+		t.Errorf("n=0 accepted")
+	}
+	if _, err := WilsonInterval(-1, 10, 1.96); err == nil {
+		t.Errorf("negative successes accepted")
+	}
+	if _, err := WilsonInterval(11, 10, 1.96); err == nil {
+		t.Errorf("successes > n accepted")
+	}
+	if _, err := WilsonInterval(1, 10, 0); err == nil {
+		t.Errorf("z=0 accepted")
+	}
+}
+
+// TestWilsonContainsTruthUsually: for repeated Bernoulli samples the 95%
+// interval should contain the true rate most of the time.
+func TestWilsonContainsTruthUsually(t *testing.T) {
+	src := rng.New(42)
+	const p = 0.1
+	const trials = 200
+	contains := 0
+	for rep := 0; rep < 100; rep++ {
+		successes := 0
+		for i := 0; i < trials; i++ {
+			if src.Float64() < p {
+				successes++
+			}
+		}
+		iv, err := WilsonInterval(successes, trials, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(p) {
+			contains++
+		}
+	}
+	if contains < 85 {
+		t.Errorf("95%% interval contained the truth only %d of 100 times", contains)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	xs := make([]float64, 200)
+	src := rng.New(7)
+	for i := range xs {
+		xs[i] = src.Float64() // mean 0.5
+	}
+	iv, err := BootstrapMeanCI(xs, 500, 0.95, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0.5) {
+		t.Errorf("bootstrap CI %+v excludes 0.5", iv)
+	}
+	if iv.Hi-iv.Lo > 0.2 {
+		t.Errorf("bootstrap CI %+v implausibly wide", iv)
+	}
+	// Determinism: same source seed, same interval.
+	iv2, err := BootstrapMeanCI(xs, 500, 0.95, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv != iv2 {
+		t.Errorf("bootstrap not deterministic: %+v vs %+v", iv, iv2)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, err := BootstrapMeanCI(nil, 100, 0.95, src); err == nil {
+		t.Errorf("empty sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 5, 0.95, src); err == nil {
+		t.Errorf("too few resamples accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 100, 1.5, src); err == nil {
+		t.Errorf("confidence 1.5 accepted")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Unit step at 0: perfect classifier ROC → area 1.
+	got, err := AUC([]float64{0, 0, 1}, []float64{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 1) {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	// Diagonal → 0.5.
+	got, err = AUC([]float64{0, 0.5, 1}, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.5) {
+		t.Errorf("diagonal AUC = %v", got)
+	}
+	// Unsorted input is sorted internally.
+	got, err = AUC([]float64{1, 0, 0.5}, []float64{1, 0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.5) {
+		t.Errorf("unsorted AUC = %v", got)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{0}, []float64{0, 1}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, err := AUC([]float64{0}, []float64{0}); err == nil {
+		t.Errorf("single point accepted")
+	}
+}
+
+// TestQuantileMonotone: quantiles are monotone in q for any sample.
+func TestQuantileMonotone(t *testing.T) {
+	check := func(raw []byte, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		sort.Float64s(xs)
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

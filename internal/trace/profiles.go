@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"adiv/internal/alphabet"
+	"adiv/internal/seq"
+)
+
+// Built-in profiles. They intentionally mirror the structure of the traces
+// the literature studies: a daemon with a dominant service loop and rare
+// error handling (sendmail/lpr-style), and an interactive shell session with
+// task-switching (the Lane & Brodley masquerade-detection setting).
+
+// symbolic shorthands used by the built-in profiles.
+func syms(names ...alphabet.Symbol) seq.Stream { return seq.Stream(names) }
+
+// DaemonProfile models a network daemon: a long accept/serve/log loop with
+// an occasional authentication branch and a rare error-recovery path. The
+// 20-symbol alphabet stands in for a system-call repertoire.
+func DaemonProfile() *Profile {
+	a, err := alphabet.WithNames([]string{
+		"accept", "read", "parse", "lookup", "write", "log", // 0-5: service loop
+		"auth", "crypt", "setuid", // 6-8: auth branch
+		"stat", "open", "mmap", "close", // 9-12: file handling
+		"fork", "exec", "wait", // 13-15: delivery
+		"sigact", "unlink", "abortlog", "exit", // 16-19: error path
+	})
+	if err != nil {
+		// Static construction; a failure is a programming error.
+		panic(err)
+	}
+	return &Profile{
+		Name:     "daemon",
+		Alphabet: a,
+		Phases: []Phase{
+			{
+				Name:       "serve",
+				MeanLength: 400,
+				Blocks: []Block{
+					{Symbols: syms(0, 1, 2, 3, 4, 5), Weight: 60},      // plain request
+					{Symbols: syms(0, 1, 2, 6, 7, 8, 4, 5), Weight: 8}, // authenticated request
+					{Symbols: syms(9, 10, 11, 1, 12), Weight: 6},       // config reload
+					{Symbols: syms(0, 1, 2, 3, 3, 3, 4, 5), Weight: 4}, // retried lookup
+				},
+				Next: []int{0, 0, 0, 1},
+			},
+			{
+				Name:       "deliver",
+				MeanLength: 60,
+				Blocks: []Block{
+					{Symbols: syms(13, 14, 15, 5), Weight: 20},
+					{Symbols: syms(13, 14, 16, 15, 5), Weight: 2}, // child signalled
+					{Symbols: syms(10, 4, 12, 17), Weight: 1},     // spool cleanup
+				},
+				Next: []int{0, 0, 0, 0, 2},
+			},
+			{
+				Name:       "recover",
+				MeanLength: 12,
+				Blocks: []Block{
+					{Symbols: syms(16, 18, 5, 19), Weight: 1}, // rare error path
+					{Symbols: syms(16, 9, 10, 12), Weight: 2},
+				},
+				Next: []int{0},
+			},
+		},
+	}
+}
+
+// WebServerProfile models a request-serving worker over a 24-symbol
+// repertoire: a dominant static-file fast path, a dynamic-handler path
+// with database access, periodic housekeeping, and a rare crash-recovery
+// branch — the long-tailed mixture that makes held-out web traces rich in
+// minimal foreign sequences.
+func WebServerProfile() *Profile {
+	a, err := alphabet.WithNames([]string{
+		"accept", "readreq", "parsehdr", "route", // 0-3: front end
+		"statf", "openf", "sendfile", "closef", // 4-7: static path
+		"handler", "dbconn", "query", "dbfree", "render", // 8-12: dynamic path
+		"writeresp", "logline", "keepalive", "closecon", // 13-16: back end
+		"gcpass", "rotatelog", "reload", // 17-19: housekeeping
+		"sigchld", "respawn", "panicdump", "resume", // 20-23: recovery
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &Profile{
+		Name:     "webserver",
+		Alphabet: a,
+		Phases: []Phase{
+			{
+				Name:       "serve",
+				MeanLength: 600,
+				Blocks: []Block{
+					{Symbols: syms(0, 1, 2, 3, 4, 5, 6, 7, 13, 14, 15), Weight: 55}, // static hit
+					{Symbols: syms(0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 16), Weight: 18},
+					{Symbols: syms(0, 1, 2, 3, 4, 13, 14, 16), Weight: 10}, // 404-ish
+					{Symbols: syms(0, 1, 2, 3, 8, 9, 10, 10, 11, 12, 13, 14, 15), Weight: 5},
+				},
+				Next: []int{0, 0, 0, 1},
+			},
+			{
+				Name:       "housekeep",
+				MeanLength: 30,
+				Blocks: []Block{
+					{Symbols: syms(17, 14), Weight: 8},
+					{Symbols: syms(18, 14), Weight: 3},
+					{Symbols: syms(19, 2, 14), Weight: 1},
+				},
+				Next: []int{0, 0, 0, 0, 0, 2},
+			},
+			{
+				Name:       "recover",
+				MeanLength: 10,
+				Blocks: []Block{
+					{Symbols: syms(20, 21, 14), Weight: 3},
+					{Symbols: syms(22, 14, 23), Weight: 1}, // rare panic path
+				},
+				Next: []int{0},
+			},
+		},
+	}
+}
+
+// ShellProfile models an interactive user session over a 16-command
+// repertoire: bursts of per-task commands with occasional context switches,
+// the data shape of the Lane & Brodley masquerade work.
+func ShellProfile() *Profile {
+	a, err := alphabet.WithNames([]string{
+		"cd", "ls", "cat", "vi", "make", "gcc", "run", "grep",
+		"cp", "mv", "rm", "man", "mail", "ps", "kill", "logout",
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &Profile{
+		Name:     "shell",
+		Alphabet: a,
+		Phases: []Phase{
+			{
+				Name:       "edit-compile",
+				MeanLength: 120,
+				Blocks: []Block{
+					{Symbols: syms(3, 4, 5, 6), Weight: 30}, // vi make gcc run
+					{Symbols: syms(3, 4, 6), Weight: 15},
+					{Symbols: syms(7, 2, 3), Weight: 8}, // grep cat vi
+					{Symbols: syms(1, 2), Weight: 10},   // ls cat
+				},
+				Next: []int{0, 0, 1, 2},
+			},
+			{
+				Name:       "file-admin",
+				MeanLength: 40,
+				Blocks: []Block{
+					{Symbols: syms(0, 1, 8, 9), Weight: 10}, // cd ls cp mv
+					{Symbols: syms(0, 1, 10), Weight: 4},    // cd ls rm
+					{Symbols: syms(11, 2), Weight: 2},       // man cat
+				},
+				Next: []int{0, 0, 2},
+			},
+			{
+				Name:       "mail-and-procs",
+				MeanLength: 25,
+				Blocks: []Block{
+					{Symbols: syms(12, 12, 2), Weight: 6}, // mail mail cat
+					{Symbols: syms(13, 14), Weight: 1},    // ps kill (rare)
+					{Symbols: syms(13, 1), Weight: 3},
+				},
+				Next: []int{0, 1},
+			},
+		},
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// MFSStats summarizes the minimal foreign sequences found in a test stream
+// with respect to a training stream, reproducing the observation of the
+// paper's Section 4.1 (after Tan & Maxion 2002): natural data is replete
+// with minimal foreign sequences of varying lengths.
+type MFSStats struct {
+	// CountBySize maps MFS length to the number of positions in the test
+	// stream where a minimal foreign sequence of that length starts.
+	CountBySize map[int]int
+	// Examples holds one example MFS per length, keyed by length.
+	Examples map[int]seq.Stream
+	// Positions is the number of test positions examined.
+	Positions int
+
+	// occurrences records every (position, size) found, in stream order,
+	// backing NaturalPlacements.
+	occurrences []occurrence
+}
+
+type occurrence struct{ pos, size int }
+
+// Total returns the total number of MFS occurrences found.
+func (s MFSStats) Total() int {
+	n := 0
+	for _, c := range s.CountBySize {
+		n += c
+	}
+	return n
+}
+
+// Sizes returns the MFS lengths observed, ascending.
+func (s MFSStats) Sizes() []int {
+	sizes := make([]int, 0, len(s.CountBySize))
+	for k := range s.CountBySize {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// NaturalPlacements locates minimal foreign sequences at their natural
+// positions in a test stream and keeps those whose surroundings satisfy the
+// boundary-sequence constraint in place: every window (of each width in
+// opts) mixing anomaly and neighboring elements occurs in the training
+// data. Such occurrences are directly usable as evaluation placements —
+// "there is no difference between a minimal foreign sequence embedded in
+// synthetic vs. natural data" (paper Section 8) — without any injection.
+// Results are ordered by position; max limits how many are returned
+// (0 = all).
+func NaturalPlacements(trainIx *seq.Index, test seq.Stream, maxSize int, opts inject.Options, limit int) ([]inject.Placement, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	stats, err := ScanMFS(trainIx, test, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	var out []inject.Placement
+	for _, occ := range stats.occurrences {
+		p := inject.Placement{Stream: test, Start: occ.pos, AnomalyLen: occ.size}
+		ok, err := inject.Valid(trainIx, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScanMFS scans a test stream against a training index for occurrences of
+// minimal foreign sequences up to maxSize long.
+//
+// A position i contributes an MFS of length L when test[i:i+L] is foreign to
+// the training stream while both of its (L-1)-length subsequences occur. The
+// scan finds, for each i, the shortest foreign sequence starting at i; if
+// that sequence's proper subsequences all occur it is minimal by
+// construction of "shortest" on the prefix side, and the suffix side is
+// verified explicitly.
+func ScanMFS(trainIx *seq.Index, test seq.Stream, maxSize int) (MFSStats, error) {
+	if maxSize < 2 {
+		return MFSStats{}, fmt.Errorf("trace: maxSize %d too small for minimal foreign sequences", maxSize)
+	}
+	stats := MFSStats{
+		CountBySize: make(map[int]int),
+		Examples:    make(map[int]seq.Stream),
+		Positions:   len(test),
+	}
+	// The scan probes many lengths per position; the suffix automaton
+	// answers each probe in O(length) regardless of length, where per-width
+	// databases would need one build per width.
+	auto := trainIx.Automaton()
+	for i := 0; i < len(test); i++ {
+		// Find the shortest L such that test[i:i+L] is foreign. Once a
+		// prefix is foreign every extension is too, so stop at the first.
+		for l := 1; l <= maxSize && i+l <= len(test); l++ {
+			candidate := test[i : i+l]
+			if !auto.IsForeign(candidate) {
+				continue
+			}
+			if l < 2 {
+				break // a foreign symbol, not an MFS
+			}
+			// The prefix test[i:i+l-1] occurs (l was the *first* foreign
+			// length); minimality still requires the suffix to occur.
+			if auto.Contains(candidate[1:]) {
+				stats.CountBySize[l]++
+				stats.occurrences = append(stats.occurrences, occurrence{pos: i, size: l})
+				if _, ok := stats.Examples[l]; !ok {
+					stats.Examples[l] = candidate.Clone()
+				}
+			}
+			break
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,102 @@
+package adiv_test
+
+import (
+	"testing"
+
+	"adiv"
+)
+
+// TestMimicryEvadesWindowMatching reproduces the Section-2 background
+// observation that attacks can be manipulated to manifest as normal
+// behavior: a camouflaged sequence whose every width-6 window occurs in
+// training draws zero response from Stide at DW <= 6 — and from the
+// Markov detector at DW < 6 — while a detector looking through a longer
+// window catches the seams between the borrowed contexts.
+func TestMimicryEvadesWindowMatching(t *testing.T) {
+	corpus := sharedCorpus(t)
+	const camouflageWidth = 6
+
+	// Find a deterministic seed whose camouflage becomes visible somewhere
+	// in the evaluated window range (virtually all do).
+	var attack adiv.Stream
+	visibleAt := 0
+	for seed := uint64(1); seed <= 30; seed++ {
+		s, err := adiv.Camouflage(corpus.TrainIndex, camouflageWidth, 60, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := adiv.MimicryDetectionWidth(corpus.TrainIndex, s, 2, adiv.MaxWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > camouflageWidth {
+			attack, visibleAt = s, w
+			break
+		}
+	}
+	if attack == nil {
+		t.Fatal("no camouflage seed produced a walk visible within the window range")
+	}
+
+	// Stide up to the camouflage width: every response exactly zero —
+	// the "attack" reads as completely normal.
+	for dw := 2; dw <= camouflageWidth; dw++ {
+		det, err := adiv.NewStide(dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Train(corpus.Training); err != nil {
+			t.Fatal(err)
+		}
+		responses, err := det.Score(attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range responses {
+			if r != 0 {
+				t.Fatalf("stide(DW=%d) response[%d] = %v on camouflaged attack", dw, i, r)
+			}
+		}
+	}
+
+	// A window at the detection width sees a foreign seam.
+	det, err := adiv.NewStide(visibleAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(corpus.Training); err != nil {
+		t.Fatal(err)
+	}
+	responses, err := det.Score(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, r := range responses {
+		if r == 1 {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Errorf("stide(DW=%d) failed to catch the seam DetectionWidth reported", visibleAt)
+	}
+
+	// The Markov detector needs its (DW+1)-grams normal: blind strictly
+	// below the camouflage width.
+	markov, err := adiv.NewMarkov(camouflageWidth - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := markov.Train(corpus.Training); err != nil {
+		t.Fatal(err)
+	}
+	responses, err = markov.Score(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range responses {
+		if r == 1 {
+			t.Errorf("markov(DW=%d) maximal response[%d] on camouflaged attack", camouflageWidth-1, i)
+		}
+	}
+}

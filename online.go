@@ -1,0 +1,40 @@
+package adiv
+
+import "adiv/internal/online"
+
+// Streaming deployment: push symbols one at a time, receive responses and
+// alarms as windows complete. Output is element-for-element identical to
+// batch scoring.
+type (
+	// StreamScorer scores a symbol stream incrementally.
+	StreamScorer = online.Scorer
+	// StreamAlarmer thresholds a stream scorer into an alarm stream.
+	StreamAlarmer = online.Alarmer
+	// StreamAlarm is one streaming alarm (window start position and
+	// response).
+	StreamAlarm = online.Alarm
+)
+
+// NewStreamScorer wraps a trained detector for incremental scoring.
+func NewStreamScorer(det Detector) (*StreamScorer, error) { return online.NewScorer(det) }
+
+// NewStreamAlarmer wraps a trained detector with a detection threshold for
+// incremental alarming.
+func NewStreamAlarmer(det Detector, threshold float64) (*StreamAlarmer, error) {
+	return online.NewAlarmer(det, threshold)
+}
+
+// Streaming suppression pipeline (Section 7 as a component).
+type (
+	// VetoPipeline escalates a primary detector's streaming alarms only
+	// when a veto detector corroborates them by element overlap.
+	VetoPipeline = online.VetoPipeline
+	// EscalatedAlarm is a corroborated streaming alarm.
+	EscalatedAlarm = online.EscalatedAlarm
+)
+
+// NewVetoPipeline wraps two trained detectors with their thresholds into a
+// streaming suppression pipeline.
+func NewVetoPipeline(primary, veto Detector, primaryThreshold, vetoThreshold float64) (*VetoPipeline, error) {
+	return online.NewVetoPipeline(primary, veto, primaryThreshold, vetoThreshold)
+}

