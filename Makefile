@@ -1,0 +1,39 @@
+# Build/test entry points for the adiv reproduction repo.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite (tier-1 gate)
+#   make race    run the suite under the race detector
+#   make vet     gofmt check + go vet
+#   make bench   run every benchmark once with allocation stats
+#   make bench-snapshot   record benchmarks to BENCH_<date>.json
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-snapshot clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
+
+bench-snapshot:
+	./scripts/bench_snapshot.sh
+
+clean:
+	rm -f BENCH_*.json *.pprof m.json

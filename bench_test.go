@@ -463,3 +463,35 @@ func BenchmarkInjection(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDetectorScoreObserved pins down the cost of the observability
+// wrapper around Detector.Score. "baseline" is the raw detector;
+// "disabled" wraps with a nil registry (ObserveDetector returns the
+// detector unwrapped, so this must match baseline exactly); "enabled"
+// pays for the span, symbol counter, response histogram, and throughput
+// gauge. Compare ns/op across the three to verify that runs without
+// -metrics-out are unaffected.
+func BenchmarkDetectorScoreObserved(b *testing.B) {
+	corpus := benchCorpus(b)
+	stream := corpus.Placements[6].Stream
+	variants := []struct {
+		name string
+		wrap func(adiv.Detector) adiv.Detector
+	}{
+		{"baseline", func(d adiv.Detector) adiv.Detector { return d }},
+		{"disabled", func(d adiv.Detector) adiv.Detector { return adiv.ObserveDetector(d, nil) }},
+		{"enabled", func(d adiv.Detector) adiv.Detector { return adiv.ObserveDetector(d, adiv.NewMetrics()) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			det := v.wrap(trainedDetector(b, adiv.DetectorStide, 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Score(stream); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(stream)))
+		})
+	}
+}

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	ensemble [-quick] [-window N] [-size N] [-noisy N]
+//	         [-metrics-out FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"adiv"
 	"adiv/internal/gen"
 	"adiv/internal/inject"
+	"adiv/internal/runflags"
 	"adiv/internal/seq"
 )
 
@@ -33,12 +35,13 @@ func main() {
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("ensemble", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the reduced configuration")
 	window := fs.Int("window", 8, "detector window for the suppression experiment")
 	size := fs.Int("size", 6, "anomaly size for the suppression experiment")
 	noisyLen := fs.Int("noisy", 20_000, "length of the rare-containing test stream")
+	obsFlags := runflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,33 +50,50 @@ func run(w io.Writer, args []string) error {
 	if *quick {
 		cfg = adiv.QuickConfig()
 	}
+	obsRun, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsRun.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	obsRun.Announce("run.start", adiv.EventFields{
+		"cmd":      "ensemble",
+		"quick":    *quick,
+		"trainLen": cfg.Gen.TrainLen,
+		"window":   *window,
+		"size":     *size,
+		"noisy":    *noisyLen,
+	})
 	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
-	corpus, err := adiv.BuildCorpus(cfg)
+	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
 
-	if err := coverageAnalysis(w, corpus); err != nil {
+	if err := coverageAnalysis(w, corpus, obsRun.Metrics); err != nil {
 		return err
 	}
-	return suppressionAnalysis(w, corpus, *window, *size, *noisyLen)
+	return suppressionAnalysis(w, corpus, *window, *size, *noisyLen, obsRun.Metrics)
 }
 
-func coverageAnalysis(w io.Writer, corpus *adiv.Corpus) error {
+func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 	opts := adiv.DefaultEvalOptions()
-	stideMap, err := corpus.PerformanceMap(adiv.DetectorStide, adiv.StideFactory, opts)
+	stideMap, err := corpus.PerformanceMapObserved(adiv.DetectorStide, adiv.StideFactory, opts, metrics)
 	if err != nil {
 		return err
 	}
-	markovMap, err := corpus.PerformanceMap(adiv.DetectorMarkov, adiv.MarkovFactory, opts)
+	markovMap, err := corpus.PerformanceMapObserved(adiv.DetectorMarkov, adiv.MarkovFactory, opts, metrics)
 	if err != nil {
 		return err
 	}
-	lbMap, err := corpus.PerformanceMap(adiv.DetectorLaneBrodley, adiv.LaneBrodleyFactory, opts)
+	lbMap, err := corpus.PerformanceMapObserved(adiv.DetectorLaneBrodley, adiv.LaneBrodleyFactory, opts, metrics)
 	if err != nil {
 		return err
 	}
-	tstideMap, err := corpus.PerformanceMap(adiv.DetectorTStide, adiv.TStideFactory, opts)
+	tstideMap, err := corpus.PerformanceMapObserved(adiv.DetectorTStide, adiv.TStideFactory, opts, metrics)
 	if err != nil {
 		return err
 	}
@@ -102,7 +122,7 @@ func coverageAnalysis(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func suppressionAnalysis(w io.Writer, corpus *adiv.Corpus, window, size, noisyLen int) error {
+func suppressionAnalysis(w io.Writer, corpus *adiv.Corpus, window, size, noisyLen int, metrics *adiv.Metrics) error {
 	rep, ok := corpus.Anomalies[size]
 	if !ok {
 		return fmt.Errorf("corpus has no size-%d anomaly", size)

@@ -12,6 +12,11 @@
 //	                 or rare (count strong rare-sequence responses as hits)
 //	-quick           use the reduced configuration (fast; identical shapes)
 //	-csv             additionally emit each map as CSV to stdout
+//	-metrics-out F   write a JSON metrics snapshot (corpus-build duration,
+//	                 per-detector training durations, scoring throughput,
+//	                 per-cell evaluation timing) to F at exit
+//	-progress        emit NDJSON progress events to stderr during grid runs
+//	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 
 	"adiv"
+	"adiv/internal/runflags"
 )
 
 func main() {
@@ -31,7 +37,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("perfmap", flag.ContinueOnError)
 	figure := fs.Int("figure", 0, "regenerate only this figure (2-7); 0 means all")
 	detName := fs.String("detector", "", "regenerate only this detector's map (lb|markov|stide|nn)")
@@ -39,6 +45,7 @@ func run(w io.Writer, args []string) error {
 	quick := fs.Bool("quick", false, "use the reduced configuration")
 	csv := fs.Bool("csv", false, "additionally emit maps as CSV")
 	asJSON := fs.Bool("json", false, "additionally emit maps as JSON")
+	obsFlags := runflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,13 +55,31 @@ func run(w io.Writer, args []string) error {
 		cfg = adiv.QuickConfig()
 	}
 
+	obsRun, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsRun.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	obsRun.Announce("run.start", adiv.EventFields{
+		"cmd":      "perfmap",
+		"quick":    *quick,
+		"trainLen": cfg.Gen.TrainLen,
+		"windows":  fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
+		"sizes":    fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+		"regime":   *regime,
+	})
+
 	// Figure 7 needs no corpus.
 	if *figure == 7 {
 		return writeFigure7(w)
 	}
 
 	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
-	corpus, err := adiv.BuildCorpus(cfg)
+	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
@@ -79,7 +104,7 @@ func run(w io.Writer, args []string) error {
 		if *regime == "rare" && name != adiv.DetectorNeuralNet {
 			opts = adiv.RareSensitiveEvalOptions()
 		}
-		m, err := corpus.PerformanceMap(name, factory, opts)
+		m, err := corpus.PerformanceMapObserved(name, factory, opts, obsRun.Metrics)
 		if err != nil {
 			return err
 		}

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	report [-quick] [-out FILE]
+//	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element
 // training stream and takes a few minutes, dominated by the fourteen
-// neural-network trainings.
+// neural-network trainings; -progress narrates the grid runs and
+// -metrics-out records where the time went (timings reported in
+// docs/full-report.md come from this instrumentation).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"adiv"
+	"adiv/internal/runflags"
 )
 
 func main() {
@@ -28,10 +32,11 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the reduced configuration")
 	out := fs.String("out", "", "write the report to this file (default stdout)")
+	obsFlags := runflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,11 +55,28 @@ func run(args []string) error {
 	if *quick {
 		cfg = adiv.QuickConfig()
 	}
-	fmt.Fprintf(os.Stderr, "report: building corpus (training length %d)...\n", cfg.Gen.TrainLen)
-	corpus, err := adiv.BuildCorpus(cfg)
+	obsRun, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := obsRun.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	obsRun.Announce("run.start", adiv.EventFields{
+		"cmd":      "report",
+		"quick":    *quick,
+		"trainLen": cfg.Gen.TrainLen,
+		"windows":  fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
+		"sizes":    fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+	})
+	fmt.Fprintf(os.Stderr, "report: building corpus (training length %d)...\n", cfg.Gen.TrainLen)
+	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
+	if err != nil {
+		return err
+	}
+	metrics := obsRun.Metrics
 
 	fmt.Fprintf(w, "# Regenerated experimental record\n\n")
 	fmt.Fprintf(w, "Configuration: training %d symbols, background %d, anomaly sizes %d-%d, windows %d-%d, rare cutoff %.3f%%, seed %d.\n\n",
@@ -64,7 +86,7 @@ func run(args []string) error {
 	if err := figure2(w, corpus); err != nil {
 		return err
 	}
-	maps, err := figures3to6(w, corpus)
+	maps, err := figures3to6(w, corpus, metrics)
 	if err != nil {
 		return err
 	}
@@ -74,7 +96,7 @@ func run(args []string) error {
 	if err := combination(w, corpus, maps); err != nil {
 		return err
 	}
-	if err := ablations(w, corpus); err != nil {
+	if err := ablations(w, corpus, metrics); err != nil {
 		return err
 	}
 	return prevalence(w)
@@ -89,7 +111,7 @@ func figure2(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func figures3to6(w io.Writer, corpus *adiv.Corpus) (map[string]*adiv.Map, error) {
+func figures3to6(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
 	order := []struct {
 		figure int
 		name   string
@@ -106,7 +128,7 @@ func figures3to6(w io.Writer, corpus *adiv.Corpus) (map[string]*adiv.Map, error)
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "report: figure %d (%s)...\n", item.figure, item.name)
-		m, err := corpus.PerformanceMap(item.name, factory, opts)
+		m, err := corpus.PerformanceMapObserved(item.name, factory, opts, metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +219,7 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	return nil
 }
 
-func ablations(w io.Writer, corpus *adiv.Corpus) error {
+func ablations(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 	fmt.Fprintf(os.Stderr, "report: ablations...\n")
 	fmt.Fprintf(w, "## Parameter ablations\n\n")
 	fmt.Fprintf(w, "t-stide rarity cutoff (coverage cells of %d vs false alarms on rare data):\n\n", 112)
@@ -212,7 +234,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus) error {
 	}
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
-		m, err := corpus.PerformanceMap("tstide", factory, adiv.DefaultEvalOptions())
+		m, err := corpus.PerformanceMapObserved("tstide", factory, adiv.DefaultEvalOptions(), metrics)
 		if err != nil {
 			return err
 		}
@@ -233,7 +255,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus) error {
 
 	// Smoothed Markov collapse.
 	factory := func(dw int) (adiv.Detector, error) { return adiv.NewSmoothedMarkov(dw, 0.05) }
-	strict, err := corpus.PerformanceMap("markov-smoothed", factory, adiv.DefaultEvalOptions())
+	strict, err := corpus.PerformanceMapObserved("markov-smoothed", factory, adiv.DefaultEvalOptions(), metrics)
 	if err != nil {
 		return err
 	}

@@ -11,10 +11,20 @@
 //	                  capable cells out of the full evaluation grid
 //	-mode cutoff      t-stide rarity-cutoff sweep: coverage and false
 //	                  alarms as the cutoff moves
+//	-mode profile     per-detector response distributions on clean versus
+//	                  rare-containing data
+//	-mode hmm         HMM hidden-state-count sweep
 //
 // Usage:
 //
-//	sweep -mode threshold [-quick] [-window N] [-size N] [-trials N]
+//	sweep -mode threshold [-quick=false] [-window N] [-size N] [-trials N]
+//
+// NOTE: unlike the other commands, sweep defaults to the REDUCED (-quick)
+// configuration, because most modes retrain dozens of detectors; pass
+// -quick=false for the paper-scale run. The active configuration is
+// announced as a run.start event on stderr at startup. The shared
+// observability flags (-metrics-out, -progress, -cpuprofile, -memprofile)
+// are also accepted.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"os"
 
 	"adiv"
+	"adiv/internal/runflags"
 )
 
 func main() {
@@ -33,13 +44,14 @@ func main() {
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	mode := fs.String("mode", "threshold", "sweep mode: threshold, nn, or cutoff")
-	quick := fs.Bool("quick", true, "use the reduced configuration (default true; sweeps retrain many detectors)")
+	mode := fs.String("mode", "threshold", "sweep mode: threshold, nn, cutoff, profile, or hmm")
+	quick := fs.Bool("quick", true, "use the reduced configuration — NOTE: defaults to true, unlike the other commands, because sweeps retrain dozens of detectors; pass -quick=false for the paper-scale (one-million-element) run")
 	window := fs.Int("window", 8, "detector window")
 	size := fs.Int("size", 6, "anomaly size")
 	trials := fs.Int("trials", 5, "number of rare-containing test streams (threshold mode)")
+	obsFlags := runflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +60,30 @@ func run(w io.Writer, args []string) error {
 	if *quick {
 		cfg = adiv.QuickConfig()
 	}
-	corpus, err := adiv.BuildCorpus(cfg)
+	obsRun, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsRun.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	config := "default (paper-scale)"
+	if *quick {
+		config = "quick (reduced)"
+	}
+	obsRun.Announce("run.start", adiv.EventFields{
+		"cmd":           "sweep",
+		"mode":          *mode,
+		"config":        config,
+		"quick":         *quick,
+		"trainLen":      cfg.Gen.TrainLen,
+		"backgroundLen": cfg.Gen.BackgroundLen,
+		"windows":       fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
+		"sizes":         fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+	})
+	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
@@ -57,9 +92,9 @@ func run(w io.Writer, args []string) error {
 	case "threshold":
 		return thresholdSweep(w, corpus, *window, *size, *trials)
 	case "nn":
-		return nnGrid(w, corpus)
+		return nnGrid(w, corpus, obsRun.Metrics)
 	case "cutoff":
-		return cutoffSweep(w, corpus, *window, *size)
+		return cutoffSweep(w, corpus, *window, *size, obsRun.Metrics)
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
@@ -176,7 +211,7 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 }
 
 // nnGrid charts coverage across neural-network tuning parameters.
-func nnGrid(w io.Writer, corpus *adiv.Corpus) error {
+func nnGrid(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
 		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
 	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
@@ -185,7 +220,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus) error {
 			cfg := adiv.DefaultNNConfig()
 			cfg.Epochs = epochs
 			cfg.LearningRate = lr
-			m, err := corpus.PerformanceMap("nn", adiv.NeuralNetFactory(cfg), adiv.NeuralNetEvalOptions())
+			m, err := corpus.PerformanceMapObserved("nn", adiv.NeuralNetFactory(cfg), adiv.NeuralNetEvalOptions(), metrics)
 			if err != nil {
 				return err
 			}
@@ -197,7 +232,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus) error {
 
 // cutoffSweep charts t-stide's coverage and false alarms against its
 // rarity cutoff.
-func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int) error {
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, metrics *adiv.Metrics) error {
 	noisy, err := corpus.NoisyStream(10_000, 1)
 	if err != nil {
 		return err
@@ -209,7 +244,7 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int) error {
 	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
-		m, err := corpus.PerformanceMap("tstide", factory, adiv.DefaultEvalOptions())
+		m, err := corpus.PerformanceMapObserved("tstide", factory, adiv.DefaultEvalOptions(), metrics)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"adiv/internal/eval"
 	"adiv/internal/gen"
 	"adiv/internal/inject"
+	"adiv/internal/obs"
 	"adiv/internal/seq"
 )
 
@@ -99,15 +100,36 @@ type Corpus struct {
 
 // BuildCorpus synthesizes and verifies the full evaluation suite.
 func BuildCorpus(cfg Config) (*Corpus, error) {
+	return BuildCorpusObserved(cfg, nil)
+}
+
+// BuildCorpusObserved is BuildCorpus with run telemetry recorded into reg
+// (nil disables it, reducing to BuildCorpus): an overall corpus/build span
+// with nested spans for training-stream synthesis, sequence indexing, and
+// anomaly injection, plus corpus.start/corpus.done events.
+func BuildCorpusObserved(cfg Config, reg *obs.Registry) (*Corpus, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	reg.Event("corpus.start", obs.Fields{
+		"trainLen":      cfg.Gen.TrainLen,
+		"backgroundLen": cfg.Gen.BackgroundLen,
+		"sizes":         fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+		"windows":       fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
+		"seed":          cfg.Gen.Seed,
+	})
+	build := reg.Span("corpus/build")
 	g, err := gen.New(cfg.Gen)
 	if err != nil {
 		return nil, err
 	}
+	g.Instrument(reg)
+	trainSpan := build.Child("train")
 	training := g.Training()
+	trainSpan.End()
+	indexSpan := build.Child("index")
 	ix := seq.NewIndex(training)
+	indexSpan.End()
 	background := g.Background()
 
 	corpus := &Corpus{
@@ -124,6 +146,7 @@ func BuildCorpus(cfg Config) (*Corpus, error) {
 		ContextWidths: true, // keep (DW+1)-gram boundaries clean for the predictors
 	}
 	spec := g.Spec()
+	injectSpan := build.Child("inject")
 	for size := cfg.MinSize; size <= cfg.MaxSize; size++ {
 		m, err := spec.CanonicalMFS(size)
 		if err != nil {
@@ -140,6 +163,13 @@ func BuildCorpus(cfg Config) (*Corpus, error) {
 		corpus.Anomalies[size] = report
 		corpus.Placements[size] = placement
 	}
+	injectSpan.End()
+	buildMs := float64(build.End().Nanoseconds()) / 1e6
+	reg.Event("corpus.done", obs.Fields{
+		"trainLen": len(training),
+		"sizes":    len(corpus.Placements),
+		"ms":       buildMs,
+	})
 	return corpus, nil
 }
 
@@ -208,6 +238,13 @@ func (c *Corpus) InjectMultiInto(background seq.Stream, sizes []int, window int)
 // PerformanceMap deploys a detector family (one instance per window length,
 // via factory) across the whole corpus and returns its performance map.
 func (c *Corpus) PerformanceMap(name string, factory eval.Factory, opts eval.Options) (*eval.Map, error) {
-	return eval.BuildMap(name, factory, c.Training, c.Placements,
-		c.Config.MinWindow, c.Config.MaxWindow, opts)
+	return c.PerformanceMapObserved(name, factory, opts, nil)
+}
+
+// PerformanceMapObserved is PerformanceMap with run telemetry — per-window
+// training durations, scoring throughput, per-cell evaluation timing, and
+// cell-completion progress events — recorded into reg (nil disables it).
+func (c *Corpus) PerformanceMapObserved(name string, factory eval.Factory, opts eval.Options, reg *obs.Registry) (*eval.Map, error) {
+	return eval.BuildMapObserved(name, factory, c.Training, c.Placements,
+		c.Config.MinWindow, c.Config.MaxWindow, opts, reg)
 }

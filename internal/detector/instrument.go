@@ -1,0 +1,79 @@
+package detector
+
+import (
+	"fmt"
+
+	"adiv/internal/obs"
+	"adiv/internal/seq"
+)
+
+// responseBins is the bin count of the per-detector response-distribution
+// histogram, matching the profile resolution the sweep command renders.
+const responseBins = 10
+
+// Observed wraps a detector with run telemetry recorded into reg:
+//
+//   - span  train/<name>/dwNN          — per-training duration
+//   - span  score/<name>               — per-call scoring duration
+//   - ctr   symbols/<name>             — symbols scored
+//   - gauge throughput_sps/<name>      — cumulative scoring throughput
+//   - hist  responses/<name>           — response distribution (10 bins,
+//     exact-extreme counts mirroring eval.Profile)
+//
+// A nil registry disables observation entirely: the detector is returned
+// unwrapped, so the disabled path has zero overhead by construction.
+func Observed(d Detector, reg *obs.Registry) Detector {
+	if reg == nil || d == nil {
+		return d
+	}
+	name := d.Name()
+	return &observed{
+		Detector:   d,
+		reg:        reg,
+		trainSpan:  fmt.Sprintf("train/%s/dw%02d", name, d.Window()),
+		scoreSpan:  "score/" + name,
+		score:      reg.Timing("score/" + name),
+		symbols:    reg.Counter("symbols/" + name),
+		throughput: reg.Gauge("throughput_sps/" + name),
+		responses:  reg.Histogram("responses/"+name, responseBins),
+	}
+}
+
+// observed decorates a Detector with metrics recording. Train and Score
+// delegate to the inner detector; Name/Window/Extent pass through via
+// embedding, so evaluation output is unchanged by instrumentation.
+type observed struct {
+	Detector
+	reg        *obs.Registry
+	trainSpan  string
+	scoreSpan  string
+	score      *obs.Timing
+	symbols    *obs.Counter
+	throughput *obs.Gauge
+	responses  *obs.Histogram
+}
+
+// Unwrap returns the detector being observed.
+func (o *observed) Unwrap() Detector { return o.Detector }
+
+func (o *observed) Train(train seq.Stream) error {
+	sp := o.reg.Span(o.trainSpan)
+	err := o.Detector.Train(train)
+	sp.End()
+	return err
+}
+
+func (o *observed) Score(test seq.Stream) ([]float64, error) {
+	sp := o.reg.Span(o.scoreSpan)
+	responses, err := o.Detector.Score(test)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	o.symbols.Add(int64(len(test)))
+	o.responses.ObserveAll(responses)
+	if total := o.score.Total(); total > 0 {
+		o.throughput.Set(float64(o.symbols.Value()) / total.Seconds())
+	}
+	return responses, nil
+}

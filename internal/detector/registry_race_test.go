@@ -1,0 +1,63 @@
+package detector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adiv/internal/seq"
+)
+
+// TestRegistryConcurrent hammers the registry from many goroutines at once:
+// registrations, lookups (both hits and misses), and Names snapshots. The
+// registry is package-global state shared by every command, so it must be
+// safe under -race. Names are prefixed "racetest-" to stay clear of the
+// names other tests assert on.
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		readers = 8
+		rounds  = 200
+	)
+	factory := func(w int) (Detector, error) { return &fake{window: w}, nil }
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				Register(fmt.Sprintf("racetest-%d-%d", id, r%4), factory)
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("racetest-%d-%d", id%writers, r%4)
+				if d, err := New(name, 3); err == nil {
+					if _, serr := d.Score(seq.Stream{0, 1, 2, 3}); serr != nil {
+						t.Errorf("Score on %s: %v", name, serr)
+					}
+				}
+				if _, err := New("racetest-never-registered", 3); err == nil {
+					t.Error("New on unregistered name succeeded")
+				}
+				Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every writer's names must be resolvable once the dust settles.
+	for id := 0; id < writers; id++ {
+		for v := 0; v < 4; v++ {
+			name := fmt.Sprintf("racetest-%d-%d", id, v)
+			if _, err := New(name, 2); err != nil {
+				t.Errorf("New(%s) after concurrent registration: %v", name, err)
+			}
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"adiv/internal/detector"
 	"adiv/internal/inject"
+	"adiv/internal/obs"
 	"adiv/internal/seq"
 )
 
@@ -125,6 +127,17 @@ type Factory func(window int) (detector.Detector, error)
 // neural network fourteen times dominates the Figure 6 wall time otherwise.
 func BuildMap(name string, factory Factory, train seq.Stream, placements map[int]inject.Placement,
 	minWindow, maxWindow int, opts Options) (*Map, error) {
+	return BuildMapObserved(name, factory, train, placements, minWindow, maxWindow, opts, nil)
+}
+
+// BuildMapObserved is BuildMap with run telemetry recorded into reg (nil
+// disables it, reducing to BuildMap). Each detector is wrapped with
+// detector.Observed (per-window training durations, scoring throughput,
+// response distribution), every grid cell records its evaluation timing
+// under cell/<name>, and cell-completion progress events carry a running
+// cells/sec rate — the visibility a multi-minute grid run otherwise lacks.
+func BuildMapObserved(name string, factory Factory, train seq.Stream, placements map[int]inject.Placement,
+	minWindow, maxWindow int, opts Options, reg *obs.Registry) (*Map, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,6 +158,18 @@ func BuildMap(name string, factory Factory, train seq.Stream, placements map[int
 		return nil, err
 	}
 
+	totalCells := len(placements) * (maxWindow - minWindow + 1)
+	reg.Event("map.start", obs.Fields{
+		"detector": name,
+		"windows":  fmt.Sprintf("%d-%d", minWindow, maxWindow),
+		"sizes":    fmt.Sprintf("%d-%d", minSize, maxSize),
+		"cells":    totalCells,
+	})
+	mapSpan := reg.Span("map/" + name)
+	cellTiming := reg.Timing("cell/" + name)
+	cellCounter := reg.Counter("eval/cells/" + name)
+	var done atomic.Int64
+
 	type rowResult struct {
 		assessments []Assessment
 		err         error
@@ -161,6 +186,7 @@ func BuildMap(name string, factory Factory, train seq.Stream, placements map[int
 				res.err = fmt.Errorf("eval: constructing %s(DW=%d): %w", name, window, err)
 				return
 			}
+			det = detector.Observed(det, reg)
 			if err := det.Train(train); err != nil {
 				res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
 				return
@@ -170,16 +196,41 @@ func BuildMap(name string, factory Factory, train seq.Stream, placements map[int
 				if !ok {
 					continue
 				}
+				cellSpan := reg.Span("cell/" + name)
 				a, err := Assess(det, p, opts)
+				cellMs := float64(cellSpan.End().Nanoseconds()) / 1e6
 				if err != nil {
 					res.err = err
 					return
+				}
+				cellCounter.Inc()
+				n := done.Add(1)
+				if reg != nil {
+					var rate float64
+					_, total, _, _ := cellTiming.Stats()
+					if total > 0 {
+						// Cells run concurrently across rows, so the sum of
+						// per-cell durations overstates wall time; the rate
+						// is per core-busy second, a stable progress signal.
+						rate = float64(n) / total.Seconds()
+					}
+					reg.Event("cell", obs.Fields{
+						"detector":        name,
+						"window":          window,
+						"size":            size,
+						"outcome":         a.Outcome.String(),
+						"ms":              cellMs,
+						"done":            n,
+						"total":           totalCells,
+						"cellsPerBusySec": rate,
+					})
 				}
 				res.assessments = append(res.assessments, a)
 			}
 		}(window)
 	}
 	wg.Wait()
+	mapMs := float64(mapSpan.End().Nanoseconds()) / 1e6
 	for _, res := range results {
 		if res.err != nil {
 			return nil, res.err
@@ -188,5 +239,10 @@ func BuildMap(name string, factory Factory, train seq.Stream, placements map[int
 			m.Set(a)
 		}
 	}
+	reg.Event("map.done", obs.Fields{
+		"detector": name,
+		"cells":    done.Load(),
+		"ms":       mapMs,
+	})
 	return m, nil
 }

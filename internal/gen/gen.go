@@ -31,6 +31,7 @@ import (
 
 	"adiv/internal/alphabet"
 	"adiv/internal/markov"
+	"adiv/internal/obs"
 	"adiv/internal/rng"
 	"adiv/internal/seq"
 )
@@ -143,7 +144,13 @@ type Generator struct {
 	emit   []alphabet.Symbol
 	alpha  *alphabet.Alphabet
 	motifs []seq.Stream
+	reg    *obs.Registry
 }
+
+// Instrument records synthesis telemetry (per-stream spans under gen/*,
+// the gen/symbols counter) into reg. A nil registry disables it (the
+// default).
+func (g *Generator) Instrument(reg *obs.Registry) { g.reg = reg }
 
 // New constructs a Generator from cfg.
 func New(cfg Config) (*Generator, error) {
@@ -237,6 +244,7 @@ func (g *Generator) Chain() *markov.Chain { return g.chain }
 // Training generates the training stream: cfg.TrainLen symbols from the
 // generating chain, seeded deterministically from cfg.Seed.
 func (g *Generator) Training() seq.Stream {
+	defer g.reg.Span("gen/training").End()
 	src := rng.New(g.cfg.Seed)
 	return g.project(g.chain.Generate(src, g.cfg.TrainLen))
 }
@@ -246,6 +254,7 @@ func (g *Generator) Training() seq.Stream {
 // rare sequences and is the substrate for the Section-7 false-alarm
 // experiments.
 func (g *Generator) Noisy(n int, stream uint64) seq.Stream {
+	defer g.reg.Span("gen/noisy").End()
 	src := rng.New(g.cfg.Seed ^ (0x9E3779B97F4A7C15 * (stream + 1)))
 	return g.project(g.chain.Generate(src, n))
 }
@@ -254,6 +263,7 @@ func (g *Generator) Noisy(n int, stream uint64) seq.Stream {
 // 5.4.1): cfg.BackgroundLen symbols of pure cycle repetition, starting at
 // cycle phase 0, containing no rare or foreign sequences of any width.
 func (g *Generator) Background() seq.Stream {
+	defer g.reg.Span("gen/background").End()
 	return g.spec.PureCycle(g.cfg.BackgroundLen)
 }
 
@@ -269,5 +279,6 @@ func (g *Generator) project(states seq.Stream) seq.Stream {
 	for i, st := range states {
 		out[i] = g.emit[st]
 	}
+	g.reg.Counter("gen/symbols").Add(int64(len(out)))
 	return out
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled (nil-registry) path must cost nothing measurable: these
+// benchmarks pin the per-operation cost of the no-op handles that
+// instrumented hot paths (Detector.Score, online Push) carry.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveAllDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", 10)
+	vs := make([]float64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveAll(vs)
+	}
+}
+
+func BenchmarkHistogramObserveAllEnabled(b *testing.B) {
+	h := New().Histogram("x", 10)
+	vs := make([]float64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveAll(vs)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("x").End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("x").End()
+	}
+}
+
+func BenchmarkTimingRecord(b *testing.B) {
+	tm := New().Timing("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Record(time.Microsecond)
+	}
+}

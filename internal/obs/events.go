@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fields carries the structured payload of one event.
+type Fields map[string]any
+
+// EventLog writes structured events as NDJSON (one JSON object per line):
+//
+//	{"ts":"2026-08-05T12:00:00.000Z","event":"cell","detector":"stide",...}
+//
+// The "ts" and "event" keys always come first and the remaining field keys
+// are sorted, so lines are byte-stable for a given clock and payload.
+// Writes are serialized by a mutex; a nil *EventLog discards everything.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewEventLog returns an event log writing NDJSON lines to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, now: time.Now}
+}
+
+// SetClock replaces the log's time source (tests use a deterministic fake).
+func (l *EventLog) SetClock(now func() time.Time) {
+	if l == nil || now == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// Emit writes one event line. Field values marshal with encoding/json;
+// unmarshalable values degrade to their fmt.Sprintf("%v") string form.
+func (l *EventLog) Emit(event string, fields Fields) {
+	if l == nil || l.w == nil || event == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"ts":`)
+	buf.Write(mustJSON(l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00")))
+	buf.WriteString(`,"event":`)
+	buf.Write(mustJSON(event))
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		if k == "ts" || k == "event" || k == "" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteByte(',')
+		buf.Write(mustJSON(k))
+		buf.WriteByte(':')
+		buf.Write(mustJSON(fields[k]))
+	}
+	buf.WriteString("}\n")
+	l.w.Write(buf.Bytes()) //nolint:errcheck // telemetry must never fail the run
+}
+
+// mustJSON marshals v, degrading to a quoted string on error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return b
+}

@@ -1,0 +1,358 @@
+// Package obs is the repository's dependency-free observability layer: a
+// metrics registry (counters, gauges, fixed-bin histograms over [0,1]),
+// nestable timing spans, and a structured NDJSON event log. The long batch
+// runs that produce the paper's performance maps — corpus synthesis, dozens
+// of detector trainings, the 8×14 evaluation grid — report where time goes
+// and whether they are making progress through this package, and every run
+// can emit a machine-readable metrics snapshot for benchmark-trajectory
+// tracking.
+//
+// # Disabled path
+//
+// Every entry point is nil-safe: all methods on a nil *Registry, *Counter,
+// *Gauge, *Histogram, *Timing, *Span, and *EventLog are no-ops, so
+// instrumented code paths carry a single pointer test and no allocation
+// when observability is off. Instrumentation holds typed handles (obtained
+// once from the registry) rather than doing name lookups on hot paths.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a named collection of metrics plus an optional event log.
+// All methods are safe for concurrent use and are no-ops on a nil receiver.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timings  map[string]*Timing
+	events   *EventLog
+
+	now   func() time.Time
+	start time.Time
+}
+
+// New returns an empty registry whose uptime starts now.
+func New() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		timings:  make(map[string]*Timing),
+		now:      time.Now,
+	}
+	r.start = r.now()
+	return r
+}
+
+// SetClock replaces the registry's time source (tests use a deterministic
+// fake) and restarts the uptime epoch from the new clock.
+func (r *Registry) SetClock(now func() time.Time) {
+	if r == nil || now == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+	r.start = now()
+}
+
+// SetEventLog attaches an event log; Event calls forward to it. A nil log
+// detaches.
+func (r *Registry) SetEventLog(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = l
+}
+
+// Event emits a structured event to the attached log, if any.
+func (r *Registry) Event(event string, fields Fields) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	l := r.events
+	r.mu.RUnlock()
+	l.Emit(event, fields)
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bin histogram over [0,1], creating it
+// with the given bin count on first use (at least 2; later calls reuse the
+// existing histogram regardless of bins).
+func (r *Registry) Histogram(name string, bins int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bins < 2 {
+		bins = 2
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{bins: make([]int64, bins)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timing returns the named duration accumulator, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timings[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timings[name]; t == nil {
+		t = &Timing{}
+		r.timings[name] = t
+	}
+	return t
+}
+
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use; no-op on a nil receiver.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a last-value float metric. Safe for concurrent use; no-op on a
+// nil receiver. Non-finite values are ignored so snapshots always marshal.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last value set (0 on a nil or never-set receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil || !g.set.Load() {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed equal-width bins over [0,1],
+// mirroring eval.Profile semantics: an observation v lands in bin
+// int(v*bins) clamped to [0, bins-1], so 0.0 lands in the first bin and
+// 1.0 in the last; exact-extreme observations are additionally tallied in
+// AtZero/AtOne (the counts the blind/capable classification keys on).
+// Out-of-range observations clamp to the edge bins.
+type Histogram struct {
+	mu     sync.Mutex
+	bins   []int64
+	count  int64
+	sum    float64
+	atZero int64
+	atOne  int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.observeLocked(v)
+	h.mu.Unlock()
+}
+
+// ObserveAll records a batch of values under one lock — the per-response
+// telemetry path of an instrumented Score call.
+func (h *Histogram) ObserveAll(vs []float64) {
+	if h == nil || len(vs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, v := range vs {
+		h.observeLocked(v)
+	}
+	h.mu.Unlock()
+}
+
+func (h *Histogram) observeLocked(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	switch {
+	case v <= 0:
+		h.atZero++
+	case v >= 1:
+		h.atOne++
+	}
+	idx := int(v * float64(len(h.bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.count++
+	h.sum += v
+}
+
+// Counts returns a copy of the per-bin counts (nil on a nil receiver).
+func (h *Histogram) Counts() []int64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Extremes returns the exact counts of observations at 0 and at 1.
+func (h *Histogram) Extremes() (atZero, atOne int64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.atZero, h.atOne
+}
+
+// Timing accumulates durations recorded under one name: count, total, and
+// the min/max extremes. Safe for concurrent use; no-op on a nil receiver.
+type Timing struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Record adds one duration (negative durations clamp to zero).
+func (t *Timing) Record(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Stats returns the accumulated count, total, min, and max.
+func (t *Timing) Stats() (count int64, total, min, max time.Duration) {
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count, t.total, t.min, t.max
+}
+
+// Total returns the accumulated total duration.
+func (t *Timing) Total() time.Duration {
+	_, total, _, _ := t.Stats()
+	return total
+}

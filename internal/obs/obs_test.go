@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock ticks a fixed step per call, making span durations and event
+// timestamps deterministic.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{
+		t:    time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		step: step,
+	}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Errorf("Counter(a) returned a different handle")
+	}
+	g := r.Gauge("b")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	// Non-finite sets are dropped so snapshots always marshal.
+	g.Set(nan())
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge after NaN set = %v, want 2.5", got)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+// TestHistogramEdgeBins pins the bin placement of the exact extremes,
+// mirroring eval.Profile semantics: 0.0 lands in the first bin and 1.0 in
+// the last, with both tallied in the AtZero/AtOne exact counts.
+func TestHistogramEdgeBins(t *testing.T) {
+	r := New()
+	h := r.Histogram("resp", 10)
+	h.Observe(0.0)
+	h.Observe(1.0)
+	h.Observe(0.05) // interior of the first bin
+	h.Observe(0.95) // interior of the last bin
+	h.Observe(0.5)
+
+	bins := h.Counts()
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d, want 10", len(bins))
+	}
+	if bins[0] != 2 {
+		t.Errorf("first bin = %d, want 2 (0.0 and 0.05)", bins[0])
+	}
+	if bins[9] != 2 {
+		t.Errorf("last bin = %d, want 2 (1.0 and 0.95)", bins[9])
+	}
+	if bins[5] != 1 {
+		t.Errorf("bin 5 = %d, want 1 (0.5)", bins[5])
+	}
+	atZero, atOne := h.Extremes()
+	if atZero != 1 || atOne != 1 {
+		t.Errorf("extremes = (%d, %d), want (1, 1)", atZero, atOne)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+
+	// Out-of-range observations clamp to the edge bins.
+	h.ObserveAll([]float64{-0.5, 1.5})
+	bins = h.Counts()
+	if bins[0] != 3 || bins[9] != 3 {
+		t.Errorf("after clamped observations bins = %v, want edges 3/3", bins)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	clock := newFakeClock(10 * time.Millisecond)
+	r.SetClock(clock.Now)
+
+	outer := r.Span("corpus/build")
+	inner := outer.Child("train")
+	if inner.Name() != "corpus/build/train" {
+		t.Errorf("child span name = %q", inner.Name())
+	}
+	if d := inner.End(); d != 10*time.Millisecond {
+		t.Errorf("inner duration = %v, want 10ms", d)
+	}
+	if d := outer.End(); d != 30*time.Millisecond {
+		t.Errorf("outer duration = %v, want 30ms", d)
+	}
+	count, total, _, _ := r.Timing("corpus/build").Stats()
+	if count != 1 || total != 30*time.Millisecond {
+		t.Errorf("outer timing = (%d, %v)", count, total)
+	}
+}
+
+func TestTimingStats(t *testing.T) {
+	r := New()
+	tm := r.Timing("x")
+	tm.Record(5 * time.Millisecond)
+	tm.Record(15 * time.Millisecond)
+	tm.Record(-time.Second) // clamps to zero
+	count, total, min, max := tm.Stats()
+	if count != 3 || total != 20*time.Millisecond || min != 0 || max != 15*time.Millisecond {
+		t.Errorf("timing stats = (%d, %v, %v, %v)", count, total, min, max)
+	}
+}
+
+func TestEventLogDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.SetClock(newFakeClock(0).Now)
+	l.Emit("cell", Fields{"window": 3, "detector": "stide", "ms": 1.5})
+	want := `{"ts":"2026-08-05T12:00:00.000Z","event":"cell","detector":"stide","ms":1.5,"window":3}` + "\n"
+	if buf.String() != want {
+		t.Errorf("event line:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestEventLogReservedAndUnmarshalable(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.SetClock(newFakeClock(0).Now)
+	l.Emit("x", Fields{"event": "spoof", "ts": "spoof", "ch": make(chan int)})
+	line := buf.String()
+	if strings.Contains(line, "spoof") {
+		t.Errorf("reserved keys leaked into %q", line)
+	}
+	if !strings.Contains(line, `"ch":`) {
+		t.Errorf("unmarshalable field dropped entirely: %q", line)
+	}
+}
+
+// TestNilSafety exercises every entry point on nil receivers — the
+// disabled path instrumented code relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.SetClock(time.Now)
+	r.SetEventLog(nil)
+	r.Event("e", Fields{"a": 1})
+	r.Counter("c").Inc()
+	r.Counter("c").Add(2)
+	if r.Counter("c").Value() != 0 {
+		t.Errorf("nil counter has a value")
+	}
+	r.Gauge("g").Set(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Errorf("nil gauge has a value")
+	}
+	h := r.Histogram("h", 10)
+	h.Observe(0.5)
+	h.ObserveAll([]float64{0.1})
+	if h.Count() != 0 || h.Counts() != nil {
+		t.Errorf("nil histogram recorded")
+	}
+	r.Timing("t").Record(time.Second)
+	r.RecordDuration("t", time.Second)
+	sp := r.Span("s")
+	if sp.Child("x").End() != 0 || sp.End() != 0 || sp.Name() != "" {
+		t.Errorf("nil span recorded")
+	}
+	var l *EventLog
+	l.SetClock(time.Now)
+	l.Emit("e", nil)
+	snap := r.Snapshot()
+	if snap.Schema != SchemaVersion || len(snap.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSnapshot(&buf); err != nil {
+		t.Errorf("nil WriteSnapshot: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SchemaVersion identifies the snapshot JSON schema. Downstream tooling
+// (benchmark-trajectory tracking, dashboards) keys on it; field names and
+// ordering are pinned by a golden test and must only change with a version
+// bump.
+const SchemaVersion = "adiv.obs/v1"
+
+// Snapshot is the machine-readable state of a registry at one instant.
+// encoding/json emits map keys in sorted order, so the serialized form is
+// deterministic for a given registry state.
+type Snapshot struct {
+	Schema     string                    `json:"schema"`
+	StartedAt  string                    `json:"startedAt"`
+	UptimeMs   float64                   `json:"uptimeMs"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+	Spans      map[string]SpanStats      `json:"spans"`
+}
+
+// HistogramStats is the serialized form of one Histogram.
+type HistogramStats struct {
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	AtZero int64   `json:"atZero"`
+	AtOne  int64   `json:"atOne"`
+	Bins   []int64 `json:"bins"`
+}
+
+// SpanStats is the serialized form of one Timing (accumulated spans).
+type SpanStats struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"totalMs"`
+	MeanMs  float64 `json:"meanMs"`
+	MinMs   float64 `json:"minMs"`
+	MaxMs   float64 `json:"maxMs"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty (but schema-tagged) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     SchemaVersion,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+		Spans:      map[string]SpanStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	now, start := r.now, r.start
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	timings := make(map[string]*Timing, len(r.timings))
+	for k, v := range r.timings {
+		timings[k] = v
+	}
+	r.mu.RUnlock()
+
+	s.StartedAt = start.UTC().Format(time.RFC3339Nano)
+	s.UptimeMs = durationMs(now().Sub(start))
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		h.mu.Lock()
+		hs := HistogramStats{
+			Count:  h.count,
+			Sum:    h.sum,
+			AtZero: h.atZero,
+			AtOne:  h.atOne,
+			Bins:   append([]int64(nil), h.bins...),
+		}
+		h.mu.Unlock()
+		if hs.Count > 0 {
+			hs.Mean = hs.Sum / float64(hs.Count)
+		}
+		s.Histograms[name] = hs
+	}
+	for name, t := range timings {
+		count, total, min, max := t.Stats()
+		ss := SpanStats{
+			Count:   count,
+			TotalMs: durationMs(total),
+			MinMs:   durationMs(min),
+			MaxMs:   durationMs(max),
+		}
+		if count > 0 {
+			ss.MeanMs = ss.TotalMs / float64(count)
+		}
+		s.Spans[name] = ss
+	}
+	return s
+}
+
+// WriteSnapshot marshals the current snapshot as indented JSON to w.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshaling snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the current snapshot to path, creating or
+// truncating it.
+func (r *Registry) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := r.WriteSnapshot(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: closing snapshot file: %w", cerr)
+	}
+	return nil
+}
+
+// durationMs converts a duration to fractional milliseconds.
+func durationMs(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "time"
+
+// Span is one timed region of a run. Spans are nestable: a child span's
+// name is the parent's name plus "/child", so the snapshot reads as a flat
+// call tree ("corpus/build", "corpus/build/train", ...). End records the
+// elapsed duration into the registry's Timing of the same name. Spans are
+// not reusable; nil spans (from a nil registry) are no-ops throughout.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// Span starts a timed region. Returns nil (a no-op span) on a nil registry.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	now := r.now
+	r.mu.RUnlock()
+	return &Span{reg: r, name: name, start: now()}
+}
+
+// Child starts a nested span named parent/name.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Span(s.name + "/" + name)
+}
+
+// Name returns the span's full name ("" on a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End records the span's elapsed duration into the registry and returns it.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.reg.mu.RLock()
+	now := s.reg.now
+	s.reg.mu.RUnlock()
+	d := now().Sub(s.start)
+	s.reg.Timing(s.name).Record(d)
+	return d
+}
+
+// RecordDuration records an externally measured duration under name.
+func (r *Registry) RecordDuration(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Timing(name).Record(d)
+}

@@ -17,8 +17,13 @@ import (
 
 	"adiv/internal/alphabet"
 	"adiv/internal/detector"
+	"adiv/internal/obs"
 	"adiv/internal/seq"
 )
+
+// responseBins is the resolution of the streaming response-distribution
+// histogram, matching the batch profile resolution.
+const responseBins = 10
 
 // Scorer scores a symbol stream incrementally with a trained detector.
 // It is not safe for concurrent use.
@@ -27,6 +32,23 @@ type Scorer struct {
 	extent int
 	buf    seq.Stream
 	seen   int
+
+	// Telemetry handles; nil when uninstrumented (the default), costing a
+	// single pointer test per push.
+	symbols   *obs.Counter
+	responses *obs.Histogram
+}
+
+// Instrument records streaming telemetry into reg: the online/symbols
+// pushed counter and the online/responses distribution histogram. A nil
+// registry disables instrumentation.
+func (s *Scorer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.symbols, s.responses = nil, nil
+		return
+	}
+	s.symbols = reg.Counter("online/symbols")
+	s.responses = reg.Histogram("online/responses", responseBins)
 }
 
 // NewScorer wraps a trained detector. Training state is verified lazily on
@@ -63,6 +85,9 @@ func (s *Scorer) Reset() {
 // during the initial fill.
 func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err error) {
 	s.seen++
+	if s.symbols != nil {
+		s.symbols.Inc()
+	}
 	if len(s.buf) < s.extent {
 		s.buf = append(s.buf, sym)
 	} else {
@@ -78,6 +103,9 @@ func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err er
 	}
 	if len(responses) != 1 {
 		return 0, false, fmt.Errorf("online: scoring one window yielded %d responses", len(responses))
+	}
+	if s.responses != nil {
+		s.responses.Observe(responses[0])
 	}
 	return responses[0], true, nil
 }
@@ -113,6 +141,19 @@ type Alarm struct {
 type Alarmer struct {
 	scorer    *Scorer
 	threshold float64
+	alarms    *obs.Counter
+}
+
+// Instrument records streaming telemetry into reg: the underlying scorer's
+// metrics plus the online/alarms raised counter. A nil registry disables
+// instrumentation.
+func (a *Alarmer) Instrument(reg *obs.Registry) {
+	a.scorer.Instrument(reg)
+	if reg == nil {
+		a.alarms = nil
+		return
+	}
+	a.alarms = reg.Counter("online/alarms")
 }
 
 // NewAlarmer wraps a trained detector with a detection threshold.
@@ -133,6 +174,9 @@ func (a *Alarmer) Push(sym alphabet.Symbol) (Alarm, bool, error) {
 	r, ready, err := a.scorer.Push(sym)
 	if err != nil || !ready || r < a.threshold {
 		return Alarm{}, false, err
+	}
+	if a.alarms != nil {
+		a.alarms.Inc()
 	}
 	return Alarm{
 		Position: a.scorer.Seen() - a.scorer.extent,

@@ -5,6 +5,7 @@ import (
 
 	"adiv/internal/alphabet"
 	"adiv/internal/detector"
+	"adiv/internal/obs"
 )
 
 // VetoPipeline is the Section-7 suppression recipe as a reusable streaming
@@ -27,6 +28,29 @@ type VetoPipeline struct {
 	primaryExtent, vetoExtent int
 	seen                      int
 	suppressed                int
+
+	// Telemetry handles; nil when uninstrumented (the default).
+	mSymbols         *obs.Counter
+	mPrimary         *obs.Counter
+	mEscalated       *obs.Counter
+	mSuppressed      *obs.Counter
+	mSuppressionRate *obs.Gauge
+}
+
+// Instrument records pipeline telemetry into reg: symbols pushed, primary
+// candidate alarms, escalated (corroborated) alarms, suppressed alarms,
+// and the running suppression rate (suppressed / primary candidates). A
+// nil registry disables instrumentation.
+func (p *VetoPipeline) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		p.mSymbols, p.mPrimary, p.mEscalated, p.mSuppressed, p.mSuppressionRate = nil, nil, nil, nil, nil
+		return
+	}
+	p.mSymbols = reg.Counter("online/pipeline/symbols")
+	p.mPrimary = reg.Counter("online/pipeline/primary_alarms")
+	p.mEscalated = reg.Counter("online/pipeline/escalated")
+	p.mSuppressed = reg.Counter("online/pipeline/suppressed")
+	p.mSuppressionRate = reg.Gauge("online/pipeline/suppression_rate")
 }
 
 // EscalatedAlarm is a primary alarm corroborated by the veto detector.
@@ -60,6 +84,9 @@ func NewVetoPipeline(primary, veto detector.Detector, primaryThreshold, vetoThre
 // window, or corroborate older pending alarms).
 func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 	p.seen++
+	if p.mSymbols != nil {
+		p.mSymbols.Inc()
+	}
 	primaryAlarm, primaryRaised, err := p.primary.Push(sym)
 	if err != nil {
 		return nil, err
@@ -72,6 +99,9 @@ func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 	var escalated []EscalatedAlarm
 	if primaryRaised {
 		p.pending = append(p.pending, primaryAlarm)
+		if p.mPrimary != nil {
+			p.mPrimary.Inc()
+		}
 	}
 	if vetoRaised {
 		p.vetoCovered = append(p.vetoCovered, vetoAlarm.Position)
@@ -97,6 +127,9 @@ func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 		}
 	}
 	p.expire()
+	if p.mEscalated != nil && len(escalated) > 0 {
+		p.mEscalated.Add(int64(len(escalated)))
+	}
 	return escalated, nil
 }
 
@@ -122,14 +155,22 @@ func (p *VetoPipeline) Suppressed() int { return p.suppressed }
 func (p *VetoPipeline) expire() {
 	horizon := p.seen - p.primaryExtent - p.vetoExtent
 	kept := p.pending[:0]
+	expired := 0
 	for _, pa := range p.pending {
 		if pa.Position >= horizon {
 			kept = append(kept, pa)
 		} else {
 			p.suppressed++
+			expired++
 		}
 	}
 	p.pending = kept
+	if expired > 0 && p.mSuppressed != nil {
+		p.mSuppressed.Add(int64(expired))
+		if candidates := p.mPrimary.Value(); candidates > 0 {
+			p.mSuppressionRate.Set(float64(p.mSuppressed.Value()) / float64(candidates))
+		}
+	}
 	keptVeto := p.vetoCovered[:0]
 	for _, vp := range p.vetoCovered {
 		if vp >= horizon {

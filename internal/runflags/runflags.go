@@ -1,0 +1,141 @@
+// Package runflags is the shared observability wiring of the command-line
+// tools: every long-running command (sweep, perfmap, report, ensemble)
+// registers the same four flags —
+//
+//	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v1)
+//	-progress           emit NDJSON progress events to stderr during the run
+//	-cpuprofile FILE    write a CPU profile (runtime/pprof)
+//	-memprofile FILE    write a heap profile at exit
+//
+// — and threads the resulting *obs.Registry through the corpus builders
+// and map builders. With none of the flags set the registry is nil and
+// every instrumented path is disabled at zero cost.
+package runflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"adiv/internal/obs"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	MetricsOut string
+	Progress   bool
+	CPUProfile string
+	MemProfile string
+}
+
+// Register adds the shared observability flags to fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (schema "+obs.SchemaVersion+") to this file at exit")
+	fs.BoolVar(&f.Progress, "progress", false, "emit NDJSON progress events to stderr during the run")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	return f
+}
+
+// Run is one observed command execution. Metrics is nil unless -metrics-out
+// or -progress enabled observation; instrumented callees accept nil.
+type Run struct {
+	// Metrics is the run's registry, or nil when observation is disabled.
+	Metrics *obs.Registry
+
+	flags    Flags
+	announce *obs.EventLog
+	cpu      *os.File
+}
+
+// Start begins an observed run: it creates the metrics registry (when
+// -metrics-out or -progress asked for one), attaches the NDJSON progress
+// log, and starts CPU profiling. announceW receives run-level announcement
+// events (run.start, run.done) regardless of -progress — the event log is
+// how commands state their active configuration instead of running
+// silently; pass os.Stderr from main.
+func (f *Flags) Start(announceW io.Writer) (*Run, error) {
+	r := &Run{flags: *f, announce: obs.NewEventLog(announceW)}
+	if f.MetricsOut != "" || f.Progress {
+		r.Metrics = obs.New()
+		if f.Progress {
+			r.Metrics.SetEventLog(obs.NewEventLog(announceW))
+		}
+	}
+	if f.CPUProfile != "" {
+		cpu, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("runflags: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("runflags: starting CPU profile: %w", err)
+		}
+		r.cpu = cpu
+	}
+	return r, nil
+}
+
+// Announce emits a run-level event to the announcement log (always on,
+// unlike -progress-gated cell events).
+func (r *Run) Announce(event string, fields obs.Fields) {
+	if r == nil {
+		return
+	}
+	r.announce.Emit(event, fields)
+}
+
+// Close finishes the run: stops the CPU profile, writes the heap profile
+// and the metrics snapshot, and announces run.done. Safe to call once; use
+// with a deferred error join in run functions.
+func (r *Run) Close() error {
+	if r == nil {
+		return nil
+	}
+	var errs []error
+	if r.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := r.cpu.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("runflags: closing CPU profile: %w", err))
+		}
+		r.cpu = nil
+	}
+	if r.flags.MemProfile != "" {
+		if err := writeHeapProfile(r.flags.MemProfile); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	done := obs.Fields{}
+	if r.flags.MetricsOut != "" && r.Metrics != nil {
+		if err := r.Metrics.WriteSnapshotFile(r.flags.MetricsOut); err != nil {
+			errs = append(errs, err)
+		} else {
+			done["metricsOut"] = r.flags.MetricsOut
+		}
+	}
+	r.Announce("run.done", done)
+	return errors.Join(errs...)
+}
+
+// writeHeapProfile records an up-to-date heap profile at path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runflags: %w", err)
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("runflags: writing heap profile: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("runflags: closing heap profile: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package runflags
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adiv/internal/obs"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	var announce bytes.Buffer
+	run, err := parse(t).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Metrics != nil {
+		t.Errorf("registry created without -metrics-out or -progress")
+	}
+	run.Announce("run.start", obs.Fields{"mode": "x"})
+	if !strings.Contains(announce.String(), `"event":"run.start"`) {
+		t.Errorf("announcement missing: %q", announce.String())
+	}
+	if err := run.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestMetricsOutWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var announce bytes.Buffer
+	run, err := parse(t, "-metrics-out", path).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Metrics == nil {
+		t.Fatalf("no registry with -metrics-out")
+	}
+	run.Metrics.Counter("x").Add(7)
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Schema != obs.SchemaVersion || snap.Counters["x"] != 7 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if !strings.Contains(announce.String(), `"event":"run.done"`) {
+		t.Errorf("run.done not announced: %q", announce.String())
+	}
+}
+
+func TestProgressAttachesEventLog(t *testing.T) {
+	var announce bytes.Buffer
+	run, err := parse(t, "-progress").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	run.Metrics.Event("cell", obs.Fields{"done": 1})
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !strings.Contains(announce.String(), `"event":"cell"`) {
+		t.Errorf("progress event not written: %q", announce.String())
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var announce bytes.Buffer
+	run, err := parse(t, "-cpuprofile", cpu, "-memprofile", mem).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestNilRunIsSafe(t *testing.T) {
+	var run *Run
+	run.Announce("x", nil)
+	if err := run.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

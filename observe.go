@@ -1,0 +1,53 @@
+package adiv
+
+import (
+	"io"
+
+	"adiv/internal/core"
+	"adiv/internal/detector"
+	"adiv/internal/obs"
+)
+
+// Observability: every long batch run in this repository — corpus
+// synthesis, dozens of detector trainings, the 8×14 evaluation grid, the
+// streaming pipeline — can record run telemetry into a Metrics registry
+// and narrate progress as NDJSON events. The registry's JSON snapshot
+// (schema adiv.obs/v1, pinned by a golden test) is the substrate for
+// benchmark-trajectory tracking across PRs. All instrumentation is
+// disabled by passing a nil registry, at zero cost.
+type (
+	// Metrics is a registry of counters, gauges, fixed-bin histograms,
+	// and accumulated timing spans. All methods are nil-safe: a nil
+	// *Metrics disables instrumentation wherever it is accepted.
+	Metrics = obs.Registry
+	// MetricsSnapshot is the machine-readable state of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// EventLog writes structured NDJSON events (one JSON object per line).
+	EventLog = obs.EventLog
+	// EventFields carries the payload of one event.
+	EventFields = obs.Fields
+)
+
+// MetricsSchemaVersion identifies the snapshot JSON schema downstream
+// tooling can depend on.
+const MetricsSchemaVersion = obs.SchemaVersion
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// NewEventLog returns an event log writing NDJSON lines to w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }
+
+// ObserveDetector wraps a detector with run telemetry recorded into m:
+// per-training durations (train/<name>/dwNN spans), scoring durations and
+// cumulative throughput in symbols/sec, and the response distribution
+// (responses/<name> histogram with exact-extreme counts). A nil registry
+// returns the detector unwrapped, so the disabled path costs nothing.
+func ObserveDetector(det Detector, m *Metrics) Detector { return detector.Observed(det, m) }
+
+// BuildCorpusObserved is BuildCorpus with run telemetry — synthesis and
+// injection spans, corpus.start/corpus.done events — recorded into m (nil
+// disables it).
+func BuildCorpusObserved(cfg Config, m *Metrics) (*Corpus, error) {
+	return core.BuildCorpusObserved(cfg, m)
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench_snapshot.sh — record the repo's benchmark suite to a dated JSON
+# file (BENCH_<yyyy-mm-dd>.json) so performance can be compared across
+# commits. Runs every benchmark once with -benchmem; pass a -benchtime
+# value as $1 for steadier numbers (e.g. ./scripts/bench_snapshot.sh 3x).
+#
+# Output schema:
+#   { "schema": "adiv.bench/v1", "date": ..., "go": ..., "commit": ...,
+#     "benchmarks": [ {"name":..., "iterations":..., "ns_per_op":...,
+#                      "bytes_per_op":..., "allocs_per_op":...}, ... ] }
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1x}"
+date_tag="$(date -u +%Y-%m-%d)"
+out="BENCH_${date_tag}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (-benchtime $benchtime)..." >&2
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw"
+
+go_version="$(go version | awk '{print $3}')"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+awk -v date="$date_tag" -v gover="$go_version" -v commit="$commit" '
+BEGIN {
+    printf "{\n  \"schema\": \"adiv.bench/v1\",\n"
+    printf "  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", date, gover, commit
+    printf "  \"benchmarks\": [\n"
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n > 0) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+    n++
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+count="$(grep -c '"name"' "$out" || true)"
+echo "wrote $out ($count benchmarks)" >&2
