@@ -22,6 +22,10 @@ type (
 	SequenceDB = seq.DB
 	// SequenceIndex caches sequence databases of one stream at many widths.
 	SequenceIndex = seq.Index
+	// SequenceCorpus is a concurrency-safe, build-once cache of sequence
+	// databases over one immutable training stream; detectors trained
+	// through it share per-width databases instead of rebuilding them.
+	SequenceCorpus = seq.Corpus
 	// AnomalyReport records how a candidate sequence relates to training
 	// data (foreign / minimal / composed of rare parts).
 	AnomalyReport = anomaly.Report
@@ -114,6 +118,11 @@ func RareSensitiveEvalOptions() EvalOptions {
 func NeuralNetEvalOptions() EvalOptions {
 	return EvalOptions{CapableAt: 0.999, BlindBelow: 1e-3}
 }
+
+// NewSequenceCorpus returns a shared training-database cache over stream
+// (copied). Pass it to TrainWithCorpus to train many detectors and window
+// widths without rebuilding per-width sequence databases.
+func NewSequenceCorpus(stream Stream) *SequenceCorpus { return seq.NewCorpus(stream) }
 
 // EvaluationAlphabet returns the 8-symbol alphabet of the synthetic
 // evaluation data.

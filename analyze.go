@@ -99,6 +99,13 @@ func Suppress(primary, suppressor Detector, p Placement, primaryThreshold, suppr
 // TrainAll trains each detector on the training stream.
 func TrainAll(train Stream, dets ...Detector) error { return ensemble.TrainAll(train, dets...) }
 
+// TrainAllWithCorpus trains each detector from a shared training-database
+// cache (see TrainWithCorpus), so several detectors at one window reuse a
+// single database build.
+func TrainAllWithCorpus(dbs *SequenceCorpus, dets ...Detector) error {
+	return ensemble.TrainAllCorpus(dbs, dets...)
+}
+
 // AssessDetector scores a placement with a trained detector and classifies
 // the maximal in-span response (blind / weak / capable).
 func AssessDetector(det Detector, p Placement, opts EvalOptions) (Assessment, error) {

@@ -464,6 +464,53 @@ func BenchmarkInjection(b *testing.B) {
 	}
 }
 
+// gridTrain trains the four DB-backed detector families at every window of
+// the evaluation grid, either each from the raw training stream or all from
+// one shared training-database cache.
+func gridTrain(b *testing.B, train adiv.Stream, dbs *adiv.SequenceCorpus) {
+	b.Helper()
+	for _, name := range []string{adiv.DetectorStide, adiv.DetectorTStide, adiv.DetectorLaneBrodley, adiv.DetectorMarkov} {
+		for dw := 2; dw <= 15; dw++ {
+			det, err := adiv.NewDetector(name, dw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dbs != nil {
+				err = adiv.TrainWithCorpus(det, dbs)
+			} else {
+				err = det.Train(train)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGridTrainUncached trains the full four-family evaluation grid
+// with each detector rebuilding its sequence databases from the raw stream
+// — the pre-cache cost of one perfmap/ensemble run's training phase.
+func BenchmarkGridTrainUncached(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gridTrain(b, corpus.Training, nil)
+	}
+}
+
+// BenchmarkGridTrainCached trains the same grid through a shared
+// training-corpus cache: each width's database is built once and reused by
+// every family that wants it (a fresh cache per iteration, so the build
+// cost is measured, just not repeated).
+func BenchmarkGridTrainCached(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dbs := adiv.NewSequenceCorpus(corpus.Training)
+		gridTrain(b, nil, dbs)
+	}
+}
+
 // BenchmarkDetectorScoreObserved pins down the cost of the observability
 // wrapper around Detector.Score. "baseline" is the raw detector;
 // "disabled" wraps with a nil registry (ObserveDetector returns the

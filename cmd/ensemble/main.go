@@ -76,7 +76,15 @@ func run(w io.Writer, args []string) (err error) {
 	if err := coverageAnalysis(w, corpus, obsRun.Metrics); err != nil {
 		return err
 	}
-	return suppressionAnalysis(w, corpus, *window, *size, *noisyLen, obsRun.Metrics)
+	if err := suppressionAnalysis(w, corpus, *window, *size, *noisyLen, obsRun.Metrics); err != nil {
+		return err
+	}
+	// All four coverage maps and the suppression detectors trained off one
+	// shared per-width database cache.
+	hits, misses := corpus.TrainingDBs().Stats()
+	fmt.Fprintf(w, "\ntraining-DB cache: %d databases built, %d reuses\n", misses, hits)
+	obsRun.Announce("corpus.cache", adiv.EventFields{"built": misses, "reused": hits})
+	return nil
 }
 
 func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
@@ -145,7 +153,7 @@ func suppressionAnalysis(w io.Writer, corpus *adiv.Corpus, window, size, noisyLe
 	if err != nil {
 		return err
 	}
-	if err := adiv.TrainAll(corpus.Training, markov, stide); err != nil {
+	if err := adiv.TrainAllWithCorpus(corpus.TrainingDBs(), markov, stide); err != nil {
 		return err
 	}
 

@@ -127,6 +127,12 @@ func run(w io.Writer, args []string) (err error) {
 			}
 		}
 	}
+	// One corpus feeds every map: each width's training database is built
+	// at most once and shared across stide/tstide/lb/markov/nn rows.
+	hits, misses := corpus.TrainingDBs().Stats()
+	fmt.Fprintf(w, "\ntraining-DB cache: %d databases built, %d reuses\n", misses, hits)
+	obsRun.Announce("corpus.cache", adiv.EventFields{"built": misses, "reused": hits})
+
 	if wantFigure(7) && *detName == "" && *figure == 0 {
 		return writeFigure7(w)
 	}

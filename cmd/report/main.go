@@ -203,7 +203,7 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	if err != nil {
 		return err
 	}
-	if err := adiv.TrainAll(corpus.Training, markov, stide); err != nil {
+	if err := adiv.TrainAllWithCorpus(corpus.TrainingDBs(), markov, stide); err != nil {
 		return err
 	}
 	result, err := adiv.Suppress(markov, stide, placement, adiv.RareSensitiveThreshold, adiv.StrictThreshold)
@@ -242,7 +242,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 		if err != nil {
 			return err
 		}
-		if err := det.Train(corpus.Training); err != nil {
+		if err := adiv.TrainWithCorpus(det, corpus.TrainingDBs()); err != nil {
 			return err
 		}
 		stats, err := adiv.AssessAlarms(det, placement, adiv.StrictThreshold)

@@ -118,7 +118,7 @@ func hmmStates(w io.Writer, corpus *adiv.Corpus) error {
 		if err != nil {
 			return err
 		}
-		if err := det.Train(corpus.Training); err != nil {
+		if err := adiv.TrainWithCorpus(det, corpus.TrainingDBs()); err != nil {
 			return err
 		}
 		responses, err := det.Score(corpus.Background[:1_000])
@@ -151,7 +151,7 @@ func profiles(w io.Writer, corpus *adiv.Corpus, window int) error {
 		if err != nil {
 			return err
 		}
-		if err := det.Train(corpus.Training); err != nil {
+		if err := adiv.TrainWithCorpus(det, corpus.TrainingDBs()); err != nil {
 			return err
 		}
 		for label, stream := range map[string]adiv.Stream{"clean background": corpus.Background, "rare-containing": noisy} {
@@ -191,7 +191,7 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 		if err != nil {
 			return err
 		}
-		if err := det.Train(corpus.Training); err != nil {
+		if err := adiv.TrainWithCorpus(det, corpus.TrainingDBs()); err != nil {
 			return err
 		}
 		curve, err := adiv.ROC(det, placements, thresholds)
@@ -252,7 +252,7 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, metrics *ad
 		if err != nil {
 			return err
 		}
-		if err := det.Train(corpus.Training); err != nil {
+		if err := adiv.TrainWithCorpus(det, corpus.TrainingDBs()); err != nil {
 			return err
 		}
 		stats, err := adiv.AssessAlarms(det, placement, adiv.StrictThreshold)

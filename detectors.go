@@ -71,6 +71,15 @@ func NewNeuralNet(window int, cfg NNConfig) (Detector, error) { return nnet.New(
 // cutoff (relative frequency in (0,1); the classic value is RareCutoff).
 func NewTStide(window int, cutoff float64) (Detector, error) { return tstide.New(window, cutoff) }
 
+// TrainWithCorpus trains a detector from a shared training-database cache:
+// detectors whose models derive from fixed-width sequence databases (the
+// five window detectors) fetch them from the cache, built at most once per
+// width; others (e.g. the HMM) fall back to Train on the corpus's stream.
+// Both paths produce exactly the model Train would.
+func TrainWithCorpus(det Detector, dbs *SequenceCorpus) error {
+	return detector.TrainWith(det, dbs)
+}
+
 // NewDetector constructs a detector by name with default parameters.
 func NewDetector(name string, window int) (Detector, error) {
 	switch name {

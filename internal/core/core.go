@@ -129,6 +129,7 @@ func BuildCorpusObserved(cfg Config, reg *obs.Registry) (*Corpus, error) {
 	trainSpan.End()
 	indexSpan := build.Child("index")
 	ix := seq.NewIndex(training)
+	ix.Corpus().Instrument(reg)
 	indexSpan.End()
 	background := g.Background()
 
@@ -172,6 +173,13 @@ func BuildCorpusObserved(cfg Config, reg *obs.Registry) (*Corpus, error) {
 	})
 	return corpus, nil
 }
+
+// TrainingDBs returns the shared per-width sequence-database cache over the
+// training stream — the same cache the verification and injection steps
+// populated while the corpus was built, so detector training typically
+// finds its databases already present. Callers must treat every *seq.DB it
+// hands out as read-only.
+func (c *Corpus) TrainingDBs() *seq.Corpus { return c.TrainIndex.Corpus() }
 
 // Sizes returns the anomaly sizes present in the corpus, ascending.
 func (c *Corpus) Sizes() []int {
@@ -244,7 +252,10 @@ func (c *Corpus) PerformanceMap(name string, factory eval.Factory, opts eval.Opt
 // PerformanceMapObserved is PerformanceMap with run telemetry — per-window
 // training durations, scoring throughput, per-cell evaluation timing, and
 // cell-completion progress events — recorded into reg (nil disables it).
+// All rows train from the corpus's shared sequence-database cache, so
+// repeated maps over one corpus (the 4-detector × 14-window figure runs)
+// never rebuild a width's database twice.
 func (c *Corpus) PerformanceMapObserved(name string, factory eval.Factory, opts eval.Options, reg *obs.Registry) (*eval.Map, error) {
-	return eval.BuildMapObserved(name, factory, c.Training, c.Placements,
+	return eval.BuildMapCorpus(name, factory, c.TrainingDBs(), c.Placements,
 		c.Config.MinWindow, c.Config.MaxWindow, opts, reg)
 }

@@ -44,6 +44,34 @@ type Detector interface {
 	Score(test seq.Stream) ([]float64, error)
 }
 
+// CorpusTrainer is the optional training fast path alongside Detector.Train:
+// detectors whose models derive from fixed-width sequence databases
+// implement it to fetch those databases from a shared seq.Corpus instead of
+// rebuilding them from the raw stream — on the evaluation grid every window
+// width is shared by three detectors, so the cache collapses dozens of
+// million-element build passes into one per width. Implementations must
+// treat every *seq.DB obtained from the corpus as read-only: the databases
+// are shared across detectors and goroutines.
+type CorpusTrainer interface {
+	// TrainCorpus builds the model of normal behavior from the corpus's
+	// cached databases. Like Train, it replaces any previous model.
+	TrainCorpus(c *seq.Corpus) error
+}
+
+// TrainWith trains d from the shared corpus when the detector supports the
+// fast path, falling back to Train on the corpus's stream otherwise. Both
+// paths produce exactly the same model: TrainCorpus implementations derive
+// it from databases that Build would have produced from the same stream.
+func TrainWith(d Detector, c *seq.Corpus) error {
+	if c == nil {
+		return errors.New("detector: nil training corpus")
+	}
+	if ct, ok := d.(CorpusTrainer); ok {
+		return ct.TrainCorpus(c)
+	}
+	return d.Train(c.Stream())
+}
+
 // ErrNotTrained is returned by Score when the detector has no model yet.
 var ErrNotTrained = errors.New("detector: not trained")
 

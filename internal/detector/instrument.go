@@ -63,6 +63,17 @@ func (o *observed) Train(train seq.Stream) error {
 	return err
 }
 
+// TrainCorpus times corpus-backed training under the same span as Train and
+// dispatches through TrainWith, so wrapping never hides the inner
+// detector's fast path (nor invents one: detectors without corpus support
+// fall back to Train on the corpus's stream).
+func (o *observed) TrainCorpus(c *seq.Corpus) error {
+	sp := o.reg.Span(o.trainSpan)
+	err := TrainWith(o.Detector, c)
+	sp.End()
+	return err
+}
+
 func (o *observed) Score(test seq.Stream) ([]float64, error) {
 	sp := o.reg.Span(o.scoreSpan)
 	responses, err := o.Detector.Score(test)

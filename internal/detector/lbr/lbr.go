@@ -103,12 +103,29 @@ func (d *Detector) Train(train seq.Stream) error {
 	if err != nil {
 		return fmt.Errorf("lbr: %w", err)
 	}
+	d.setProfile(db)
+	return nil
+}
+
+// TrainCorpus implements detector.CorpusTrainer: the window database comes
+// from the shared corpus cache. The profile itself is the detector's own
+// copy (byte-encoded, outside the DB), so sharing the DB is safe.
+func (d *Detector) TrainCorpus(c *seq.Corpus) error {
+	db, err := c.DB(d.window)
+	if err != nil {
+		return fmt.Errorf("lbr: %w", err)
+	}
+	d.setProfile(db)
+	return nil
+}
+
+// setProfile extracts the distinct training windows from a built database.
+func (d *Detector) setProfile(db *seq.DB) {
 	normal := make([][]byte, 0, db.Distinct())
 	for _, w := range db.Common(0) { // Common(0) = all distinct windows, sorted
 		normal = append(normal, w.Bytes())
 	}
 	d.normal = normal
-	return nil
 }
 
 // NormalCount returns the number of stored normal sequences, or 0 before

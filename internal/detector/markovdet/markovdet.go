@@ -96,6 +96,23 @@ func (d *Detector) Train(train seq.Stream) error {
 	return nil
 }
 
+// TrainCorpus implements detector.CorpusTrainer: both gram databases (DW
+// and DW+1) come from the shared corpus cache, and the alphabet size is the
+// corpus's cached scan — the same model Train computes, without re-walking
+// the stream. The databases are shared and treated as read-only.
+func (d *Detector) TrainCorpus(c *seq.Corpus) error {
+	contexts, err := c.DB(d.window)
+	if err != nil {
+		return fmt.Errorf("markovdet: %w", err)
+	}
+	grams, err := c.DB(d.window + 1)
+	if err != nil {
+		return fmt.Errorf("markovdet: %w", err)
+	}
+	d.contexts, d.grams, d.k = contexts, grams, c.AlphabetSize()
+	return nil
+}
+
 // Prob returns the trained estimate of P(next | context) for the
 // (window+1)-gram g (context plus next element). A context never seen in
 // training has probability 0 for every continuation.

@@ -148,15 +148,37 @@ func (d *Detector) Train(train seq.Stream) error {
 			}
 		}
 	}
-	if k < 2 {
-		return fmt.Errorf("nnet: degenerate alphabet of size %d", k)
-	}
 	grams, err := seq.Build(train, d.window+1)
 	if err != nil {
 		return fmt.Errorf("nnet: %w", err)
 	}
+	return d.fit(grams, k, len(train))
+}
+
+// TrainCorpus implements detector.CorpusTrainer: the (DW+1)-gram database
+// comes from the shared corpus cache and the inferred alphabet size from
+// the corpus's cached scan. The database is read shared and never written;
+// the SGD examples are the detector's own weighted copies.
+func (d *Detector) TrainCorpus(c *seq.Corpus) error {
+	k := d.cfg.AlphabetSize
+	if k == 0 {
+		k = c.AlphabetSize()
+	}
+	grams, err := c.DB(d.window + 1)
+	if err != nil {
+		return fmt.Errorf("nnet: %w", err)
+	}
+	return d.fit(grams, k, c.Len())
+}
+
+// fit runs the weighted-SGD training loop over a built gram database.
+// streamLen only labels the no-grams error.
+func (d *Detector) fit(grams *seq.DB, k, streamLen int) error {
+	if k < 2 {
+		return fmt.Errorf("nnet: degenerate alphabet of size %d", k)
+	}
 	if grams.Total() == 0 {
-		return fmt.Errorf("nnet: training stream of length %d holds no %d-gram", len(train), d.window+1)
+		return fmt.Errorf("nnet: training stream of length %d holds no %d-gram", streamLen, d.window+1)
 	}
 
 	examples := make([]example, 0, grams.Distinct())

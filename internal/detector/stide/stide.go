@@ -58,6 +58,18 @@ func (d *Detector) Train(train seq.Stream) error {
 	return nil
 }
 
+// TrainCorpus implements detector.CorpusTrainer: the normal database is
+// fetched from the shared corpus cache (and therefore shared, read-only)
+// instead of rebuilt from the stream.
+func (d *Detector) TrainCorpus(c *seq.Corpus) error {
+	db, err := c.DB(d.window)
+	if err != nil {
+		return fmt.Errorf("stide: %w", err)
+	}
+	d.normal = db
+	return nil
+}
+
 // NormalCount returns the number of distinct sequences in the trained
 // normal database, or 0 before training.
 func (d *Detector) NormalCount() int {

@@ -71,6 +71,18 @@ func (d *Detector) Train(train seq.Stream) error {
 	return nil
 }
 
+// TrainCorpus implements detector.CorpusTrainer: the counted window
+// database is fetched from the shared corpus cache (read-only) instead of
+// rebuilt from the stream.
+func (d *Detector) TrainCorpus(c *seq.Corpus) error {
+	db, err := c.DB(d.window)
+	if err != nil {
+		return fmt.Errorf("tstide: %w", err)
+	}
+	d.normal = db
+	return nil
+}
+
 // Score implements detector.Detector: response 1 for windows that are
 // foreign or rarer than the cutoff, 0 otherwise — Stide's exact match
 // hardened with the frequency threshold.

@@ -67,13 +67,15 @@ func mergeCoverage(a, b *eval.Map, pick func(x, y eval.Outcome) eval.Outcome) (*
 			if cb.MaxResponse > resp {
 				resp = cb.MaxResponse
 			}
-			m.Set(eval.Assessment{
+			if err := m.Set(eval.Assessment{
 				Detector:    m.Detector,
 				Window:      window,
 				AnomalySize: size,
 				MaxResponse: resp,
 				Outcome:     out,
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return m, nil
@@ -184,6 +186,20 @@ func overlapsCovered(covered []bool, pos, extent int) bool {
 func TrainAll(train seq.Stream, dets ...detector.Detector) error {
 	for _, d := range dets {
 		if err := d.Train(train); err != nil {
+			return fmt.Errorf("ensemble: training %s(DW=%d): %w", d.Name(), d.Window(), err)
+		}
+	}
+	return nil
+}
+
+// TrainAllCorpus is TrainAll over a shared training-database cache: every
+// detector fetches its per-width databases from dbs (built at most once per
+// width) instead of rebuilding them — the combination experiments train
+// several detectors at one window on identical data, so the saving is a
+// full stream pass per extra detector.
+func TrainAllCorpus(dbs *seq.Corpus, dets ...detector.Detector) error {
+	for _, d := range dets {
+		if err := detector.TrainWith(d, dbs); err != nil {
 			return fmt.Errorf("ensemble: training %s(DW=%d): %w", d.Name(), d.Window(), err)
 		}
 	}

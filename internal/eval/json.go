@@ -58,13 +58,15 @@ func (m *Map) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return err
 		}
-		restored.Set(Assessment{
+		if err := restored.Set(Assessment{
 			Detector:    raw.Detector,
 			AnomalySize: c.AnomalySize,
 			Window:      c.Window,
 			Outcome:     outcome,
 			MaxResponse: c.MaxResponse,
-		})
+		}); err != nil {
+			return fmt.Errorf("eval: restoring map: %w", err)
+		}
 	}
 	*m = *restored
 	return nil

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,9 +44,19 @@ func NewMap(name string, minSize, maxSize, minWindow, maxWindow int) (*Map, erro
 	}, nil
 }
 
-// Set records the assessment for one cell.
-func (m *Map) Set(a Assessment) {
+// Set records the assessment for one cell. Assessments outside the map's
+// declared [MinSize,MaxSize]×[MinWindow,MaxWindow] grid are rejected: a
+// silently accepted stray cell would surface in Cells(), CountOutcome and
+// the rendered figures while At() for every in-grid cell still reads
+// Undefined.
+func (m *Map) Set(a Assessment) error {
+	if a.AnomalySize < m.MinSize || a.AnomalySize > m.MaxSize ||
+		a.Window < m.MinWindow || a.Window > m.MaxWindow {
+		return fmt.Errorf("eval: assessment cell (size %d, window %d) outside map grid sizes [%d,%d] windows [%d,%d]",
+			a.AnomalySize, a.Window, m.MinSize, m.MaxSize, m.MinWindow, m.MaxWindow)
+	}
 	m.cells[[2]int{a.AnomalySize, a.Window}] = a
+	return nil
 }
 
 // At returns the assessment at the cell, with Outcome Undefined for cells
@@ -131,27 +142,56 @@ func BuildMap(name string, factory Factory, train seq.Stream, placements map[int
 }
 
 // BuildMapObserved is BuildMap with run telemetry recorded into reg (nil
-// disables it, reducing to BuildMap). Each detector is wrapped with
-// detector.Observed (per-window training durations, scoring throughput,
-// response distribution), every grid cell records its evaluation timing
-// under cell/<name>, and cell-completion progress events carry a running
-// cells/sec rate — the visibility a multi-minute grid run otherwise lacks.
+// disables it, reducing to BuildMap). It wraps the training stream in a
+// fresh seq.Corpus, so the per-width sequence databases the rows train from
+// are built once and shared across the whole grid; callers evaluating
+// several detector families over one training stream should construct the
+// corpus themselves and call BuildMapCorpus so the sharing spans families
+// too.
 func BuildMapObserved(name string, factory Factory, train seq.Stream, placements map[int]inject.Placement,
+	minWindow, maxWindow int, opts Options, reg *obs.Registry) (*Map, error) {
+	tc := seq.NewCorpus(train)
+	tc.Instrument(reg)
+	return BuildMapCorpus(name, factory, tc, placements, minWindow, maxWindow, opts, reg)
+}
+
+// BuildMapCorpus is the corpus-sharing grid builder behind BuildMap and
+// BuildMapObserved: all rows fetch their training databases from tc
+// (detectors implementing detector.CorpusTrainer reuse a width's database
+// instead of rebuilding it; others fall back to Train on the corpus's
+// stream). Each detector is wrapped with detector.Observed (per-window
+// training durations, scoring throughput, response distribution), every
+// grid cell records its evaluation timing under cell/<name>, and
+// cell-completion progress events carry a running cells/sec rate — the
+// visibility a multi-minute grid run otherwise lacks. Row failures are
+// aggregated: a multi-row failure reports every failing window, not just
+// the first.
+func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map[int]inject.Placement,
 	minWindow, maxWindow int, opts Options, reg *obs.Registry) (*Map, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if tc == nil {
+		return nil, fmt.Errorf("eval: nil training corpus")
+	}
 	if len(placements) == 0 {
 		return nil, fmt.Errorf("eval: no placements to evaluate")
 	}
-	minSize, maxSize := 0, 0
+	minSize, maxSize, first := 0, 0, true
 	for size := range placements {
-		if minSize == 0 || size < minSize {
+		if size < 1 {
+			// A degenerate key would silently fall outside the row loop
+			// (and, before the first-iteration flag below, corrupt the
+			// grid bounds); fail loudly instead.
+			return nil, fmt.Errorf("eval: non-positive anomaly size %d in placements", size)
+		}
+		if first || size < minSize {
 			minSize = size
 		}
-		if size > maxSize {
+		if first || size > maxSize {
 			maxSize = size
 		}
+		first = false
 	}
 	m, err := NewMap(name, minSize, maxSize, minWindow, maxWindow)
 	if err != nil {
@@ -187,7 +227,7 @@ func BuildMapObserved(name string, factory Factory, train seq.Stream, placements
 				return
 			}
 			det = detector.Observed(det, reg)
-			if err := det.Train(train); err != nil {
+			if err := detector.TrainWith(det, tc); err != nil {
 				res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
 				return
 			}
@@ -231,12 +271,21 @@ func BuildMapObserved(name string, factory Factory, train seq.Stream, placements
 	}
 	wg.Wait()
 	mapMs := float64(mapSpan.End().Nanoseconds()) / 1e6
+	var errs []error
 	for _, res := range results {
 		if res.err != nil {
-			return nil, res.err
+			errs = append(errs, res.err)
 		}
+	}
+	if len(errs) > 0 {
+		// Report every failing window, not just the lowest-numbered row.
+		return nil, errors.Join(errs...)
+	}
+	for _, res := range results {
 		for _, a := range res.assessments {
-			m.Set(a)
+			if err := m.Set(a); err != nil {
+				return nil, err
+			}
 		}
 	}
 	reg.Event("map.done", obs.Fields{

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+// corpusFake is a fakeDetector that trains through the shared corpus cache,
+// fetching its own-width database like the real window detectors do.
+type corpusFake struct {
+	fakeDetector
+}
+
+func (f *corpusFake) TrainCorpus(c *seq.Corpus) error {
+	if _, err := c.DB(f.window); err != nil {
+		return err
+	}
+	f.trained = true
+	return nil
+}
+
+var _ detector.CorpusTrainer = (*corpusFake)(nil)
+
+// TestBuildMapCorpusSharesDatabases is the cache-sharing guarantee: two
+// detector families evaluated over one corpus build each width's database
+// exactly once; the second family's rows are all cache hits.
+func TestBuildMapCorpusSharesDatabases(t *testing.T) {
+	placements := map[int]inject.Placement{2: placementOf(50, 25, 2)}
+	factory := func(window int) (detector.Detector, error) {
+		return &corpusFake{fakeDetector{
+			name: "fake", window: window, extent: window,
+			scoreFunc: constantScores(0),
+		}}, nil
+	}
+	tc := seq.NewCorpus(make(seq.Stream, 100))
+	const minWindow, maxWindow = 2, 5
+	for _, family := range []string{"fakeA", "fakeB"} {
+		if _, err := BuildMapCorpus(family, factory, tc, placements, minWindow, maxWindow, DefaultOptions(), nil); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+	}
+	hits, misses := tc.Stats()
+	widths := maxWindow - minWindow + 1
+	if misses != int64(widths) {
+		t.Errorf("misses = %d, want %d: each width's database must be built exactly once across families", misses, widths)
+	}
+	if hits != int64(widths) {
+		t.Errorf("hits = %d, want %d: the second family's rows must reuse the first family's builds", hits, widths)
+	}
+}
+
+// TestBuildMapAggregatesRowErrors pins the multi-row failure report: every
+// failing window appears in the error, not just the lowest-numbered row.
+func TestBuildMapAggregatesRowErrors(t *testing.T) {
+	placements := map[int]inject.Placement{2: placementOf(50, 25, 2)}
+	factory := func(window int) (detector.Detector, error) {
+		return &fakeDetector{name: "fake", window: window, extent: window,
+			trainErr: errors.New("train boom"), scoreFunc: constantScores(0)}, nil
+	}
+	_, err := BuildMap("fake", factory, make(seq.Stream, 10), placements, 2, 4, DefaultOptions())
+	if err == nil {
+		t.Fatal("BuildMap swallowed training errors")
+	}
+	for _, want := range []string{"DW=2", "DW=3", "DW=4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error %q missing failing row %s", err, want)
+		}
+	}
+}
+
+// TestBuildMapRejectsDegeneratePlacementKey: a size-0 placement key cannot
+// be evaluated (no grid row holds it) and must fail loudly instead of
+// silently shaping the grid bounds.
+func TestBuildMapRejectsDegeneratePlacementKey(t *testing.T) {
+	placements := map[int]inject.Placement{
+		0: placementOf(50, 25, 2),
+		2: placementOf(50, 25, 2),
+	}
+	factory := func(window int) (detector.Detector, error) {
+		return &fakeDetector{name: "fake", window: window, extent: window, scoreFunc: constantScores(0)}, nil
+	}
+	_, err := BuildMap("fake", factory, make(seq.Stream, 10), placements, 2, 3, DefaultOptions())
+	if err == nil {
+		t.Fatal("BuildMap accepted a size-0 placement key")
+	}
+	if !strings.Contains(err.Error(), "non-positive anomaly size") {
+		t.Errorf("error %q does not name the degenerate key", err)
+	}
+}
+
+func TestMapSetRejectsOutOfGrid(t *testing.T) {
+	m, err := NewMap("x", 2, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Assessment{
+		{AnomalySize: 1, Window: 2},
+		{AnomalySize: 4, Window: 2},
+		{AnomalySize: 2, Window: 1},
+		{AnomalySize: 2, Window: 4},
+	}
+	for _, a := range bad {
+		if err := m.Set(a); err == nil {
+			t.Errorf("Set accepted out-of-grid cell (size %d, window %d)", a.AnomalySize, a.Window)
+		}
+	}
+	if len(m.Cells()) != 0 {
+		t.Errorf("rejected cells were recorded: %v", m.Cells())
+	}
+	if err := m.Set(Assessment{AnomalySize: 2, Window: 3, Outcome: Capable}); err != nil {
+		t.Errorf("Set rejected in-grid cell: %v", err)
+	}
+	if m.Outcome(2, 3) != Capable {
+		t.Errorf("in-grid cell not recorded")
+	}
+}
+
+func TestSpanMaxClampsToResponses(t *testing.T) {
+	// Span [7, 12] for extent 4, but only 10 responses: hi clamps to 9 and
+	// the maximum over [7, 9] is reported.
+	p := placementOf(20, 10, 3)
+	responses := make([]float64, 10)
+	responses[5] = 1.0 // before the span; must not count
+	responses[8] = 0.3
+	responses[9] = 0.7
+	maxResp, ok := SpanMax(p, 4, responses)
+	if !ok {
+		t.Fatal("clamped span reported no overlap")
+	}
+	if maxResp != 0.7 {
+		t.Errorf("SpanMax = %v, want 0.7 (maximum over the clamped span [7,9])", maxResp)
+	}
+}
+
+func TestSpanMaxAnomalyAtStreamStart(t *testing.T) {
+	// Anomaly at position 0: lo would be negative and clamps to 0.
+	p := placementOf(20, 0, 3)
+	responses := make([]float64, 17)
+	responses[0] = 0.9
+	responses[3] = 1.0 // past the span [0, 2]
+	maxResp, ok := SpanMax(p, 4, responses)
+	if !ok {
+		t.Fatal("span at stream start reported no overlap")
+	}
+	if maxResp != 0.9 {
+		t.Errorf("SpanMax = %v, want 0.9 over span [0,2]", maxResp)
+	}
+}
+
+func TestSpanMaxSingleResponseSpan(t *testing.T) {
+	// Anomaly of length 1 at the last coverable position: the span is the
+	// single window start 16.
+	p := placementOf(20, 19, 1)
+	responses := make([]float64, 17)
+	responses[16] = 0.9
+	maxResp, ok := SpanMax(p, 4, responses)
+	if !ok {
+		t.Fatal("single-response span reported no overlap")
+	}
+	if maxResp != 0.9 {
+		t.Errorf("SpanMax = %v, want 0.9", maxResp)
+	}
+}
+
+func TestSpanMaxInvalidExtent(t *testing.T) {
+	p := placementOf(20, 10, 3)
+	responses := make([]float64, 17)
+	for _, extent := range []int{0, -1, 21} {
+		if _, ok := SpanMax(p, extent, responses); ok {
+			t.Errorf("SpanMax ok with extent %d", extent)
+		}
+	}
+}

@@ -96,41 +96,59 @@ func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 		return nil, err
 	}
 
+	escalated := p.corroborate(primaryAlarm, primaryRaised, vetoAlarm, vetoRaised)
+	p.expire()
+	if p.mEscalated != nil && len(escalated) > 0 {
+		p.mEscalated.Add(int64(len(escalated)))
+	}
+	return escalated, nil
+}
+
+// corroborate merges one push's alarm outcomes into the pending state and
+// returns the alarms escalated by it. Whether the fresh primary was
+// corroborated is tracked directly: this push's veto window may escalate an
+// older pending alarm while the fresh primary is corroborated by an earlier
+// veto window still inside the horizon, and both escalations must surface.
+func (p *VetoPipeline) corroborate(primaryAlarm Alarm, primaryRaised bool, vetoAlarm Alarm, vetoRaised bool) []EscalatedAlarm {
 	var escalated []EscalatedAlarm
+	fresh := -1
 	if primaryRaised {
 		p.pending = append(p.pending, primaryAlarm)
+		fresh = len(p.pending) - 1
 		if p.mPrimary != nil {
 			p.mPrimary.Inc()
 		}
 	}
+	freshEscalated := false
 	if vetoRaised {
 		p.vetoCovered = append(p.vetoCovered, vetoAlarm.Position)
 		// Corroborate pending primaries overlapping this veto window.
 		kept := p.pending[:0]
-		for _, pa := range p.pending {
+		for i, pa := range p.pending {
 			if overlaps(pa.Position, p.primaryExtent, vetoAlarm.Position, p.vetoExtent) {
 				escalated = append(escalated, EscalatedAlarm{Primary: pa, VetoPosition: vetoAlarm.Position})
+				if i == fresh {
+					freshEscalated = true
+				}
 			} else {
 				kept = append(kept, pa)
 			}
 		}
 		p.pending = kept
 	}
-	if primaryRaised && len(escalated) == 0 {
-		// A fresh primary may be corroborated by a recent veto window.
+	if primaryRaised && !freshEscalated {
+		// A fresh primary may be corroborated by a recent veto window. It
+		// survived the loop above (if any), so it is still pending's last
+		// element.
 		for _, vp := range p.vetoCovered {
 			if overlaps(primaryAlarm.Position, p.primaryExtent, vp, p.vetoExtent) {
 				escalated = append(escalated, EscalatedAlarm{Primary: primaryAlarm, VetoPosition: vp})
-				p.pending = p.pending[:len(p.pending)-1] // drop the one just appended
+				p.pending = p.pending[:len(p.pending)-1]
 				break
 			}
 		}
 	}
-	p.expire()
-	if p.mEscalated != nil && len(escalated) > 0 {
-		p.mEscalated.Add(int64(len(escalated)))
-	}
-	return escalated, nil
+	return escalated
 }
 
 // PushAll feeds a slice and collects the escalated alarms.

@@ -1,0 +1,113 @@
+package online
+
+import (
+	"testing"
+
+	"adiv/internal/detector/stide"
+	"adiv/internal/detector/tstide"
+	"adiv/internal/seq"
+)
+
+// TestCorroborateFreshPrimaryAfterOlderEscalation is the regression test for
+// the missed-escalation bug: when one push's veto window corroborates an
+// older pending primary, the fresh primary alarm raised by the same push
+// must still be checked against earlier veto windows. The old logic gated
+// that check on len(escalated) == 0, so the fresh primary stayed pending
+// and was later counted suppressed.
+func TestCorroborateFreshPrimaryAfterOlderEscalation(t *testing.T) {
+	p := &VetoPipeline{primaryExtent: 2, vetoExtent: 2}
+	p.pending = []Alarm{{Position: 0}}
+	p.vetoCovered = []int{10}
+
+	// This push raises a primary at window 11 and a veto at window 1. The
+	// veto corroborates the old pending alarm at 0 (windows [0,2) and
+	// [1,3) overlap) but not the fresh primary at 11; the fresh primary
+	// instead overlaps the earlier veto window at 10 ([11,13) vs [10,12)).
+	escalated := p.corroborate(Alarm{Position: 11}, true, Alarm{Position: 1}, true)
+
+	if len(escalated) != 2 {
+		t.Fatalf("%d escalations, want 2 (old pending + fresh primary): %+v", len(escalated), escalated)
+	}
+	if escalated[0].Primary.Position != 0 || escalated[0].VetoPosition != 1 {
+		t.Errorf("first escalation %+v, want pending alarm 0 corroborated by veto window 1", escalated[0])
+	}
+	if escalated[1].Primary.Position != 11 || escalated[1].VetoPosition != 10 {
+		t.Errorf("second escalation %+v, want fresh primary 11 corroborated by veto window 10", escalated[1])
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending %+v after full corroboration, want empty", p.pending)
+	}
+}
+
+// TestCorroborateSamePushDoubleAlarm checks the common same-push case: one
+// symbol completes both a primary and a corroborating veto window, while the
+// same veto window also corroborates an older pending alarm. Both
+// escalations must surface from the single push.
+func TestCorroborateSamePushDoubleAlarm(t *testing.T) {
+	p := &VetoPipeline{primaryExtent: 3, vetoExtent: 3}
+	p.pending = []Alarm{{Position: 4}}
+
+	escalated := p.corroborate(Alarm{Position: 5}, true, Alarm{Position: 5}, true)
+
+	if len(escalated) != 2 {
+		t.Fatalf("%d escalations, want 2: %+v", len(escalated), escalated)
+	}
+	for _, e := range escalated {
+		if e.VetoPosition != 5 {
+			t.Errorf("escalation %+v corroborated by veto window %d, want 5", e, e.VetoPosition)
+		}
+	}
+	if escalated[0].Primary.Position != 4 || escalated[1].Primary.Position != 5 {
+		t.Errorf("escalated primaries %+v, want positions 4 and 5", escalated)
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending %+v, want empty", p.pending)
+	}
+}
+
+// TestVetoPipelineSuppressedAccounting pins the Suppressed counter: primary
+// alarms that expire uncorroborated are counted exactly once, and
+// corroborated alarms are never counted.
+func TestVetoPipelineSuppressedAccounting(t *testing.T) {
+	var train seq.Stream
+	for i := 0; i < 200; i++ {
+		train = append(train, 0, 1, 2, 3)
+	}
+	train = append(train, 0, 3)
+	for i := 0; i < 200; i++ {
+		train = append(train, 0, 1, 2, 3)
+	}
+	primary, err := tstide.New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veto, err := stide.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := veto.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewVetoPipeline(primary, veto, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two rare-but-seen pairs (0 3) alarm the primary only; one foreign
+	// pair (1 1) alarms both. Long normal tails push the stream past the
+	// expiry horizon so the uncorroborated alarms settle.
+	test := mk(0, 1, 2, 3, 0, 3, 0, 1, 2, 3, 0, 3, 0, 1, 2, 3, 1, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3)
+	escalated, err := pipe.PushAll(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escalated) == 0 {
+		t.Fatalf("foreign pair was not escalated")
+	}
+	if got := pipe.Suppressed(); got != 2 {
+		t.Errorf("Suppressed() = %d, want 2 (the two rare-only alarms)", got)
+	}
+}

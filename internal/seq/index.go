@@ -1,7 +1,6 @@
 package seq
 
 import (
-	"fmt"
 	"sync"
 )
 
@@ -9,43 +8,35 @@ import (
 // width, built lazily and cached. The anomaly synthesizer and the injection
 // verifier query many widths (1 through the largest detector window plus
 // one); the Index amortizes those builds and is safe for concurrent use.
+//
+// Database caching is delegated to a Corpus, so the per-width databases an
+// Index builds during corpus verification are the very databases detector
+// training later fetches — one build per width across the whole evaluation.
 type Index struct {
-	stream Stream
+	corpus *Corpus
 
 	mu   sync.Mutex
-	dbs  map[int]*DB
 	auto *Automaton
 }
 
 // NewIndex returns an Index over stream. The Index copies the stream so that
 // later caller mutations cannot corrupt cached databases.
 func NewIndex(stream Stream) *Index {
-	return &Index{
-		stream: stream.Clone(),
-		dbs:    make(map[int]*DB),
-	}
+	return &Index{corpus: NewCorpus(stream)}
 }
 
+// Corpus returns the shared per-width database cache backing the index.
+// Detector-training code paths take it to reuse the databases already built
+// for verification and injection.
+func (ix *Index) Corpus() *Corpus { return ix.corpus }
+
 // StreamLen returns the length of the indexed stream.
-func (ix *Index) StreamLen() int { return len(ix.stream) }
+func (ix *Index) StreamLen() int { return ix.corpus.Len() }
 
 // DB returns the sequence database at the given width, building it on first
 // use. It returns an error for a non-positive width.
 func (ix *Index) DB(width int) (*DB, error) {
-	if width <= 0 {
-		return nil, fmt.Errorf("seq: non-positive window width %d", width)
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if db, ok := ix.dbs[width]; ok {
-		return db, nil
-	}
-	db, err := Build(ix.stream, width)
-	if err != nil {
-		return nil, err
-	}
-	ix.dbs[width] = db
-	return db, nil
+	return ix.corpus.DB(width)
 }
 
 // Automaton returns a suffix automaton over the indexed stream, built on
@@ -56,7 +47,7 @@ func (ix *Index) Automaton() *Automaton {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.auto == nil {
-		ix.auto = BuildAutomaton(ix.stream)
+		ix.auto = BuildAutomaton(ix.corpus.Stream())
 	}
 	return ix.auto
 }
