@@ -31,6 +31,10 @@ type (
 	AnomalyReport = anomaly.Report
 	// Placement is an anomaly injected into background data.
 	Placement = inject.Placement
+	// WindowCursor iterates the overlapping fixed-width windows of a stream
+	// without per-window allocation; pair it with SequenceDB's byte-keyed
+	// lookups (CountBytes, ContainsBytes) for zero-allocation scoring loops.
+	WindowCursor = seq.Cursor
 )
 
 // Evaluation types.
@@ -51,6 +55,10 @@ type (
 	AlarmStats = eval.AlarmStats
 	// OperatingPoint is one point of a detection-threshold sweep.
 	OperatingPoint = eval.OperatingPoint
+	// GridScheduler is a bounded worker pool for performance-map grid work;
+	// set it as EvalOptions.Scheduler to share one pool across every map of
+	// a run (the commands' -j flag).
+	GridScheduler = eval.Scheduler
 )
 
 // Outcome values.
@@ -118,6 +126,15 @@ func RareSensitiveEvalOptions() EvalOptions {
 func NeuralNetEvalOptions() EvalOptions {
 	return EvalOptions{CapableAt: 0.999, BlindBelow: 1e-3}
 }
+
+// NewWindowCursor returns a cursor over the width-length windows of s. The
+// stream is byte-encoded once; each Next yields an overlapping subslice of
+// that buffer, valid until the next Reset.
+func NewWindowCursor(s Stream, width int) *WindowCursor { return seq.NewCursor(s, width) }
+
+// NewGridScheduler returns a bounded pool running at most workers grid
+// tasks concurrently; workers < 1 means runtime.NumCPU.
+func NewGridScheduler(workers int) *GridScheduler { return eval.NewScheduler(workers) }
 
 // NewSequenceCorpus returns a shared training-database cache over stream
 // (copied). Pass it to TrainWithCorpus to train many detectors and window

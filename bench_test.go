@@ -27,6 +27,7 @@ func BenchmarkFigure2IncidentSpan(b *testing.B) {
 	corpus := benchCorpus(b)
 	p := corpus.Placements[8]
 	a := adiv.EvaluationAlphabet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := adiv.WriteIncidentSpan(io.Discard, a, p, 5); err != nil {
@@ -39,6 +40,7 @@ func BenchmarkFigure2IncidentSpan(b *testing.B) {
 // (train at every window 2-15, score all eight test streams).
 func figureMapBench(b *testing.B, name string, factory adiv.Factory, opts adiv.EvalOptions) {
 	corpus := benchCorpus(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := corpus.PerformanceMap(name, factory, opts)
@@ -77,6 +79,7 @@ func BenchmarkFigure6NNMap(b *testing.B) {
 func BenchmarkFigure7LBSimilarity(b *testing.B) {
 	normal := adiv.Stream{0, 1, 2, 3, 4}
 	foreign := adiv.Stream{0, 1, 2, 3, 0}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adiv.LBSimilarity(normal, foreign); err != nil {
@@ -108,6 +111,7 @@ func BenchmarkSection7Suppression(b *testing.B) {
 	if err := adiv.TrainAll(corpus.Training, markov, stide); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := adiv.Suppress(markov, stide, placement, adiv.RareSensitiveThreshold, adiv.StrictThreshold)
@@ -132,6 +136,7 @@ func BenchmarkMFSScan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats, err := adiv.ScanMFS(train, test, 12)
@@ -148,6 +153,7 @@ func BenchmarkMFSScan(b *testing.B) {
 // (training generation, anomaly verification, boundary-safe injection).
 func BenchmarkCorpusBuild(b *testing.B) {
 	cfg := adiv.QuickConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adiv.BuildCorpus(cfg); err != nil {
@@ -284,6 +290,7 @@ func BenchmarkStreamingScore(b *testing.B) {
 	corpus := benchCorpus(b)
 	det := trainedDetector(b, adiv.DetectorStide, 8)
 	stream := corpus.Placements[6].Stream
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scorer, err := adiv.NewStreamScorer(det)
@@ -369,6 +376,7 @@ func BenchmarkROC(b *testing.B) {
 		placements = append(placements, p)
 	}
 	thresholds := []float64{0.5, 0.9, 0.98, 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curve, err := adiv.ROC(det, placements, thresholds)
@@ -402,6 +410,7 @@ func BenchmarkDiagnose(b *testing.B) {
 		Train:          corpus.Training,
 		Opts:           opts,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v, err := adiv.Diagnose(in)
@@ -419,6 +428,7 @@ func BenchmarkDiagnose(b *testing.B) {
 func BenchmarkHMM(b *testing.B) {
 	corpus := benchCorpus(b)
 	b.Run("train", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			det, err := adiv.NewHMM(adiv.DefaultHMMConfig())
 			if err != nil {
@@ -438,6 +448,7 @@ func BenchmarkHMM(b *testing.B) {
 			b.Fatal(err)
 		}
 		stream := corpus.Placements[6].Stream
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := det.Score(stream); err != nil {
@@ -456,6 +467,7 @@ func BenchmarkInjection(b *testing.B) {
 		b.Fatal(err)
 	}
 	ix := corpus.TrainIndex
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adiv.InjectBoundarySafe(ix, corpus.Background, m, 2, 15); err != nil {
@@ -492,6 +504,7 @@ func gridTrain(b *testing.B, train adiv.Stream, dbs *adiv.SequenceCorpus) {
 // — the pre-cache cost of one perfmap/ensemble run's training phase.
 func BenchmarkGridTrainUncached(b *testing.B) {
 	corpus := benchCorpus(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gridTrain(b, corpus.Training, nil)
@@ -504,11 +517,83 @@ func BenchmarkGridTrainUncached(b *testing.B) {
 // cost is measured, just not repeated).
 func BenchmarkGridTrainCached(b *testing.B) {
 	corpus := benchCorpus(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dbs := adiv.NewSequenceCorpus(corpus.Training)
 		gridTrain(b, nil, dbs)
 	}
+}
+
+// BenchmarkNNTrainKernel isolates the neural-network training kernel — the
+// hot loop behind BenchmarkFigure6NNMap — across SGD granularities:
+// "seq" is exact per-example SGD (the reference semantics every figure is
+// pinned to), "batch" applies per-example gradients batch-wise with a
+// worker pool (bit-identical for every worker count).
+func BenchmarkNNTrainKernel(b *testing.B) {
+	corpus := benchCorpus(b)
+	base := adiv.DefaultNNConfig()
+	base.Epochs = 100
+	variants := []struct {
+		name string
+		mut  func(*adiv.NNConfig)
+	}{
+		{"seq", func(*adiv.NNConfig) {}},
+		{"batch8", func(c *adiv.NNConfig) { c.BatchSize = 8 }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := base
+			v.mut(&cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det, err := adiv.NewNeuralNet(6, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := det.Train(corpus.Training); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWindowCursor measures the zero-allocation window-scoring
+// primitive: a reused cursor walking every window of the test stream with a
+// keyed count lookup per step. The benchmark asserts the zero-alloc
+// contract outright — a regression fails the bench, not just a number.
+func BenchmarkWindowCursor(b *testing.B) {
+	corpus := benchCorpus(b)
+	stream := corpus.Placements[6].Stream
+	db := corpus.TrainingDBs()
+	grams, err := db.DB(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := adiv.NewWindowCursor(stream, 8)
+	walk := func() int {
+		cur.Reset(stream, 8)
+		hits := 0
+		for w, ok := cur.Next(); ok; w, ok = cur.Next() {
+			if grams.CountBytes(w) > 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	if allocs := testing.AllocsPerRun(10, func() { walk() }); allocs != 0 {
+		b.Fatalf("cursor walk allocates %v times per pass, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if walk() == 0 {
+			b.Fatal("no window of the test stream appears in training")
+		}
+	}
+	b.SetBytes(int64(len(stream)))
 }
 
 // BenchmarkDetectorScoreObserved pins down the cost of the observability

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	ensemble [-quick] [-window N] [-size N] [-noisy N]
+//	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
 //	         [-metrics-out FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -66,6 +66,7 @@ func run(w io.Writer, args []string) (err error) {
 		"window":   *window,
 		"size":     *size,
 		"noisy":    *noisyLen,
+		"jobs":     obsRun.Scheduler().Workers(),
 	})
 	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
@@ -73,7 +74,7 @@ func run(w io.Writer, args []string) (err error) {
 		return err
 	}
 
-	if err := coverageAnalysis(w, corpus, obsRun.Metrics); err != nil {
+	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Metrics); err != nil {
 		return err
 	}
 	if err := suppressionAnalysis(w, corpus, *window, *size, *noisyLen, obsRun.Metrics); err != nil {
@@ -87,8 +88,11 @@ func run(w io.Writer, args []string) (err error) {
 	return nil
 }
 
-func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
+func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
 	opts := adiv.DefaultEvalOptions()
+	// The four family maps share one bounded pool: expensive rows of one
+	// family interleave with cheap rows of another.
+	opts.Scheduler = sched
 	stideMap, err := corpus.PerformanceMapObserved(adiv.DetectorStide, adiv.StideFactory, opts, metrics)
 	if err != nil {
 		return err

@@ -17,6 +17,8 @@
 //	                 per-cell evaluation timing) to F at exit
 //	-progress        emit NDJSON progress events to stderr during grid runs
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
+//	-j N             bound concurrent grid work (default runtime.NumCPU);
+//	                 one pool is shared across all maps of the run
 package main
 
 import (
@@ -71,6 +73,7 @@ func run(w io.Writer, args []string) (err error) {
 		"windows":  fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
 		"sizes":    fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
 		"regime":   *regime,
+		"jobs":     obsRun.Scheduler().Workers(),
 	})
 
 	// Figure 7 needs no corpus.
@@ -104,6 +107,8 @@ func run(w io.Writer, args []string) (err error) {
 		if *regime == "rare" && name != adiv.DetectorNeuralNet {
 			opts = adiv.RareSensitiveEvalOptions()
 		}
+		// All maps of the run evaluate on one -j-bounded pool.
+		opts.Scheduler = obsRun.Scheduler()
 		m, err := corpus.PerformanceMapObserved(name, factory, opts, obsRun.Metrics)
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -22,6 +24,27 @@ func TestRunFigure7(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunJobsInvariance pins the -j contract end to end: the rendered maps
+// are byte-identical whether the grid evaluates on one worker or many.
+func TestRunJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	build := func(jobs string) string {
+		var sb strings.Builder
+		if err := run(&sb, []string{"-quick", "-figure", "5", "-csv", "-j", jobs}); err != nil {
+			t.Fatalf("run -j %s: %v", jobs, err)
+		}
+		return sb.String()
+	}
+	serial := build("1")
+	parallel := build(strconv.Itoa(runtime.NumCPU() + 2))
+	if serial != parallel {
+		t.Errorf("output differs between -j 1 and -j %d:\n--- j=1 ---\n%s\n--- parallel ---\n%s",
+			runtime.NumCPU()+2, serial, parallel)
 	}
 }
 

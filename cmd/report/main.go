@@ -70,6 +70,7 @@ func run(args []string) (err error) {
 		"trainLen": cfg.Gen.TrainLen,
 		"windows":  fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
 		"sizes":    fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+		"jobs":     obsRun.Scheduler().Workers(),
 	})
 	fmt.Fprintf(os.Stderr, "report: building corpus (training length %d)...\n", cfg.Gen.TrainLen)
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
@@ -86,7 +87,7 @@ func run(args []string) (err error) {
 	if err := figure2(w, corpus); err != nil {
 		return err
 	}
-	maps, err := figures3to6(w, corpus, metrics)
+	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), metrics)
 	if err != nil {
 		return err
 	}
@@ -96,7 +97,7 @@ func run(args []string) (err error) {
 	if err := combination(w, corpus, maps); err != nil {
 		return err
 	}
-	if err := ablations(w, corpus, metrics); err != nil {
+	if err := ablations(w, corpus, obsRun.Scheduler(), metrics); err != nil {
 		return err
 	}
 	return prevalence(w)
@@ -111,7 +112,7 @@ func figure2(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func figures3to6(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
+func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
 	order := []struct {
 		figure int
 		name   string
@@ -127,6 +128,7 @@ func figures3to6(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) (map[s
 		if err != nil {
 			return nil, err
 		}
+		opts.Scheduler = sched
 		fmt.Fprintf(os.Stderr, "report: figure %d (%s)...\n", item.figure, item.name)
 		m, err := corpus.PerformanceMapObserved(item.name, factory, opts, metrics)
 		if err != nil {
@@ -219,8 +221,10 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	return nil
 }
 
-func ablations(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
+func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
 	fmt.Fprintf(os.Stderr, "report: ablations...\n")
+	opts := adiv.DefaultEvalOptions()
+	opts.Scheduler = sched
 	fmt.Fprintf(w, "## Parameter ablations\n\n")
 	fmt.Fprintf(w, "t-stide rarity cutoff (coverage cells of %d vs false alarms on rare data):\n\n", 112)
 	fmt.Fprintf(w, "| cutoff | capable cells | false alarms |\n|---|---|---|\n")
@@ -234,7 +238,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 	}
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
-		m, err := corpus.PerformanceMapObserved("tstide", factory, adiv.DefaultEvalOptions(), metrics)
+		m, err := corpus.PerformanceMapObserved("tstide", factory, opts, metrics)
 		if err != nil {
 			return err
 		}
@@ -255,7 +259,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 
 	// Smoothed Markov collapse.
 	factory := func(dw int) (adiv.Detector, error) { return adiv.NewSmoothedMarkov(dw, 0.05) }
-	strict, err := corpus.PerformanceMapObserved("markov-smoothed", factory, adiv.DefaultEvalOptions(), metrics)
+	strict, err := corpus.PerformanceMapObserved("markov-smoothed", factory, opts, metrics)
 	if err != nil {
 		return err
 	}

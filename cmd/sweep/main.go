@@ -82,6 +82,7 @@ func run(w io.Writer, args []string) (err error) {
 		"backgroundLen": cfg.Gen.BackgroundLen,
 		"windows":       fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
 		"sizes":         fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
+		"jobs":          obsRun.Scheduler().Workers(),
 	})
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
@@ -92,9 +93,9 @@ func run(w io.Writer, args []string) (err error) {
 	case "threshold":
 		return thresholdSweep(w, corpus, *window, *size, *trials)
 	case "nn":
-		return nnGrid(w, corpus, obsRun.Metrics)
+		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Metrics)
 	case "cutoff":
-		return cutoffSweep(w, corpus, *window, *size, obsRun.Metrics)
+		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Metrics)
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
@@ -211,16 +212,18 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 }
 
 // nnGrid charts coverage across neural-network tuning parameters.
-func nnGrid(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
+func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
 	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
 		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
+	opts := adiv.NeuralNetEvalOptions()
+	opts.Scheduler = sched
 	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
 	for _, epochs := range []int{1, 25, 100, 400} {
 		for _, lr := range []float64{0.01, 0.1, 0.25} {
 			cfg := adiv.DefaultNNConfig()
 			cfg.Epochs = epochs
 			cfg.LearningRate = lr
-			m, err := corpus.PerformanceMapObserved("nn", adiv.NeuralNetFactory(cfg), adiv.NeuralNetEvalOptions(), metrics)
+			m, err := corpus.PerformanceMapObserved("nn", adiv.NeuralNetFactory(cfg), opts, metrics)
 			if err != nil {
 				return err
 			}
@@ -232,7 +235,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus, metrics *adiv.Metrics) error {
 
 // cutoffSweep charts t-stide's coverage and false alarms against its
 // rarity cutoff.
-func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, metrics *adiv.Metrics) error {
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
 	noisy, err := corpus.NoisyStream(10_000, 1)
 	if err != nil {
 		return err
@@ -241,10 +244,12 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, metrics *ad
 	if err != nil {
 		return err
 	}
+	opts := adiv.DefaultEvalOptions()
+	opts.Scheduler = sched
 	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
-		m, err := corpus.PerformanceMapObserved("tstide", factory, adiv.DefaultEvalOptions(), metrics)
+		m, err := corpus.PerformanceMapObserved("tstide", factory, opts, metrics)
 		if err != nil {
 			return err
 		}

@@ -132,12 +132,12 @@ func (d *Detector) setProfile(db *seq.DB) {
 // training.
 func (d *Detector) NormalCount() int { return len(d.normal) }
 
-// similarityBytes is Similarity specialized to the byte-encoded profile,
-// avoiding per-comparison conversions in the scoring hot path.
-func similarityBytes(x []byte, y seq.Stream) int {
+// similarityBytes is Similarity specialized to byte-encoded windows on both
+// sides, avoiding per-comparison conversions in the scoring hot path.
+func similarityBytes(x, y []byte) int {
 	sim, run := 0, 0
 	for i := range x {
-		if x[i] == byte(y[i]) {
+		if x[i] == y[i] {
 			run++
 			sim += run
 		} else {
@@ -158,8 +158,11 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	simMax := float64(MaxSimilarity(d.window))
 	n := seq.NumWindows(len(test), d.window)
 	out := make([]float64, n)
+	// Encode the test stream once; each window compared is an overlapping
+	// subslice of the encoded buffer.
+	b := test.Bytes()
 	for i := 0; i < n; i++ {
-		w := test[i : i+d.window]
+		w := b[i : i+d.window]
 		best := 0
 		for _, normal := range d.normal {
 			if s := similarityBytes(normal, w); s > best {

@@ -137,6 +137,24 @@ func (d *Detector) Prob(g seq.Stream) (float64, error) {
 	return (float64(d.grams.Count(g)) + d.lambda) / denom, nil
 }
 
+// probBytes is Prob for a byte-encoded, length-checked (window+1)-gram: the
+// allocation-free estimate the score loop uses on overlapping subslices of
+// the encoded test stream.
+func (d *Detector) probBytes(gram []byte) float64 {
+	ctxCount := d.contexts.CountBytes(gram[:d.window])
+	if d.lambda == 0 {
+		if ctxCount == 0 {
+			return 0
+		}
+		return float64(d.grams.CountBytes(gram)) / float64(ctxCount)
+	}
+	denom := float64(ctxCount) + d.lambda*float64(d.k)
+	if denom == 0 {
+		return 0
+	}
+	return (float64(d.grams.CountBytes(gram)) + d.lambda) / denom
+}
+
 // Score implements detector.Detector: responses[i] = 1 - P(test[i+DW] |
 // test[i:i+DW]), one response per (DW+1)-gram of the test stream, i.e. one
 // per element beginning at the (DW+1)st element as the paper puts it.
@@ -146,12 +164,11 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	n := seq.NumWindows(len(test), d.window+1)
 	out := make([]float64, n)
+	// Encode the test stream once; each gram is an overlapping subslice, so
+	// the loop performs two counted map lookups and no allocation per gram.
+	b := test.Bytes()
 	for i := 0; i < n; i++ {
-		p, err := d.Prob(test[i : i+d.window+1])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = 1 - p
+		out[i] = 1 - d.probBytes(b[i:i+d.window+1])
 	}
 	return out, nil
 }

@@ -1,0 +1,238 @@
+package nnet
+
+import (
+	"math"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/seq"
+)
+
+// kernelTestStream synthesizes a deterministic training stream with enough
+// structure that the network actually converges (repeated motifs) and
+// enough variety that every layer's gradients stay busy for a while.
+func kernelTestStream(n int) seq.Stream {
+	s := make(seq.Stream, n)
+	state := uint64(42)
+	for i := range s {
+		state = state*6364136223846793005 + 1442695040888963407
+		switch {
+		case i%7 < 4:
+			s[i] = alphabet.Symbol(i % 5)
+		default:
+			s[i] = alphabet.Symbol((state >> 58) % 8)
+		}
+	}
+	return s
+}
+
+// flatW1 converts the reference network's row-major first layer to the
+// kernel's column-major flat layout for bitwise comparison.
+func flatW1(ref [][]float64, hidden, inputs int) []float64 {
+	out := make([]float64, inputs*hidden)
+	for j := 0; j < hidden; j++ {
+		for i := 0; i < inputs; i++ {
+			out[i*hidden+j] = ref[j][i]
+		}
+	}
+	return out
+}
+
+// flatRows concatenates a row-major [][]float64 into the kernel's flat form.
+func flatRows(ref [][]float64) []float64 {
+	var out []float64
+	for _, row := range ref {
+		out = append(out, row...)
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x (%v), want %x (%v)",
+				label, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestKernelMatchesReference pins the kernel's determinism contract: the
+// flat column-major implementation (including the subnormal velocity flush)
+// trains to weights bit-for-bit identical to the retained legacy
+// implementation, across layer depths, early stopping, and momentum
+// settings.
+func TestKernelMatchesReference(t *testing.T) {
+	train := kernelTestStream(4000)
+	const window = 6
+
+	configs := map[string]Config{
+		"one-layer": {
+			Hidden: 10, LearningRate: 0.25, Momentum: 0.7, Epochs: 60, Seed: 7,
+		},
+		"two-layer": {
+			Hidden: 8, Hidden2: 6, LearningRate: 0.2, Momentum: 0.6, Epochs: 40, Seed: 11,
+		},
+		"early-stop": {
+			Hidden: 10, LearningRate: 0.25, Momentum: 0.7, Epochs: 200,
+			TargetLoss: 0.5, Seed: 7,
+		},
+		"no-momentum": {
+			Hidden: 6, LearningRate: 0.3, Momentum: 0, Epochs: 30, Seed: 3,
+		},
+	}
+
+	grams, err := seq.Build(train, window+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 8
+
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			d, err := New(window, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Train(train); err != nil {
+				t.Fatal(err)
+			}
+			ref := refFit(grams, window, k, cfg)
+
+			net := d.net
+			bitsEqual(t, "w1", net.w1, flatW1(ref.w1, cfg.Hidden, window*k))
+			bitsEqual(t, "b1", net.b1, ref.b1)
+			if cfg.Hidden2 > 0 {
+				bitsEqual(t, "wm", net.wm, flatRows(ref.wm))
+				bitsEqual(t, "bm", net.bm, ref.bm)
+			}
+			bitsEqual(t, "w2", net.w2, flatRows(ref.w2))
+			bitsEqual(t, "b2", net.b2, ref.b2)
+
+			// The scoring path must agree bitwise as well.
+			test := kernelTestStream(500)
+			got, err := d.Score(test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := test.Bytes()
+			for i, r := range got {
+				probs := ref.forward(b[i : i+window])
+				want := 1 - probs[int(b[i+window])]
+				if math.Float64bits(r) != math.Float64bits(want) {
+					t.Fatalf("score[%d] = %v, want %v", i, r, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTrainingDeterminism pins the worker-count independence of
+// batched training: for BatchSize > 1, gradients are computed by a worker
+// pool but reduced in fixed index order, so the trained weights must be
+// bit-identical for every worker count.
+func TestParallelTrainingDeterminism(t *testing.T) {
+	train := kernelTestStream(4000)
+	const window = 6
+	base := Config{
+		Hidden: 10, Hidden2: 5, LearningRate: 0.2, Momentum: 0.7,
+		Epochs: 30, Seed: 7, BatchSize: 8,
+	}
+
+	trainNet := func(workers int) *network {
+		cfg := base
+		cfg.Workers = workers
+		d, err := New(window, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		return d.net
+	}
+
+	want := trainNet(1)
+	for _, workers := range []int{2, 4, 32} {
+		got := trainNet(workers)
+		bitsEqual(t, "w1", got.w1, want.w1)
+		bitsEqual(t, "b1", got.b1, want.b1)
+		bitsEqual(t, "wm", got.wm, want.wm)
+		bitsEqual(t, "bm", got.bm, want.bm)
+		bitsEqual(t, "w2", got.w2, want.w2)
+		bitsEqual(t, "b2", got.b2, want.b2)
+	}
+}
+
+// TestBatchConfigValidation covers the new Config fields.
+func TestBatchConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative BatchSize validated")
+	}
+	cfg = DefaultConfig()
+	cfg.Workers = -2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Workers validated")
+	}
+	cfg = DefaultConfig()
+	cfg.BatchSize = 16
+	cfg.Workers = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid batch config rejected: %v", err)
+	}
+}
+
+// TestBatchedTrainingScores sanity-checks that batched training still
+// learns: on a fully predictable cyclic stream the detector must score the
+// learned transitions near 0 and a never-observed target symbol near 1.
+func TestBatchedTrainingScores(t *testing.T) {
+	train := make(seq.Stream, 2000)
+	for i := range train {
+		train[i] = alphabet.Symbol(i % 5)
+	}
+	const window = 6
+	cfg := Config{
+		Hidden: 12, LearningRate: 0.25, Momentum: 0.7, Epochs: 120,
+		Seed: 7, AlphabetSize: 8, BatchSize: 4, Workers: 4,
+	}
+	d, err := New(window, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	normal, err := d.Score(train[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol 6 never occurs in training, so its predicted probability must
+	// have been driven toward zero for every context.
+	foreign := make(seq.Stream, 40)
+	for i := range foreign {
+		foreign[i] = 6
+	}
+	anomalous, err := d.Score(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if m := mean(normal); m > 0.2 {
+		t.Fatalf("batched training did not learn the cycle: normal mean response %v", m)
+	}
+	if m := mean(anomalous); m < 0.8 {
+		t.Fatalf("batched training did not reject the foreign symbol: anomalous mean response %v", m)
+	}
+}

@@ -56,6 +56,18 @@ type Config struct {
 	AlphabetSize int
 	// Seed seeds weight initialization and example shuffling.
 	Seed uint64
+	// BatchSize selects the SGD granularity. 0 or 1 is exact per-example
+	// SGD — the reference semantics every figure is pinned to. Values > 1
+	// compute each batch's per-example gradients at the batch-start weights
+	// and apply them with momentum in fixed index order, which trades exact
+	// per-example updates for intra-batch parallelism while keeping the
+	// trained weights a pure function of (data, config): bit-identical for
+	// every worker count.
+	BatchSize int
+	// Workers bounds the goroutines computing per-example gradients within
+	// a batch; 0 means GOMAXPROCS. It has no effect when BatchSize ≤ 1 and
+	// never affects the trained weights, only the wall-clock.
+	Workers int
 }
 
 // DefaultConfig returns a well-tuned configuration for the evaluation data:
@@ -94,6 +106,12 @@ func (c Config) Validate() error {
 	if c.AlphabetSize < 0 || c.AlphabetSize > alphabet.MaxSize {
 		return fmt.Errorf("nnet: alphabet size %d outside [0,%d]", c.AlphabetSize, alphabet.MaxSize)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("nnet: negative batch size %d", c.BatchSize)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("nnet: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
@@ -130,13 +148,6 @@ func (d *Detector) Extent() int { return d.window + 1 }
 
 // Config returns the detector's tuning parameters.
 func (d *Detector) Config() Config { return d.cfg }
-
-// example is one distinct (context, next) gram with its occurrence weight.
-type example struct {
-	context []byte // window symbols, byte-encoded
-	next    int
-	weight  float64
-}
 
 // Train fits the network to the training stream's (DW+1)-grams.
 func (d *Detector) Train(train seq.Stream) error {
@@ -181,50 +192,43 @@ func (d *Detector) fit(grams *seq.DB, k, streamLen int) error {
 		return fmt.Errorf("nnet: training stream of length %d holds no %d-gram", streamLen, d.window+1)
 	}
 
-	examples := make([]example, 0, grams.Distinct())
-	grams.Each(func(w seq.Stream, count int) {
-		b := w.Bytes()
-		examples = append(examples, example{
-			context: b[:d.window],
-			next:    int(b[d.window]),
-			weight:  float64(count),
-		})
-	})
-	// Deterministic base order (Each iterates a map), then normalize
-	// weights to mean 1 so the learning rate keeps its usual meaning.
-	sort.Slice(examples, func(i, j int) bool {
-		ci, cj := examples[i].context, examples[j].context
-		if c := compareBytes(ci, cj); c != 0 {
-			return c < 0
-		}
-		return examples[i].next < examples[j].next
-	})
-	totalW := 0.0
-	for _, e := range examples {
-		totalW += e.weight
+	// Collect the distinct grams as (key, count) pairs without copying the
+	// key bytes, and sort: the keys are equal-length context·next strings,
+	// so lexicographic key order is exactly the legacy (context, next)
+	// order. The sorted order fixes both the weight-normalization sum and
+	// the shuffle indices, keeping training bit-identical.
+	type keyedGram struct {
+		key   string
+		count int
 	}
-	scale := float64(len(examples)) / totalW
-	for i := range examples {
-		examples[i].weight *= scale
+	pairs := make([]keyedGram, 0, grams.Distinct())
+	grams.EachKey(func(key string, count int) {
+		pairs = append(pairs, keyedGram{key, count})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+
+	ex := &exampleSet{
+		window:  d.window,
+		ctx:     make([]byte, 0, len(pairs)*d.window),
+		targets: make([]uint8, len(pairs)),
+		weights: make([]float64, len(pairs)),
+	}
+	totalW := 0.0
+	for i, p := range pairs {
+		ex.ctx = append(ex.ctx, p.key[:d.window]...)
+		ex.targets[i] = p.key[d.window]
+		ex.weights[i] = float64(p.count)
+		totalW += ex.weights[i]
+	}
+	// Normalize weights to mean 1 so the learning rate keeps its usual
+	// meaning.
+	scale := float64(len(pairs)) / totalW
+	for i := range ex.weights {
+		ex.weights[i] *= scale
 	}
 
 	net := newNetwork(d.window, k, d.cfg.Hidden, d.cfg.Hidden2, rng.New(d.cfg.Seed))
-	src := rng.New(d.cfg.Seed ^ 0xA5A5A5A5A5A5A5A5)
-	order := make([]int, len(examples))
-	for i := range order {
-		order[i] = i
-	}
-	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
-		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		epochLoss := 0.0
-		for _, idx := range order {
-			e := examples[idx]
-			epochLoss += net.step(e.context, e.next, e.weight, d.cfg.LearningRate, d.cfg.Momentum)
-		}
-		if d.cfg.TargetLoss > 0 && epochLoss/float64(len(order)) < d.cfg.TargetLoss {
-			break
-		}
-	}
+	net.trainSGD(ex, d.cfg)
 	d.net = net
 	return nil
 }
@@ -266,16 +270,4 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 		out[i] = 1 - p
 	}
 	return out, nil
-}
-
-func compareBytes(a, b []byte) int {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	return len(a) - len(b)
 }

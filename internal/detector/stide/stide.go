@@ -87,8 +87,11 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	n := seq.NumWindows(len(test), d.window)
 	out := make([]float64, n)
+	// Encode the test stream once and query each window as an overlapping
+	// subslice: the whole score loop performs no per-window allocation.
+	b := test.Bytes()
 	for i := 0; i < n; i++ {
-		if !d.normal.Contains(test[i : i+d.window]) {
+		if !d.normal.ContainsBytes(b[i : i+d.window]) {
 			out[i] = 1
 		}
 	}

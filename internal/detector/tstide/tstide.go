@@ -92,9 +92,14 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	n := seq.NumWindows(len(test), d.window)
 	out := make([]float64, n)
+	// Encode the test stream once and fold the foreign and rare predicates
+	// into a single counted lookup per window: foreign means count 0, rare
+	// means a positive count below the cutoff fraction of training windows.
+	b := test.Bytes()
+	limit := d.cutoff * float64(d.normal.Total())
 	for i := 0; i < n; i++ {
-		w := test[i : i+d.window]
-		if d.normal.IsForeign(w) || d.normal.IsRare(w, d.cutoff) {
+		c := d.normal.CountBytes(b[i : i+d.window])
+		if c == 0 || float64(c) < limit {
 			out[i] = 1
 		}
 	}

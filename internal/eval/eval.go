@@ -58,6 +58,17 @@ type Options struct {
 	// BlindBelow is the response value below which a response counts as
 	// zero, absorbing floating-point fuzz.
 	BlindBelow float64
+	// Workers bounds how many grid tasks (row trainings, cell evaluations)
+	// BuildMap runs concurrently; 0 means runtime.NumCPU. Ignored when
+	// Scheduler is set. It affects only wall-clock, never the resulting
+	// map: every cell's assessment is a pure function of (detector, data).
+	Workers int
+	// Scheduler, when non-nil, supplies the bounded worker pool for grid
+	// tasks instead of a pool created from Workers. Drivers that build
+	// several maps share one scheduler (the -j flag) so expensive rows of
+	// one family interleave with cheap rows of another instead of each map
+	// bringing up its own unbounded fan-out.
+	Scheduler *Scheduler
 }
 
 // DefaultOptions matches the paper's exact-threshold regime: only responses
@@ -70,6 +81,9 @@ func DefaultOptions() Options {
 func (o Options) Validate() error {
 	if !(o.BlindBelow >= 0 && o.BlindBelow < o.CapableAt && o.CapableAt <= 1) {
 		return fmt.Errorf("eval: need 0 <= BlindBelow < CapableAt <= 1, got %v and %v", o.BlindBelow, o.CapableAt)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("eval: negative worker count %d", o.Workers)
 	}
 	return nil
 }

@@ -134,8 +134,13 @@ type Factory func(window int) (detector.Detector, error)
 // BuildMap deploys a detector family over the full evaluation grid: for
 // every window in [minWindow, maxWindow] a detector is constructed and
 // trained once on the training stream, then scored against every placement
-// (one per anomaly size). Rows are evaluated concurrently — training the
-// neural network fourteen times dominates the Figure 6 wall time otherwise.
+// (one per anomaly size). Grid work — row trainings and (window, size) cell
+// evaluations — runs on a bounded worker pool (opts.Workers slots, default
+// runtime.NumCPU, or a shared opts.Scheduler), so training the neural
+// network fourteen times overlaps across rows without the grid ever
+// spawning unbounded concurrent work. Cells within a row run sequentially:
+// a trained detector's Score may reuse per-detector scratch buffers and is
+// not safe for concurrent use (see DESIGN.md).
 func BuildMap(name string, factory Factory, train seq.Stream, placements map[int]inject.Placement,
 	minWindow, maxWindow int, opts Options) (*Map, error) {
 	return BuildMapObserved(name, factory, train, placements, minWindow, maxWindow, opts, nil)
@@ -210,6 +215,11 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 	cellCounter := reg.Counter("eval/cells/" + name)
 	var done atomic.Int64
 
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = NewScheduler(opts.Workers)
+	}
+
 	type rowResult struct {
 		assessments []Assessment
 		err         error
@@ -218,6 +228,13 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 	var wg sync.WaitGroup
 	for window := minWindow; window <= maxWindow; window++ {
 		wg.Add(1)
+		// One coordinator goroutine per row. The goroutines themselves are
+		// nearly free — all real work (training, cell evaluation) happens
+		// inside sched.Run, so at most sched.Workers() grid tasks execute at
+		// any moment, across rows and across any other maps sharing the
+		// scheduler. Cells stay sequential within their row: each row's
+		// trained detector may reuse scoring scratch and must not score two
+		// streams at once.
 		go func(window int) {
 			defer wg.Done()
 			res := &results[window-minWindow]
@@ -227,8 +244,12 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 				return
 			}
 			det = detector.Observed(det, reg)
-			if err := detector.TrainWith(det, tc); err != nil {
-				res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
+			sched.Run(func() {
+				if err := detector.TrainWith(det, tc); err != nil {
+					res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
+				}
+			})
+			if res.err != nil {
 				return
 			}
 			for size := minSize; size <= maxSize; size++ {
@@ -236,9 +257,15 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 				if !ok {
 					continue
 				}
-				cellSpan := reg.Span("cell/" + name)
-				a, err := Assess(det, p, opts)
-				cellMs := float64(cellSpan.End().Nanoseconds()) / 1e6
+				var (
+					a      Assessment
+					cellMs float64
+				)
+				sched.Run(func() {
+					cellSpan := reg.Span("cell/" + name)
+					a, err = Assess(det, p, opts)
+					cellMs = float64(cellSpan.End().Nanoseconds()) / 1e6
+				})
 				if err != nil {
 					res.err = err
 					return

@@ -1,0 +1,37 @@
+package eval
+
+import "runtime"
+
+// Scheduler is a bounded worker pool for grid tasks: a counting semaphore
+// that caps how many row trainings and cell evaluations execute at once.
+// One scheduler can — and in the drivers does — back several performance
+// maps at a time, so an expensive neural-network row never serializes a
+// whole map behind itself while the cheap families' rows could be running:
+// every (window, size) task from every map competes for the same slots.
+//
+// A Scheduler is safe for concurrent use. The zero value is not usable;
+// construct with NewScheduler.
+type Scheduler struct {
+	slots chan struct{}
+}
+
+// NewScheduler returns a scheduler executing at most workers tasks
+// concurrently; workers < 1 means runtime.NumCPU.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Scheduler{slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the scheduler's concurrency bound.
+func (s *Scheduler) Workers() int { return cap(s.slots) }
+
+// Run executes fn while holding one of the scheduler's slots, blocking
+// until a slot is free. fn must not call Run on the same scheduler (a task
+// waiting for a slot while holding one can deadlock the pool).
+func (s *Scheduler) Run(fn func()) {
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	fn()
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/seq"
+)
+
+func TestSchedulerDefaultsToNumCPU(t *testing.T) {
+	for _, workers := range []int{0, -3} {
+		if got := NewScheduler(workers).Workers(); got != runtime.NumCPU() {
+			t.Errorf("NewScheduler(%d).Workers() = %d, want %d", workers, got, runtime.NumCPU())
+		}
+	}
+	if got := NewScheduler(5).Workers(); got != 5 {
+		t.Errorf("NewScheduler(5).Workers() = %d", got)
+	}
+}
+
+// TestSchedulerBoundsConcurrency submits far more tasks than slots and
+// checks that the observed peak concurrency never exceeds the bound.
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	sched := NewScheduler(bound)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sched.Run(func() {
+				n := running.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				runtime.Gosched()
+				running.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d exceeded bound %d", p, bound)
+	}
+	if p := peak.Load(); p < 1 {
+		t.Errorf("no task ever ran")
+	}
+}
+
+// TestBuildMapWorkerCountInvariance pins the grid scheduler's determinism
+// contract: the built map is a pure function of (detector family, data) —
+// the worker count moves only wall-clock, never a cell.
+func TestBuildMapWorkerCountInvariance(t *testing.T) {
+	placements := map[int]inject.Placement{
+		2: placementOf(60, 30, 2),
+		3: placementOf(60, 30, 3),
+		5: placementOf(60, 30, 5),
+	}
+	factory := func(window int) (detector.Detector, error) {
+		return &fakeDetector{
+			name:   "fake",
+			window: window,
+			extent: window,
+			scoreFunc: func(test seq.Stream) []float64 {
+				n := seq.NumWindows(len(test), window)
+				out := make([]float64, n)
+				// Capable iff the window is at least the anomaly size,
+				// mirroring Stide: mark the anomaly-start position with a
+				// graded response so Weak/Capable both appear in the map.
+				resp := 1.0
+				if window < 4 {
+					resp = 0.5
+				}
+				out[30] = resp
+				return out
+			},
+		}, nil
+	}
+
+	build := func(opts Options) *Map {
+		m, err := BuildMap("fake", factory, make(seq.Stream, 100), placements, 2, 8, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	serial := DefaultOptions()
+	serial.Workers = 1
+	want := build(serial).Cells()
+
+	wide := DefaultOptions()
+	wide.Workers = 8
+	shared := DefaultOptions()
+	shared.Scheduler = NewScheduler(4)
+	for _, opts := range []Options{wide, shared} {
+		got := build(opts).Cells()
+		if len(got) != len(want) {
+			t.Fatalf("cell count %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("cell %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOptionsRejectNegativeWorkers(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = -1
+	if err := opts.Validate(); err == nil {
+		t.Error("negative Workers validated")
+	}
+}

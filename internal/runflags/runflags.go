@@ -1,15 +1,17 @@
-// Package runflags is the shared observability wiring of the command-line
-// tools: every long-running command (sweep, perfmap, report, ensemble)
-// registers the same four flags —
+// Package runflags is the shared runtime wiring of the command-line tools:
+// every long-running command (sweep, perfmap, report, ensemble) registers
+// the same flags —
 //
 //	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v1)
 //	-progress           emit NDJSON progress events to stderr during the run
 //	-cpuprofile FILE    write a CPU profile (runtime/pprof)
 //	-memprofile FILE    write a heap profile at exit
+//	-j N                bound concurrent grid work (default runtime.NumCPU)
 //
-// — and threads the resulting *obs.Registry through the corpus builders
-// and map builders. With none of the flags set the registry is nil and
-// every instrumented path is disabled at zero cost.
+// — and threads the resulting *obs.Registry and shared *eval.Scheduler
+// through the corpus builders and map builders. With none of the
+// observability flags set the registry is nil and every instrumented path
+// is disabled at zero cost.
 package runflags
 
 import (
@@ -20,25 +22,31 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 
+	"adiv/internal/eval"
 	"adiv/internal/obs"
 )
 
-// Flags holds the shared observability flag values.
+// Flags holds the shared runtime flag values.
 type Flags struct {
 	MetricsOut string
 	Progress   bool
 	CPUProfile string
 	MemProfile string
+	// Jobs is the -j bound on concurrent grid tasks (row trainings and
+	// cell evaluations across every performance map the command builds).
+	Jobs int
 }
 
-// Register adds the shared observability flags to fs.
+// Register adds the shared runtime flags to fs.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (schema "+obs.SchemaVersion+") to this file at exit")
 	fs.BoolVar(&f.Progress, "progress", false, "emit NDJSON progress events to stderr during the run")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
 	return f
 }
 
@@ -48,9 +56,20 @@ type Run struct {
 	// Metrics is the run's registry, or nil when observation is disabled.
 	Metrics *obs.Registry
 
-	flags    Flags
-	announce *obs.EventLog
-	cpu      *os.File
+	flags     Flags
+	announce  *obs.EventLog
+	cpu       *os.File
+	schedOnce sync.Once
+	sched     *eval.Scheduler
+}
+
+// Scheduler returns the run's shared grid-work pool, sized by -j and
+// created on first use. Every performance map of the run should evaluate on
+// this one pool (set it as Options.Scheduler) so concurrent work stays
+// bounded across detector families, not merely within each map.
+func (r *Run) Scheduler() *eval.Scheduler {
+	r.schedOnce.Do(func() { r.sched = eval.NewScheduler(r.flags.Jobs) })
+	return r.sched
 }
 
 // Start begins an observed run: it creates the metrics registry (when

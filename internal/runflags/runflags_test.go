@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -101,6 +102,27 @@ func TestProfiles(t *testing.T) {
 		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
 			t.Errorf("profile %s missing or empty (err=%v)", p, err)
 		}
+	}
+}
+
+func TestJobsFlag(t *testing.T) {
+	if f := parse(t); f.Jobs != runtime.NumCPU() {
+		t.Errorf("default -j = %d, want %d", f.Jobs, runtime.NumCPU())
+	}
+	var announce bytes.Buffer
+	run, err := parse(t, "-j", "3").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched := run.Scheduler()
+	if sched.Workers() != 3 {
+		t.Errorf("Scheduler().Workers() = %d, want 3", sched.Workers())
+	}
+	if run.Scheduler() != sched {
+		t.Errorf("Scheduler() is not a stable singleton")
+	}
+	if err := run.Close(); err != nil {
+		t.Errorf("Close: %v", err)
 	}
 }
 

@@ -1,0 +1,55 @@
+package seq
+
+// Cursor is a zero-allocation iterator over the width-length windows of a
+// stream. It byte-encodes the stream once into an internal buffer that is
+// reused across Reset calls, and each Next returns an overlapping subslice
+// of that buffer — suitable for keyed DB lookups (CountBytes, IsRareBytes)
+// without materializing a fresh window per step.
+//
+// The slice returned by Next aliases the cursor's buffer and is valid only
+// until the next Reset; callers must not modify or retain it. A Cursor is
+// not safe for concurrent use.
+type Cursor struct {
+	buf   []byte
+	width int
+	pos   int
+}
+
+// NewCursor returns a cursor over the width-length windows of s. A
+// non-positive width or a stream shorter than width yields an exhausted
+// cursor (Len 0), mirroring NumWindows.
+func NewCursor(s Stream, width int) *Cursor {
+	c := &Cursor{}
+	c.Reset(s, width)
+	return c
+}
+
+// Reset repositions the cursor at the first window of s with the given
+// width, re-encoding s into the cursor's buffer. When the buffer capacity
+// already fits the stream — the steady state for a cursor reused across
+// streams of similar length — Reset performs no allocation.
+func (c *Cursor) Reset(s Stream, width int) {
+	c.buf = s.AppendBytes(c.buf[:0])
+	c.width = width
+	c.pos = 0
+}
+
+// Len returns the total number of windows the cursor iterates over.
+func (c *Cursor) Len() int { return NumWindows(len(c.buf), c.width) }
+
+// Next returns the next window as a byte-encoded subslice and true, or
+// (nil, false) once all windows have been consumed.
+func (c *Cursor) Next() ([]byte, bool) {
+	if c.width <= 0 || c.pos+c.width > len(c.buf) {
+		return nil, false
+	}
+	w := c.buf[c.pos : c.pos+c.width]
+	c.pos++
+	return w, true
+}
+
+// At returns the i-th window without moving the cursor. It panics if i is
+// out of [0, Len()).
+func (c *Cursor) At(i int) []byte {
+	return c.buf[i : i+c.width]
+}

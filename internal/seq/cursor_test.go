@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"testing"
+
+	"adiv/internal/alphabet"
+)
+
+func testStream(n int) Stream {
+	s := make(Stream, n)
+	for i := range s {
+		s[i] = alphabet.Symbol((i*7 + i/3) % 8)
+	}
+	return s
+}
+
+func TestCursorWindows(t *testing.T) {
+	s := testStream(100)
+	const width = 6
+	cur := NewCursor(s, width)
+	if got, want := cur.Len(), NumWindows(len(s), width); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	i := 0
+	for {
+		w, ok := cur.Next()
+		if !ok {
+			break
+		}
+		want := s[i : i+width].Bytes()
+		if string(w) != string(want) {
+			t.Fatalf("window %d = %v, want %v", i, w, want)
+		}
+		i++
+	}
+	if i != cur.Len() {
+		t.Fatalf("iterated %d windows, want %d", i, cur.Len())
+	}
+	if w, ok := cur.Next(); ok {
+		t.Fatalf("Next after exhaustion returned %v", w)
+	}
+}
+
+func TestCursorDegenerate(t *testing.T) {
+	s := testStream(4)
+	for _, width := range []int{0, -1, 5} {
+		cur := NewCursor(s, width)
+		if cur.Len() != 0 {
+			t.Fatalf("width %d: Len = %d, want 0", width, cur.Len())
+		}
+		if _, ok := cur.Next(); ok {
+			t.Fatalf("width %d: Next succeeded on empty cursor", width)
+		}
+	}
+}
+
+func TestCursorAt(t *testing.T) {
+	s := testStream(50)
+	cur := NewCursor(s, 8)
+	for i := 0; i < cur.Len(); i++ {
+		if got, want := string(cur.At(i)), string(s[i:i+8].Bytes()); got != want {
+			t.Fatalf("At(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestCursorResetNoAlloc pins the zero-allocation contract: a cursor reused
+// across streams of steady length must not allocate on Reset or Next.
+func TestCursorResetNoAlloc(t *testing.T) {
+	s := testStream(2000)
+	cur := NewCursor(s, 8)
+	allocs := testing.AllocsPerRun(50, func() {
+		cur.Reset(s, 8)
+		for {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cursor iteration allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestByteLookupsNoAlloc pins the allocation-free contract of the keyed
+// byte lookups the detector score paths depend on.
+func TestByteLookupsNoAlloc(t *testing.T) {
+	s := testStream(5000)
+	db, err := Build(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(s, 8)
+	allocs := testing.AllocsPerRun(20, func() {
+		cur.Reset(s, 8)
+		for {
+			w, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if db.CountBytes(w) == 0 {
+				t.Fatal("training window reported absent")
+			}
+			_ = db.IsRareBytes(w, 0.005)
+			_ = db.IsForeignBytes(w)
+			_ = db.RelFreqBytes(w)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("byte lookups allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCountNoAlloc pins the stack-buffer fast path of the Stream-typed
+// Count for grid-sized widths.
+func TestCountNoAlloc(t *testing.T) {
+	s := testStream(5000)
+	db, err := Build(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s[17:25]
+	allocs := testing.AllocsPerRun(100, func() {
+		if db.Count(w) == 0 {
+			t.Fatal("training window reported absent")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Count allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestByteLookupsMatchStreamLookups(t *testing.T) {
+	s := testStream(3000)
+	db, err := Build(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(s, 5)
+	for i := 0; i < cur.Len(); i++ {
+		b := cur.At(i)
+		w := s[i : i+5]
+		if db.CountBytes(b) != db.Count(w) {
+			t.Fatalf("window %d: CountBytes %d != Count %d", i, db.CountBytes(b), db.Count(w))
+		}
+		if db.ContainsBytes(b) != db.Contains(w) {
+			t.Fatalf("window %d: ContainsBytes mismatch", i)
+		}
+		if db.IsForeignBytes(b) != db.IsForeign(w) {
+			t.Fatalf("window %d: IsForeignBytes mismatch", i)
+		}
+		if db.IsRareBytes(b, 0.005) != db.IsRare(w, 0.005) {
+			t.Fatalf("window %d: IsRareBytes mismatch", i)
+		}
+		if db.RelFreqBytes(b) != db.RelFreq(w) {
+			t.Fatalf("window %d: RelFreqBytes mismatch", i)
+		}
+	}
+	// Wrong-length and absent keys.
+	if db.CountBytes([]byte{0, 1}) != 0 {
+		t.Fatal("wrong-length key counted")
+	}
+	if db.CountBytes([]byte{9, 9, 9, 9, 9}) != 0 {
+		t.Fatal("absent key counted")
+	}
+	if db.IsForeignBytes([]byte{0, 1}) {
+		t.Fatal("wrong-length key reported foreign")
+	}
+}

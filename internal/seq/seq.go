@@ -43,6 +43,17 @@ func (s Stream) Bytes() []byte {
 	return b
 }
 
+// AppendBytes appends the stream's byte encoding to dst and returns the
+// extended slice — the allocation-free counterpart of Bytes for callers that
+// own a scratch buffer (score loops, window cursors) and re-encode many
+// streams without garbage.
+func (s Stream) AppendBytes(dst []byte) []byte {
+	for _, sym := range s {
+		dst = append(dst, byte(sym))
+	}
+	return dst
+}
+
 // FromBytes converts a byte-encoded window back to a Stream.
 func FromBytes(b []byte) Stream {
 	s := make(Stream, len(b))
@@ -68,9 +79,15 @@ func NumWindows(n, width int) int {
 //
 // A DB is immutable after Build and safe for concurrent readers.
 type DB struct {
-	width  int
-	total  int
-	counts map[string]int
+	width int
+	total int
+	// counts stores an out-of-line counter per distinct window. The
+	// indirection is what makes Build allocate per *distinct* sequence
+	// rather than per window: incrementing through the pointer needs only
+	// an allocation-free map read (`m[string(b)]` compiles to a no-copy
+	// lookup), where a map[string]int would re-materialize the key string
+	// on every `m[string(b)]++`.
+	counts map[string]*int
 }
 
 // Build slides a window of the given width across the stream and records
@@ -84,11 +101,17 @@ func Build(stream Stream, width int) (*DB, error) {
 	db := &DB{
 		width:  width,
 		total:  n,
-		counts: make(map[string]int, min(n, 1<<16)),
+		counts: make(map[string]*int, min(n, 1<<16)),
 	}
 	b := stream.Bytes()
 	for i := 0; i < n; i++ {
-		db.counts[string(b[i:i+width])]++
+		if p := db.counts[string(b[i:i+width])]; p != nil {
+			*p++
+		} else {
+			p = new(int)
+			*p = 1
+			db.counts[string(b[i:i+width])] = p
+		}
 	}
 	return db, nil
 }
@@ -108,11 +131,43 @@ func (db *DB) Count(w Stream) int {
 	if len(w) != db.width {
 		return 0
 	}
-	return db.counts[string(w.Bytes())]
+	// Encode into a stack buffer so the common widths (the evaluation grid
+	// tops out at 16) query without allocating; CountBytes documents the
+	// fully allocation-free path for callers that already hold bytes.
+	var tmp [64]byte
+	if db.width <= len(tmp) {
+		for i, sym := range w {
+			tmp[i] = byte(sym)
+		}
+		if p := db.counts[string(tmp[:db.width])]; p != nil {
+			return *p
+		}
+		return 0
+	}
+	return db.CountBytes(w.Bytes())
+}
+
+// CountBytes returns the number of occurrences of the byte-encoded window b
+// (as produced by Stream.Bytes, Stream.AppendBytes, or a Cursor). It never
+// allocates: the hot score loops of the window detectors slice one encoded
+// test stream and query every window through here. Sequences of the wrong
+// length count zero.
+func (db *DB) CountBytes(b []byte) int {
+	if len(b) != db.width {
+		return 0
+	}
+	if p := db.counts[string(b)]; p != nil {
+		return *p
+	}
+	return 0
 }
 
 // Contains reports whether w occurs at least once.
 func (db *DB) Contains(w Stream) bool { return db.Count(w) > 0 }
+
+// ContainsBytes reports whether the byte-encoded window b occurs at least
+// once, without allocating.
+func (db *DB) ContainsBytes(b []byte) bool { return db.CountBytes(b) > 0 }
 
 // RelFreq returns the relative frequency of w among all recorded windows,
 // in [0,1]. An empty database yields 0.
@@ -123,10 +178,24 @@ func (db *DB) RelFreq(w Stream) float64 {
 	return float64(db.Count(w)) / float64(db.total)
 }
 
+// RelFreqBytes is RelFreq for a byte-encoded window, without allocating.
+func (db *DB) RelFreqBytes(b []byte) float64 {
+	if db.total == 0 {
+		return 0
+	}
+	return float64(db.CountBytes(b)) / float64(db.total)
+}
+
 // IsForeign reports whether w (of the database's width) never occurs:
 // the paper's definition of a foreign sequence at this width.
 func (db *DB) IsForeign(w Stream) bool {
 	return len(w) == db.width && !db.Contains(w)
+}
+
+// IsForeignBytes is IsForeign for a byte-encoded window, without
+// allocating.
+func (db *DB) IsForeignBytes(b []byte) bool {
+	return len(b) == db.width && db.CountBytes(b) == 0
 }
 
 // IsRare reports whether w occurs with relative frequency in (0, cutoff).
@@ -136,11 +205,27 @@ func (db *DB) IsRare(w Stream, cutoff float64) bool {
 	return c > 0 && float64(c) < cutoff*float64(db.total)
 }
 
+// IsRareBytes is IsRare for a byte-encoded window, without allocating.
+func (db *DB) IsRareBytes(b []byte, cutoff float64) bool {
+	c := db.CountBytes(b)
+	return c > 0 && float64(c) < cutoff*float64(db.total)
+}
+
 // Each calls fn for every distinct sequence with its count, in unspecified
 // order. fn must not retain the Stream beyond the call.
 func (db *DB) Each(fn func(w Stream, count int)) {
 	for k, c := range db.counts {
-		fn(FromBytes([]byte(k)), c)
+		fn(FromBytes([]byte(k)), *c)
+	}
+}
+
+// EachKey calls fn for every distinct sequence with its count, in
+// unspecified order, passing the byte-encoded window as a string — the
+// allocation-free counterpart of Each for callers (e.g. the neural-network
+// trainer) that consume the encoded form directly.
+func (db *DB) EachKey(fn func(key string, count int)) {
+	for k, c := range db.counts {
+		fn(k, *c)
 	}
 }
 
@@ -150,7 +235,7 @@ func (db *DB) Rare(cutoff float64) []Stream {
 	keys := make([]string, 0)
 	limit := cutoff * float64(db.total)
 	for k, c := range db.counts {
-		if float64(c) < limit {
+		if float64(*c) < limit {
 			keys = append(keys, k)
 		}
 	}
@@ -168,7 +253,7 @@ func (db *DB) Common(cutoff float64) []Stream {
 	keys := make([]string, 0)
 	limit := cutoff * float64(db.total)
 	for k, c := range db.counts {
-		if float64(c) >= limit {
+		if float64(*c) >= limit {
 			keys = append(keys, k)
 		}
 	}
@@ -178,11 +263,4 @@ func (db *DB) Common(cutoff float64) []Stream {
 		out[i] = FromBytes([]byte(k))
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -4,6 +4,11 @@
 # commits. Runs every benchmark once with -benchmem; pass a -benchtime
 # value as $1 for steadier numbers (e.g. ./scripts/bench_snapshot.sh 3x).
 #
+# Before writing the new snapshot, the most recent existing BENCH_*.json is
+# diffed against the fresh run: per-benchmark ns/op and allocs/op deltas are
+# printed for every benchmark present in both, so a regression shows up in
+# the run that introduces it, not in a later archaeology session.
+#
 # Output schema:
 #   { "schema": "adiv.bench/v1", "date": ..., "go": ..., "commit": ...,
 #     "benchmarks": [ {"name":..., "iterations":..., "ns_per_op":...,
@@ -17,6 +22,15 @@ date_tag="$(date -u +%Y-%m-%d)"
 out="BENCH_${date_tag}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+# Latest snapshot on disk (lexicographic order == date order for the
+# BENCH_yyyy-mm-dd naming), excluding today's if re-running.
+prev=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    [ "$f" = "$out" ] && continue
+    prev="$f"
+done
 
 echo "running benchmarks (-benchtime $benchtime)..." >&2
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw"
@@ -51,3 +65,42 @@ END { printf "\n  ]\n}\n" }
 
 count="$(grep -c '"name"' "$out" || true)"
 echo "wrote $out ($count benchmarks)" >&2
+
+if [ -n "$prev" ]; then
+    echo "" >&2
+    echo "comparison against $prev (ns/op, allocs/op):" >&2
+    # Both files carry one benchmark object per line; join on name.
+    awk '
+    function fld(line, key,   rest) {
+        if (index(line, "\"" key "\":") == 0) return ""
+        rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+        gsub(/^[ ]*/, "", rest)
+        sub(/[,}].*$/, "", rest)
+        gsub(/"/, "", rest)
+        return rest
+    }
+    /"name"/ {
+        name = fld($0, "name")
+        if (name == "") next
+        if (NR == FNR) {
+            old_ns[name] = fld($0, "ns_per_op")
+            old_allocs[name] = fld($0, "allocs_per_op")
+            next
+        }
+        ns = fld($0, "ns_per_op"); allocs = fld($0, "allocs_per_op")
+        if (!(name in old_ns)) { printf "  %-55s NEW  %s ns/op  %s allocs/op\n", name, ns, allocs; next }
+        ons = old_ns[name] + 0; oal = old_allocs[name] + 0
+        dns = "n/a"; if (ons > 0) dns = sprintf("%+.1f%%", (ns - ons) * 100.0 / ons)
+        dal = "n/a"; if (oal > 0) dal = sprintf("%+.1f%%", (allocs - oal) * 100.0 / oal)
+        else if (allocs + 0 == oal) dal = "+0.0%"
+        printf "  %-55s %12s -> %-12s (%s)   allocs %6s -> %-6s (%s)\n", \
+            name, ons, ns, dns, old_allocs[name], allocs, dal
+        seen[name] = 1
+    }
+    END {
+        for (name in old_ns) if (!(name in seen)) printf "  %-55s GONE\n", name
+    }
+    ' "$prev" "$out" >&2
+else
+    echo "no previous BENCH_*.json found; skipping comparison" >&2
+fi
