@@ -7,6 +7,12 @@
 // Usage:
 //
 //	diagnose [-detector stide] [-size 7] [-window 5] [-quick]
+//	diagnose -status-url HOST:PORT
+//
+// With -status-url, diagnose instead inspects a live run: it fetches /runz
+// and /metrics from the introspection server another command exposed with
+// -status and prints one progress table (phase, cells done/total, ETA,
+// per-map rows, top counters).
 package main
 
 import (
@@ -31,8 +37,12 @@ func run(w io.Writer, args []string) error {
 	size := fs.Int("size", 7, "anomaly size (2-9)")
 	window := fs.Int("window", 5, "deployed detector window")
 	quick := fs.Bool("quick", true, "use the reduced configuration")
+	statusURL := fs.String("status-url", "", "inspect a live run instead: fetch /runz and /metrics from this -status server (host:port or URL) and print a progress table")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *statusURL != "" {
+		return statusSnapshot(w, *statusURL)
 	}
 
 	cfg := adiv.DefaultConfig()

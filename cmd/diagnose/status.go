@@ -1,0 +1,157 @@
+package main
+
+// Remote run inspection: -status-url points diagnose at the introspection
+// server another command exposed with -status, and it renders that run's
+// /runz progress document and top /metrics counters as one table — the
+// operator's one-shot "how far along is the grid" query without curl+jq.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"adiv"
+)
+
+// topCounters is how many exposition counters the snapshot table shows.
+const topCounters = 5
+
+// statusSnapshot fetches base's /runz and /metrics and pretty-prints them.
+func statusSnapshot(w io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	var status adiv.RunStatus
+	body, err := fetch(base + "/runz")
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		return fmt.Errorf("diagnose: %s/runz is not a run status document: %w", base, err)
+	}
+	expo, err := fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "run status from %s (schema %s)\n\n", base, status.Schema)
+	if len(status.Run) > 0 {
+		keys := make([]string, 0, len(status.Run))
+		for k := range status.Run {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, status.Run[k]))
+		}
+		fmt.Fprintf(w, "run: %s\n", strings.Join(parts, " "))
+	}
+	pct := 0.0
+	if status.CellsTotal > 0 {
+		pct = 100 * float64(status.CellsDone) / float64(status.CellsTotal)
+	}
+	fmt.Fprintf(w, "phase: %-12s uptime: %s\n", status.Phase, (time.Duration(status.UptimeMs) * time.Millisecond).Round(time.Second))
+	fmt.Fprintf(w, "cells: %d/%d (%.1f%%)   rate: %.2f cells/s   ETA: %s\n\n",
+		status.CellsDone, status.CellsTotal, pct, status.CellsPerSec, formatETA(status.ETASeconds))
+
+	if len(status.Maps) > 0 {
+		fmt.Fprintf(w, "%-20s %10s %10s %-14s %s\n", "map", "rows", "cells", "active", "state")
+		for _, m := range status.Maps {
+			state := "running"
+			if m.Done {
+				state = "done"
+			} else if m.RowsStarted == 0 {
+				state = "pending"
+			}
+			active := "-"
+			if len(m.ActiveWindows) > 0 {
+				active = fmt.Sprint(m.ActiveWindows)
+			}
+			fmt.Fprintf(w, "%-20s %6d/%-3d %6d/%-3d %-14s %s\n",
+				m.Name, m.RowsDone, m.RowsTotal, m.CellsDone, m.CellsTotal, active, state)
+		}
+		fmt.Fprintln(w)
+	}
+
+	counters := parseExpoValues(expo)
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "top counters (/metrics):\n")
+		for i, c := range counters {
+			if i == topCounters {
+				break
+			}
+			fmt.Fprintf(w, "  %-40s %s\n", c.name, strconv.FormatFloat(c.value, 'g', -1, 64))
+		}
+	}
+	return nil
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: reading %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("diagnose: %s returned %s", url, resp.Status)
+	}
+	return body, nil
+}
+
+func formatETA(s float64) string {
+	switch {
+	case s < 0:
+		return "unknown"
+	case s == 0:
+		return "complete"
+	default:
+		return (time.Duration(s * float64(time.Second))).Round(time.Second).String()
+	}
+}
+
+type expoValue struct {
+	name  string
+	value float64
+}
+
+// parseExpoValues extracts single-valued samples (counters and gauges; no
+// labels) from a Prometheus text exposition, sorted by value descending
+// then name, so "which counters dominate this run" reads off the top.
+func parseExpoValues(expo []byte) []expoValue {
+	var out []expoValue
+	sc := bufio.NewScanner(strings.NewReader(string(expo)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, expoValue{name: name, value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].value != out[j].value {
+			return out[i].value > out[j].value
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

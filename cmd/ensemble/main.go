@@ -12,7 +12,8 @@
 // Usage:
 //
 //	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
-//	         [-metrics-out FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-metrics-out FILE] [-progress] [-status ADDR]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -69,14 +70,17 @@ func run(w io.Writer, args []string) (err error) {
 		"jobs":     obsRun.Scheduler().Workers(),
 	})
 	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
+	obsRun.Progress().SetPhase("corpus")
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
 
-	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Metrics); err != nil {
+	obsRun.Progress().SetPhase("coverage")
+	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics); err != nil {
 		return err
 	}
+	obsRun.Progress().SetPhase("suppression")
 	if err := suppressionAnalysis(w, corpus, *window, *size, *noisyLen, obsRun.Metrics); err != nil {
 		return err
 	}
@@ -88,11 +92,13 @@ func run(w io.Writer, args []string) (err error) {
 	return nil
 }
 
-func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
+func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
 	opts := adiv.DefaultEvalOptions()
 	// The four family maps share one bounded pool: expensive rows of one
-	// family interleave with cheap rows of another.
+	// family interleave with cheap rows of another. They also report into
+	// one progress tracker, so a -status scrape sees all four grids.
 	opts.Scheduler = sched
+	opts.Progress = prog
 	stideMap, err := corpus.PerformanceMapObserved(adiv.DetectorStide, adiv.StideFactory, opts, metrics)
 	if err != nil {
 		return err

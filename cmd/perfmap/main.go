@@ -16,6 +16,11 @@
 //	                 per-detector training durations, scoring throughput,
 //	                 per-cell evaluation timing) to F at exit
 //	-progress        emit NDJSON progress events to stderr during grid runs
+//	-status ADDR     serve live introspection on ADDR while the run is in
+//	                 flight: /metrics (Prometheus text), /runz (JSON grid
+//	                 progress + ETA), /eventz (recent events), /healthz,
+//	                 /debug/pprof; :0 picks a free port, announced as
+//	                 statusAddr in the run.start event
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 //	-j N             bound concurrent grid work (default runtime.NumCPU);
 //	                 one pool is shared across all maps of the run
@@ -82,10 +87,12 @@ func run(w io.Writer, args []string) (err error) {
 	}
 
 	fmt.Fprintf(w, "building corpus (training length %d)...\n", cfg.Gen.TrainLen)
+	obsRun.Progress().SetPhase("corpus")
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
+	obsRun.Progress().SetPhase("grid")
 
 	figures := map[int]string{3: adiv.DetectorLaneBrodley, 4: adiv.DetectorMarkov, 5: adiv.DetectorStide, 6: adiv.DetectorNeuralNet}
 	wantFigure := func(n int) bool { return *figure == 0 || *figure == n }
@@ -107,8 +114,10 @@ func run(w io.Writer, args []string) (err error) {
 		if *regime == "rare" && name != adiv.DetectorNeuralNet {
 			opts = adiv.RareSensitiveEvalOptions()
 		}
-		// All maps of the run evaluate on one -j-bounded pool.
+		// All maps of the run evaluate on one -j-bounded pool and report
+		// into one progress tracker (what -status serves as /runz).
 		opts.Scheduler = obsRun.Scheduler()
+		opts.Progress = obsRun.Progress()
 		m, err := corpus.PerformanceMapObserved(name, factory, opts, obsRun.Metrics)
 		if err != nil {
 			return err

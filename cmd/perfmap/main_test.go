@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -62,5 +64,37 @@ func TestRunSingleDetectorQuick(t *testing.T) {
 	}
 	if !strings.Contains(out, "stide,2,2,capable") {
 		t.Errorf("missing CSV row:\n%s", out)
+	}
+}
+
+// TestRunStatusWithMemProfile runs the driver with both -status and
+// -memprofile set: the run must succeed, write a non-empty heap profile,
+// and shut the status server down cleanly (the teardown-ordering contract
+// runflags pins in detail; this is the end-to-end driver check).
+func TestRunStatusWithMemProfile(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-figure", "7", "-status", "127.0.0.1:0", "-memprofile", mem}); err != nil {
+		t.Fatalf("run with -status and -memprofile: %v", err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile missing or empty (err=%v)", err)
+	}
+}
+
+// TestRunStatusQuickGrid drives a real quick grid with the status server
+// enabled: the run must complete cleanly and render the map unchanged.
+// (The mid-run scrape behavior itself is pinned by the runflags and eval
+// package tests; statusAddr goes to stderr, out of reach of run's writer.)
+func TestRunStatusQuickGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-quick", "-figure", "5", "-status", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("run -quick -status: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Performance map: stide") {
+		t.Errorf("missing map header:\n%s", sb.String())
 	}
 }

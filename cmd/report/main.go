@@ -6,7 +6,7 @@
 // Usage:
 //
 //	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-status ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element
 // training stream and takes a few minutes, dominated by the fourteen
@@ -73,6 +73,7 @@ func run(args []string) (err error) {
 		"jobs":     obsRun.Scheduler().Workers(),
 	})
 	fmt.Fprintf(os.Stderr, "report: building corpus (training length %d)...\n", cfg.Gen.TrainLen)
+	obsRun.Progress().SetPhase("corpus")
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
@@ -87,7 +88,8 @@ func run(args []string) (err error) {
 	if err := figure2(w, corpus); err != nil {
 		return err
 	}
-	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), metrics)
+	obsRun.Progress().SetPhase("figures")
+	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), obsRun.Progress(), metrics)
 	if err != nil {
 		return err
 	}
@@ -97,7 +99,8 @@ func run(args []string) (err error) {
 	if err := combination(w, corpus, maps); err != nil {
 		return err
 	}
-	if err := ablations(w, corpus, obsRun.Scheduler(), metrics); err != nil {
+	obsRun.Progress().SetPhase("ablations")
+	if err := ablations(w, corpus, obsRun.Scheduler(), obsRun.Progress(), metrics); err != nil {
 		return err
 	}
 	return prevalence(w)
@@ -112,7 +115,7 @@ func figure2(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
+func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
 	order := []struct {
 		figure int
 		name   string
@@ -129,6 +132,7 @@ func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, me
 			return nil, err
 		}
 		opts.Scheduler = sched
+		opts.Progress = prog
 		fmt.Fprintf(os.Stderr, "report: figure %d (%s)...\n", item.figure, item.name)
 		m, err := corpus.PerformanceMapObserved(item.name, factory, opts, metrics)
 		if err != nil {
@@ -221,10 +225,11 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	return nil
 }
 
-func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
+func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
 	fmt.Fprintf(os.Stderr, "report: ablations...\n")
 	opts := adiv.DefaultEvalOptions()
 	opts.Scheduler = sched
+	opts.Progress = prog
 	fmt.Fprintf(w, "## Parameter ablations\n\n")
 	fmt.Fprintf(w, "t-stide rarity cutoff (coverage cells of %d vs false alarms on rare data):\n\n", 112)
 	fmt.Fprintf(w, "| cutoff | capable cells | false alarms |\n|---|---|---|\n")

@@ -23,8 +23,9 @@
 // configuration, because most modes retrain dozens of detectors; pass
 // -quick=false for the paper-scale run. The active configuration is
 // announced as a run.start event on stderr at startup. The shared
-// observability flags (-metrics-out, -progress, -cpuprofile, -memprofile)
-// are also accepted.
+// observability flags (-metrics-out, -progress, -status, -cpuprofile,
+// -memprofile) are also accepted; -status serves live grid progress at
+// /runz while the nn and cutoff modes run.
 package main
 
 import (
@@ -84,18 +85,20 @@ func run(w io.Writer, args []string) (err error) {
 		"sizes":         fmt.Sprintf("%d-%d", cfg.MinSize, cfg.MaxSize),
 		"jobs":          obsRun.Scheduler().Workers(),
 	})
+	obsRun.Progress().SetPhase("corpus")
 	corpus, err := adiv.BuildCorpusObserved(cfg, obsRun.Metrics)
 	if err != nil {
 		return err
 	}
+	obsRun.Progress().SetPhase(*mode)
 
 	switch *mode {
 	case "threshold":
 		return thresholdSweep(w, corpus, *window, *size, *trials)
 	case "nn":
-		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Metrics)
+		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics)
 	case "cutoff":
-		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Metrics)
+		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics)
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
@@ -212,11 +215,12 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 }
 
 // nnGrid charts coverage across neural-network tuning parameters.
-func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
+func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
 	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
 		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
 	opts := adiv.NeuralNetEvalOptions()
 	opts.Scheduler = sched
+	opts.Progress = prog
 	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
 	for _, epochs := range []int{1, 25, 100, 400} {
 		for _, lr := range []float64{0.01, 0.1, 0.25} {
@@ -235,7 +239,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, metrics
 
 // cutoffSweep charts t-stide's coverage and false alarms against its
 // rarity cutoff.
-func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, metrics *adiv.Metrics) error {
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
 	noisy, err := corpus.NoisyStream(10_000, 1)
 	if err != nil {
 		return err
@@ -246,6 +250,7 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv
 	}
 	opts := adiv.DefaultEvalOptions()
 	opts.Scheduler = sched
+	opts.Progress = prog
 	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }

@@ -11,6 +11,7 @@ import (
 
 	"adiv/internal/detector"
 	"adiv/internal/inject"
+	"adiv/internal/obs"
 )
 
 // Outcome classifies a detector's reaction to an injected anomaly from the
@@ -69,6 +70,13 @@ type Options struct {
 	// one family interleave with cheap rows of another instead of each map
 	// bringing up its own unbounded fan-out.
 	Scheduler *Scheduler
+	// Progress, when non-nil, receives grid lifecycle callbacks (map
+	// registered, row started/finished, cell completed) so a status server
+	// can report live per-map progress, throughput, and ETA. Drivers share
+	// one tracker across every map of the run, like the scheduler. The
+	// callbacks fire at row/cell granularity — never inside a detector's
+	// Score hot path — and a nil tracker costs a single pointer test.
+	Progress *obs.Progress
 }
 
 // DefaultOptions matches the paper's exact-threshold regime: only responses

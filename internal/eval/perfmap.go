@@ -203,13 +203,16 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		return nil, err
 	}
 
-	totalCells := len(placements) * (maxWindow - minWindow + 1)
+	rows := maxWindow - minWindow + 1
+	totalCells := len(placements) * rows
 	reg.Event("map.start", obs.Fields{
 		"detector": name,
 		"windows":  fmt.Sprintf("%d-%d", minWindow, maxWindow),
 		"sizes":    fmt.Sprintf("%d-%d", minSize, maxSize),
 		"cells":    totalCells,
 	})
+	prog := opts.Progress
+	prog.StartMap(name, rows, totalCells)
 	mapSpan := reg.Span("map/" + name)
 	cellTiming := reg.Timing("cell/" + name)
 	cellCounter := reg.Counter("eval/cells/" + name)
@@ -237,6 +240,8 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		// streams at once.
 		go func(window int) {
 			defer wg.Done()
+			prog.RowStarted(name, window)
+			defer prog.RowFinished(name, window)
 			res := &results[window-minWindow]
 			det, err := factory(window)
 			if err != nil {
@@ -271,6 +276,7 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 					return
 				}
 				cellCounter.Inc()
+				prog.CellDone(name)
 				n := done.Add(1)
 				if reg != nil {
 					var rate float64
@@ -297,6 +303,9 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		}(window)
 	}
 	wg.Wait()
+	// The grid is over (successfully or not) once every row returns; /runz
+	// flips the map to done here, before result assembly.
+	prog.FinishMap(name)
 	mapMs := float64(mapSpan.End().Nanoseconds()) / 1e6
 	var errs []error
 	for _, res := range results {

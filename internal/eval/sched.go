@@ -1,6 +1,10 @@
 package eval
 
-import "runtime"
+import (
+	"runtime"
+
+	"adiv/internal/obs"
+)
 
 // Scheduler is a bounded worker pool for grid tasks: a counting semaphore
 // that caps how many row trainings and cell evaluations execute at once.
@@ -13,6 +17,11 @@ import "runtime"
 // construct with NewScheduler.
 type Scheduler struct {
 	slots chan struct{}
+
+	// Telemetry handles; nil when uninstrumented (the default). The live
+	// in-flight task count is the difference of the two counters — /metrics
+	// scrapes both, and counters stay lock-free on the task path.
+	started, finished *obs.Counter
 }
 
 // NewScheduler returns a scheduler executing at most workers tasks
@@ -24,6 +33,20 @@ func NewScheduler(workers int) *Scheduler {
 	return &Scheduler{slots: make(chan struct{}, workers)}
 }
 
+// Instrument records pool telemetry into reg: the sched/workers bound as a
+// gauge plus sched/tasks_started and sched/tasks_done counters (their
+// difference is the live in-flight task count). Call before submitting
+// work; a nil registry disables instrumentation.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.started, s.finished = nil, nil
+		return
+	}
+	s.started = reg.Counter("sched/tasks_started")
+	s.finished = reg.Counter("sched/tasks_done")
+	reg.Gauge("sched/workers").Set(float64(cap(s.slots)))
+}
+
 // Workers returns the scheduler's concurrency bound.
 func (s *Scheduler) Workers() int { return cap(s.slots) }
 
@@ -32,6 +55,10 @@ func (s *Scheduler) Workers() int { return cap(s.slots) }
 // waiting for a slot while holding one can deadlock the pool).
 func (s *Scheduler) Run(fn func()) {
 	s.slots <- struct{}{}
-	defer func() { <-s.slots }()
+	s.started.Inc()
+	defer func() {
+		s.finished.Inc()
+		<-s.slots
+	}()
 	fn()
 }

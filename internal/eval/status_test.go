@@ -1,0 +1,153 @@
+package eval
+
+// The live-introspection round trip: a status server scraping a grid run
+// while BuildMapCorpus executes. This lives in package eval (not obs)
+// because obs cannot import the grid builder it observes.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/obs"
+	"adiv/internal/seq"
+)
+
+// slowFakeFactory builds fake detectors whose Score sleeps briefly, so a
+// quick grid run stays in flight long enough to be scraped mid-run.
+func slowFakeFactory(delay time.Duration) Factory {
+	return func(window int) (detector.Detector, error) {
+		return &fakeDetector{
+			name:   "fake",
+			window: window,
+			extent: window,
+			scoreFunc: func(test seq.Stream) []float64 {
+				time.Sleep(delay)
+				return make([]float64, seq.NumWindows(len(test), window))
+			},
+		}, nil
+	}
+}
+
+// TestStatusServerDuringBuildMapCorpus scrapes /runz and /healthz while a
+// small grid run executes at -j 4 and asserts the reported cells-done count
+// only ever grows, reaching cells_total once the builder returns.
+func TestStatusServerDuringBuildMapCorpus(t *testing.T) {
+	reg := obs.New()
+	prog := obs.NewProgress()
+	prog.AttachEvents(reg)
+	prog.SetPhase("grid")
+	ts := httptest.NewServer(obs.NewHandler(reg, prog, nil))
+	defer ts.Close()
+
+	scrape := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	placements := map[int]inject.Placement{
+		2: placementOf(60, 30, 2),
+		3: placementOf(60, 30, 3),
+	}
+	const minWindow, maxWindow = 2, 7
+	wantCells := len(placements) * (maxWindow - minWindow + 1)
+
+	opts := DefaultOptions()
+	sched := NewScheduler(4)
+	sched.Instrument(reg)
+	opts.Scheduler = sched
+	opts.Progress = prog
+
+	buildDone := make(chan error, 1)
+	go func() {
+		tc := seq.NewCorpus(make(seq.Stream, 100))
+		_, err := BuildMapCorpus("fake", slowFakeFactory(2*time.Millisecond), tc,
+			placements, minWindow, maxWindow, opts, reg)
+		buildDone <- err
+	}()
+
+	var last obs.RunStatus
+	prev := -1
+	sawInFlight := false
+	deadline := time.After(30 * time.Second)
+	for done := false; !done; {
+		select {
+		case err := <-buildDone:
+			if err != nil {
+				t.Fatalf("BuildMapCorpus: %v", err)
+			}
+			done = true
+		case <-deadline:
+			t.Fatal("grid run did not finish")
+		default:
+			code, body := scrape("/healthz")
+			if code != http.StatusOK {
+				t.Fatalf("/healthz mid-run = %d", code)
+			}
+			code, body = scrape("/runz")
+			if code != http.StatusOK {
+				t.Fatalf("/runz mid-run = %d", code)
+			}
+			if err := json.Unmarshal(body, &last); err != nil {
+				t.Fatalf("/runz not JSON: %v\n%s", err, body)
+			}
+			if last.CellsDone < prev {
+				t.Fatalf("cells done went backwards: %d after %d", last.CellsDone, prev)
+			}
+			prev = last.CellsDone
+			if last.CellsDone > 0 && last.CellsDone < wantCells {
+				sawInFlight = true
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Final barrier: the tracker must read complete once the builder
+	// returned, and the scrape endpoints must still serve.
+	_, body := scrape("/runz")
+	if err := json.Unmarshal(body, &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.CellsDone != wantCells || last.CellsTotal != wantCells {
+		t.Errorf("final cells %d/%d, want %d/%d", last.CellsDone, last.CellsTotal, wantCells, wantCells)
+	}
+	if len(last.Maps) != 1 || !last.Maps[0].Done || last.Maps[0].RowsDone != maxWindow-minWindow+1 {
+		t.Errorf("final map status = %+v", last.Maps)
+	}
+	if !sawInFlight {
+		t.Logf("never observed a partial grid (run too fast for the poll loop); monotonicity still held over %d scrapes", prev)
+	}
+	if got := reg.Counter("sched/tasks_done").Value(); got < int64(wantCells) {
+		t.Errorf("sched/tasks_done = %d, want >= %d (cells + row trainings)", got, wantCells)
+	}
+	if s, d := reg.Counter("sched/tasks_started").Value(), reg.Counter("sched/tasks_done").Value(); s != d {
+		t.Errorf("scheduler in-flight count nonzero after run: started %d, done %d", s, d)
+	}
+}
+
+// TestSchedulerInstrumentNilRegistry pins the disabled path: an
+// uninstrumented scheduler runs tasks with nil counter handles.
+func TestSchedulerInstrumentNilRegistry(t *testing.T) {
+	s := NewScheduler(2)
+	s.Instrument(nil)
+	ran := false
+	s.Run(func() { ran = true })
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	s.Instrument(obs.New())
+	s.Run(func() {})
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"testing"
 	"time"
 )
@@ -66,5 +67,39 @@ func BenchmarkTimingRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tm.Record(time.Microsecond)
+	}
+}
+
+// benchFields is a representative -progress cell event payload.
+var benchFields = Fields{
+	"detector": "stide",
+	"window":   8,
+	"size":     5,
+	"outcome":  "capable",
+	"ms":       11.25,
+	"done":     int64(40),
+	"total":    112,
+}
+
+// BenchmarkEventLogEmit pins the per-line cost of the NDJSON emitter. The
+// line-assembly buffer is pooled (sync.Pool), so steady-state emission
+// allocates only the per-field JSON encoding, not a fresh growing buffer
+// per line.
+func BenchmarkEventLogEmit(b *testing.B) {
+	l := NewEventLog(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit("cell", benchFields)
+	}
+}
+
+// BenchmarkEventLogEmitRing is the same emission with the /eventz
+// ring-buffer sink attached — the tee must stay within a copy of the
+// pooled-buffer path, not regress it.
+func BenchmarkEventLogEmitRing(b *testing.B) {
+	l := NewEventLog(NewEventRing(DefaultEventRingLines))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit("cell", benchFields)
 	}
 }

@@ -41,8 +41,17 @@ func (l *EventLog) SetClock(now func() time.Time) {
 	l.now = now
 }
 
+// lineBufPool recycles the per-line assembly buffers across Emit calls (and
+// across logs — the pool is package-level). A -progress grid run emits one
+// line per cell; without the pool every line allocated and grew a fresh
+// buffer.
+var lineBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Emit writes one event line. Field values marshal with encoding/json;
-// unmarshalable values degrade to their fmt.Sprintf("%v") string form.
+// unmarshalable values degrade to their fmt.Sprintf("%v") string form. The
+// line reaches the underlying writer as a single Write call, so sinks that
+// retain lines (the /eventz ring) see exactly one event per Write and must
+// copy: the buffer is pooled and reused by later emissions.
 func (l *EventLog) Emit(event string, fields Fields) {
 	if l == nil || l.w == nil || event == "" {
 		return
@@ -50,7 +59,9 @@ func (l *EventLog) Emit(event string, fields Fields) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
-	var buf bytes.Buffer
+	buf := lineBufPool.Get().(*bytes.Buffer)
+	defer lineBufPool.Put(buf)
+	buf.Reset()
 	buf.WriteString(`{"ts":`)
 	buf.Write(mustJSON(l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00")))
 	buf.WriteString(`,"event":`)

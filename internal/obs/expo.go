@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package renders (version 0.0.4, the format every Prometheus
+// scraper accepts).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the registry's current state in Prometheus text
+// exposition format v0.0.4: counters and gauges as single samples,
+// histograms as cumulative le-labeled buckets with _sum and _count, and
+// accumulated timings as summaries (_sum in seconds, _count). Metric names
+// are the registry names prefixed with "adiv_" and sanitized to the
+// Prometheus grammar ("cell/stide" becomes "adiv_cell_stide"); within each
+// family names render in sorted order, so the exposition is byte-stable for
+// a given registry state and clock. A nil registry renders only the uptime
+// gauge of an empty snapshot.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WriteProm(w, r.Snapshot())
+}
+
+// WriteProm renders one snapshot in Prometheus text exposition format; see
+// (*Registry).WriteProm.
+func WriteProm(w io.Writer, s Snapshot) error {
+	var buf bytes.Buffer
+	buf.WriteString("# TYPE adiv_uptime_seconds gauge\n")
+	fmt.Fprintf(&buf, "adiv_uptime_seconds %s\n", promFloat(s.UptimeMs/1e3))
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", pn)
+		// The registry's fixed-bin histograms cover [0,1]; bin i holds
+		// observations below (i+1)/bins, so the cumulative bucket bounds
+		// are the bin upper edges. Out-of-range observations clamp into
+		// the edge bins, so +Inf equals the total count.
+		cum := int64(0)
+		for i, c := range h.Bins {
+			cum += c
+			fmt.Fprintf(&buf, "%s_bucket{le=%q} %d\n", pn, promFloat(float64(i+1)/float64(len(h.Bins))), cum)
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&buf, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&buf, "%s_count %d\n", pn, h.Count)
+	}
+	for _, name := range sortedKeys(s.Spans) {
+		t := s.Spans[name]
+		pn := promName(name) + "_seconds"
+		fmt.Fprintf(&buf, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&buf, "%s_sum %s\n", pn, promFloat(t.TotalMs/1e3))
+		fmt.Fprintf(&buf, "%s_count %d\n", pn, t.Count)
+	}
+	_, err := w.Write(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("obs: writing exposition: %w", err)
+	}
+	return nil
+}
+
+// promName maps a registry metric name onto the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixing the repository namespace.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 5)
+	sb.WriteString("adiv_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float sample value in the shortest exact form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// seededRegistry builds the fixed registry state behind the exposition
+// golden: a deterministic clock, one counter, one gauge, one histogram, and
+// one timing.
+func seededRegistry() *Registry {
+	r := New()
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	r.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 250 * time.Millisecond)
+	})
+	r.Counter("eval/cells/stide").Add(112)
+	r.Gauge("online/threshold").Set(0.95)
+	h := r.Histogram("responses/stide", 4)
+	for _, v := range []float64{0, 0.1, 0.3, 0.3, 0.8, 1, 1} {
+		h.Observe(v)
+	}
+	r.Timing("cell/stide").Record(1500 * time.Millisecond)
+	r.Timing("cell/stide").Record(500 * time.Millisecond)
+	return r
+}
+
+// TestWritePromGolden byte-compares the rendered exposition against the
+// committed golden: the format is an external contract (Prometheus
+// scrapers) and must only change deliberately.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededRegistry().WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm on nil registry: %v", err)
+	}
+	if !strings.Contains(buf.String(), "adiv_uptime_seconds 0") {
+		t.Errorf("nil-registry exposition = %q", buf.String())
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 7 observations into 4 bins over [0,1]: {0, 0.1} land in bin 0,
+	// {0.3, 0.3} in bin 1, and {0.8, 1, 1} in bin 3 (1.0 clamps to the last
+	// bin). Buckets must be cumulative and +Inf must equal the count.
+	for _, want := range []string{
+		`adiv_responses_stide_bucket{le="0.25"} 2`,
+		`adiv_responses_stide_bucket{le="0.5"} 4`,
+		`adiv_responses_stide_bucket{le="0.75"} 4`,
+		`adiv_responses_stide_bucket{le="1"} 7`,
+		`adiv_responses_stide_bucket{le="+Inf"} 7`,
+		`adiv_responses_stide_count 7`,
+		`# TYPE adiv_eval_cells_stide counter`,
+		`adiv_eval_cells_stide 112`,
+		`adiv_online_threshold 0.95`,
+		`adiv_cell_stide_seconds_sum 2`,
+		`adiv_cell_stide_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"cell/stide":       "adiv_cell_stide",
+		"train/nn/dw08":    "adiv_train_nn_dw08",
+		"weird-name.x y":   "adiv_weird_name_x_y",
+		"UpperCase":        "adiv_UpperCase",
+		"throughput_sps/a": "adiv_throughput_sps_a",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

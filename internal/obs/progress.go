@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunzSchemaVersion identifies the /runz JSON schema served by the status
+// server and rendered by RunStatus.
+const RunzSchemaVersion = "adiv.runz/v1"
+
+// rateWindow is how many recent cell-completion timestamps the rolling
+// throughput estimate keeps. A multi-minute grid run completes cells every
+// few hundred milliseconds, so 64 samples average over tens of seconds —
+// long enough to be stable, short enough to track the slow NN rows.
+const rateWindow = 64
+
+// defaultHeartbeat is how often CellDone emits a run.heartbeat event to the
+// attached registry's event log.
+const defaultHeartbeat = 10 * time.Second
+
+// Progress tracks a run's grid progress for live introspection: which
+// performance maps are being built, per-map row and cell completion, a
+// rolling cell-throughput estimate, and the derived ETA. The grid builders
+// call its lifecycle methods (StartMap, RowStarted, RowFinished, CellDone,
+// FinishMap) from their worker goroutines; the status server's /runz
+// handler calls Status concurrently. All methods are safe for concurrent
+// use and are no-ops on a nil receiver, so the disabled path (no -status
+// flag, nil tracker threaded through eval.Options) carries a single pointer
+// test — the same contract as the rest of this package.
+//
+// The callbacks sit at row and cell granularity, outside the detectors'
+// Score hot paths: a cell is thousands-to-millions of scored windows, so
+// the mutex here is contended at most a few times per second.
+type Progress struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	start time.Time
+
+	phase string
+	run   Fields // static run configuration, from run.start
+
+	reg       *Registry // heartbeat event sink; nil emits nothing
+	beatEvery time.Duration
+	lastBeat  time.Time
+
+	order  []*mapProgress
+	byName map[string]*mapProgress
+
+	cellsDone, cellsTotal int
+
+	// recent is a ring of the last rateWindow cell-completion times;
+	// recentN counts completions ever recorded through it.
+	recent  [rateWindow]time.Time
+	recentN int
+}
+
+// mapProgress is the tracked state of one performance-map build.
+type mapProgress struct {
+	name                  string
+	rowsTotal             int
+	rowsStarted, rowsDone int
+	active                map[int]bool // windows currently training/scoring
+	cellsDone, cellsTotal int
+	finished              bool
+}
+
+// NewProgress returns an empty tracker whose run clock starts now.
+func NewProgress() *Progress {
+	p := &Progress{
+		now:       time.Now,
+		byName:    make(map[string]*mapProgress),
+		beatEvery: defaultHeartbeat,
+	}
+	p.start = p.now()
+	return p
+}
+
+// SetClock replaces the tracker's time source (tests use a deterministic
+// fake) and restarts the run epoch from the new clock.
+func (p *Progress) SetClock(now func() time.Time) {
+	if p == nil || now == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.start = now()
+}
+
+// AttachEvents routes periodic run.heartbeat events to reg's event log; a
+// nil registry (or one without an event log) emits nothing.
+func (p *Progress) AttachEvents(reg *Registry) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+}
+
+// SetHeartbeat sets the minimum interval between run.heartbeat events
+// (non-positive intervals keep the default).
+func (p *Progress) SetHeartbeat(d time.Duration) {
+	if p == nil || d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.beatEvery = d
+}
+
+// SetPhase records the run's current phase ("corpus", "grid", ...).
+func (p *Progress) SetPhase(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phase = phase
+}
+
+// SetRunInfo records the run's static configuration (the run.start fields);
+// /runz serves it verbatim. The fields are copied.
+func (p *Progress) SetRunInfo(fields Fields) {
+	if p == nil {
+		return
+	}
+	cp := make(Fields, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.run = cp
+}
+
+// StartMap registers a performance-map build of rows rows and cells total
+// cells. Re-registering a name accumulates onto the existing entry (the
+// sweep drivers rebuild a family's map per parameter point).
+func (p *Progress) StartMap(name string, rows, cells int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.byName[name]
+	if m == nil {
+		m = &mapProgress{name: name, active: make(map[int]bool)}
+		p.byName[name] = m
+		p.order = append(p.order, m)
+	}
+	m.rowsTotal += rows
+	m.cellsTotal += cells
+	m.finished = false
+	p.cellsTotal += cells
+}
+
+// RowStarted records that the row for the given window began (its detector
+// is constructed and queued for training).
+func (p *Progress) RowStarted(name string, window int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.byName[name]; m != nil {
+		m.rowsStarted++
+		m.active[window] = true
+	}
+}
+
+// RowFinished records that the row for the given window completed (all its
+// cells evaluated, or the row failed).
+func (p *Progress) RowFinished(name string, window int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.byName[name]; m != nil {
+		m.rowsDone++
+		delete(m.active, window)
+	}
+}
+
+// CellDone records one completed grid cell for the named map, feeds the
+// rolling throughput estimate, and emits a run.heartbeat event when one is
+// due. It returns the run-wide completed-cell count.
+func (p *Progress) CellDone(name string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	if m := p.byName[name]; m != nil {
+		m.cellsDone++
+	}
+	p.cellsDone++
+	done := p.cellsDone
+	now := p.now()
+	p.recent[p.recentN%rateWindow] = now
+	p.recentN++
+
+	var beat Fields
+	var reg *Registry
+	if p.reg != nil && now.Sub(p.lastBeat) >= p.beatEvery {
+		p.lastBeat = now
+		rate, eta := p.rateLocked()
+		beat = Fields{
+			"phase":       p.phase,
+			"cellsDone":   p.cellsDone,
+			"cellsTotal":  p.cellsTotal,
+			"cellsPerSec": rate,
+			"etaSeconds":  eta,
+		}
+		reg = p.reg
+	}
+	p.mu.Unlock()
+	if beat != nil {
+		// Emitted outside the tracker's lock: the event log serializes on
+		// its own mutex and must not hold up Status scrapes.
+		reg.Event("run.heartbeat", beat)
+	}
+	return done
+}
+
+// FinishMap marks the named map's build complete.
+func (p *Progress) FinishMap(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.byName[name]; m != nil {
+		m.finished = true
+	}
+}
+
+// rateLocked derives the rolling throughput (cells/sec over the recent
+// ring) and the ETA in seconds (-1 when unknown). Callers hold p.mu.
+func (p *Progress) rateLocked() (rate, etaSeconds float64) {
+	n := p.recentN
+	if n > rateWindow {
+		n = rateWindow
+	}
+	if n >= 2 {
+		newest := p.recent[(p.recentN-1)%rateWindow]
+		oldest := p.recent[p.recentN%rateWindow] // overwritten next; ring start
+		if p.recentN <= rateWindow {
+			oldest = p.recent[0]
+		}
+		if span := newest.Sub(oldest).Seconds(); span > 0 {
+			rate = float64(n-1) / span
+		}
+	}
+	remaining := p.cellsTotal - p.cellsDone
+	switch {
+	case remaining <= 0 && p.cellsTotal > 0:
+		etaSeconds = 0
+	case rate > 0 && remaining > 0:
+		etaSeconds = float64(remaining) / rate
+	default:
+		etaSeconds = -1
+	}
+	return rate, etaSeconds
+}
+
+// MapStatus is the serialized progress of one performance-map build.
+type MapStatus struct {
+	Name          string `json:"name"`
+	RowsTotal     int    `json:"rowsTotal"`
+	RowsStarted   int    `json:"rowsStarted"`
+	RowsDone      int    `json:"rowsDone"`
+	ActiveWindows []int  `json:"activeWindows,omitempty"`
+	CellsDone     int    `json:"cellsDone"`
+	CellsTotal    int    `json:"cellsTotal"`
+	Done          bool   `json:"done"`
+}
+
+// RunStatus is the machine-readable run progress served at /runz.
+type RunStatus struct {
+	Schema      string      `json:"schema"`
+	Run         Fields      `json:"run,omitempty"`
+	Phase       string      `json:"phase,omitempty"`
+	StartedAt   string      `json:"startedAt"`
+	UptimeMs    float64     `json:"uptimeMs"`
+	CellsDone   int         `json:"cellsDone"`
+	CellsTotal  int         `json:"cellsTotal"`
+	CellsPerSec float64     `json:"cellsPerSec"`
+	ETASeconds  float64     `json:"etaSeconds"`
+	Maps        []MapStatus `json:"maps"`
+}
+
+// Status captures the tracker's current state. A nil tracker yields an
+// empty (but schema-tagged) status with ETASeconds -1.
+func (p *Progress) Status() RunStatus {
+	s := RunStatus{Schema: RunzSchemaVersion, ETASeconds: -1, Maps: []MapStatus{}}
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	s.Run = p.run
+	s.Phase = p.phase
+	s.StartedAt = p.start.UTC().Format(time.RFC3339Nano)
+	s.UptimeMs = durationMs(now.Sub(p.start))
+	s.CellsDone = p.cellsDone
+	s.CellsTotal = p.cellsTotal
+	s.CellsPerSec, s.ETASeconds = p.rateLocked()
+	for _, m := range p.order {
+		ms := MapStatus{
+			Name:        m.name,
+			RowsTotal:   m.rowsTotal,
+			RowsStarted: m.rowsStarted,
+			RowsDone:    m.rowsDone,
+			CellsDone:   m.cellsDone,
+			CellsTotal:  m.cellsTotal,
+			Done:        m.finished,
+		}
+		for w := range m.active {
+			ms.ActiveWindows = append(ms.ActiveWindows, w)
+		}
+		sort.Ints(ms.ActiveWindows)
+		s.Maps = append(s.Maps, ms)
+	}
+	return s
+}

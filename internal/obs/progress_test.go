@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.SetClock(time.Now)
+	p.SetPhase("grid")
+	p.SetRunInfo(Fields{"cmd": "x"})
+	p.AttachEvents(nil)
+	p.SetHeartbeat(time.Second)
+	p.StartMap("m", 3, 12)
+	p.RowStarted("m", 2)
+	p.RowFinished("m", 2)
+	if got := p.CellDone("m"); got != 0 {
+		t.Errorf("nil CellDone = %d", got)
+	}
+	p.FinishMap("m")
+	s := p.Status()
+	if s.Schema != RunzSchemaVersion || s.ETASeconds != -1 || len(s.Maps) != 0 {
+		t.Errorf("nil Status = %+v", s)
+	}
+}
+
+func TestProgressTracksGrid(t *testing.T) {
+	p := NewProgress()
+	p.SetClock(newFakeClock(100 * time.Millisecond).Now)
+	p.SetPhase("grid")
+	p.SetRunInfo(Fields{"cmd": "perfmap"})
+	p.StartMap("stide", 3, 6)
+
+	p.RowStarted("stide", 2)
+	p.RowStarted("stide", 3)
+	for i := 0; i < 4; i++ {
+		p.CellDone("stide")
+	}
+	p.RowFinished("stide", 2)
+
+	s := p.Status()
+	if s.Phase != "grid" || s.Run["cmd"] != "perfmap" {
+		t.Errorf("status header = %+v", s)
+	}
+	if s.CellsDone != 4 || s.CellsTotal != 6 {
+		t.Errorf("cells %d/%d, want 4/6", s.CellsDone, s.CellsTotal)
+	}
+	if len(s.Maps) != 1 {
+		t.Fatalf("maps = %+v", s.Maps)
+	}
+	m := s.Maps[0]
+	if m.Name != "stide" || m.RowsTotal != 3 || m.RowsStarted != 2 || m.RowsDone != 1 || m.Done {
+		t.Errorf("map status = %+v", m)
+	}
+	if len(m.ActiveWindows) != 1 || m.ActiveWindows[0] != 3 {
+		t.Errorf("active windows = %v, want [3]", m.ActiveWindows)
+	}
+	// Cells complete every 100ms on the fake clock, so the rolling rate is
+	// ~10 cells/sec and 2 remaining cells are ~0.2s away.
+	if s.CellsPerSec < 9.9 || s.CellsPerSec > 10.1 {
+		t.Errorf("rolling rate = %v, want ~10", s.CellsPerSec)
+	}
+	if s.ETASeconds < 0.19 || s.ETASeconds > 0.21 {
+		t.Errorf("ETA = %v, want ~0.2", s.ETASeconds)
+	}
+
+	p.CellDone("stide")
+	p.CellDone("stide")
+	p.RowFinished("stide", 3)
+	p.FinishMap("stide")
+	s = p.Status()
+	if s.CellsDone != s.CellsTotal {
+		t.Errorf("cells %d/%d after completion", s.CellsDone, s.CellsTotal)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("ETA after completion = %v, want 0", s.ETASeconds)
+	}
+	if !s.Maps[0].Done || len(s.Maps[0].ActiveWindows) != 0 {
+		t.Errorf("finished map status = %+v", s.Maps[0])
+	}
+}
+
+// TestProgressRestartAccumulates pins the sweep-driver pattern: rebuilding
+// a family's map per parameter point accumulates totals instead of
+// clobbering them.
+func TestProgressRestartAccumulates(t *testing.T) {
+	p := NewProgress()
+	p.StartMap("tstide", 2, 4)
+	p.CellDone("tstide")
+	p.FinishMap("tstide")
+	p.StartMap("tstide", 2, 4)
+	s := p.Status()
+	if len(s.Maps) != 1 {
+		t.Fatalf("maps = %+v", s.Maps)
+	}
+	m := s.Maps[0]
+	if m.CellsTotal != 8 || m.CellsDone != 1 || m.Done {
+		t.Errorf("accumulated map = %+v", m)
+	}
+}
+
+func TestProgressHeartbeat(t *testing.T) {
+	var log bytes.Buffer
+	reg := New()
+	reg.SetEventLog(NewEventLog(&log))
+
+	p := NewProgress()
+	p.SetClock(newFakeClock(300 * time.Millisecond).Now)
+	p.AttachEvents(reg)
+	p.SetHeartbeat(time.Second)
+	p.SetPhase("grid")
+	p.StartMap("m", 1, 100)
+	for i := 0; i < 10; i++ {
+		p.CellDone("m")
+	}
+	out := log.String()
+	beats := strings.Count(out, `"event":"run.heartbeat"`)
+	// 10 cells at 300ms apart span 2.7s; with a 1s interval that is 3
+	// heartbeats (the first due beat fires immediately, then every >=1s).
+	if beats < 2 || beats > 4 {
+		t.Errorf("heartbeats = %d, want a few:\n%s", beats, out)
+	}
+	if !strings.Contains(out, `"cellsTotal":100`) || !strings.Contains(out, `"phase":"grid"`) {
+		t.Errorf("heartbeat payload missing fields:\n%s", out)
+	}
+}
+
+// TestProgressConcurrent exercises the tracker from many goroutines (the
+// shape BuildMapCorpus drives at -j N) under the race detector.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	p.StartMap("m", 8, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.RowStarted("m", w)
+			for c := 0; c < 8; c++ {
+				p.CellDone("m")
+				p.Status() // concurrent scrape
+			}
+			p.RowFinished("m", w)
+		}(w)
+	}
+	wg.Wait()
+	s := p.Status()
+	if s.CellsDone != 64 || s.Maps[0].RowsDone != 8 {
+		t.Errorf("final status = %+v", s)
+	}
+}

@@ -1,0 +1,181 @@
+// Live introspection server: an opt-in embedded HTTP endpoint that makes a
+// long grid run inspectable while it executes. The batch drivers bind it
+// with the shared -status flag; a production deployment of the online
+// pipeline would keep it up for the life of the process.
+//
+//	/metrics        Prometheus text exposition of the live registry
+//	/runz           JSON run status: config, grid progress, throughput, ETA
+//	/eventz         the last N NDJSON events (ring-buffer tee of -progress)
+//	/debug/pprof/*  net/http/pprof for in-flight CPU/heap/goroutine profiles
+//	/healthz        liveness probe
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DefaultEventRingLines is the /eventz retention the drivers install: deep
+// enough to hold several heartbeats plus the cell events between them.
+const DefaultEventRingLines = 256
+
+// drainTimeout bounds graceful shutdown: in-flight scrapes get this long to
+// finish before the listener is torn down hard.
+const drainTimeout = 3 * time.Second
+
+// EventRing is a bounded ring buffer of NDJSON event lines implementing
+// io.Writer, installed as an EventLog sink (each Emit issues exactly one
+// Write per line) so /eventz can serve the tail of the event stream without
+// unbounded memory. Safe for concurrent use; a nil ring discards writes and
+// serves nothing.
+type EventRing struct {
+	mu    sync.Mutex
+	lines [][]byte
+	next  int
+	total int64
+}
+
+// NewEventRing returns a ring retaining the last n event lines (n < 1 keeps
+// DefaultEventRingLines).
+func NewEventRing(n int) *EventRing {
+	if n < 1 {
+		n = DefaultEventRingLines
+	}
+	return &EventRing{lines: make([][]byte, n)}
+}
+
+// Write retains a copy of one event line. It never fails: telemetry must
+// not fail the run, and the copy is required because EventLog reuses its
+// line buffer across emissions.
+func (r *EventRing) Write(p []byte) (int, error) {
+	if r == nil || len(p) == 0 {
+		return len(p), nil
+	}
+	r.mu.Lock()
+	line := r.lines[r.next]
+	r.lines[r.next] = append(line[:0], p...)
+	r.next = (r.next + 1) % len(r.lines)
+	r.total++
+	r.mu.Unlock()
+	return len(p), nil
+}
+
+// Total returns how many lines were ever written.
+func (r *EventRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteTo copies the retained lines, oldest first, to w.
+func (r *EventRing) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	n := len(r.lines)
+	out := make([]byte, 0, 1024)
+	for i := 0; i < n; i++ {
+		if line := r.lines[(r.next+i)%n]; len(line) > 0 {
+			out = append(out, line...)
+		}
+	}
+	r.mu.Unlock()
+	written, err := w.Write(out)
+	return int64(written), err
+}
+
+// NewHandler returns the status server's route table over the given
+// sources. Any source may be nil: /metrics then serves an empty exposition,
+// /runz an empty schema-tagged status, /eventz nothing. The handler is what
+// StartServer serves; tests mount it on httptest servers directly.
+func NewHandler(reg *Registry, prog *Progress, ring *EventRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n") //nolint:errcheck // best-effort probe
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		reg.WriteProm(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/runz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(prog.Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n')) //nolint:errcheck
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		ring.WriteTo(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running status server. A nil server is a no-op throughout,
+// so the disabled path (-status unset) starts no goroutine and costs
+// nothing.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// StartServer binds addr (host:0 picks a free port) and serves the status
+// endpoints on a background goroutine until Close.
+func StartServer(addr string, reg *Registry, prog *Progress, ring *EventRing) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewHandler(reg, prog, ring), ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr().String(),
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" on a nil server) — the value a
+// run announces so operators can curl a :0-bound server.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Close drains the server gracefully: in-flight scrapes (a curl racing the
+// final barrier) get drainTimeout to complete, then the listener closes
+// hard. Safe to call on a nil server and idempotent.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err == context.DeadlineExceeded {
+		err = s.srv.Close()
+	}
+	s.srv = nil
+	return err
+}

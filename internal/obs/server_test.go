@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := seededRegistry()
+	prog := NewProgress()
+	prog.SetPhase("grid")
+	prog.StartMap("stide", 2, 4)
+	prog.CellDone("stide")
+	ring := NewEventRing(8)
+	NewEventLog(ring).Emit("cell", Fields{"done": 1})
+
+	ts := httptest.NewServer(NewHandler(reg, prog, ring))
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(body, "adiv_eval_cells_stide 112") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get(t, ts.URL+"/runz")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/runz = %d, Content-Type %q", code, hdr.Get("Content-Type"))
+	}
+	var st RunStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/runz is not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != RunzSchemaVersion || st.Phase != "grid" || st.CellsDone != 1 || st.CellsTotal != 4 {
+		t.Errorf("/runz = %+v", st)
+	}
+
+	code, body, _ = get(t, ts.URL+"/eventz")
+	if code != http.StatusOK || !strings.Contains(body, `"event":"cell"`) {
+		t.Errorf("/eventz = %d %q", code, body)
+	}
+
+	code, _, _ = get(t, ts.URL+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap = %d", code)
+	}
+}
+
+// TestHandlerNilSources pins the degenerate wiring: every endpoint stays
+// 200 with nil registry, progress, and ring.
+func TestHandlerNilSources(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(nil, nil, nil))
+	defer ts.Close()
+	for path, want := range map[string]string{
+		"/healthz": "ok",
+		"/metrics": "adiv_uptime_seconds 0",
+		"/runz":    RunzSchemaVersion,
+		"/eventz":  "",
+	} {
+		code, body, _ := get(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Errorf("%s = %d", path, code)
+		}
+		if want != "" && !strings.Contains(body, want) {
+			t.Errorf("%s missing %q: %q", path, want, body)
+		}
+	}
+}
+
+func TestStartServerLifecycle(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", New(), NewProgress(), nil)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	addr := srv.Addr()
+	if addr == "" || !strings.Contains(addr, ":") {
+		t.Fatalf("Addr() = %q", addr)
+	}
+	code, _, _ := get(t, "http://"+addr+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("/healthz = %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Errorf("server still serving after Close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Errorf("nil server not a no-op")
+	}
+}
+
+func TestEventRingBounds(t *testing.T) {
+	ring := NewEventRing(3)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(ring, "line%d\n", i)
+	}
+	var sb strings.Builder
+	if _, err := ring.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sb.String(), "line2\nline3\nline4\n"; got != want {
+		t.Errorf("ring tail = %q, want %q", got, want)
+	}
+	if ring.Total() != 5 {
+		t.Errorf("Total = %d, want 5", ring.Total())
+	}
+	var nilRing *EventRing
+	if n, err := nilRing.Write([]byte("x")); n != 1 || err != nil {
+		t.Errorf("nil ring Write = %d, %v", n, err)
+	}
+	if n, err := nilRing.WriteTo(io.Discard); n != 0 || err != nil {
+		t.Errorf("nil ring WriteTo = %d, %v", n, err)
+	}
+}
+
+// TestEventRingCopies pins that the ring retains copies: the emitter's
+// pooled line buffer is reused, so aliasing would corrupt older lines.
+func TestEventRingCopies(t *testing.T) {
+	ring := NewEventRing(4)
+	buf := []byte("first\n")
+	ring.Write(buf)
+	copy(buf, "XXXXX")
+	ring.Write([]byte("second\n"))
+	var sb strings.Builder
+	ring.WriteTo(&sb)
+	if got := sb.String(); got != "first\nsecond\n" {
+		t.Errorf("ring aliased caller buffer: %q", got)
+	}
+}

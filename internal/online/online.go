@@ -35,20 +35,24 @@ type Scorer struct {
 
 	// Telemetry handles; nil when uninstrumented (the default), costing a
 	// single pointer test per push.
-	symbols   *obs.Counter
-	responses *obs.Histogram
+	symbols      *obs.Counter
+	responses    *obs.Histogram
+	lastResponse *obs.Gauge
 }
 
 // Instrument records streaming telemetry into reg: the online/symbols
-// pushed counter and the online/responses distribution histogram. A nil
+// pushed counter, the online/responses distribution histogram, and the
+// online/last_response live gauge (what a /metrics scrape of a long-lived
+// streaming deployment reads as "the detector's current output"). A nil
 // registry disables instrumentation.
 func (s *Scorer) Instrument(reg *obs.Registry) {
 	if reg == nil {
-		s.symbols, s.responses = nil, nil
+		s.symbols, s.responses, s.lastResponse = nil, nil, nil
 		return
 	}
 	s.symbols = reg.Counter("online/symbols")
 	s.responses = reg.Histogram("online/responses", responseBins)
+	s.lastResponse = reg.Gauge("online/last_response")
 }
 
 // NewScorer wraps a trained detector. Training state is verified lazily on
@@ -106,6 +110,7 @@ func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err er
 	}
 	if s.responses != nil {
 		s.responses.Observe(responses[0])
+		s.lastResponse.Set(responses[0])
 	}
 	return responses[0], true, nil
 }
@@ -145,8 +150,10 @@ type Alarmer struct {
 }
 
 // Instrument records streaming telemetry into reg: the underlying scorer's
-// metrics plus the online/alarms raised counter. A nil registry disables
-// instrumentation.
+// metrics, the online/alarms raised counter, and the deployed detection
+// threshold as the online/threshold gauge, so a /metrics scrape shows the
+// operating point alongside the alarm counts it produced. A nil registry
+// disables instrumentation.
 func (a *Alarmer) Instrument(reg *obs.Registry) {
 	a.scorer.Instrument(reg)
 	if reg == nil {
@@ -154,6 +161,7 @@ func (a *Alarmer) Instrument(reg *obs.Registry) {
 		return
 	}
 	a.alarms = reg.Counter("online/alarms")
+	reg.Gauge("online/threshold").Set(a.threshold)
 }
 
 // NewAlarmer wraps a trained detector with a detection threshold.

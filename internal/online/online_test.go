@@ -9,6 +9,7 @@ import (
 	"adiv/internal/detector/lbr"
 	"adiv/internal/detector/markovdet"
 	"adiv/internal/detector/stide"
+	"adiv/internal/obs"
 	"adiv/internal/seq"
 )
 
@@ -225,5 +226,43 @@ func TestAlarmerMatchesBatchAlarms(t *testing.T) {
 		if alarms[i].Position != wantPositions[i] {
 			t.Errorf("alarm %d at %d, want %d", i, alarms[i].Position, wantPositions[i])
 		}
+	}
+}
+
+// TestInstrumentLiveGauges pins the streaming telemetry a /metrics scrape
+// of a long-lived deployment reads: symbols pushed, alarms raised, the
+// deployed threshold, and the detector's latest response.
+func TestInstrumentLiveGauges(t *testing.T) {
+	det := trained(t, func() (detector.Detector, error) { return stide.New(2) })
+	alarmer, err := NewAlarmer(det, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	alarmer.Instrument(reg)
+	if got := reg.Gauge("online/threshold").Value(); got != 0.75 {
+		t.Errorf("online/threshold = %v, want 0.75", got)
+	}
+	// 0 1 2 3 1: the final pair (3,1) is foreign, so the last response is 1.
+	if _, err := alarmer.PushAll(mk(0, 1, 2, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("online/symbols").Value(); got != 5 {
+		t.Errorf("online/symbols = %d, want 5", got)
+	}
+	if got := reg.Counter("online/alarms").Value(); got != 1 {
+		t.Errorf("online/alarms = %d, want 1", got)
+	}
+	if got := reg.Gauge("online/last_response").Value(); got != 1 {
+		t.Errorf("online/last_response = %v, want 1", got)
+	}
+
+	// Detaching restores the uninstrumented no-op path.
+	alarmer.Instrument(nil)
+	if _, err := alarmer.PushAll(mk(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("online/symbols").Value(); got != 5 {
+		t.Errorf("detached scorer still counting: %d", got)
 	}
 }

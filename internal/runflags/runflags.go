@@ -4,14 +4,16 @@
 //
 //	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v1)
 //	-progress           emit NDJSON progress events to stderr during the run
+//	-status ADDR        serve live introspection (/metrics, /runz, /eventz,
+//	                    /healthz, /debug/pprof) on ADDR during the run
 //	-cpuprofile FILE    write a CPU profile (runtime/pprof)
 //	-memprofile FILE    write a heap profile at exit
 //	-j N                bound concurrent grid work (default runtime.NumCPU)
 //
-// — and threads the resulting *obs.Registry and shared *eval.Scheduler
-// through the corpus builders and map builders. With none of the
-// observability flags set the registry is nil and every instrumented path
-// is disabled at zero cost.
+// — and threads the resulting *obs.Registry, *obs.Progress and shared
+// *eval.Scheduler through the corpus builders and map builders. With none
+// of the observability flags set the registry, tracker, and status server
+// are all nil and every instrumented path is disabled at zero cost.
 package runflags
 
 import (
@@ -32,6 +34,9 @@ import (
 type Flags struct {
 	MetricsOut string
 	Progress   bool
+	// Status is the -status listen address; empty disables the embedded
+	// introspection server.
+	Status     string
 	CPUProfile string
 	MemProfile string
 	// Jobs is the -j bound on concurrent grid tasks (row trainings and
@@ -44,14 +49,16 @@ func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (schema "+obs.SchemaVersion+") to this file at exit")
 	fs.BoolVar(&f.Progress, "progress", false, "emit NDJSON progress events to stderr during the run")
+	fs.StringVar(&f.Status, "status", "", "serve live run introspection (/metrics, /runz, /eventz, /healthz, /debug/pprof) on this address, e.g. 127.0.0.1:6060 (:0 picks a free port, announced as statusAddr in run.start)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
 	return f
 }
 
-// Run is one observed command execution. Metrics is nil unless -metrics-out
-// or -progress enabled observation; instrumented callees accept nil.
+// Run is one observed command execution. Metrics is nil unless -metrics-out,
+// -progress, or -status enabled observation; instrumented callees accept
+// nil.
 type Run struct {
 	// Metrics is the run's registry, or nil when observation is disabled.
 	Metrics *obs.Registry
@@ -61,6 +68,10 @@ type Run struct {
 	cpu       *os.File
 	schedOnce sync.Once
 	sched     *eval.Scheduler
+
+	progress *obs.Progress
+	ring     *obs.EventRing
+	status   *obs.Server
 }
 
 // Scheduler returns the run's shared grid-work pool, sized by -j and
@@ -68,31 +79,80 @@ type Run struct {
 // this one pool (set it as Options.Scheduler) so concurrent work stays
 // bounded across detector families, not merely within each map.
 func (r *Run) Scheduler() *eval.Scheduler {
-	r.schedOnce.Do(func() { r.sched = eval.NewScheduler(r.flags.Jobs) })
+	r.schedOnce.Do(func() {
+		r.sched = eval.NewScheduler(r.flags.Jobs)
+		r.sched.Instrument(r.Metrics)
+	})
 	return r.sched
 }
 
-// Start begins an observed run: it creates the metrics registry (when
-// -metrics-out or -progress asked for one), attaches the NDJSON progress
-// log, and starts CPU profiling. announceW receives run-level announcement
-// events (run.start, run.done) regardless of -progress — the event log is
-// how commands state their active configuration instead of running
-// silently; pass os.Stderr from main.
+// Progress returns the run's grid-progress tracker (set it as
+// Options.Progress on every map of the run), or nil when observation is
+// disabled — the tracker's methods are nil-safe, so callers wire it
+// unconditionally.
+func (r *Run) Progress() *obs.Progress {
+	if r == nil {
+		return nil
+	}
+	return r.progress
+}
+
+// StatusAddr returns the bound address of the run's status server, or ""
+// when -status is unset.
+func (r *Run) StatusAddr() string {
+	if r == nil {
+		return ""
+	}
+	return r.status.Addr()
+}
+
+// Start begins an observed run: it creates the metrics registry and
+// progress tracker (when -metrics-out, -progress, or -status asked for
+// observation), attaches the NDJSON progress log, binds the -status
+// introspection server, and starts CPU profiling. announceW receives
+// run-level announcement events (run.start, run.done) regardless of
+// -progress — the event log is how commands state their active
+// configuration instead of running silently; pass os.Stderr from main.
 func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 	r := &Run{flags: *f, announce: obs.NewEventLog(announceW)}
-	if f.MetricsOut != "" || f.Progress {
+	if f.MetricsOut != "" || f.Progress || f.Status != "" {
 		r.Metrics = obs.New()
+		r.progress = obs.NewProgress()
+		r.progress.AttachEvents(r.Metrics)
+		var sinks []io.Writer
 		if f.Progress {
-			r.Metrics.SetEventLog(obs.NewEventLog(announceW))
+			sinks = append(sinks, announceW)
 		}
+		if f.Status != "" {
+			// /eventz serves the tail of the same NDJSON stream -progress
+			// prints, whether or not -progress is also set.
+			r.ring = obs.NewEventRing(obs.DefaultEventRingLines)
+			sinks = append(sinks, r.ring)
+		}
+		switch len(sinks) {
+		case 0:
+		case 1:
+			r.Metrics.SetEventLog(obs.NewEventLog(sinks[0]))
+		default:
+			r.Metrics.SetEventLog(obs.NewEventLog(io.MultiWriter(sinks...)))
+		}
+	}
+	if f.Status != "" {
+		srv, err := obs.StartServer(f.Status, r.Metrics, r.progress, r.ring)
+		if err != nil {
+			return nil, fmt.Errorf("runflags: binding -status %s: %w", f.Status, err)
+		}
+		r.status = srv
 	}
 	if f.CPUProfile != "" {
 		cpu, err := os.Create(f.CPUProfile)
 		if err != nil {
+			r.status.Close() //nolint:errcheck // unwinding a failed Start
 			return nil, fmt.Errorf("runflags: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpu); err != nil {
 			cpu.Close()
+			r.status.Close() //nolint:errcheck // unwinding a failed Start
 			return nil, fmt.Errorf("runflags: starting CPU profile: %w", err)
 		}
 		r.cpu = cpu
@@ -101,17 +161,38 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 }
 
 // Announce emits a run-level event to the announcement log (always on,
-// unlike -progress-gated cell events).
+// unlike -progress-gated cell events). The run.start event is augmented
+// with the status server's bound address (so a :0-bound server is
+// reachable) and its fields are retained as the /runz run configuration.
 func (r *Run) Announce(event string, fields obs.Fields) {
 	if r == nil {
 		return
 	}
+	if event == "run.start" {
+		if addr := r.status.Addr(); addr != "" {
+			augmented := make(obs.Fields, len(fields)+1)
+			for k, v := range fields {
+				augmented[k] = v
+			}
+			augmented["statusAddr"] = addr
+			fields = augmented
+		}
+		r.progress.SetRunInfo(fields)
+	}
 	r.announce.Emit(event, fields)
 }
 
-// Close finishes the run: stops the CPU profile, writes the heap profile
-// and the metrics snapshot, and announces run.done. Safe to call once; use
-// with a deferred error join in run functions.
+// writeHeap is the heap-profile writer; a package variable so the teardown
+// regression test can observe when in the Close sequence it runs.
+var writeHeap = writeHeapProfile
+
+// Close finishes the run: stops the CPU profile, drains the status server,
+// writes the heap profile and the metrics snapshot, and announces run.done.
+// The status server shuts down BEFORE the heap profile is captured — while
+// the server is up its connection and ring buffers are live heap, and a
+// profile taken under them misattributes the run's own allocations; the
+// drain also bounds the window where a scrape races teardown. Safe to call
+// once; use with a deferred error join in run functions.
 func (r *Run) Close() error {
 	if r == nil {
 		return nil
@@ -124,8 +205,14 @@ func (r *Run) Close() error {
 		}
 		r.cpu = nil
 	}
+	if r.status != nil {
+		if err := r.status.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("runflags: draining status server: %w", err))
+		}
+		r.status = nil
+	}
 	if r.flags.MemProfile != "" {
-		if err := writeHeapProfile(r.flags.MemProfile); err != nil {
+		if err := writeHeap(r.flags.MemProfile); err != nil {
 			errs = append(errs, err)
 		}
 	}

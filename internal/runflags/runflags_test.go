@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -131,5 +133,101 @@ func TestNilRunIsSafe(t *testing.T) {
 	run.Announce("x", nil)
 	if err := run.Close(); err != nil {
 		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestStatusServerServes(t *testing.T) {
+	var announce bytes.Buffer
+	run, err := parse(t, "-status", "127.0.0.1:0").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Metrics == nil {
+		t.Fatal("no registry with -status")
+	}
+	if run.Progress() == nil {
+		t.Fatal("no progress tracker with -status")
+	}
+	addr := run.StatusAddr()
+	if addr == "" {
+		t.Fatal("StatusAddr empty with -status")
+	}
+	run.Metrics.Counter("eval/cells/stide").Add(3)
+	run.Metrics.Event("cell", obs.Fields{"done": 1})
+	run.Announce("run.start", obs.Fields{"mode": "test"})
+	if !strings.Contains(announce.String(), `"statusAddr":"`+addr+`"`) {
+		t.Errorf("run.start missing statusAddr: %q", announce.String())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "adiv_eval_cells_stide 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/runz"); code != http.StatusOK || !strings.Contains(body, `"mode": "test"`) {
+		t.Errorf("/runz = %d %q (want run.start fields retained)", code, body)
+	}
+	if code, body := get("/eventz"); code != http.StatusOK || !strings.Contains(body, `"event":"cell"`) {
+		t.Errorf("/eventz = %d %q (want the emitted event teed into the ring)", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d", code)
+	}
+
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("status server still serving after Close")
+	}
+}
+
+// TestCloseDrainsServerBeforeHeapProfile pins the teardown order of
+// satellite concern #2: the heap profile must be written AFTER the status
+// server has fully shut down, never while it still serves scrapes.
+func TestCloseDrainsServerBeforeHeapProfile(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	var announce bytes.Buffer
+	run, err := parse(t, "-status", "127.0.0.1:0", "-memprofile", mem).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	addr := run.StatusAddr()
+
+	serverUpDuringHeapWrite := false
+	orig := writeHeap
+	writeHeap = func(path string) error {
+		if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			serverUpDuringHeapWrite = true
+		}
+		return orig(path)
+	}
+	defer func() { writeHeap = orig }()
+
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if serverUpDuringHeapWrite {
+		t.Error("status server still reachable while heap profile was written")
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile missing or empty (err=%v)", err)
+	}
+}
+
+func TestStatusBindFailure(t *testing.T) {
+	var announce bytes.Buffer
+	if _, err := parse(t, "-status", "256.0.0.1:http-no-such").Start(&announce); err == nil {
+		t.Fatal("Start succeeded with an unbindable -status address")
 	}
 }

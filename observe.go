@@ -26,6 +26,12 @@ type (
 	EventLog = obs.EventLog
 	// EventFields carries the payload of one event.
 	EventFields = obs.Fields
+	// Progress tracks a run's grid progress (rows, cells, throughput, ETA)
+	// for the -status introspection server's /runz endpoint; set one as
+	// EvalOptions.Progress on every map of a run. Nil-safe like Metrics.
+	Progress = obs.Progress
+	// RunStatus is the JSON document /runz serves (schema adiv.runz/v1).
+	RunStatus = obs.RunStatus
 )
 
 // MetricsSchemaVersion identifies the snapshot JSON schema downstream

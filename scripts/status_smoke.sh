@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke-test the -status introspection server end to end: launch a quick
+# perfmap run with -status 127.0.0.1:0, recover the bound address from the
+# run.start announcement on stderr, scrape /metrics and /runz mid-run, and
+# fail on any non-200 response or empty body. CI runs this so the live
+# endpoints cannot silently rot between releases.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+stderr_log="$workdir/stderr.ndjson"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "building perfmap..."
+go build -o "$workdir/perfmap" ./cmd/perfmap
+
+"$workdir/perfmap" -quick -status 127.0.0.1:0 >"$workdir/stdout.txt" 2>"$stderr_log" &
+pid=$!
+
+# The run.start event carries "statusAddr":"127.0.0.1:PORT".
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*"statusAddr":"\([^"]*\)".*/\1/p' "$stderr_log" | head -n1)
+    [[ -n "$addr" ]] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: perfmap exited before announcing a status address" >&2
+        cat "$stderr_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "FAIL: no statusAddr in run.start within 10s" >&2
+    cat "$stderr_log" >&2
+    exit 1
+fi
+echo "status server at $addr"
+
+scrape() {
+    local path=$1 body code
+    body=$(curl -sS -w '\n%{http_code}' "http://$addr$path")
+    code=${body##*$'\n'}
+    body=${body%$'\n'*}
+    if [[ "$code" != 200 ]]; then
+        echo "FAIL: GET $path returned $code" >&2
+        exit 1
+    fi
+    if [[ -z "$body" ]]; then
+        echo "FAIL: GET $path returned an empty body" >&2
+        exit 1
+    fi
+    echo "$body"
+}
+
+metrics=$(scrape /metrics)
+if ! grep -q '^adiv_' <<<"$metrics"; then
+    echo "FAIL: /metrics has no adiv_ samples:" >&2
+    echo "$metrics" >&2
+    exit 1
+fi
+echo "scraped /metrics mid-run ($(grep -c '^adiv_' <<<"$metrics") samples)"
+
+runz=$(scrape /runz)
+if ! grep -q '"schema": "adiv.runz/v1"' <<<"$runz"; then
+    echo "FAIL: /runz is not a run status document:" >&2
+    echo "$runz" >&2
+    exit 1
+fi
+echo "scraped /runz mid-run"
+scrape /healthz >/dev/null
+echo "scraped /healthz mid-run"
+
+if ! wait "$pid"; then
+    echo "FAIL: perfmap run failed" >&2
+    cat "$stderr_log" >&2
+    exit 1
+fi
+pid=""
+echo "status smoke OK"
