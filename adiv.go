@@ -3,6 +3,7 @@ package adiv
 import (
 	"adiv/internal/alphabet"
 	"adiv/internal/anomaly"
+	"adiv/internal/checkpoint"
 	"adiv/internal/core"
 	"adiv/internal/eval"
 	"adiv/internal/gen"
@@ -59,7 +60,22 @@ type (
 	// set it as EvalOptions.Scheduler to share one pool across every map of
 	// a run (the commands' -j flag).
 	GridScheduler = eval.Scheduler
+	// CheckpointJournal is the append-only cell journal behind the
+	// commands' -checkpoint/-resume flags; set it as
+	// EvalOptions.Checkpoint to make grid runs crash-recoverable.
+	CheckpointJournal = checkpoint.Journal
+	// CheckpointFingerprint pins the run configuration a journal was
+	// written under; resuming under a different fingerprint is refused.
+	// Build one with Corpus.Fingerprint.
+	CheckpointFingerprint = checkpoint.Fingerprint
 )
+
+// OpenCheckpoint opens (or, with resume, continues) a cell journal under
+// dir for the fingerprinted run — the library-level counterpart of the
+// commands' -checkpoint/-resume flags.
+func OpenCheckpoint(dir string, fp CheckpointFingerprint, resume bool) (*CheckpointJournal, error) {
+	return checkpoint.Open(dir, fp, resume)
+}
 
 // Outcome values.
 const (

@@ -12,8 +12,13 @@
 // Usage:
 //
 //	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
+//	         [-checkpoint DIR] [-resume]
 //	         [-metrics-out FILE] [-progress] [-status ADDR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -checkpoint DIR every completed grid cell of the four coverage maps
+// is journaled; an interrupted run restarted with -resume replays the
+// journaled cells bit-identically and evaluates only the remainder.
 package main
 
 import (
@@ -76,8 +81,18 @@ func run(w io.Writer, args []string) (err error) {
 		return err
 	}
 
+	// The suppression experiment's parameters ride along in the journal
+	// fingerprint even though only the coverage maps journal cells: a
+	// journal written by a differently parameterized invocation is refused.
+	ckpt, err := obsRun.OpenJournal(corpus.Fingerprint("ensemble",
+		[]string{adiv.DetectorStide, adiv.DetectorMarkov, adiv.DetectorLaneBrodley, adiv.DetectorTStide},
+		fmt.Sprintf("window=%d,size=%d,noisy=%d", *window, *size, *noisyLen)))
+	if err != nil {
+		return err
+	}
+
 	obsRun.Progress().SetPhase("coverage")
-	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics); err != nil {
+	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics); err != nil {
 		return err
 	}
 	obsRun.Progress().SetPhase("suppression")
@@ -92,13 +107,15 @@ func run(w io.Writer, args []string) (err error) {
 	return nil
 }
 
-func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
+func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
 	opts := adiv.DefaultEvalOptions()
 	// The four family maps share one bounded pool: expensive rows of one
 	// family interleave with cheap rows of another. They also report into
-	// one progress tracker, so a -status scrape sees all four grids.
+	// one progress tracker, so a -status scrape sees all four grids, and
+	// journal into one checkpoint (nil without -checkpoint).
 	opts.Scheduler = sched
 	opts.Progress = prog
+	opts.Checkpoint = ckpt
 	stideMap, err := corpus.PerformanceMapObserved(adiv.DetectorStide, adiv.StideFactory, opts, metrics)
 	if err != nil {
 		return err

@@ -24,6 +24,14 @@
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 //	-j N             bound concurrent grid work (default runtime.NumCPU);
 //	                 one pool is shared across all maps of the run
+//	-checkpoint DIR  journal every completed grid cell to DIR/grid.journal
+//	                 so a crashed or interrupted run can pick up where it
+//	                 stopped
+//	-resume          continue the journal in -checkpoint DIR: journaled
+//	                 cells replay bit-identically (fully journaled rows
+//	                 skip training outright), remaining cells run live;
+//	                 refused if the journal was written under different
+//	                 parameters
 package main
 
 import (
@@ -97,6 +105,21 @@ func run(w io.Writer, args []string) (err error) {
 	figures := map[int]string{3: adiv.DetectorLaneBrodley, 4: adiv.DetectorMarkov, 5: adiv.DetectorStide, 6: adiv.DetectorNeuralNet}
 	wantFigure := func(n int) bool { return *figure == 0 || *figure == n }
 
+	// The journal fingerprint pins exactly what this invocation evaluates:
+	// the selected detector set and regime join the corpus parameters, so a
+	// -detector stide journal never leaks cells into a full run (or vice
+	// versa) and a -regime rare journal never resumes a strict one.
+	var selected []string
+	for _, n := range []int{3, 4, 5, 6} {
+		if name := figures[n]; wantFigure(n) && (*detName == "" || *detName == name) {
+			selected = append(selected, name)
+		}
+	}
+	ckpt, err := obsRun.OpenJournal(corpus.Fingerprint("perfmap", selected, "regime="+*regime))
+	if err != nil {
+		return err
+	}
+
 	if wantFigure(2) && *detName == "" {
 		if err := writeFigure2(w, corpus); err != nil {
 			return err
@@ -114,10 +137,12 @@ func run(w io.Writer, args []string) (err error) {
 		if *regime == "rare" && name != adiv.DetectorNeuralNet {
 			opts = adiv.RareSensitiveEvalOptions()
 		}
-		// All maps of the run evaluate on one -j-bounded pool and report
-		// into one progress tracker (what -status serves as /runz).
+		// All maps of the run evaluate on one -j-bounded pool, report into
+		// one progress tracker (what -status serves as /runz), and journal
+		// into one checkpoint (nil without -checkpoint).
 		opts.Scheduler = obsRun.Scheduler()
 		opts.Progress = obsRun.Progress()
+		opts.Checkpoint = ckpt
 		m, err := corpus.PerformanceMapObserved(name, factory, opts, obsRun.Metrics)
 		if err != nil {
 			return err

@@ -67,6 +67,68 @@ func TestRunSingleDetectorQuick(t *testing.T) {
 	}
 }
 
+// stripCacheLine drops the training-DB cache summary from driver output: a
+// fully resumed run trains nothing, so its cache counters legitimately
+// differ from an uninterrupted run's while every map byte stays identical.
+func stripCacheLine(out string) string {
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if !strings.Contains(l, "training-DB cache") {
+			kept = append(kept, l)
+		}
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestRunCheckpointResume pins the driver-level resume-equivalence
+// contract: a -resume run over a complete journal replays every cell and
+// renders maps byte-identical to a run that never checkpointed — and the
+// journal is refused under a changed configuration or a missing -resume.
+func TestRunCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(extra ...string) (string, error) {
+		var sb strings.Builder
+		args := append([]string{"-quick", "-figure", "5", "-csv", "-json", "-j", "2"}, extra...)
+		err := run(&sb, args)
+		return sb.String(), err
+	}
+
+	plain, err := build()
+	if err != nil {
+		t.Fatalf("uncheckpointed run: %v", err)
+	}
+	first, err := build("-checkpoint", dir)
+	if err != nil {
+		t.Fatalf("journaling run: %v", err)
+	}
+	if stripCacheLine(first) != stripCacheLine(plain) {
+		t.Errorf("journaling changed the rendered output:\n--- plain ---\n%s\n--- journaled ---\n%s", plain, first)
+	}
+
+	// The journal exists now: continuing demands an explicit -resume, and a
+	// differently configured invocation is refused even with it.
+	if _, err := build("-checkpoint", dir); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("re-run without -resume: err = %v, want a refusal naming -resume", err)
+	}
+	var sb strings.Builder
+	err = run(&sb, []string{"-quick", "-figure", "4", "-j", "2", "-checkpoint", dir, "-resume"})
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("mismatched resume: err = %v, want a different-configuration refusal", err)
+	}
+
+	resumed, err := build("-checkpoint", dir, "-resume")
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if stripCacheLine(resumed) != stripCacheLine(plain) {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- plain ---\n%s\n--- resumed ---\n%s", plain, resumed)
+	}
+}
+
 // TestRunStatusWithMemProfile runs the driver with both -status and
 // -memprofile set: the run must succeed, write a non-empty heap profile,
 // and shut the status server down cleanly (the teardown-ordering contract

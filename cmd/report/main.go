@@ -7,12 +7,18 @@
 //
 //	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
 //	       [-status ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-checkpoint DIR] [-resume]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element
 // training stream and takes a few minutes, dominated by the fourteen
 // neural-network trainings; -progress narrates the grid runs and
 // -metrics-out records where the time went (timings reported in
-// docs/full-report.md come from this instrumentation).
+// docs/full-report.md come from this instrumentation). With -checkpoint DIR
+// every grid cell of the figure maps and the ablation maps is journaled
+// (ablation points under parameter-qualified keys), so an interrupted
+// full-scale run restarted with -resume replays the finished cells —
+// including whole finished neural-network rows, which then skip training —
+// and evaluates only the remainder.
 package main
 
 import (
@@ -80,6 +86,15 @@ func run(args []string) (err error) {
 	}
 	metrics := obsRun.Metrics
 
+	// The report always evaluates the same fixed figure + ablation set, so
+	// the fingerprint needs no extra parameters beyond the corpus itself.
+	ckpt, err := obsRun.OpenJournal(corpus.Fingerprint("report",
+		[]string{adiv.DetectorLaneBrodley, adiv.DetectorMarkov, adiv.DetectorStide, adiv.DetectorNeuralNet, "tstide", "markov-smoothed"},
+		""))
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "# Regenerated experimental record\n\n")
 	fmt.Fprintf(w, "Configuration: training %d symbols, background %d, anomaly sizes %d-%d, windows %d-%d, rare cutoff %.3f%%, seed %d.\n\n",
 		cfg.Gen.TrainLen, cfg.Gen.BackgroundLen, cfg.MinSize, cfg.MaxSize,
@@ -89,7 +104,7 @@ func run(args []string) (err error) {
 		return err
 	}
 	obsRun.Progress().SetPhase("figures")
-	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), obsRun.Progress(), metrics)
+	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, metrics)
 	if err != nil {
 		return err
 	}
@@ -100,7 +115,7 @@ func run(args []string) (err error) {
 		return err
 	}
 	obsRun.Progress().SetPhase("ablations")
-	if err := ablations(w, corpus, obsRun.Scheduler(), obsRun.Progress(), metrics); err != nil {
+	if err := ablations(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, metrics); err != nil {
 		return err
 	}
 	return prevalence(w)
@@ -115,7 +130,7 @@ func figure2(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
+func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
 	order := []struct {
 		figure int
 		name   string
@@ -133,6 +148,7 @@ func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, pr
 		}
 		opts.Scheduler = sched
 		opts.Progress = prog
+		opts.Checkpoint = ckpt
 		fmt.Fprintf(os.Stderr, "report: figure %d (%s)...\n", item.figure, item.name)
 		m, err := corpus.PerformanceMapObserved(item.name, factory, opts, metrics)
 		if err != nil {
@@ -225,11 +241,12 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	return nil
 }
 
-func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
+func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
 	fmt.Fprintf(os.Stderr, "report: ablations...\n")
 	opts := adiv.DefaultEvalOptions()
 	opts.Scheduler = sched
 	opts.Progress = prog
+	opts.Checkpoint = ckpt
 	fmt.Fprintf(w, "## Parameter ablations\n\n")
 	fmt.Fprintf(w, "t-stide rarity cutoff (coverage cells of %d vs false alarms on rare data):\n\n", 112)
 	fmt.Fprintf(w, "| cutoff | capable cells | false alarms |\n|---|---|---|\n")
@@ -243,6 +260,9 @@ func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog
 	}
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
+		// Each cutoff rebuilds the "tstide" map, so the journal key carries
+		// the cutoff — otherwise the points' cells would collide.
+		opts.CheckpointKey = fmt.Sprintf("tstide[cutoff=%g]", cutoff)
 		m, err := corpus.PerformanceMapObserved("tstide", factory, opts, metrics)
 		if err != nil {
 			return err
@@ -264,6 +284,7 @@ func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog
 
 	// Smoothed Markov collapse.
 	factory := func(dw int) (adiv.Detector, error) { return adiv.NewSmoothedMarkov(dw, 0.05) }
+	opts.CheckpointKey = "markov-smoothed[lambda=0.05]"
 	strict, err := corpus.PerformanceMapObserved("markov-smoothed", factory, opts, metrics)
 	if err != nil {
 		return err

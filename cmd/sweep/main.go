@@ -25,7 +25,11 @@
 // announced as a run.start event on stderr at startup. The shared
 // observability flags (-metrics-out, -progress, -status, -cpuprofile,
 // -memprofile) are also accepted; -status serves live grid progress at
-// /runz while the nn and cutoff modes run.
+// /runz while the nn and cutoff modes run. The map-building modes (nn,
+// cutoff) honor -checkpoint DIR / -resume: every grid cell of every
+// parameter point is journaled under a parameter-qualified key (e.g.
+// "nn[epochs=25,lr=0.1]"), so a resumed sweep skips the parameter points
+// it already finished.
 package main
 
 import (
@@ -92,13 +96,22 @@ func run(w io.Writer, args []string) (err error) {
 	}
 	obsRun.Progress().SetPhase(*mode)
 
+	// Only the map-building modes journal cells; the others open the
+	// journal anyway so a mismatched -checkpoint configuration is refused
+	// up front rather than silently ignored.
+	ckpt, err := obsRun.OpenJournal(corpus.Fingerprint("sweep", []string{*mode},
+		fmt.Sprintf("mode=%s,window=%d,size=%d", *mode, *window, *size)))
+	if err != nil {
+		return err
+	}
+
 	switch *mode {
 	case "threshold":
 		return thresholdSweep(w, corpus, *window, *size, *trials)
 	case "nn":
-		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics)
+		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics)
 	case "cutoff":
-		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Progress(), obsRun.Metrics)
+		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics)
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
@@ -215,18 +228,23 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 }
 
 // nnGrid charts coverage across neural-network tuning parameters.
-func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
+func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
 	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
 		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
 	opts := adiv.NeuralNetEvalOptions()
 	opts.Scheduler = sched
 	opts.Progress = prog
+	opts.Checkpoint = ckpt
 	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
 	for _, epochs := range []int{1, 25, 100, 400} {
 		for _, lr := range []float64{0.01, 0.1, 0.25} {
 			cfg := adiv.DefaultNNConfig()
 			cfg.Epochs = epochs
 			cfg.LearningRate = lr
+			// Every parameter point rebuilds the "nn" map, so the journal
+			// key must carry the parameters — identical (window, size)
+			// coordinates from different points would otherwise collide.
+			opts.CheckpointKey = fmt.Sprintf("nn[epochs=%d,lr=%g]", epochs, lr)
 			m, err := corpus.PerformanceMapObserved("nn", adiv.NeuralNetFactory(cfg), opts, metrics)
 			if err != nil {
 				return err
@@ -239,7 +257,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *a
 
 // cutoffSweep charts t-stide's coverage and false alarms against its
 // rarity cutoff.
-func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, prog *adiv.Progress, metrics *adiv.Metrics) error {
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
 	noisy, err := corpus.NoisyStream(10_000, 1)
 	if err != nil {
 		return err
@@ -251,9 +269,13 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv
 	opts := adiv.DefaultEvalOptions()
 	opts.Scheduler = sched
 	opts.Progress = prog
+	opts.Checkpoint = ckpt
 	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }
+		// Each cutoff rebuilds the "tstide" map; the journal key carries the
+		// cutoff so the points' (window, size) cells cannot collide.
+		opts.CheckpointKey = fmt.Sprintf("tstide[cutoff=%g]", cutoff)
 		m, err := corpus.PerformanceMapObserved("tstide", factory, opts, metrics)
 		if err != nil {
 			return err

@@ -1,0 +1,399 @@
+// Package checkpoint persists completed grid cells so an interrupted
+// performance-map run can resume without recomputing them: an append-only
+// journal of length-prefixed, CRC-checked records, one per evaluated
+// (map, window, size) cell, headed by a fingerprint of the run
+// configuration.
+//
+// The journal is built for the training-stack failure model: the process
+// may die at any instant (crash, OOM kill, Ctrl-C), so a record is written
+// the moment its cell completes, a torn or bit-flipped tail is detected by
+// the per-record CRC and truncated away on the next open (the longest valid
+// prefix survives), and the fingerprint refuses to marry a journal to a run
+// with different parameters — a resumed run must be byte-identical to an
+// uninterrupted one, which only holds when alphabet, seeds, grid bounds,
+// detector set, and corpus content all match.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"adiv/internal/obs"
+)
+
+// SchemaVersion identifies the journal header schema.
+const SchemaVersion = "adiv.ckpt/v1"
+
+// JournalFile is the journal's file name inside the checkpoint directory.
+const JournalFile = "grid.journal"
+
+// maxRecordLen bounds a single record's payload. Cell records are well
+// under a kilobyte; the cap keeps a corrupted length prefix from demanding
+// a gigantic allocation during recovery.
+const maxRecordLen = 1 << 20
+
+// frameOverhead is the per-record framing cost: a uint32 payload length
+// followed by a uint32 CRC-32 (IEEE) of the payload.
+const frameOverhead = 8
+
+// Fingerprint pins everything a resumed run must share with the run that
+// wrote the journal. Two runs with equal fingerprints evaluate identical
+// grids over identical data, so their cell results are interchangeable;
+// any field differing means the journaled cells describe a different
+// experiment and Open refuses to resume.
+type Fingerprint struct {
+	// Command names the driver that owns the journal (perfmap, sweep,
+	// ensemble, report); their grids interleave differently even over one
+	// corpus.
+	Command string `json:"command"`
+	// AlphabetSize, Seed, TrainLen and BackgroundLen pin the synthetic
+	// data generator.
+	AlphabetSize  int    `json:"alphabetSize"`
+	Seed          uint64 `json:"seed"`
+	TrainLen      int    `json:"trainLen"`
+	BackgroundLen int    `json:"backgroundLen"`
+	// MinSize/MaxSize and MinWindow/MaxWindow pin the evaluated grid.
+	MinSize   int `json:"minSize"`
+	MaxSize   int `json:"maxSize"`
+	MinWindow int `json:"minWindow"`
+	MaxWindow int `json:"maxWindow"`
+	// RareCutoff pins the rare-sequence bound of the configuration.
+	RareCutoff float64 `json:"rareCutoff"`
+	// Detectors lists the detector families the run evaluates.
+	Detectors []string `json:"detectors"`
+	// CorpusHash digests the actual stream content (training, background,
+	// every placement) — the backstop that catches any data difference the
+	// configuration fields above fail to express.
+	CorpusHash string `json:"corpusHash"`
+	// Extra carries run-mode qualifiers (classification regime, sweep
+	// mode) that change cell outcomes without changing the corpus.
+	Extra string `json:"extra,omitempty"`
+}
+
+// canonical renders the fingerprint as comparison-stable bytes.
+func (fp Fingerprint) canonical() []byte {
+	data, err := json.Marshal(fp)
+	if err != nil {
+		// Fingerprint holds only strings, ints and floats; Marshal cannot
+		// fail on it short of memory corruption.
+		panic(fmt.Sprintf("checkpoint: marshaling fingerprint: %v", err))
+	}
+	return data
+}
+
+// Equal reports whether two fingerprints describe the same run.
+func (fp Fingerprint) Equal(other Fingerprint) bool {
+	return string(fp.canonical()) == string(other.canonical())
+}
+
+// header is the journal's first record.
+type header struct {
+	Schema      string      `json:"schema"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+}
+
+// CellRecord is one journaled grid cell: the coordinates that key it and
+// the bit-exact evaluation result. MaxResponse travels as raw IEEE-754 bits
+// so a replayed assessment is indistinguishable — down to the last float
+// digit a renderer might print — from the one the original run computed.
+type CellRecord struct {
+	// Key namespaces the cell: the performance-map name, parameter-
+	// qualified by sweep drivers that rebuild one family under several
+	// configurations (e.g. "nn[epochs=25,lr=0.1]").
+	Key string `json:"key"`
+	// Detector is the detector's self-reported name, preserved because it
+	// may differ from the map name the grid was built under.
+	Detector string `json:"detector"`
+	// Window and Size are the cell's grid coordinates.
+	Window int `json:"window"`
+	Size   int `json:"size"`
+	// RespBits is math.Float64bits of the cell's maximum response.
+	RespBits uint64 `json:"respBits"`
+	// Outcome is the classified eval.Outcome as an integer.
+	Outcome int `json:"outcome"`
+}
+
+// valid reports whether the record could have been written by a real run;
+// recovery treats an invalid record as the start of the corrupt tail.
+func (r CellRecord) valid() bool {
+	return r.Key != "" && r.Window >= 1 && r.Size >= 1 && r.Outcome >= 0 && r.Outcome <= 3
+}
+
+// cellKey indexes the replay map.
+type cellKey struct {
+	key          string
+	window, size int
+}
+
+// Journal is an open checkpoint journal. Append and Lookup are safe for
+// concurrent use from scheduler workers; all exported methods are no-ops
+// (or miss) on a nil receiver, so uncheckpointed runs thread a nil journal
+// at the cost of a pointer test — the same contract as obs.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	fp    Fingerprint
+	cells map[cellKey]CellRecord
+
+	// resumed counts the records recovered from disk at Open.
+	resumed int
+
+	// Telemetry handles; nil when uninstrumented.
+	replayed, appended, bytes *obs.Counter
+}
+
+// Open opens (or creates) the journal under dir with the given fingerprint.
+//
+// A fresh directory starts an empty journal headed by fp. An existing
+// journal is resumed only when resume is true AND its header fingerprint
+// equals fp: its valid record prefix is loaded for replay, any torn or
+// corrupt tail is truncated away, and subsequent appends continue the file.
+// An existing journal with resume false is refused (the caller must opt in
+// to reuse), as is a fingerprint mismatch — replaying cells computed under
+// different parameters would silently corrupt the resumed run. A journal
+// whose header itself is unreadable carries no provable provenance and is
+// restarted from scratch.
+func Open(dir string, fp Fingerprint, resume bool) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	hdr, recs, validLen := decodeAll(data)
+	if hdr != nil && !resume {
+		return nil, fmt.Errorf("checkpoint: journal %s already holds %d cells; pass -resume to continue it or remove the directory", path, len(recs))
+	}
+	if hdr != nil && !hdr.Fingerprint.Equal(fp) {
+		return nil, fmt.Errorf("checkpoint: journal %s was written under a different configuration (journal %s, run %s); refusing to resume",
+			path, hdr.Fingerprint.canonical(), fp.canonical())
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{f: f, path: path, fp: fp, cells: make(map[cellKey]CellRecord, len(recs))}
+	if hdr == nil {
+		// No provable header: restart the journal. Covers both the fresh
+		// file and the pathological corrupt-header case.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncating %s: %w", path, err)
+		}
+		frame, err := encodeFrame(header{Schema: SchemaVersion, Fingerprint: fp})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: writing header: %w", err)
+		}
+		return j, nil
+	}
+	// Resume: drop the corrupt tail (if any) and continue appending after
+	// the last valid record.
+	if validLen < len(data) {
+		if err := f.Truncate(int64(validLen)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncating corrupt tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(validLen), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, rec := range recs {
+		j.cells[cellKey{rec.Key, rec.Window, rec.Size}] = rec
+	}
+	j.resumed = len(recs)
+	return j, nil
+}
+
+// Instrument records journal telemetry into reg: ckpt/cells_replayed
+// (journaled cells handed back to a grid builder), ckpt/cells_appended
+// (cells journaled this run), and ckpt/bytes (journal size, including the
+// prefix recovered at Open). A nil registry disables instrumentation.
+func (j *Journal) Instrument(reg *obs.Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.replayed = reg.Counter("ckpt/cells_replayed")
+	j.appended = reg.Counter("ckpt/cells_appended")
+	j.bytes = reg.Counter("ckpt/bytes")
+	if st, err := j.f.Stat(); err == nil {
+		j.bytes.Add(st.Size())
+	}
+}
+
+// Fingerprint returns the fingerprint the journal was opened with.
+func (j *Journal) Fingerprint() Fingerprint {
+	if j == nil {
+		return Fingerprint{}
+	}
+	return j.fp
+}
+
+// Path returns the journal file's path ("" on a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Resumed returns how many cell records were recovered from disk at Open.
+func (j *Journal) Resumed() int {
+	if j == nil {
+		return 0
+	}
+	return j.resumed
+}
+
+// Cells returns how many distinct cells the journal currently holds.
+func (j *Journal) Cells() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// Lookup returns the journaled record for the cell, if present. A hit
+// counts toward ckpt/cells_replayed: grid builders call Lookup exactly once
+// per cell and replay every hit.
+func (j *Journal) Lookup(key string, window, size int) (CellRecord, bool) {
+	if j == nil {
+		return CellRecord{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.cells[cellKey{key, window, size}]
+	if ok {
+		j.replayed.Inc()
+	}
+	return rec, ok
+}
+
+// Append journals one completed cell. The record reaches the operating
+// system before Append returns (one unbuffered write), so a process killed
+// an instant later loses at most the record a torn write left half-framed —
+// which the next Open's CRC check truncates away.
+func (j *Journal) Append(rec CellRecord) error {
+	if j == nil {
+		return nil
+	}
+	if !rec.valid() {
+		return fmt.Errorf("checkpoint: invalid cell record %+v", rec)
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
+	}
+	j.cells[cellKey{rec.Key, rec.Window, rec.Size}] = rec
+	j.appended.Inc()
+	j.bytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Close flushes and closes the journal file. Safe to call more than once.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// encodeFrame renders v as one framed record: payload length, CRC-32
+// (IEEE) of the payload, payload.
+func encodeFrame(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding record: %w", err)
+	}
+	frame := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameOverhead:], payload)
+	return frame, nil
+}
+
+// decodeAll parses journal bytes into the header and the cell records of
+// the longest valid prefix, returning that prefix's byte length. It never
+// fails: any framing violation — truncated frame, oversize length, CRC
+// mismatch, malformed JSON, implausible record — ends the valid prefix at
+// the preceding record. A missing or corrupt first record yields a nil
+// header (and, necessarily, no records: without a header there is no
+// provenance to trust cells under).
+func decodeAll(data []byte) (hdr *header, recs []CellRecord, validLen int) {
+	off := 0
+	for {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			return hdr, recs, off
+		}
+		if hdr == nil {
+			var h header
+			if err := json.Unmarshal(payload, &h); err != nil || h.Schema != SchemaVersion {
+				return nil, nil, 0
+			}
+			hdr = &h
+		} else {
+			var rec CellRecord
+			if err := json.Unmarshal(payload, &rec); err != nil || !rec.valid() {
+				return hdr, recs, off
+			}
+			recs = append(recs, rec)
+		}
+		off = next
+	}
+}
+
+// nextFrame decodes the frame at off, returning its payload and the offset
+// of the following frame. ok is false when no complete, checksummed frame
+// starts at off.
+func nextFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameOverhead > len(data) {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n > maxRecordLen || off+frameOverhead+n > len(data) {
+		return nil, 0, false
+	}
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	payload = data[off+frameOverhead : off+frameOverhead+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	return payload, off + frameOverhead + n, true
+}

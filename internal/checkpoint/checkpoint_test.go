@@ -1,0 +1,392 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"adiv/internal/obs"
+)
+
+func testFingerprint() Fingerprint {
+	return Fingerprint{
+		Command:       "perfmap",
+		AlphabetSize:  8,
+		Seed:          42,
+		TrainLen:      1000,
+		BackgroundLen: 200,
+		MinSize:       2,
+		MaxSize:       9,
+		MinWindow:     2,
+		MaxWindow:     15,
+		RareCutoff:    0.005,
+		Detectors:     []string{"stide", "nn"},
+		CorpusHash:    "fnv1a:deadbeef",
+	}
+}
+
+func testRecord(key string, window, size int) CellRecord {
+	return CellRecord{
+		Key:      key,
+		Detector: key,
+		Window:   window,
+		Size:     size,
+		RespBits: math.Float64bits(0.25 * float64(window+size)),
+		Outcome:  (window + size) % 4,
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	var want []CellRecord
+	for window := 2; window <= 4; window++ {
+		for size := 2; size <= 5; size++ {
+			rec := testRecord("stide", window, size)
+			if err := j.Append(rec); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			want = append(want, rec)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("Open resume: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() != len(want) {
+		t.Fatalf("Resumed = %d, want %d", back.Resumed(), len(want))
+	}
+	for _, rec := range want {
+		got, ok := back.Lookup(rec.Key, rec.Window, rec.Size)
+		if !ok {
+			t.Fatalf("Lookup(%s, %d, %d) missed", rec.Key, rec.Window, rec.Size)
+		}
+		if got != rec {
+			t.Errorf("Lookup(%s, %d, %d) = %+v, want %+v", rec.Key, rec.Window, rec.Size, got, rec)
+		}
+	}
+	if _, ok := back.Lookup("stide", 99, 2); ok {
+		t.Errorf("Lookup of unjournaled cell hit")
+	}
+	if _, ok := back.Lookup("markov", 2, 2); ok {
+		t.Errorf("Lookup under wrong key hit")
+	}
+}
+
+func TestJournalRefusesWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	if err := j.Append(testRecord("stide", 2, 2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	j.Close()
+	if _, err := Open(dir, fp, false); err == nil {
+		t.Fatalf("reopening existing journal without resume succeeded")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("refusal does not mention -resume: %v", err)
+	}
+}
+
+func TestJournalRefusesFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testFingerprint(), false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	j.Close()
+
+	cases := map[string]func(*Fingerprint){
+		"seed":      func(fp *Fingerprint) { fp.Seed++ },
+		"grid":      func(fp *Fingerprint) { fp.MaxWindow++ },
+		"detectors": func(fp *Fingerprint) { fp.Detectors = []string{"stide"} },
+		"corpus":    func(fp *Fingerprint) { fp.CorpusHash = "fnv1a:feedface" },
+		"extra":     func(fp *Fingerprint) { fp.Extra = "rare" },
+	}
+	for name, mutate := range cases {
+		fp := testFingerprint()
+		mutate(&fp)
+		if _, err := Open(dir, fp, true); err == nil {
+			t.Errorf("%s: resume with mismatched fingerprint succeeded", name)
+		} else if !strings.Contains(err.Error(), "different configuration") {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+
+	// The unmutated fingerprint still resumes.
+	back, err := Open(dir, testFingerprint(), true)
+	if err != nil {
+		t.Fatalf("resume with matching fingerprint: %v", err)
+	}
+	back.Close()
+}
+
+func TestJournalRecoversTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	for size := 2; size <= 6; size++ {
+		if err := j.Append(testRecord("stide", 3, size)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through the final record: the torn write a
+	// SIGKILL leaves behind.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("Open after truncation: %v", err)
+	}
+	if back.Resumed() != 4 {
+		t.Fatalf("Resumed = %d after torn tail, want 4", back.Resumed())
+	}
+	if _, ok := back.Lookup("stide", 3, 6); ok {
+		t.Errorf("torn record still replayable")
+	}
+	// The tail was truncated away, so appending continues from a clean
+	// boundary: the re-evaluated cell must round-trip.
+	rec := testRecord("stide", 3, 6)
+	if err := back.Append(rec); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	back.Close()
+
+	again, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("reopen after recovered append: %v", err)
+	}
+	defer again.Close()
+	if again.Resumed() != 5 {
+		t.Fatalf("Resumed = %d after recovered append, want 5", again.Resumed())
+	}
+	if got, ok := again.Lookup("stide", 3, 6); !ok || got != rec {
+		t.Errorf("recovered append lost: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestJournalRecoversBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	for size := 2; size <= 5; size++ {
+		if err := j.Append(testRecord("nn", 7, size)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit in the third cell record; CRC must catch it and
+	// recovery must keep the two records before it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-60] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("Open after bit flip: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() >= 4 {
+		t.Fatalf("Resumed = %d after bit flip, want < 4", back.Resumed())
+	}
+	for size := 2; size < 2+back.Resumed(); size++ {
+		if _, ok := back.Lookup("nn", 7, size); !ok {
+			t.Errorf("valid-prefix record (size %d) lost", size)
+		}
+	}
+}
+
+func TestJournalCorruptHeaderRestarts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, JournalFile)
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fp := testFingerprint()
+	j, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("Open over corrupt header: %v", err)
+	}
+	if j.Resumed() != 0 {
+		t.Fatalf("Resumed = %d from corrupt header, want 0", j.Resumed())
+	}
+	if err := j.Append(testRecord("stide", 2, 2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	j.Close()
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("reopen restarted journal: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() != 1 {
+		t.Fatalf("Resumed = %d after restart, want 1", back.Resumed())
+	}
+}
+
+func TestJournalRejectsInvalidRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testFingerprint(), false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	defer j.Close()
+	for name, rec := range map[string]CellRecord{
+		"empty key":    {Window: 2, Size: 2},
+		"zero window":  {Key: "stide", Size: 2},
+		"zero size":    {Key: "stide", Window: 2},
+		"outcome high": {Key: "stide", Window: 2, Size: 2, Outcome: 4},
+	} {
+		if err := j.Append(rec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	if err := j.Append(testRecord("stide", 2, 2)); err != nil {
+		t.Errorf("nil Append errored: %v", err)
+	}
+	if _, ok := j.Lookup("stide", 2, 2); ok {
+		t.Errorf("nil Lookup hit")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close errored: %v", err)
+	}
+	if j.Cells() != 0 || j.Resumed() != 0 || j.Path() != "" {
+		t.Errorf("nil accessors not zero")
+	}
+	j.Instrument(obs.New())
+}
+
+// TestJournalConcurrentAppends hammers one journal from many goroutines —
+// the scheduler-worker shape BuildMapCorpus produces — and checks every
+// record survives a reopen. Run under -race this is the package's
+// concurrency gate (CI runs it in the explicit race step).
+func TestJournalConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	reg := obs.New()
+	j.Instrument(reg)
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := testRecord(fmt.Sprintf("det%d", w), i/8+2, i%8+2)
+				if err := j.Append(rec); err != nil {
+					t.Errorf("worker %d: Append: %v", w, err)
+					return
+				}
+				j.Lookup(rec.Key, rec.Window, rec.Size)
+				j.Cells()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := reg.Counter("ckpt/cells_appended").Value(); got != workers*perWorker {
+		t.Errorf("ckpt/cells_appended = %d, want %d", got, workers*perWorker)
+	}
+
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() != workers*perWorker {
+		t.Fatalf("Resumed = %d, want %d", back.Resumed(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			want := testRecord(fmt.Sprintf("det%d", w), i/8+2, i%8+2)
+			if got, ok := back.Lookup(want.Key, want.Window, want.Size); !ok || got != want {
+				t.Fatalf("worker %d record %d lost or mangled: %+v ok=%v", w, i, got, ok)
+			}
+		}
+	}
+}
+
+func TestJournalInstrumentCounters(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	reg := obs.New()
+	j.Instrument(reg)
+	if err := j.Append(testRecord("stide", 2, 2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	j.Lookup("stide", 2, 2) // hit
+	j.Lookup("stide", 2, 3) // miss
+	if got := reg.Counter("ckpt/cells_replayed").Value(); got != 1 {
+		t.Errorf("ckpt/cells_replayed = %d, want 1", got)
+	}
+	if got := reg.Counter("ckpt/bytes").Value(); got <= 0 {
+		t.Errorf("ckpt/bytes = %d, want > 0", got)
+	}
+	j.Close()
+
+	// Reopening and instrumenting accounts the recovered prefix as bytes.
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer back.Close()
+	reg2 := obs.New()
+	back.Instrument(reg2)
+	if got := reg2.Counter("ckpt/bytes").Value(); got <= 0 {
+		t.Errorf("resumed ckpt/bytes = %d, want > 0", got)
+	}
+}

@@ -6,10 +6,13 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"adiv/internal/anomaly"
+	"adiv/internal/checkpoint"
 	"adiv/internal/eval"
 	"adiv/internal/gen"
 	"adiv/internal/inject"
@@ -180,6 +183,67 @@ func BuildCorpusObserved(cfg Config, reg *obs.Registry) (*Corpus, error) {
 // finds its databases already present. Callers must treat every *seq.DB it
 // hands out as read-only.
 func (c *Corpus) TrainingDBs() *seq.Corpus { return c.TrainIndex.Corpus() }
+
+// Hash digests the corpus content — the training stream, the background
+// stream, and every placement's stream and anomaly position — as FNV-1a
+// over the raw symbol bytes. Two corpora hash equal exactly when a detector
+// trained and deployed on one behaves identically on the other, which is
+// what checkpoint fingerprints need: the hash catches any data difference
+// (a regenerated stream, an edited corpus directory) that the
+// configuration fields cannot express.
+func (c *Corpus) Hash() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStream := func(s seq.Stream) {
+		writeInt(len(s))
+		h.Write(s.Bytes())
+	}
+	writeStream(c.Training)
+	writeStream(c.Background)
+	for _, size := range c.Sizes() {
+		p := c.Placements[size]
+		writeInt(size)
+		writeInt(p.Start)
+		writeInt(p.AnomalyLen)
+		writeStream(p.Stream)
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// Fingerprint summarizes everything a resumed checkpoint journal must share
+// with the run that wrote it: the driver command, the generator parameters,
+// the evaluated grid bounds, the detector families, the corpus content
+// hash, and any run-mode qualifier (classification regime, sweep mode) the
+// caller passes as extra. checkpoint.Open refuses a journal whose
+// fingerprint differs in any field — the resume-equivalence contract only
+// holds between identically configured runs.
+func (c *Corpus) Fingerprint(command string, detectors []string, extra string) checkpoint.Fingerprint {
+	sorted := append([]string(nil), detectors...)
+	sort.Strings(sorted)
+	spec := gen.DefaultSpec()
+	if c.Config.Gen.Spec != nil {
+		spec = *c.Config.Gen.Spec
+	}
+	return checkpoint.Fingerprint{
+		Command:       command,
+		AlphabetSize:  spec.AlphabetSize(),
+		Seed:          c.Config.Gen.Seed,
+		TrainLen:      c.Config.Gen.TrainLen,
+		BackgroundLen: c.Config.Gen.BackgroundLen,
+		MinSize:       c.Config.MinSize,
+		MaxSize:       c.Config.MaxSize,
+		MinWindow:     c.Config.MinWindow,
+		MaxWindow:     c.Config.MaxWindow,
+		RareCutoff:    c.Config.RareCutoff,
+		Detectors:     sorted,
+		CorpusHash:    c.Hash(),
+		Extra:         extra,
+	}
+}
 
 // Sizes returns the anomaly sizes present in the corpus, ascending.
 func (c *Corpus) Sizes() []int {

@@ -1,0 +1,401 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adiv/internal/checkpoint"
+	"adiv/internal/detector"
+	"adiv/internal/inject"
+	"adiv/internal/obs"
+	"adiv/internal/seq"
+)
+
+// gradedPlacements gives each anomaly size a distinct stream length so the
+// graded factory's responses vary per cell — the resume-equivalence checks
+// below compare raw IEEE-754 bits, and identical responses everywhere would
+// let a broken replay path pass unnoticed.
+func gradedPlacements() map[int]inject.Placement {
+	return map[int]inject.Placement{
+		2: placementOf(60, 25, 2),
+		3: placementOf(66, 25, 3),
+		4: placementOf(72, 25, 4),
+	}
+}
+
+// gradedFactory builds deterministic fakes whose maximum response is an
+// awkward float of (window, stream length) — bit-exactness actually bites —
+// with enough windows capable that the maps mix all three outcomes.
+func gradedFactory() Factory {
+	return func(window int) (detector.Detector, error) {
+		return &fakeDetector{
+			name:   "fake",
+			window: window,
+			extent: window,
+			scoreFunc: func(test seq.Stream) []float64 {
+				out := make([]float64, seq.NumWindows(len(test), window))
+				resp := 1 / (1.7 + float64(window)*0.31 + float64(len(test))*0.013)
+				if window >= 6 {
+					resp = 1
+				}
+				out[25] = resp
+				return out
+			},
+		}, nil
+	}
+}
+
+func evalTestFingerprint() checkpoint.Fingerprint {
+	return checkpoint.Fingerprint{
+		Command:      "eval-test",
+		AlphabetSize: 8,
+		Seed:         1,
+		MinSize:      2, MaxSize: 4,
+		MinWindow: 2, MaxWindow: 8,
+		Detectors:  []string{"fake"},
+		CorpusHash: "fnv1a:test",
+	}
+}
+
+// buildGraded runs the graded grid with the given options and fails the
+// test on error.
+func buildGraded(t *testing.T, opts Options) *Map {
+	t.Helper()
+	m, err := BuildMapCorpus("fake", gradedFactory(), seq.NewCorpus(make(seq.Stream, 100)),
+		gradedPlacements(), 2, 8, opts, nil)
+	if err != nil {
+		t.Fatalf("BuildMapCorpus: %v", err)
+	}
+	return m
+}
+
+// requireSameCells asserts got and want are identical cell for cell, with
+// MaxResponse compared as raw bits — the resume-equivalence contract.
+func requireSameCells(t *testing.T, got, want []Assessment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("cell count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Detector != w.Detector || g.Window != w.Window || g.AnomalySize != w.AnomalySize ||
+			g.Outcome != w.Outcome || math.Float64bits(g.MaxResponse) != math.Float64bits(w.MaxResponse) {
+			t.Errorf("cell %d = %+v (resp bits %#x), want %+v (resp bits %#x)",
+				i, g, math.Float64bits(g.MaxResponse), w, math.Float64bits(w.MaxResponse))
+		}
+	}
+}
+
+// TestBuildMapCrashResume is the crash-recovery property test: a run killed
+// by an injected fault after K units of grid work, resumed from its journal,
+// must produce a map identical — bit for bit in every response — to an
+// uninterrupted single-worker run, for several K at several worker counts.
+func TestBuildMapCrashResume(t *testing.T) {
+	serial := DefaultOptions()
+	serial.Workers = 1
+	want := buildGraded(t, serial).Cells()
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, k := range []int{1, 4, 9, 20} {
+			t.Run(fmt.Sprintf("workers=%d/k=%d", workers, k), func(t *testing.T) {
+				dir := t.TempDir()
+
+				// Crashed run: the fault hook lets K grid tasks start, then
+				// every subsequent task dies the way a killed process would.
+				j, err := checkpoint.Open(dir, evalTestFingerprint(), false)
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				sched := NewScheduler(workers)
+				var tasks atomic.Int64
+				sched.SetFaultHook(func() {
+					if tasks.Add(1) > int64(k) {
+						panic(ErrInjectedFault)
+					}
+				})
+				opts := DefaultOptions()
+				opts.Scheduler = sched
+				opts.Checkpoint = j
+				_, err = BuildMapCorpus("fake", gradedFactory(), seq.NewCorpus(make(seq.Stream, 100)),
+					gradedPlacements(), 2, 8, opts, nil)
+				if err == nil {
+					t.Fatal("crashed run reported success")
+				}
+				if !errors.Is(err, ErrInjectedFault) {
+					t.Fatalf("crash error = %v, want ErrInjectedFault in its chain", err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+
+				// Resume: journaled cells replay, the rest run live.
+				j2, err := checkpoint.Open(dir, evalTestFingerprint(), true)
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				defer j2.Close()
+				resumed := DefaultOptions()
+				resumed.Scheduler = NewScheduler(workers)
+				resumed.Checkpoint = j2
+				m, err := BuildMapCorpus("fake", gradedFactory(), seq.NewCorpus(make(seq.Stream, 100)),
+					gradedPlacements(), 2, 8, resumed, nil)
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				requireSameCells(t, m.Cells(), want)
+			})
+		}
+	}
+}
+
+// TestBuildMapResumeSkipsTraining pins the resume perf win: when every cell
+// of the grid is journaled, the resumed build must not construct (let alone
+// train) a single detector.
+func TestBuildMapResumeSkipsTraining(t *testing.T) {
+	dir := t.TempDir()
+	j, err := checkpoint.Open(dir, evalTestFingerprint(), false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Checkpoint = j
+	want := buildGraded(t, opts).Cells()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := checkpoint.Open(dir, evalTestFingerprint(), true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	var constructed atomic.Int64
+	counting := func(window int) (detector.Detector, error) {
+		constructed.Add(1)
+		return gradedFactory()(window)
+	}
+	resumed := DefaultOptions()
+	resumed.Checkpoint = j2
+	m, err := BuildMapCorpus("fake", counting, seq.NewCorpus(make(seq.Stream, 100)),
+		gradedPlacements(), 2, 8, resumed, nil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if n := constructed.Load(); n != 0 {
+		t.Errorf("fully journaled resume constructed %d detectors, want 0", n)
+	}
+	requireSameCells(t, m.Cells(), want)
+}
+
+// TestBuildMapReplayIgnoresForeignKeys: records journaled under a different
+// checkpoint key (another parameter point of a sweep) must not replay into
+// this map.
+func TestBuildMapReplayIgnoresForeignKeys(t *testing.T) {
+	dir := t.TempDir()
+	j, err := checkpoint.Open(dir, evalTestFingerprint(), false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Checkpoint = j
+	opts.CheckpointKey = "fake[param=1]"
+	buildGraded(t, opts)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := checkpoint.Open(dir, evalTestFingerprint(), true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	var constructed atomic.Int64
+	counting := func(window int) (detector.Detector, error) {
+		constructed.Add(1)
+		return gradedFactory()(window)
+	}
+	other := DefaultOptions()
+	other.Checkpoint = j2
+	other.CheckpointKey = "fake[param=2]"
+	if _, err := BuildMapCorpus("fake", counting, seq.NewCorpus(make(seq.Stream, 100)),
+		gradedPlacements(), 2, 8, other, nil); err != nil {
+		t.Fatalf("second parameter point: %v", err)
+	}
+	if n := constructed.Load(); n != 7 {
+		t.Errorf("second parameter point constructed %d detectors, want 7 (no cross-key replay)", n)
+	}
+}
+
+// flakyDetector fails its first `failures` Score calls, then behaves like
+// its embedded fake. Cells within a row run sequentially, so the counter
+// needs no synchronization.
+type flakyDetector struct {
+	fakeDetector
+	failures int
+}
+
+func (f *flakyDetector) Score(test seq.Stream) ([]float64, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, errors.New("transient scoring failure")
+	}
+	return f.fakeDetector.Score(test)
+}
+
+// stubRetrySleep replaces the retry backoff with a recorder for the duration
+// of the test. BuildMapCorpus's WaitGroup orders the recorded appends before
+// the test's reads.
+func stubRetrySleep(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var delays []time.Duration
+	orig := retrySleep
+	retrySleep = func(d time.Duration) { delays = append(delays, d) }
+	t.Cleanup(func() { retrySleep = orig })
+	return &delays
+}
+
+// TestBuildMapRetriesFlakyCell: a cell failing twice under CellRetries: 2
+// succeeds on the third attempt, with the documented backoff schedule and
+// the retry counter recording both attempts.
+func TestBuildMapRetriesFlakyCell(t *testing.T) {
+	delays := stubRetrySleep(t)
+	factory := func(window int) (detector.Detector, error) {
+		return &flakyDetector{
+			fakeDetector: fakeDetector{name: "fake", window: window, extent: window,
+				scoreFunc: constantScores(0.5)},
+			failures: 2,
+		}, nil
+	}
+	reg := obs.New()
+	opts := DefaultOptions()
+	placements := map[int]inject.Placement{2: placementOf(50, 25, 2)}
+	m, err := BuildMapCorpus("fake", factory, seq.NewCorpus(make(seq.Stream, 100)),
+		placements, 3, 3, opts, reg)
+	if err != nil {
+		t.Fatalf("BuildMapCorpus: %v", err)
+	}
+	if got := m.Outcome(2, 3); got != Weak {
+		t.Errorf("outcome after retries = %v, want Weak", got)
+	}
+	if want := []time.Duration{retryDelay(1), retryDelay(2)}; len(*delays) != 2 ||
+		(*delays)[0] != want[0] || (*delays)[1] != want[1] {
+		t.Errorf("backoff sleeps = %v, want %v", *delays, want)
+	}
+	if got := reg.Counter("ckpt/cells_retried").Value(); got != 2 {
+		t.Errorf("ckpt/cells_retried = %d, want 2", got)
+	}
+}
+
+// TestBuildMapRetriesExhausted: a cell that keeps failing exhausts its
+// retries and the map error names its exact coordinates.
+func TestBuildMapRetriesExhausted(t *testing.T) {
+	stubRetrySleep(t)
+	factory := func(window int) (detector.Detector, error) {
+		return &flakyDetector{
+			fakeDetector: fakeDetector{name: "fake", window: window, extent: window,
+				scoreFunc: constantScores(0)},
+			failures: 100,
+		}, nil
+	}
+	opts := DefaultOptions()
+	opts.CellRetries = 1
+	_, err := BuildMapCorpus("fake", factory, seq.NewCorpus(make(seq.Stream, 100)),
+		map[int]inject.Placement{2: placementOf(50, 25, 2)}, 3, 3, opts, nil)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	for _, want := range []string{"window 3", "size 2", "transient scoring failure"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestBuildMapPanicNamesCell is the satellite regression test: a panicking
+// cell must surface as an error naming the map, window, and size — before
+// the fix the row coordinators lost which cell blew up.
+func TestBuildMapPanicNamesCell(t *testing.T) {
+	factory := func(window int) (detector.Detector, error) {
+		return &fakeDetector{
+			name: "fake", window: window, extent: window,
+			scoreFunc: func(test seq.Stream) []float64 {
+				if window == 4 {
+					panic("score exploded")
+				}
+				return fill(make([]float64, seq.NumWindows(len(test), window)), 0)
+			},
+		}, nil
+	}
+	opts := DefaultOptions()
+	opts.CellRetries = 0
+	_, err := BuildMapCorpus("fake", factory, seq.NewCorpus(make(seq.Stream, 100)),
+		map[int]inject.Placement{2: placementOf(50, 25, 2)}, 2, 5, opts, nil)
+	if err == nil {
+		t.Fatal("panicking cell reported success")
+	}
+	for _, want := range []string{"fake", "window 4", "size 2", "panic: score exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestBuildMapInjectedFaultNotRetried: the simulated crash must never enter
+// the retry loop — retrying a crash would defeat every recovery test built
+// on it.
+func TestBuildMapInjectedFaultNotRetried(t *testing.T) {
+	delays := stubRetrySleep(t)
+	sched := NewScheduler(1)
+	var tasks atomic.Int64
+	sched.SetFaultHook(func() {
+		if tasks.Add(1) > 1 { // let the row's training through, kill its first cell
+			panic(ErrInjectedFault)
+		}
+	})
+	opts := DefaultOptions()
+	opts.Scheduler = sched
+	opts.CellRetries = 5
+	_, err := BuildMapCorpus("fake", gradedFactory(), seq.NewCorpus(make(seq.Stream, 100)),
+		map[int]inject.Placement{2: placementOf(60, 25, 2)}, 3, 3, opts, nil)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("error = %v, want ErrInjectedFault", err)
+	}
+	if len(*delays) != 0 {
+		t.Errorf("injected fault slept %v before failing — it was retried", *delays)
+	}
+}
+
+// TestBuildMapRejectsNegativeRetries: Options.Validate guards the retry
+// loop's attempt arithmetic.
+func TestBuildMapRejectsNegativeRetries(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CellRetries = -1
+	if err := opts.Validate(); err == nil {
+		t.Error("negative CellRetries validated")
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	tests := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 10 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{3, 40 * time.Millisecond},
+		{5, 160 * time.Millisecond},
+		{6, cellRetryCap},
+		{40, cellRetryCap},
+		{100, cellRetryCap}, // shift overflow must clamp, not wrap
+	}
+	for _, tt := range tests {
+		if got := retryDelay(tt.attempt); got != tt.want {
+			t.Errorf("retryDelay(%d) = %v, want %v", tt.attempt, got, tt.want)
+		}
+	}
+}

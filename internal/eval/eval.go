@@ -9,6 +9,7 @@ package eval
 import (
 	"fmt"
 
+	"adiv/internal/checkpoint"
 	"adiv/internal/detector"
 	"adiv/internal/inject"
 	"adiv/internal/obs"
@@ -77,13 +78,42 @@ type Options struct {
 	// callbacks fire at row/cell granularity — never inside a detector's
 	// Score hot path — and a nil tracker costs a single pointer test.
 	Progress *obs.Progress
+	// Checkpoint, when non-nil, is the run's cell journal (the -checkpoint
+	// flag): cells already journaled under this map's key replay instantly
+	// — a row whose every cell is journaled skips detector construction
+	// and training outright — and each live cell's result is appended the
+	// moment it completes, so an interrupted run resumes from its last
+	// finished cell. Replay is bit-exact (responses travel as IEEE-754
+	// bits), preserving the worker-count invariance contract: a resumed
+	// map is byte-identical to an uninterrupted one.
+	Checkpoint *checkpoint.Journal
+	// CheckpointKey namespaces this map's cells in the journal; empty uses
+	// the map name. Drivers that rebuild one family under several
+	// parameter configurations (the nn tuning grid, the t-stide cutoff
+	// sweep) must set a parameter-qualified key — identical (map, window,
+	// size) coordinates from different configurations would otherwise
+	// collide.
+	CheckpointKey string
+	// CellRetries is how many additional attempts a failed cell evaluation
+	// (error or recovered panic) gets before its row gives up and reports
+	// the failure through the map's joined error. Retries back off
+	// exponentially from cellRetryBase, capped at cellRetryCap; an
+	// injected scheduler fault (ErrInjectedFault) is never retried — it
+	// simulates the process dying. 0 disables retry.
+	CellRetries int
 }
 
 // DefaultOptions matches the paper's exact-threshold regime: only responses
-// of 1 are maximal.
+// of 1 are maximal. Cell evaluations get DefaultCellRetries attempts beyond
+// the first before failing their row.
 func DefaultOptions() Options {
-	return Options{CapableAt: 1 - 1e-9, BlindBelow: 1e-9}
+	return Options{CapableAt: 1 - 1e-9, BlindBelow: 1e-9, CellRetries: DefaultCellRetries}
 }
+
+// DefaultCellRetries is the default Options.CellRetries: transient per-cell
+// failures get two more chances (10ms then 20ms later) before the row
+// aggregates the error.
+const DefaultCellRetries = 2
 
 // Validate reports option errors.
 func (o Options) Validate() error {
@@ -92,6 +122,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("eval: negative worker count %d", o.Workers)
+	}
+	if o.CellRetries < 0 {
+		return fmt.Errorf("eval: negative cell retry count %d", o.CellRetries)
 	}
 	return nil
 }

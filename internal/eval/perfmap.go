@@ -3,10 +3,13 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"adiv/internal/checkpoint"
 	"adiv/internal/detector"
 	"adiv/internal/inject"
 	"adiv/internal/obs"
@@ -216,11 +219,17 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 	mapSpan := reg.Span("map/" + name)
 	cellTiming := reg.Timing("cell/" + name)
 	cellCounter := reg.Counter("eval/cells/" + name)
+	retryCounter := reg.Counter("ckpt/cells_retried")
 	var done atomic.Int64
 
 	sched := opts.Scheduler
 	if sched == nil {
 		sched = NewScheduler(opts.Workers)
+	}
+	ck := opts.Checkpoint
+	ckKey := opts.CheckpointKey
+	if ckKey == "" {
+		ckKey = name
 	}
 
 	type rowResult struct {
@@ -243,40 +252,93 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 			prog.RowStarted(name, window)
 			defer prog.RowFinished(name, window)
 			res := &results[window-minWindow]
-			det, err := factory(window)
-			if err != nil {
-				res.err = fmt.Errorf("eval: constructing %s(DW=%d): %w", name, window, err)
-				return
+
+			// Consult the journal first: cells evaluated before an
+			// interruption replay instead of recomputing, and a row whose
+			// every cell is journaled never constructs or trains its
+			// detector — on resume the expensive rows (fourteen neural-net
+			// trainings at paper scale) cost nothing already paid for.
+			type rowCell struct {
+				size   int
+				rec    checkpoint.CellRecord
+				replay bool
 			}
-			det = detector.Observed(det, reg)
-			sched.Run(func() {
-				if err := detector.TrainWith(det, tc); err != nil {
-					res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
-				}
-			})
-			if res.err != nil {
-				return
-			}
+			cells := make([]rowCell, 0, maxSize-minSize+1)
+			live := 0
 			for size := minSize; size <= maxSize; size++ {
-				p, ok := placements[size]
-				if !ok {
+				if _, ok := placements[size]; !ok {
 					continue
 				}
+				rec, ok := ck.Lookup(ckKey, window, size)
+				cells = append(cells, rowCell{size: size, rec: rec, replay: ok})
+				if !ok {
+					live++
+				}
+			}
+
+			var det detector.Detector
+			if live > 0 {
+				var err error
+				det, err = factory(window)
+				if err != nil {
+					res.err = fmt.Errorf("eval: constructing %s(DW=%d): %w", name, window, err)
+					return
+				}
+				det = detector.Observed(det, reg)
+				if err := runTask(sched, func() error { return detector.TrainWith(det, tc) }); err != nil {
+					res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
+					return
+				}
+			}
+			for _, c := range cells {
 				var (
 					a      Assessment
 					cellMs float64
 				)
-				sched.Run(func() {
-					cellSpan := reg.Span("cell/" + name)
-					a, err = Assess(det, p, opts)
-					cellMs = float64(cellSpan.End().Nanoseconds()) / 1e6
-				})
-				if err != nil {
-					res.err = err
-					return
+				if c.replay {
+					a = recordAssessment(c.rec)
+					prog.CellReplayed(name)
+				} else {
+					placement := placements[c.size]
+					attempt := 0
+					for {
+						err := runTask(sched, func() error {
+							cellSpan := reg.Span("cell/" + name)
+							var aerr error
+							a, aerr = Assess(det, placement, opts)
+							cellMs = float64(cellSpan.End().Nanoseconds()) / 1e6
+							return aerr
+						})
+						if err == nil {
+							break
+						}
+						// An injected scheduler fault simulates the process
+						// dying: fatal, never retried. Everything else gets
+						// opts.CellRetries more attempts with capped
+						// exponential backoff before the row gives up and the
+						// joined map error names this exact cell.
+						if errors.Is(err, ErrInjectedFault) || attempt >= opts.CellRetries {
+							res.err = fmt.Errorf("eval: %s cell (window %d, size %d): %w", name, window, c.size, err)
+							return
+						}
+						attempt++
+						retryCounter.Inc()
+						reg.Event("cell.retry", obs.Fields{
+							"detector": name,
+							"window":   window,
+							"size":     c.size,
+							"attempt":  attempt,
+							"error":    err.Error(),
+						})
+						retrySleep(retryDelay(attempt))
+					}
+					if err := ck.Append(cellRecord(ckKey, a)); err != nil {
+						res.err = fmt.Errorf("eval: journaling %s cell (window %d, size %d): %w", name, window, c.size, err)
+						return
+					}
+					prog.CellDone(name)
 				}
 				cellCounter.Inc()
-				prog.CellDone(name)
 				n := done.Add(1)
 				if reg != nil {
 					var rate float64
@@ -290,9 +352,10 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 					reg.Event("cell", obs.Fields{
 						"detector":        name,
 						"window":          window,
-						"size":            size,
+						"size":            c.size,
 						"outcome":         a.Outcome.String(),
 						"ms":              cellMs,
+						"replayed":        c.replay,
 						"done":            n,
 						"total":           totalCells,
 						"cellsPerBusySec": rate,
@@ -330,4 +393,69 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		"ms":       mapMs,
 	})
 	return m, nil
+}
+
+// runTask executes fn on the scheduler and converts any panic — fn's own,
+// or an injected scheduler fault — into the returned error, preserving a
+// panicked error value for errors.Is. Without this a single panicking cell
+// (a detector bug on one pathological stream) would kill the whole process
+// and with it every other row's completed work; recovered here, the row
+// coordinator can retry the cell or report it with its exact coordinates.
+func runTask(sched *Scheduler, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rerr, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", rerr)
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+	}()
+	sched.Run(func() { err = fn() })
+	return err
+}
+
+// Cell-retry backoff: first retry after cellRetryBase, doubling per
+// attempt, capped at cellRetryCap.
+const (
+	cellRetryBase = 10 * time.Millisecond
+	cellRetryCap  = 250 * time.Millisecond
+)
+
+// retrySleep is time.Sleep, a seam so the retry tests run instantly.
+var retrySleep = time.Sleep
+
+// retryDelay returns the backoff before retry attempt n (1-based).
+func retryDelay(attempt int) time.Duration {
+	d := cellRetryBase << (attempt - 1)
+	if d > cellRetryCap || d <= 0 {
+		return cellRetryCap
+	}
+	return d
+}
+
+// cellRecord converts a completed assessment into its journal record under
+// the map's checkpoint key. The response crosses as raw IEEE-754 bits: a
+// replayed cell must render byte-identically to the original.
+func cellRecord(key string, a Assessment) checkpoint.CellRecord {
+	return checkpoint.CellRecord{
+		Key:      key,
+		Detector: a.Detector,
+		Window:   a.Window,
+		Size:     a.AnomalySize,
+		RespBits: math.Float64bits(a.MaxResponse),
+		Outcome:  int(a.Outcome),
+	}
+}
+
+// recordAssessment is cellRecord's inverse, rebuilding the assessment a
+// journaled cell recorded.
+func recordAssessment(rec checkpoint.CellRecord) Assessment {
+	return Assessment{
+		Detector:    rec.Detector,
+		Window:      rec.Window,
+		AnomalySize: rec.Size,
+		MaxResponse: math.Float64frombits(rec.RespBits),
+		Outcome:     Outcome(rec.Outcome),
+	}
 }

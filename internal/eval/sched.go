@@ -1,10 +1,18 @@
 package eval
 
 import (
+	"errors"
 	"runtime"
 
 	"adiv/internal/obs"
 )
+
+// ErrInjectedFault is the sentinel a Scheduler fault hook conventionally
+// panics with to simulate the process dying mid-grid. The grid builders'
+// task recovery treats it as fatal — unlike an ordinary cell failure it is
+// never retried, because retrying a crash defeats the crash-recovery tests
+// that inject it.
+var ErrInjectedFault = errors.New("eval: injected fault")
 
 // Scheduler is a bounded worker pool for grid tasks: a counting semaphore
 // that caps how many row trainings and cell evaluations execute at once.
@@ -22,6 +30,10 @@ type Scheduler struct {
 	// in-flight task count is the difference of the two counters — /metrics
 	// scrapes both, and counters stay lock-free on the task path.
 	started, finished *obs.Counter
+
+	// fault, when non-nil, runs at the start of every task (see
+	// SetFaultHook); nil — the production state — costs one pointer test.
+	fault func()
 }
 
 // NewScheduler returns a scheduler executing at most workers tasks
@@ -50,9 +62,21 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 // Workers returns the scheduler's concurrency bound.
 func (s *Scheduler) Workers() int { return cap(s.slots) }
 
+// SetFaultHook installs fn to run at the start of every task, after its
+// slot is acquired and before the task's function. It exists for the
+// crash-recovery tests: a hook that counts invocations and then panics
+// with ErrInjectedFault simulates the process dying after K units of grid
+// work — the panic unwinds into the row coordinator's recovery, is treated
+// as fatal (never retried), and fails the build while the checkpoint
+// journal keeps every cell completed before the "crash". Must be set
+// before any Run call; passing nil removes the hook.
+func (s *Scheduler) SetFaultHook(fn func()) { s.fault = fn }
+
 // Run executes fn while holding one of the scheduler's slots, blocking
 // until a slot is free. fn must not call Run on the same scheduler (a task
-// waiting for a slot while holding one can deadlock the pool).
+// waiting for a slot while holding one can deadlock the pool). A panic out
+// of fn (or the fault hook) releases the slot before propagating to the
+// caller.
 func (s *Scheduler) Run(fn func()) {
 	s.slots <- struct{}{}
 	s.started.Inc()
@@ -60,5 +84,8 @@ func (s *Scheduler) Run(fn func()) {
 		s.finished.Inc()
 		<-s.slots
 	}()
+	if s.fault != nil {
+		s.fault()
+	}
 	fn()
 }

@@ -49,6 +49,7 @@ type Progress struct {
 	byName map[string]*mapProgress
 
 	cellsDone, cellsTotal int
+	cellsReplayed         int
 
 	// recent is a ring of the last rateWindow cell-completion times;
 	// recentN counts completions ever recorded through it.
@@ -63,6 +64,7 @@ type mapProgress struct {
 	rowsStarted, rowsDone int
 	active                map[int]bool // windows currently training/scoring
 	cellsDone, cellsTotal int
+	cellsReplayed         int
 	finished              bool
 }
 
@@ -225,6 +227,26 @@ func (p *Progress) CellDone(name string) int {
 	return done
 }
 
+// CellReplayed records one grid cell satisfied from a checkpoint journal
+// instead of evaluated live. Replayed cells count toward completion (and
+// the run-wide total returned) but are kept out of the rolling throughput
+// ring: replays land in microseconds, and folding them into the rate would
+// poison the ETA for the cells that still have to run.
+func (p *Progress) CellReplayed(name string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m := p.byName[name]; m != nil {
+		m.cellsDone++
+		m.cellsReplayed++
+	}
+	p.cellsDone++
+	p.cellsReplayed++
+	return p.cellsDone
+}
+
 // FinishMap marks the named map's build complete.
 func (p *Progress) FinishMap(name string) {
 	if p == nil {
@@ -275,21 +297,28 @@ type MapStatus struct {
 	ActiveWindows []int  `json:"activeWindows,omitempty"`
 	CellsDone     int    `json:"cellsDone"`
 	CellsTotal    int    `json:"cellsTotal"`
-	Done          bool   `json:"done"`
+	// CellsReplayed is how many of CellsDone were satisfied from a
+	// checkpoint journal rather than evaluated live (omitted when zero, so
+	// uncheckpointed runs keep their existing /runz shape).
+	CellsReplayed int  `json:"cellsReplayed,omitempty"`
+	Done          bool `json:"done"`
 }
 
 // RunStatus is the machine-readable run progress served at /runz.
 type RunStatus struct {
-	Schema      string      `json:"schema"`
-	Run         Fields      `json:"run,omitempty"`
-	Phase       string      `json:"phase,omitempty"`
-	StartedAt   string      `json:"startedAt"`
-	UptimeMs    float64     `json:"uptimeMs"`
-	CellsDone   int         `json:"cellsDone"`
-	CellsTotal  int         `json:"cellsTotal"`
-	CellsPerSec float64     `json:"cellsPerSec"`
-	ETASeconds  float64     `json:"etaSeconds"`
-	Maps        []MapStatus `json:"maps"`
+	Schema     string  `json:"schema"`
+	Run        Fields  `json:"run,omitempty"`
+	Phase      string  `json:"phase,omitempty"`
+	StartedAt  string  `json:"startedAt"`
+	UptimeMs   float64 `json:"uptimeMs"`
+	CellsDone  int     `json:"cellsDone"`
+	CellsTotal int     `json:"cellsTotal"`
+	// CellsReplayed counts cells satisfied from a checkpoint journal; the
+	// live-evaluated count is CellsDone - CellsReplayed.
+	CellsReplayed int         `json:"cellsReplayed,omitempty"`
+	CellsPerSec   float64     `json:"cellsPerSec"`
+	ETASeconds    float64     `json:"etaSeconds"`
+	Maps          []MapStatus `json:"maps"`
 }
 
 // Status captures the tracker's current state. A nil tracker yields an
@@ -308,16 +337,18 @@ func (p *Progress) Status() RunStatus {
 	s.UptimeMs = durationMs(now.Sub(p.start))
 	s.CellsDone = p.cellsDone
 	s.CellsTotal = p.cellsTotal
+	s.CellsReplayed = p.cellsReplayed
 	s.CellsPerSec, s.ETASeconds = p.rateLocked()
 	for _, m := range p.order {
 		ms := MapStatus{
-			Name:        m.name,
-			RowsTotal:   m.rowsTotal,
-			RowsStarted: m.rowsStarted,
-			RowsDone:    m.rowsDone,
-			CellsDone:   m.cellsDone,
-			CellsTotal:  m.cellsTotal,
-			Done:        m.finished,
+			Name:          m.name,
+			RowsTotal:     m.rowsTotal,
+			RowsStarted:   m.rowsStarted,
+			RowsDone:      m.rowsDone,
+			CellsDone:     m.cellsDone,
+			CellsTotal:    m.cellsTotal,
+			CellsReplayed: m.cellsReplayed,
+			Done:          m.finished,
 		}
 		for w := range m.active {
 			ms.ActiveWindows = append(ms.ActiveWindows, w)

@@ -21,6 +21,9 @@ func TestProgressNilSafe(t *testing.T) {
 	if got := p.CellDone("m"); got != 0 {
 		t.Errorf("nil CellDone = %d", got)
 	}
+	if got := p.CellReplayed("m"); got != 0 {
+		t.Errorf("nil CellReplayed = %d", got)
+	}
 	p.FinishMap("m")
 	s := p.Status()
 	if s.Schema != RunzSchemaVersion || s.ETASeconds != -1 || len(s.Maps) != 0 {
@@ -81,6 +84,46 @@ func TestProgressTracksGrid(t *testing.T) {
 	}
 	if !s.Maps[0].Done || len(s.Maps[0].ActiveWindows) != 0 {
 		t.Errorf("finished map status = %+v", s.Maps[0])
+	}
+}
+
+// TestProgressCellReplayed pins the resumed-run accounting: replayed cells
+// count toward completion and are reported separately at map and run level,
+// but stay out of the rolling throughput ring — a burst of
+// microsecond-replays must not poison the ETA of the cells still running.
+func TestProgressCellReplayed(t *testing.T) {
+	p := NewProgress()
+	p.SetClock(newFakeClock(100 * time.Millisecond).Now)
+	p.StartMap("stide", 2, 10)
+
+	for i := 0; i < 3; i++ {
+		p.CellReplayed("stide")
+	}
+	for i := 0; i < 4; i++ {
+		p.CellDone("stide")
+	}
+
+	s := p.Status()
+	if s.CellsDone != 7 || s.CellsReplayed != 3 {
+		t.Errorf("run cells %d done / %d replayed, want 7/3", s.CellsDone, s.CellsReplayed)
+	}
+	m := s.Maps[0]
+	if m.CellsDone != 7 || m.CellsReplayed != 3 {
+		t.Errorf("map cells %d done / %d replayed, want 7/3", m.CellsDone, m.CellsReplayed)
+	}
+	// Only the 4 live cells (100ms apart on the fake clock) feed the rate:
+	// ~10 cells/sec, with 3 cells remaining ~0.3s away. Were the replays in
+	// the ring, the rate would read far higher and the ETA near zero.
+	if s.CellsPerSec < 9.9 || s.CellsPerSec > 10.1 {
+		t.Errorf("rolling rate = %v, want ~10 (replays must stay out of the ring)", s.CellsPerSec)
+	}
+	if s.ETASeconds < 0.29 || s.ETASeconds > 0.31 {
+		t.Errorf("ETA = %v, want ~0.3", s.ETASeconds)
+	}
+
+	// Replays against an unknown map only advance the run-wide count.
+	if got := p.CellReplayed("nosuch"); got != 8 {
+		t.Errorf("CellReplayed(nosuch) = %d, want 8", got)
 	}
 }
 

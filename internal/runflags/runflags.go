@@ -9,11 +9,15 @@
 //	-cpuprofile FILE    write a CPU profile (runtime/pprof)
 //	-memprofile FILE    write a heap profile at exit
 //	-j N                bound concurrent grid work (default runtime.NumCPU)
+//	-checkpoint DIR     journal completed grid cells to DIR/grid.journal
+//	-resume             continue an existing journal in -checkpoint DIR
 //
-// — and threads the resulting *obs.Registry, *obs.Progress and shared
-// *eval.Scheduler through the corpus builders and map builders. With none
-// of the observability flags set the registry, tracker, and status server
-// are all nil and every instrumented path is disabled at zero cost.
+// — and threads the resulting *obs.Registry, *obs.Progress, shared
+// *eval.Scheduler and *checkpoint.Journal through the corpus builders and
+// map builders. With none of the observability flags set the registry,
+// tracker, and status server are all nil and every instrumented path is
+// disabled at zero cost; likewise a run without -checkpoint threads a nil
+// journal.
 package runflags
 
 import (
@@ -26,6 +30,7 @@ import (
 	"runtime/pprof"
 	"sync"
 
+	"adiv/internal/checkpoint"
 	"adiv/internal/eval"
 	"adiv/internal/obs"
 )
@@ -42,6 +47,11 @@ type Flags struct {
 	// Jobs is the -j bound on concurrent grid tasks (row trainings and
 	// cell evaluations across every performance map the command builds).
 	Jobs int
+	// Checkpoint is the -checkpoint journal directory; empty disables
+	// cell journaling.
+	Checkpoint string
+	// Resume is the -resume opt-in to continue an existing journal.
+	Resume bool
 }
 
 // Register adds the shared runtime flags to fs.
@@ -53,6 +63,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "journal completed grid cells to DIR/grid.journal so an interrupted run can resume (see -resume)")
+	fs.BoolVar(&f.Resume, "resume", false, "resume from the journal in -checkpoint DIR: journaled cells replay bit-identically, remaining cells run live")
 	return f
 }
 
@@ -72,6 +84,7 @@ type Run struct {
 	progress *obs.Progress
 	ring     *obs.EventRing
 	status   *obs.Server
+	journal  *checkpoint.Journal
 }
 
 // Scheduler returns the run's shared grid-work pool, sized by -j and
@@ -97,6 +110,32 @@ func (r *Run) Progress() *obs.Progress {
 	return r.progress
 }
 
+// OpenJournal opens (or, under -resume, continues) the run's checkpoint
+// journal with the given configuration fingerprint, instruments it against
+// the run's registry (ckpt/cells_replayed, ckpt/cells_appended,
+// ckpt/bytes), and announces a ckpt.open event carrying the journal path
+// and how many cells it recovered. It returns (nil, nil) when -checkpoint
+// is unset — eval's journal paths are nil-safe, so drivers assign the
+// result unconditionally. Call it once the corpus exists (the fingerprint
+// embeds the corpus hash) and set the journal as EvalOptions.Checkpoint on
+// every map of the run; Close closes it.
+func (r *Run) OpenJournal(fp checkpoint.Fingerprint) (*checkpoint.Journal, error) {
+	if r == nil || r.flags.Checkpoint == "" {
+		return nil, nil
+	}
+	j, err := checkpoint.Open(r.flags.Checkpoint, fp, r.flags.Resume)
+	if err != nil {
+		return nil, err
+	}
+	j.Instrument(r.Metrics)
+	r.journal = j
+	r.Announce("ckpt.open", obs.Fields{
+		"journal": j.Path(),
+		"resumed": j.Resumed(),
+	})
+	return j, nil
+}
+
 // StatusAddr returns the bound address of the run's status server, or ""
 // when -status is unset.
 func (r *Run) StatusAddr() string {
@@ -114,6 +153,9 @@ func (r *Run) StatusAddr() string {
 // -progress — the event log is how commands state their active
 // configuration instead of running silently; pass os.Stderr from main.
 func (f *Flags) Start(announceW io.Writer) (*Run, error) {
+	if f.Resume && f.Checkpoint == "" {
+		return nil, fmt.Errorf("runflags: -resume requires -checkpoint DIR")
+	}
 	r := &Run{flags: *f, announce: obs.NewEventLog(announceW)}
 	if f.MetricsOut != "" || f.Progress || f.Status != "" {
 		r.Metrics = obs.New()
@@ -187,7 +229,8 @@ func (r *Run) Announce(event string, fields obs.Fields) {
 var writeHeap = writeHeapProfile
 
 // Close finishes the run: stops the CPU profile, drains the status server,
-// writes the heap profile and the metrics snapshot, and announces run.done.
+// writes the heap profile, closes the checkpoint journal, writes the
+// metrics snapshot, and announces run.done.
 // The status server shuts down BEFORE the heap profile is captured — while
 // the server is up its connection and ring buffers are live heap, and a
 // profile taken under them misattributes the run's own allocations; the
@@ -217,6 +260,14 @@ func (r *Run) Close() error {
 		}
 	}
 	done := obs.Fields{}
+	if r.journal != nil {
+		done["journal"] = r.journal.Path()
+		done["journalCells"] = r.journal.Cells()
+		if err := r.journal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		r.journal = nil
+	}
 	if r.flags.MetricsOut != "" && r.Metrics != nil {
 		if err := r.Metrics.WriteSnapshotFile(r.flags.MetricsOut); err != nil {
 			errs = append(errs, err)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"adiv/internal/checkpoint"
 	"adiv/internal/obs"
 )
 
@@ -222,6 +223,100 @@ func TestCloseDrainsServerBeforeHeapProfile(t *testing.T) {
 	}
 	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
 		t.Errorf("heap profile missing or empty (err=%v)", err)
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	var announce bytes.Buffer
+	if _, err := parse(t, "-resume").Start(&announce); err == nil {
+		t.Fatal("Start accepted -resume without -checkpoint")
+	}
+}
+
+func TestOpenJournalDisabledWithoutCheckpoint(t *testing.T) {
+	var announce bytes.Buffer
+	run, err := parse(t).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j, err := run.OpenJournal(checkpoint.Fingerprint{Command: "test"})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if j != nil {
+		t.Errorf("journal opened without -checkpoint")
+	}
+	if err := run.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestOpenJournalLifecycle walks the full driver sequence: a -checkpoint run
+// opens (and announces) the journal, records cells, and closes it with the
+// journal named in run.done; a second run over the same directory is refused
+// without -resume and continues with it, seeing the recorded cells.
+func TestOpenJournalLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	fp := checkpoint.Fingerprint{Command: "test", AlphabetSize: 8, CorpusHash: "fnv1a:x"}
+	rec := checkpoint.CellRecord{Key: "stide", Detector: "stide", Window: 2, Size: 2}
+
+	var announce bytes.Buffer
+	run, err := parse(t, "-checkpoint", dir, "-metrics-out", filepath.Join(t.TempDir(), "m.json")).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j, err := run.OpenJournal(fp)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if j == nil {
+		t.Fatal("no journal with -checkpoint")
+	}
+	if !strings.Contains(announce.String(), `"event":"ckpt.open"`) {
+		t.Errorf("ckpt.open not announced: %q", announce.String())
+	}
+	if run.Metrics.Counter("ckpt/cells_appended").Value() != 0 {
+		t.Errorf("journal not instrumented against the run registry")
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !strings.Contains(announce.String(), `"journalCells":1`) {
+		t.Errorf("run.done missing journal fields: %q", announce.String())
+	}
+
+	// Same directory without -resume: refused, pointing at the flag.
+	again, err := parse(t, "-checkpoint", dir).Start(io.Discard)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := again.OpenJournal(fp); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("re-open without -resume: err = %v, want a refusal naming -resume", err)
+	}
+	if err := again.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	// With -resume the journal continues where the first run stopped.
+	resumed, err := parse(t, "-checkpoint", dir, "-resume").Start(io.Discard)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j2, err := resumed.OpenJournal(fp)
+	if err != nil {
+		t.Fatalf("resumed OpenJournal: %v", err)
+	}
+	if j2.Resumed() != 1 {
+		t.Errorf("Resumed() = %d, want 1", j2.Resumed())
+	}
+	if _, ok := j2.Lookup("stide", 2, 2); !ok {
+		t.Errorf("recorded cell lost across runs")
+	}
+	if err := resumed.Close(); err != nil {
+		t.Errorf("Close: %v", err)
 	}
 }
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Smoke-test checkpoint/resume end to end: run a quick perfmap grid to
+# completion as the reference, start the same run with -checkpoint and
+# SIGKILL it once the journal holds at least one cell (the neural-network
+# figure gives the kill a multi-second window), then resume from the
+# journal and require the resumed output to match the reference byte for
+# byte. CI runs this so a crash mid-journal-write or a replay that drifts
+# from live evaluation cannot silently rot.
+#
+# The training-DB cache summary is filtered from the comparison: a resumed
+# run trains only the rows the crash left unfinished, so its cache counters
+# legitimately differ while every rendered map byte must not.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+args=(-quick -figure 6 -csv -j 2)
+journal_dir="$workdir/ckpt"
+journal="$journal_dir/grid.journal"
+
+echo "building perfmap..."
+go build -o "$workdir/perfmap" ./cmd/perfmap
+
+echo "reference run (no checkpoint)..."
+"$workdir/perfmap" "${args[@]}" >"$workdir/ref.txt" 2>/dev/null
+
+echo "checkpointed run, to be killed mid-grid..."
+"$workdir/perfmap" "${args[@]}" -checkpoint "$journal_dir" \
+    >"$workdir/killed.txt" 2>"$workdir/killed.stderr" &
+pid=$!
+
+# Kill as soon as the journal holds the header plus at least one cell
+# record. If the run finishes first the kill is a no-op and the resume
+# below degenerates to a full replay — still a valid equivalence check,
+# never a flake.
+for _ in $(seq 1 200); do
+    size=$(stat -c %s "$journal" 2>/dev/null || echo 0)
+    if [[ "$size" -gt 400 ]]; then
+        break
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+done
+if kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid"
+    echo "killed mid-run with journal at ${size} bytes"
+else
+    echo "run finished before the kill landed (journal ${size} bytes); resume degenerates to full replay"
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+
+if [[ ! -s "$journal" ]]; then
+    echo "FAIL: no journal was written at $journal" >&2
+    exit 1
+fi
+
+echo "resuming from the journal..."
+"$workdir/perfmap" "${args[@]}" -checkpoint "$journal_dir" -resume \
+    >"$workdir/resumed.txt" 2>"$workdir/resumed.stderr"
+
+if ! grep -q '"event":"ckpt.open"' "$workdir/resumed.stderr"; then
+    echo "FAIL: resumed run never announced ckpt.open" >&2
+    cat "$workdir/resumed.stderr" >&2
+    exit 1
+fi
+replayed=$(sed -n 's/.*"event":"ckpt.open".*"resumed":\([0-9]*\).*/\1/p' "$workdir/resumed.stderr" | head -n1)
+if [[ -z "$replayed" || "$replayed" -lt 1 ]]; then
+    echo "FAIL: resumed run replayed ${replayed:-0} cells, want at least 1" >&2
+    cat "$workdir/resumed.stderr" >&2
+    exit 1
+fi
+echo "resumed run replayed $replayed journaled cells"
+
+if ! diff <(grep -v 'training-DB cache' "$workdir/ref.txt") \
+          <(grep -v 'training-DB cache' "$workdir/resumed.txt"); then
+    echo "FAIL: resumed output differs from the uninterrupted reference" >&2
+    exit 1
+fi
+echo "resumed output is byte-identical to the uninterrupted run"
+
+# A third invocation without -resume must refuse the existing journal.
+if "$workdir/perfmap" "${args[@]}" -checkpoint "$journal_dir" \
+    >/dev/null 2>"$workdir/refused.stderr"; then
+    echo "FAIL: rerun over an existing journal succeeded without -resume" >&2
+    exit 1
+fi
+if ! grep -q -- '-resume' "$workdir/refused.stderr"; then
+    echo "FAIL: refusal does not mention -resume:" >&2
+    cat "$workdir/refused.stderr" >&2
+    exit 1
+fi
+echo "journal correctly refused without -resume"
+echo "resume smoke OK"
