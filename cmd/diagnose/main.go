@@ -8,11 +8,17 @@
 //
 //	diagnose [-detector stide] [-size 7] [-window 5] [-quick]
 //	diagnose -status-url HOST:PORT
+//	diagnose -trace FILE [-top N]
 //
 // With -status-url, diagnose instead inspects a live run: it fetches /runz
 // and /metrics from the introspection server another command exposed with
 // -status and prints one progress table (phase, cells done/total, ETA,
 // per-map rows, top counters).
+//
+// With -trace, diagnose analyzes an execution trace another command exported
+// with -trace FILE: it prints the critical path (the sequential chain
+// bounding the run's wall clock), per-worker occupancy and idle time, the
+// top spans by self-time, and per-detector-family cost rollups.
 package main
 
 import (
@@ -38,11 +44,16 @@ func run(w io.Writer, args []string) error {
 	window := fs.Int("window", 5, "deployed detector window")
 	quick := fs.Bool("quick", true, "use the reduced configuration")
 	statusURL := fs.String("status-url", "", "inspect a live run instead: fetch /runz and /metrics from this -status server (host:port or URL) and print a progress table")
+	tracePath := fs.String("trace", "", "analyze an exported execution trace instead: print critical path, worker occupancy, and cost rollups for this Chrome trace JSON file")
+	top := fs.Int("top", 10, "with -trace, how many spans to rank by self-time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *statusURL != "" {
 		return statusSnapshot(w, *statusURL)
+	}
+	if *tracePath != "" {
+		return traceReport(w, *tracePath, *top)
 	}
 
 	cfg := adiv.DefaultConfig()

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"adiv/internal/obs"
+)
+
+// traceReport reads an exported Chrome trace (a -trace FILE from any driver)
+// and prints the analysis a timeline viewer can't surface directly: the
+// critical path bounding the run's wall clock, per-worker occupancy, the
+// spans dominating self-time, and per-detector-family cost rollups.
+func traceReport(w io.Writer, path string, topN int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta, spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	rep := obs.AnalyzeTrace(spans, topN)
+
+	fmt.Fprintf(w, "trace %s", path)
+	if meta.Schema != "" {
+		fmt.Fprintf(w, " (schema %s, trace id %016x)", meta.Schema, meta.TraceID)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "spans: %d (plus %d instants)\n", rep.SpanCount, rep.InstantCount)
+	fmt.Fprintf(w, "cell spans: %d", rep.CellSpans)
+	if rep.ReplaySpans > 0 {
+		fmt.Fprintf(w, " (plus %d replayed from checkpoint)", rep.ReplaySpans)
+	}
+	fmt.Fprintln(w)
+	if meta.Dropped > 0 {
+		fmt.Fprintf(w, "dropped: %d of %d spans fell out of the bounded ring before export\n",
+			meta.Dropped, meta.Total)
+	}
+	if rep.SpanCount == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "wall clock: %s\n", round(rep.Wall))
+
+	fmt.Fprintf(w, "\ncritical path (%s, %.0f%% of wall — the chain no extra workers can shorten):\n",
+		round(rep.CriticalTotal), pct(rep.CriticalTotal, rep.Wall))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  start\tduration\tlane\tspan")
+	for _, ev := range rep.CriticalPath {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", round(ev.Start), round(ev.Dur), laneName(ev.Lane), ev.Name)
+	}
+	tw.Flush()
+
+	if len(rep.Lanes) > 0 {
+		fmt.Fprintln(w, "\nworker occupancy:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  lane\tspans\tbusy\toccupancy\tidle")
+		for _, ls := range rep.Lanes {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\t%.1f%%\t%.1f%%\n",
+				laneName(ls.Lane), ls.Spans, round(ls.Busy), 100*ls.Occupancy, 100*(1-ls.Occupancy))
+		}
+		tw.Flush()
+	}
+
+	if len(rep.TopSelf) > 0 {
+		fmt.Fprintln(w, "\ntop spans by self-time:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  self\ttotal\tcount\tname")
+		for _, ns := range rep.TopSelf {
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t%s\n", round(ns.Self), round(ns.Total), ns.Count, ns.Name)
+		}
+		tw.Flush()
+	}
+
+	if len(rep.Families) > 0 {
+		fmt.Fprintln(w, "\nper-detector-family cost (score time runs inside cells; shown, not re-added):")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  detector\tspans\ttrain\tcells\tother\ttotal\t(score)")
+		for _, fs := range rep.Families {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%s\t%s\t(%s)\n", fs.Detector, fs.Spans,
+				round(fs.Train), round(fs.Cell), round(fs.Other), round(fs.Total), round(fs.Score))
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// laneName renders a lane index the way the Chrome export names its threads.
+func laneName(lane int) string {
+	switch lane {
+	case obs.LaneMain:
+		return "main"
+	case obs.LaneAsync:
+		return "-"
+	default:
+		return fmt.Sprintf("worker %d", lane)
+	}
+}
+
+// round trims durations to a readable precision without losing short spans.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+// pct is the percentage of part in whole, 0 when whole is unknown.
+func pct(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adiv/internal/obs"
+)
+
+// writeTestTrace exports a small deterministic trace file: a main-lane corpus
+// build, per-row training, live cells on two worker lanes, one replayed cell,
+// and a scoring child — enough to exercise every section of the report.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	cur := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr := obs.NewTracer(64)
+	tr.SetClock(func() time.Time { return cur })
+	advance := func(d time.Duration) { cur = cur.Add(d) }
+
+	build := tr.Start("corpus/build", "corpus")
+	build.SetLane(obs.LaneMain)
+	advance(40 * time.Millisecond)
+	build.End()
+
+	train := tr.Start("train/stide/dw05", "train")
+	train.SetLane(0)
+	train.SetAttr("detector", "stide")
+	advance(10 * time.Millisecond)
+	train.End()
+
+	cell0 := tr.Start("cell/stide", "cell")
+	cell0.SetLane(0)
+	cell0.SetAttr("detector", "stide")
+	score := cell0.Child("score/stide", "score")
+	advance(15 * time.Millisecond)
+	score.End()
+	advance(5 * time.Millisecond)
+	cell0.End()
+
+	cell1 := tr.Start("cell/markov", "cell")
+	cell1.SetLane(1)
+	cell1.SetAttr("detector", "markov")
+	advance(25 * time.Millisecond)
+	cell1.End()
+
+	replay := tr.Start("cell/stide", "replay")
+	replay.SetAttr("detector", "stide")
+	replay.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeFile(path); err != nil {
+		t.Fatalf("writing test trace: %v", err)
+	}
+	return path
+}
+
+// TestTraceReport runs the full report over a seeded trace and checks every
+// section appears with the right headline numbers.
+func TestTraceReport(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run(&sb, []string{"-trace", path}); err != nil {
+		t.Fatalf("diagnose -trace: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"schema " + obs.TraceSchemaVersion,
+		"spans: 6",
+		"cell spans: 2 (plus 1 replayed from checkpoint)",
+		"wall clock:",
+		"critical path",
+		"worker occupancy:",
+		"worker 0",
+		"worker 1",
+		"main",
+		"top spans by self-time:",
+		"per-detector-family cost",
+		"stide",
+		"markov",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceReportTopN: -top bounds the self-time table.
+func TestTraceReportTopN(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run(&sb, []string{"-trace", path, "-top", "1"}); err != nil {
+		t.Fatalf("diagnose -trace -top 1: %v", err)
+	}
+	out := sb.String()
+	_, table, ok := strings.Cut(out, "top spans by self-time:")
+	if !ok {
+		t.Fatalf("no self-time section:\n%s", out)
+	}
+	table, _, _ = strings.Cut(table, "\nper-detector")
+	rows := 0
+	for _, line := range strings.Split(table, "\n") {
+		if strings.Contains(line, "/") { // span names carry a slash
+			rows++
+		}
+	}
+	if rows != 1 {
+		t.Errorf("-top 1 printed %d rows:\n%s", rows, table)
+	}
+}
+
+func TestTraceReportMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-trace", filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestTraceReportForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign.json")
+	doc := `{"displayTimeUnit":"ms","otherData":{"schema":"someone.else/v9"},"traceEvents":[]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-trace", path}); err == nil {
+		t.Error("foreign-schema trace accepted")
+	}
+}

@@ -14,7 +14,7 @@
 //	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
 //	         [-checkpoint DIR] [-resume]
 //	         [-metrics-out FILE] [-progress] [-status ADDR]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -checkpoint DIR every completed grid cell of the four coverage maps
 // is journaled; an interrupted run restarted with -resume replays the

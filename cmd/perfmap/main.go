@@ -18,9 +18,15 @@
 //	-progress        emit NDJSON progress events to stderr during grid runs
 //	-status ADDR     serve live introspection on ADDR while the run is in
 //	                 flight: /metrics (Prometheus text), /runz (JSON grid
-//	                 progress + ETA), /eventz (recent events), /healthz,
-//	                 /debug/pprof; :0 picks a free port, announced as
-//	                 statusAddr in the run.start event
+//	                 progress + ETA), /eventz (recent events), /tracez
+//	                 (live span timeline stats), /healthz, /debug/pprof;
+//	                 :0 picks a free port, announced as statusAddr in the
+//	                 run.start event
+//	-trace F         record per-event execution spans (corpus synthesis,
+//	                 per-window trainings, every grid cell with its worker
+//	                 lane) and write a Chrome trace_event JSON file to F at
+//	                 exit; open it in Perfetto (ui.perfetto.dev) or feed it
+//	                 to `diagnose -trace F` for critical-path analysis
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 //	-j N             bound concurrent grid work (default runtime.NumCPU);
 //	                 one pool is shared across all maps of the run

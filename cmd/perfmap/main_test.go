@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"adiv/internal/obs"
 )
 
 func TestRunBadFlags(t *testing.T) {
@@ -158,5 +160,51 @@ func TestRunStatusQuickGrid(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "Performance map: stide") {
 		t.Errorf("missing map header:\n%s", sb.String())
+	}
+}
+
+// TestRunTraceExport drives -trace end to end: a quick grid run must export
+// a readable Chrome trace whose span timeline carries every grid cell with
+// its worker lane and detector attributes.
+func TestRunTraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-quick", "-figure", "5", "-j", "2", "-trace", path}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	meta, spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("exported trace unreadable: %v", err)
+	}
+	if meta.Schema != obs.TraceSchemaVersion {
+		t.Errorf("schema = %q", meta.Schema)
+	}
+	rep := obs.AnalyzeTrace(spans, 5)
+	// Figure 5 is stide's full grid: 8 sizes x 14 windows.
+	if rep.CellSpans != 112 {
+		t.Errorf("cell spans = %d, want 112", rep.CellSpans)
+	}
+	if len(rep.Lanes) == 0 || rep.CriticalTotal <= 0 {
+		t.Errorf("analysis degenerate: lanes=%d critical=%v", len(rep.Lanes), rep.CriticalTotal)
+	}
+	var foundCorpus, foundTrain bool
+	for _, ev := range spans {
+		switch {
+		case ev.Name == "corpus/build":
+			foundCorpus = true
+		case strings.HasPrefix(ev.Name, "train/stide/"):
+			foundTrain = true
+		}
+	}
+	if !foundCorpus || !foundTrain {
+		t.Errorf("timeline missing corpus/train spans (corpus=%v train=%v)", foundCorpus, foundTrain)
 	}
 }

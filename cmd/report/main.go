@@ -6,8 +6,8 @@
 // Usage:
 //
 //	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
-//	       [-status ADDR] [-cpuprofile FILE] [-memprofile FILE]
-//	       [-checkpoint DIR] [-resume]
+//	       [-status ADDR] [-trace FILE] [-cpuprofile FILE]
+//	       [-memprofile FILE] [-checkpoint DIR] [-resume]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element
 // training stream and takes a few minutes, dominated by the fourteen

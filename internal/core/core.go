@@ -121,7 +121,8 @@ func BuildCorpusObserved(cfg Config, reg *obs.Registry) (*Corpus, error) {
 		"windows":       fmt.Sprintf("%d-%d", cfg.MinWindow, cfg.MaxWindow),
 		"seed":          cfg.Gen.Seed,
 	})
-	build := reg.Span("corpus/build")
+	build := reg.SpanTraced("corpus/build", "corpus")
+	build.SetLane(obs.LaneMain)
 	g, err := gen.New(cfg.Gen)
 	if err != nil {
 		return nil, err

@@ -14,11 +14,18 @@ const responseBins = 10
 // Observed wraps a detector with run telemetry recorded into reg:
 //
 //   - span  train/<name>/dwNN          — per-training duration
-//   - span  score/<name>               — per-call scoring duration
+//   - span  score/<name>               — per-call scoring duration; when a
+//     tracer is attached each Score call also records a trace span
+//     (category "score", detector attribute) on its own async track
 //   - ctr   symbols/<name>             — symbols scored
 //   - gauge throughput_sps/<name>      — cumulative scoring throughput
 //   - hist  responses/<name>           — response distribution (10 bins,
 //     exact-extreme counts mirroring eval.Profile)
+//
+// Training carries no trace span of its own: in grid runs the scheduler's
+// lane-stamped train task span covers the same interval with worker
+// attribution, and a second identical span would double-count the family
+// rollups.
 //
 // A nil registry disables observation entirely: the detector is returned
 // unwrapped, so the disabled path has zero overhead by construction.
@@ -30,6 +37,7 @@ func Observed(d Detector, reg *obs.Registry) Detector {
 	return &observed{
 		Detector:   d,
 		reg:        reg,
+		name:       name,
 		trainSpan:  fmt.Sprintf("train/%s/dw%02d", name, d.Window()),
 		scoreSpan:  "score/" + name,
 		score:      reg.Timing("score/" + name),
@@ -45,6 +53,7 @@ func Observed(d Detector, reg *obs.Registry) Detector {
 type observed struct {
 	Detector
 	reg        *obs.Registry
+	name       string
 	trainSpan  string
 	scoreSpan  string
 	score      *obs.Timing
@@ -75,7 +84,8 @@ func (o *observed) TrainCorpus(c *seq.Corpus) error {
 }
 
 func (o *observed) Score(test seq.Stream) ([]float64, error) {
-	sp := o.reg.Span(o.scoreSpan)
+	sp := o.reg.SpanTraced(o.scoreSpan, "score")
+	sp.SetAttr("detector", o.name)
 	responses, err := o.Detector.Score(test)
 	sp.End()
 	if err != nil {

@@ -216,7 +216,9 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 	})
 	prog := opts.Progress
 	prog.StartMap(name, rows, totalCells)
-	mapSpan := reg.Span("map/" + name)
+	tr := reg.Tracer()
+	mapSpan := reg.SpanTraced("map/"+name, "map")
+	mapSpan.SetAttr("detector", name)
 	cellTiming := reg.Timing("cell/" + name)
 	cellCounter := reg.Counter("eval/cells/" + name)
 	retryCounter := reg.Counter("ckpt/cells_retried")
@@ -285,7 +287,24 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 					return
 				}
 				det = detector.Observed(det, reg)
-				if err := runTask(sched, func() error { return detector.TrainWith(det, tc) }); err != nil {
+				err = runTaskLane(sched, func(lane int) error {
+					// One lane-stamped trace span per row training: the
+					// timeline's worker tracks show exactly which rows
+					// serialized behind the expensive trainings. The name is
+					// formatted only when a tracer is live, so untraced runs
+					// skip the Sprintf along with the span.
+					var tsp *obs.TraceSpan
+					if tr != nil {
+						tsp = tr.Start(fmt.Sprintf("train/%s/dw%02d", name, window), "train")
+						tsp.SetLane(lane)
+						tsp.SetAttr("map", ckKey)
+						tsp.SetAttr("detector", name)
+						tsp.SetAttrInt("window", window)
+					}
+					defer tsp.End()
+					return detector.TrainWith(det, tc)
+				})
+				if err != nil {
 					res.err = fmt.Errorf("eval: training %s(DW=%d): %w", name, window, err)
 					return
 				}
@@ -296,14 +315,31 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 					cellMs float64
 				)
 				if c.replay {
+					// Replayed cells are trace-only (category "replay"):
+					// they must stay out of the cell/<name> Timing so the
+					// cells-per-busy-second rate keeps measuring real work.
+					var rsp *obs.TraceSpan
+					if tr != nil {
+						rsp = tr.Start("cell/"+name, "replay")
+						rsp.SetAttr("map", ckKey)
+						rsp.SetAttr("detector", name)
+						rsp.SetAttrInt("window", window)
+						rsp.SetAttrInt("size", c.size)
+					}
 					a = recordAssessment(c.rec)
+					rsp.End()
 					prog.CellReplayed(name)
 				} else {
 					placement := placements[c.size]
 					attempt := 0
 					for {
-						err := runTask(sched, func() error {
-							cellSpan := reg.Span("cell/" + name)
+						err := runTaskLane(sched, func(lane int) error {
+							cellSpan := reg.SpanTraced("cell/"+name, "cell")
+							cellSpan.SetLane(lane)
+							cellSpan.SetAttr("map", ckKey)
+							cellSpan.SetAttr("detector", name)
+							cellSpan.SetAttrInt("window", window)
+							cellSpan.SetAttrInt("size", c.size)
 							var aerr error
 							a, aerr = Assess(det, placement, opts)
 							cellMs = float64(cellSpan.End().Nanoseconds()) / 1e6
@@ -402,6 +438,12 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 // and with it every other row's completed work; recovered here, the row
 // coordinator can retry the cell or report it with its exact coordinates.
 func runTask(sched *Scheduler, fn func() error) (err error) {
+	return runTaskLane(sched, func(int) error { return fn() })
+}
+
+// runTaskLane is runTask for tasks that stamp their worker lane onto trace
+// spans.
+func runTaskLane(sched *Scheduler, fn func(lane int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if rerr, ok := r.(error); ok {
@@ -411,7 +453,7 @@ func runTask(sched *Scheduler, fn func() error) (err error) {
 			}
 		}
 	}()
-	sched.Run(func() { err = fn() })
+	sched.RunLane(func(lane int) { err = fn(lane) })
 	return err
 }
 

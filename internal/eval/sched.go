@@ -21,10 +21,15 @@ var ErrInjectedFault = errors.New("eval: injected fault")
 // whole map behind itself while the cheap families' rows could be running:
 // every (window, size) task from every map competes for the same slots.
 //
+// Each slot is a numbered lane: a task learns which lane it occupies
+// (RunLane), and because a lane runs one task at a time, lane-stamped trace
+// spans never overlap within a lane — the property the trace timeline's
+// per-worker tracks and occupancy analysis are built on.
+//
 // A Scheduler is safe for concurrent use. The zero value is not usable;
 // construct with NewScheduler.
 type Scheduler struct {
-	slots chan struct{}
+	slots chan int
 
 	// Telemetry handles; nil when uninstrumented (the default). The live
 	// in-flight task count is the difference of the two counters — /metrics
@@ -42,7 +47,11 @@ func NewScheduler(workers int) *Scheduler {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	return &Scheduler{slots: make(chan struct{}, workers)}
+	s := &Scheduler{slots: make(chan int, workers)}
+	for lane := 0; lane < workers; lane++ {
+		s.slots <- lane
+	}
+	return s
 }
 
 // Instrument records pool telemetry into reg: the sched/workers bound as a
@@ -78,14 +87,22 @@ func (s *Scheduler) SetFaultHook(fn func()) { s.fault = fn }
 // of fn (or the fault hook) releases the slot before propagating to the
 // caller.
 func (s *Scheduler) Run(fn func()) {
-	s.slots <- struct{}{}
+	s.RunLane(func(int) { fn() })
+}
+
+// RunLane is Run for tasks that want their worker identity: fn receives the
+// index of the slot it occupies, in [0, Workers()). Execution tracing
+// stamps this lane onto task spans so the exported timeline has one track
+// per worker.
+func (s *Scheduler) RunLane(fn func(lane int)) {
+	lane := <-s.slots
 	s.started.Inc()
 	defer func() {
 		s.finished.Inc()
-		<-s.slots
+		s.slots <- lane
 	}()
 	if s.fault != nil {
 		s.fault()
 	}
-	fn()
+	fn(lane)
 }

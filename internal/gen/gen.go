@@ -241,10 +241,19 @@ func (g *Generator) Config() Config { return g.cfg }
 // tests (stationary rare-symbol mass, likelihoods).
 func (g *Generator) Chain() *markov.Chain { return g.chain }
 
+// traced opens one of the generator's telemetry spans with an execution-trace
+// span (category "corpus") on the main lane — synthesis always runs on the
+// caller's goroutine, before any grid workers exist.
+func (g *Generator) traced(name string) *obs.Span {
+	sp := g.reg.SpanTraced(name, "corpus")
+	sp.SetLane(obs.LaneMain)
+	return sp
+}
+
 // Training generates the training stream: cfg.TrainLen symbols from the
 // generating chain, seeded deterministically from cfg.Seed.
 func (g *Generator) Training() seq.Stream {
-	defer g.reg.Span("gen/training").End()
+	defer g.traced("gen/training").End()
 	src := rng.New(g.cfg.Seed)
 	return g.project(g.chain.Generate(src, g.cfg.TrainLen))
 }
@@ -254,7 +263,7 @@ func (g *Generator) Training() seq.Stream {
 // rare sequences and is the substrate for the Section-7 false-alarm
 // experiments.
 func (g *Generator) Noisy(n int, stream uint64) seq.Stream {
-	defer g.reg.Span("gen/noisy").End()
+	defer g.traced("gen/noisy").End()
 	src := rng.New(g.cfg.Seed ^ (0x9E3779B97F4A7C15 * (stream + 1)))
 	return g.project(g.chain.Generate(src, n))
 }
@@ -263,7 +272,7 @@ func (g *Generator) Noisy(n int, stream uint64) seq.Stream {
 // 5.4.1): cfg.BackgroundLen symbols of pure cycle repetition, starting at
 // cycle phase 0, containing no rare or foreign sequences of any width.
 func (g *Generator) Background() seq.Stream {
-	defer g.reg.Span("gen/background").End()
+	defer g.traced("gen/background").End()
 	return g.spec.PureCycle(g.cfg.BackgroundLen)
 }
 

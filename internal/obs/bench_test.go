@@ -103,3 +103,41 @@ func BenchmarkEventLogEmitRing(b *testing.B) {
 		l.Emit("cell", benchFields)
 	}
 }
+
+// BenchmarkTracerSpanDisabled pins the cost of tracing left off: a nil
+// tracer's Start/SetLane/SetAttr/End must be pointer tests, zero allocation.
+func BenchmarkTracerSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("cell/stide", "cell")
+		sp.SetLane(1)
+		sp.SetAttr("detector", "stide")
+		sp.End()
+	}
+}
+
+// BenchmarkTracerSpanEnabled is the live-recording cost: one span struct and
+// its attrs per region, one short mutex hold on End.
+func BenchmarkTracerSpanEnabled(b *testing.B) {
+	tr := NewTracer(DefaultTraceSpans)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("cell/stide", "cell")
+		sp.SetLane(1)
+		sp.SetAttr("detector", "stide")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanTracedUntraced pins the Registry-level upgrade contract: a
+// SpanTraced call site on a registry WITHOUT a tracer must cost what Span
+// costs, so upgrading call sites never taxes untraced runs.
+func BenchmarkSpanTracedUntraced(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SpanTraced("x", "cell").End()
+	}
+}

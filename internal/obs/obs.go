@@ -32,6 +32,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	timings  map[string]*Timing
 	events   *EventLog
+	tracer   *Tracer
 
 	now   func() time.Time
 	start time.Time
@@ -71,6 +72,29 @@ func (r *Registry) SetEventLog(l *EventLog) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = l
+}
+
+// SetTracer attaches an execution tracer; SpanTraced calls record into it.
+// A nil tracer detaches, restoring the aggregate-only behavior.
+func (r *Registry) SetTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+}
+
+// Tracer returns the attached execution tracer (nil when none, and on a nil
+// registry). All tracer methods are nil-safe, so callers hold the result
+// unconditionally.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tracer
 }
 
 // Event emits a structured event to the attached log, if any.

@@ -214,3 +214,24 @@ func TestNilSafety(t *testing.T) {
 		t.Errorf("nil WriteSnapshot: %v", err)
 	}
 }
+
+// TestSpanEndIdempotent is the regression test for the double-record bug:
+// End used to record the elapsed duration into the Timing on every call, so
+// a defer sp.End() after an explicit End() double-counted the region.
+func TestSpanEndIdempotent(t *testing.T) {
+	r := New()
+	clock := newFakeClock(10 * time.Millisecond)
+	r.SetClock(clock.Now)
+
+	sp := r.Span("cell/stide")
+	if d := sp.End(); d != 10*time.Millisecond {
+		t.Fatalf("first End = %v, want 10ms", d)
+	}
+	if d := sp.End(); d != 0 {
+		t.Errorf("second End = %v, want 0 (no-op)", d)
+	}
+	count, total, _, _ := r.Timing("cell/stide").Stats()
+	if count != 1 || total != 10*time.Millisecond {
+		t.Errorf("timing after double End = (%d, %v), want (1, 10ms)", count, total)
+	}
+}

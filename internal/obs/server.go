@@ -5,7 +5,9 @@
 //
 //	/metrics        Prometheus text exposition of the live registry
 //	/runz           JSON run status: config, grid progress, throughput, ETA
-//	/eventz         the last N NDJSON events (ring-buffer tee of -progress)
+//	/eventz         the last N NDJSON events (ring-buffer tee of -progress);
+//	                ?n=K limits the response to the last K lines
+//	/tracez         JSON snapshot of the -trace span ring (adiv.trace/v1)
 //	/debug/pprof/*  net/http/pprof for in-flight CPU/heap/goroutine profiles
 //	/healthz        liveness probe
 package obs
@@ -13,10 +15,12 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -78,16 +82,42 @@ func (r *EventRing) Total() int64 {
 
 // WriteTo copies the retained lines, oldest first, to w.
 func (r *EventRing) WriteTo(w io.Writer) (int64, error) {
-	if r == nil {
+	return r.WriteTail(w, -1)
+}
+
+// WriteTail copies the last n retained lines, oldest first, to w; n < 0
+// means every retained line, n == 0 writes nothing.
+func (r *EventRing) WriteTail(w io.Writer, n int) (int64, error) {
+	if r == nil || n == 0 {
 		return 0, nil
 	}
 	r.mu.Lock()
-	n := len(r.lines)
-	out := make([]byte, 0, 1024)
-	for i := 0; i < n; i++ {
-		if line := r.lines[(r.next+i)%n]; len(line) > 0 {
-			out = append(out, line...)
+	size := len(r.lines)
+	skip := 0
+	if n >= 0 {
+		// Count the populated tail so the limit skips the right number of
+		// leading lines even before the ring fills.
+		populated := 0
+		for i := 0; i < size; i++ {
+			if len(r.lines[(r.next+i)%size]) > 0 {
+				populated++
+			}
 		}
+		if populated > n {
+			skip = populated - n
+		}
+	}
+	out := make([]byte, 0, 1024)
+	for i := 0; i < size; i++ {
+		line := r.lines[(r.next+i)%size]
+		if len(line) == 0 {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		out = append(out, line...)
 	}
 	r.mu.Unlock()
 	written, err := w.Write(out)
@@ -96,9 +126,10 @@ func (r *EventRing) WriteTo(w io.Writer) (int64, error) {
 
 // NewHandler returns the status server's route table over the given
 // sources. Any source may be nil: /metrics then serves an empty exposition,
-// /runz an empty schema-tagged status, /eventz nothing. The handler is what
-// StartServer serves; tests mount it on httptest servers directly.
-func NewHandler(reg *Registry, prog *Progress, ring *EventRing) http.Handler {
+// /runz an empty schema-tagged status, /eventz nothing, /tracez an empty
+// schema-tagged trace. The handler is what StartServer serves; tests mount
+// it on httptest servers directly.
+func NewHandler(reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -117,9 +148,27 @@ func NewHandler(reg *Registry, prog *Progress, ring *EventRing) http.Handler {
 		}
 		w.Write(append(data, '\n')) //nolint:errcheck
 	})
-	mux.HandleFunc("/eventz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, req *http.Request) {
+		n := -1
+		if raw := req.URL.Query().Get("n"); raw != "" {
+			parsed, err := strconv.Atoi(raw)
+			if err != nil || parsed < 0 {
+				http.Error(w, fmt.Sprintf("eventz: bad n=%q (want a non-negative integer)", raw), http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		ring.WriteTo(w) //nolint:errcheck
+		ring.WriteTail(w, n) //nolint:errcheck
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(tracer.Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n')) //nolint:errcheck
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -140,14 +189,14 @@ type Server struct {
 
 // StartServer binds addr (host:0 picks a free port) and serves the status
 // endpoints on a background goroutine until Close.
-func StartServer(addr string, reg *Registry, prog *Progress, ring *EventRing) (*Server, error) {
+func StartServer(addr string, reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: NewHandler(reg, prog, ring), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: NewHandler(reg, prog, ring, tracer), ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr().String(),
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close

@@ -33,7 +33,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	ring := NewEventRing(8)
 	NewEventLog(ring).Emit("cell", Fields{"done": 1})
 
-	ts := httptest.NewServer(NewHandler(reg, prog, ring))
+	ts := httptest.NewServer(NewHandler(reg, prog, ring, nil))
 	defer ts.Close()
 
 	code, body, hdr := get(t, ts.URL+"/healthz")
@@ -78,7 +78,7 @@ func TestHandlerEndpoints(t *testing.T) {
 // TestHandlerNilSources pins the degenerate wiring: every endpoint stays
 // 200 with nil registry, progress, and ring.
 func TestHandlerNilSources(t *testing.T) {
-	ts := httptest.NewServer(NewHandler(nil, nil, nil))
+	ts := httptest.NewServer(NewHandler(nil, nil, nil, nil))
 	defer ts.Close()
 	for path, want := range map[string]string{
 		"/healthz": "ok",
@@ -97,7 +97,7 @@ func TestHandlerNilSources(t *testing.T) {
 }
 
 func TestStartServerLifecycle(t *testing.T) {
-	srv, err := StartServer("127.0.0.1:0", New(), NewProgress(), nil)
+	srv, err := StartServer("127.0.0.1:0", New(), NewProgress(), nil, nil)
 	if err != nil {
 		t.Fatalf("StartServer: %v", err)
 	}
@@ -160,5 +160,82 @@ func TestEventRingCopies(t *testing.T) {
 	ring.WriteTo(&sb)
 	if got := sb.String(); got != "first\nsecond\n" {
 		t.Errorf("ring aliased caller buffer: %q", got)
+	}
+}
+
+// TestEventzTailLimit pins the ?n= contract: n limits the tail, n=0 yields
+// an empty body, malformed and negative values are a 400.
+func TestEventzTailLimit(t *testing.T) {
+	ring := NewEventRing(8)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(ring, "line%d\n", i)
+	}
+	ts := httptest.NewServer(NewHandler(nil, nil, ring, nil))
+	defer ts.Close()
+
+	for query, want := range map[string]string{
+		"":     "line0\nline1\nline2\nline3\nline4\n",
+		"?n=2": "line3\nline4\n",
+		"?n=5": "line0\nline1\nline2\nline3\nline4\n",
+		"?n=9": "line0\nline1\nline2\nline3\nline4\n",
+		"?n=0": "",
+	} {
+		code, body, _ := get(t, ts.URL+"/eventz"+query)
+		if code != http.StatusOK {
+			t.Errorf("/eventz%s = %d", query, code)
+		}
+		if body != want {
+			t.Errorf("/eventz%s = %q, want %q", query, body, want)
+		}
+	}
+	for _, query := range []string{"?n=-1", "?n=abc", "?n=1.5", "?n=%20"} {
+		code, body, _ := get(t, ts.URL+"/eventz"+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("/eventz%s = %d %q, want 400", query, code, body)
+		}
+		if !strings.Contains(body, "bad n=") {
+			t.Errorf("/eventz%s error body = %q", query, body)
+		}
+	}
+}
+
+// TestEventRingWriteTailPartial: the limit counts populated lines, so a
+// partially filled ring still returns the right tail.
+func TestEventRingWriteTailPartial(t *testing.T) {
+	ring := NewEventRing(8)
+	fmt.Fprintf(ring, "a\n")
+	fmt.Fprintf(ring, "b\n")
+	var sb strings.Builder
+	ring.WriteTail(&sb, 1)
+	if sb.String() != "b\n" {
+		t.Errorf("WriteTail(1) on partial ring = %q, want \"b\\n\"", sb.String())
+	}
+	var nilRing *EventRing
+	if n, err := nilRing.WriteTail(io.Discard, 3); n != 0 || err != nil {
+		t.Errorf("nil ring WriteTail = %d, %v", n, err)
+	}
+}
+
+func TestTracezEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(nil, nil, nil, seededTracer()))
+	defer ts.Close()
+	code, body, hdr := get(t, ts.URL+"/tracez")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/tracez = %d, Content-Type %q", code, hdr.Get("Content-Type"))
+	}
+	var st TraceStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/tracez is not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != TraceSchemaVersion || st.Total != 6 || len(st.Spans) != 6 {
+		t.Errorf("/tracez = schema %q total %d spans %d", st.Schema, st.Total, len(st.Spans))
+	}
+
+	// No tracer attached: still 200 with an empty schema-tagged document.
+	ts2 := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	defer ts2.Close()
+	code, body, _ = get(t, ts2.URL+"/tracez")
+	if code != http.StatusOK || !strings.Contains(body, TraceSchemaVersion) {
+		t.Errorf("nil-tracer /tracez = %d %q", code, body)
 	}
 }

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Trace analysis: the numbers a timeline viewer can't surface directly.
+// AnalyzeTrace digests a span set (live from a Tracer, or read back from an
+// exported Chrome trace) into the report `diagnose -trace` prints: the
+// critical path bounding the run's wall clock, per-worker occupancy, the
+// spans dominating self-time, and per-detector-family cost rollups.
+
+// TraceReport is the digest of one span set.
+type TraceReport struct {
+	// SpanCount and InstantCount partition the analyzed events.
+	SpanCount    int
+	InstantCount int
+	// CellSpans and ReplaySpans count grid-cell evaluations ("cell"
+	// category) and checkpoint replays ("replay" category).
+	CellSpans   int
+	ReplaySpans int
+	// Wall is the observed wall clock: latest span end minus earliest span
+	// start.
+	Wall time.Duration
+	// CriticalPath is the longest chain (by summed duration) of strictly
+	// sequential spans — every span starts at or after its predecessor's
+	// end — and CriticalTotal its summed duration. It is a lower bound on
+	// the run's wall clock no amount of extra workers can beat, so the
+	// spans on it are where optimization effort pays.
+	CriticalPath  []SpanEvent
+	CriticalTotal time.Duration
+	// Lanes reports per-worker busy time and occupancy.
+	Lanes []LaneStat
+	// TopSelf ranks span names by self-time (duration minus direct
+	// children's duration).
+	TopSelf []NameStat
+	// Families rolls span cost up by the "detector" attribute.
+	Families []FamilyStat
+}
+
+// LaneStat is one worker lane's (or the main goroutine's) utilization.
+type LaneStat struct {
+	// Lane is the worker lane (LaneMain for the main goroutine).
+	Lane  int
+	Spans int
+	// Busy is the union of the lane's span intervals; Occupancy is
+	// Busy/Wall (0 when the wall clock is unknown).
+	Busy      time.Duration
+	Occupancy float64
+}
+
+// NameStat aggregates the spans sharing one name.
+type NameStat struct {
+	Name  string
+	Count int
+	// Total sums the spans' durations; Self subtracts each span's direct
+	// children, so a parent that merely waits on children ranks low.
+	Total time.Duration
+	Self  time.Duration
+}
+
+// FamilyStat rolls up the cost attributed to one detector family.
+type FamilyStat struct {
+	Detector string
+	Spans    int
+	// Train, Cell and Other split Total by span category ("train";
+	// "cell"+"replay"; everything else except "score").
+	Train time.Duration
+	Cell  time.Duration
+	Other time.Duration
+	// Score is reported separately and excluded from Total: scoring spans
+	// run inside cell evaluations, so adding them would double-count.
+	Score time.Duration
+	Total time.Duration
+}
+
+// AnalyzeTrace digests spans into a TraceReport. topN bounds the TopSelf
+// ranking (topN < 1 keeps 10).
+func AnalyzeTrace(spans []SpanEvent, topN int) TraceReport {
+	if topN < 1 {
+		topN = 10
+	}
+	rep := TraceReport{}
+
+	// Work spans: everything with extent. Instants annotate the timeline
+	// but carry no cost.
+	var work []SpanEvent
+	for _, ev := range spans {
+		if ev.Instant {
+			rep.InstantCount++
+			continue
+		}
+		rep.SpanCount++
+		switch ev.Cat {
+		case "cell":
+			rep.CellSpans++
+		case "replay":
+			rep.ReplaySpans++
+		}
+		work = append(work, ev)
+	}
+	if len(work) == 0 {
+		return rep
+	}
+
+	minStart, maxEnd := work[0].Start, work[0].Start+work[0].Dur
+	for _, ev := range work[1:] {
+		if ev.Start < minStart {
+			minStart = ev.Start
+		}
+		if end := ev.Start + ev.Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	rep.Wall = maxEnd - minStart
+
+	rep.CriticalPath, rep.CriticalTotal = criticalPath(work)
+	rep.Lanes = laneStats(work, rep.Wall)
+	rep.TopSelf = selfTimes(work, topN)
+	rep.Families = familyStats(work)
+	return rep
+}
+
+// criticalPath finds the maximum-duration chain of strictly sequential
+// spans via an O(n log n) sweep: process spans in start order, keeping a
+// running best over every span already ended, so chain(i) = dur(i) +
+// best{chain(j) : end(j) <= start(i)}. Zero-duration spans (checkpoint
+// replays, degenerate clocks) are excluded — they carry no cost and their
+// start==end degeneracy would break the sweep's ordering invariant.
+func criticalPath(work []SpanEvent) ([]SpanEvent, time.Duration) {
+	var nodes []SpanEvent
+	for _, ev := range work {
+		if ev.Dur > 0 {
+			nodes = append(nodes, ev)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, 0
+	}
+	byStart := make([]int, len(nodes))
+	byEnd := make([]int, len(nodes))
+	for i := range nodes {
+		byStart[i], byEnd[i] = i, i
+	}
+	sort.Slice(byStart, func(a, b int) bool { return nodes[byStart[a]].Start < nodes[byStart[b]].Start })
+	sort.Slice(byEnd, func(a, b int) bool {
+		ea := nodes[byEnd[a]].Start + nodes[byEnd[a]].Dur
+		eb := nodes[byEnd[b]].Start + nodes[byEnd[b]].Dur
+		return ea < eb
+	})
+
+	chain := make([]time.Duration, len(nodes))
+	prev := make([]int, len(nodes))
+	bestVal, bestIdx := time.Duration(0), -1
+	k := 0
+	for _, i := range byStart {
+		for k < len(byEnd) {
+			j := byEnd[k]
+			if nodes[j].Start+nodes[j].Dur > nodes[i].Start {
+				break
+			}
+			if chain[j] > bestVal {
+				bestVal, bestIdx = chain[j], j
+			}
+			k++
+		}
+		chain[i] = nodes[i].Dur + bestVal
+		prev[i] = bestIdx
+	}
+
+	tail, total := 0, chain[0]
+	for i, v := range chain {
+		if v > total {
+			tail, total = i, v
+		}
+	}
+	var path []SpanEvent
+	for i := tail; i >= 0; i = prev[i] {
+		path = append(path, nodes[i])
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, total
+}
+
+// laneStats computes per-lane busy time as the union of span intervals —
+// worker lanes never overlap by construction, but the union keeps the
+// number honest if a merged shard trace violates that.
+func laneStats(work []SpanEvent, wall time.Duration) []LaneStat {
+	type interval struct{ lo, hi time.Duration }
+	perLane := map[int][]interval{}
+	counts := map[int]int{}
+	for _, ev := range work {
+		if ev.Lane == LaneAsync {
+			continue
+		}
+		perLane[ev.Lane] = append(perLane[ev.Lane], interval{ev.Start, ev.Start + ev.Dur})
+		counts[ev.Lane]++
+	}
+	lanes := make([]int, 0, len(perLane))
+	for lane := range perLane {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	out := make([]LaneStat, 0, len(lanes))
+	for _, lane := range lanes {
+		ivs := perLane[lane]
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+		var busy time.Duration
+		curLo, curHi := ivs[0].lo, ivs[0].hi
+		for _, iv := range ivs[1:] {
+			if iv.lo > curHi {
+				busy += curHi - curLo
+				curLo, curHi = iv.lo, iv.hi
+				continue
+			}
+			if iv.hi > curHi {
+				curHi = iv.hi
+			}
+		}
+		busy += curHi - curLo
+		st := LaneStat{Lane: lane, Spans: counts[lane], Busy: busy}
+		if wall > 0 {
+			st.Occupancy = float64(busy) / float64(wall)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// selfTimes ranks span names by self-time (duration minus direct children).
+func selfTimes(work []SpanEvent, topN int) []NameStat {
+	childDur := map[uint64]time.Duration{}
+	for _, ev := range work {
+		if ev.Parent != 0 {
+			childDur[ev.Parent] += ev.Dur
+		}
+	}
+	agg := map[string]*NameStat{}
+	for _, ev := range work {
+		st := agg[ev.Name]
+		if st == nil {
+			st = &NameStat{Name: ev.Name}
+			agg[ev.Name] = st
+		}
+		st.Count++
+		st.Total += ev.Dur
+		self := ev.Dur - childDur[ev.ID]
+		if self > 0 {
+			st.Self += self
+		}
+	}
+	out := make([]NameStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Self != out[b].Self {
+			return out[a].Self > out[b].Self
+		}
+		return out[a].Name < out[b].Name
+	})
+	if len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// familyStats rolls up cost by the "detector" span attribute.
+func familyStats(work []SpanEvent) []FamilyStat {
+	agg := map[string]*FamilyStat{}
+	for _, ev := range work {
+		family := ""
+		for _, a := range ev.Attrs {
+			if a.Key == "detector" {
+				family = a.Value
+				break
+			}
+		}
+		if family == "" {
+			continue
+		}
+		st := agg[family]
+		if st == nil {
+			st = &FamilyStat{Detector: family}
+			agg[family] = st
+		}
+		st.Spans++
+		switch ev.Cat {
+		case "train":
+			st.Train += ev.Dur
+			st.Total += ev.Dur
+		case "cell", "replay":
+			st.Cell += ev.Dur
+			st.Total += ev.Dur
+		case "score":
+			st.Score += ev.Dur
+		default:
+			st.Other += ev.Dur
+			st.Total += ev.Dur
+		}
+	}
+	out := make([]FamilyStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Total != out[b].Total {
+			return out[a].Total > out[b].Total
+		}
+		return out[a].Detector < out[b].Detector
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// span is a SpanEvent literal helper for analysis tests.
+func span(id, parent uint64, name, cat string, lane int, start, dur time.Duration, attrs ...TraceAttr) SpanEvent {
+	return SpanEvent{ID: id, Parent: parent, Name: name, Cat: cat, Lane: lane, Start: start, Dur: dur, Attrs: attrs}
+}
+
+func det(name string) TraceAttr { return TraceAttr{Key: "detector", Value: name} }
+
+func TestAnalyzeTraceCriticalPath(t *testing.T) {
+	// A(0-10) -> B(10-30) -> C(35-40) chains for 35ms of summed cost;
+	// D(0-25) could also precede C but its chain is only 30ms.
+	spans := []SpanEvent{
+		span(1, 0, "A", "train", 0, 0, 10*ms),
+		span(2, 0, "B", "cell", 1, 10*ms, 20*ms),
+		span(3, 0, "C", "cell", 0, 35*ms, 5*ms),
+		span(4, 0, "D", "cell", 2, 0, 25*ms),
+	}
+	rep := AnalyzeTrace(spans, 0)
+	if rep.Wall != 40*ms {
+		t.Errorf("wall = %v, want 40ms", rep.Wall)
+	}
+	if rep.CriticalTotal != 35*ms {
+		t.Errorf("critical total = %v, want 35ms", rep.CriticalTotal)
+	}
+	var names []string
+	for _, ev := range rep.CriticalPath {
+		names = append(names, ev.Name)
+	}
+	if len(names) != 3 || names[0] != "A" || names[1] != "B" || names[2] != "C" {
+		t.Errorf("critical path = %v, want [A B C]", names)
+	}
+}
+
+func TestAnalyzeTraceCriticalPathSkipsZeroDuration(t *testing.T) {
+	spans := []SpanEvent{
+		span(1, 0, "replayed", "replay", LaneAsync, 5*ms, 0),
+		span(2, 0, "live", "cell", 0, 0, 10*ms),
+	}
+	rep := AnalyzeTrace(spans, 0)
+	if len(rep.CriticalPath) != 1 || rep.CriticalPath[0].Name != "live" {
+		t.Errorf("critical path = %+v, want [live]", rep.CriticalPath)
+	}
+	if rep.ReplaySpans != 1 || rep.CellSpans != 1 {
+		t.Errorf("replay/cell = %d/%d, want 1/1", rep.ReplaySpans, rep.CellSpans)
+	}
+}
+
+func TestAnalyzeTraceLanes(t *testing.T) {
+	spans := []SpanEvent{
+		span(1, 0, "a", "cell", 0, 0, 10*ms),
+		span(2, 0, "b", "cell", 0, 30*ms, 10*ms),
+		span(3, 0, "c", "cell", 1, 0, 40*ms),
+		// Async spans have no worker identity and stay out of occupancy.
+		span(4, 0, "d", "db", LaneAsync, 0, 40*ms),
+	}
+	rep := AnalyzeTrace(spans, 0)
+	if len(rep.Lanes) != 2 {
+		t.Fatalf("lanes = %+v, want 2", rep.Lanes)
+	}
+	l0, l1 := rep.Lanes[0], rep.Lanes[1]
+	if l0.Lane != 0 || l0.Spans != 2 || l0.Busy != 20*ms || l0.Occupancy != 0.5 {
+		t.Errorf("lane 0 = %+v", l0)
+	}
+	if l1.Lane != 1 || l1.Busy != 40*ms || l1.Occupancy != 1.0 {
+		t.Errorf("lane 1 = %+v", l1)
+	}
+}
+
+func TestAnalyzeTraceLaneIntervalUnion(t *testing.T) {
+	// Overlapping intervals on one lane (a merged shard trace) must not
+	// double-count busy time.
+	spans := []SpanEvent{
+		span(1, 0, "a", "cell", 0, 0, 20*ms),
+		span(2, 0, "b", "cell", 0, 10*ms, 20*ms),
+	}
+	rep := AnalyzeTrace(spans, 0)
+	if rep.Lanes[0].Busy != 30*ms {
+		t.Errorf("overlapping busy = %v, want 30ms (union)", rep.Lanes[0].Busy)
+	}
+}
+
+func TestAnalyzeTraceSelfTimes(t *testing.T) {
+	spans := []SpanEvent{
+		span(1, 0, "cell/stide", "cell", 0, 0, 30*ms),
+		span(2, 1, "score/stide", "score", LaneAsync, 5*ms, 25*ms),
+		span(3, 0, "cell/stide", "cell", 0, 40*ms, 10*ms),
+	}
+	rep := AnalyzeTrace(spans, 2)
+	if len(rep.TopSelf) != 2 {
+		t.Fatalf("topSelf = %+v", rep.TopSelf)
+	}
+	// score/stide: 25ms self. cell/stide: 40ms total, 25ms consumed by the
+	// child, 15ms self.
+	if rep.TopSelf[0].Name != "score/stide" || rep.TopSelf[0].Self != 25*ms {
+		t.Errorf("topSelf[0] = %+v", rep.TopSelf[0])
+	}
+	if rep.TopSelf[1].Name != "cell/stide" || rep.TopSelf[1].Self != 15*ms || rep.TopSelf[1].Total != 40*ms {
+		t.Errorf("topSelf[1] = %+v", rep.TopSelf[1])
+	}
+}
+
+func TestAnalyzeTraceTopNBounds(t *testing.T) {
+	var spans []SpanEvent
+	for i := uint64(1); i <= 20; i++ {
+		spans = append(spans, span(i, 0, string(rune('a'+i)), "cell", 0, 0, time.Duration(i)*ms))
+	}
+	if rep := AnalyzeTrace(spans, 3); len(rep.TopSelf) != 3 {
+		t.Errorf("topN=3 kept %d", len(rep.TopSelf))
+	}
+	if rep := AnalyzeTrace(spans, 0); len(rep.TopSelf) != 10 {
+		t.Errorf("topN=0 kept %d, want default 10", len(rep.TopSelf))
+	}
+}
+
+func TestAnalyzeTraceFamilies(t *testing.T) {
+	spans := []SpanEvent{
+		span(1, 0, "train/stide/dw05", "train", 0, 0, 10*ms, det("stide")),
+		span(2, 0, "cell/stide", "cell", 0, 10*ms, 20*ms, det("stide")),
+		span(3, 2, "score/stide", "score", LaneAsync, 12*ms, 15*ms, det("stide")),
+		span(4, 0, "cell/stide", "replay", LaneAsync, 30*ms, 1*ms, det("stide")),
+		span(5, 0, "map/stide", "map", 0, 0, 31*ms, det("stide")),
+		span(6, 0, "cell/markov", "cell", 1, 0, 5*ms, det("markov")),
+		span(7, 0, "seq/db", "db", LaneAsync, 0, 4*ms), // no detector attr
+	}
+	rep := AnalyzeTrace(spans, 0)
+	if len(rep.Families) != 2 {
+		t.Fatalf("families = %+v, want 2", rep.Families)
+	}
+	st := rep.Families[0]
+	if st.Detector != "stide" {
+		t.Fatalf("families[0] = %s, want stide (largest)", st.Detector)
+	}
+	if st.Train != 10*ms || st.Cell != 21*ms || st.Other != 31*ms {
+		t.Errorf("stide train/cell/other = %v/%v/%v", st.Train, st.Cell, st.Other)
+	}
+	// Score time is reported but NOT in Total: it already ran inside a cell.
+	if st.Score != 15*ms {
+		t.Errorf("stide score = %v, want 15ms", st.Score)
+	}
+	if st.Total != 62*ms {
+		t.Errorf("stide total = %v, want 62ms (train+cell+other, score excluded)", st.Total)
+	}
+	if rep.Families[1].Detector != "markov" || rep.Families[1].Total != 5*ms {
+		t.Errorf("families[1] = %+v", rep.Families[1])
+	}
+}
+
+func TestAnalyzeTraceEmptyAndInstants(t *testing.T) {
+	rep := AnalyzeTrace(nil, 0)
+	if rep.SpanCount != 0 || rep.Wall != 0 || rep.CriticalPath != nil {
+		t.Errorf("empty analysis = %+v", rep)
+	}
+	rep = AnalyzeTrace([]SpanEvent{
+		{ID: 1, Name: "mark", Cat: "alarm", Instant: true, Start: 5 * ms},
+	}, 0)
+	if rep.InstantCount != 1 || rep.SpanCount != 0 {
+		t.Errorf("instants-only analysis = %+v", rep)
+	}
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Chrome trace_event export: the tracer ring serialized as the JSON object
+// format Perfetto and chrome://tracing load directly. Lanes map to thread
+// tracks (tid 0 is the main goroutine, tid N+1 is scheduler worker N) so
+// per-worker occupancy reads straight off the timeline; laneless spans
+// (singleflight DB builds, detector scoring) become async "b"/"e" pairs
+// that may overlap freely; instants become "i" events. Span and parent IDs
+// ride in args, so ReadChromeTrace can rebuild the exact SpanEvents and
+// diagnose -trace can recover the span tree from the exported file alone.
+
+// TraceMeta is the run-level header of an exported trace.
+type TraceMeta struct {
+	// Schema is the trace schema version (TraceSchemaVersion on export).
+	Schema string
+	// TraceID identifies the originating tracer.
+	TraceID uint64
+	// Total and Dropped are the tracer's lifetime span counts at export.
+	Total, Dropped int64
+}
+
+// chromeDoc is the trace_event JSON object form.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       chromeOther   `json:"otherData"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeOther struct {
+	Schema  string `json:"schema"`
+	TraceID string `json:"traceId"`
+	Total   int64  `json:"total"`
+	Dropped int64  `json:"dropped"`
+}
+
+type chromeEvent struct {
+	Name  string            `json:"name,omitempty"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   *int64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	ID    string            `json:"id,omitempty"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// tracePID is the single process ID all exported events carry; shard
+// merging is expected to re-home shards onto distinct pids.
+const tracePID = 1
+
+// laneTID maps a span lane to its Chrome thread ID (main = 0, worker N =
+// N+1). Only meaningful for LaneMain and worker lanes; async spans don't
+// use thread tracks.
+func laneTID(lane int) int {
+	if lane == LaneMain {
+		return 0
+	}
+	return lane + 1
+}
+
+// tidLane is laneTID's inverse.
+func tidLane(tid int) int {
+	if tid == 0 {
+		return LaneMain
+	}
+	return tid - 1
+}
+
+func hexID(id uint64) string { return "0x" + strconv.FormatUint(id, 16) }
+
+// WriteChromeTrace serializes spans (oldest first) under meta as Chrome
+// trace_event JSON.
+func WriteChromeTrace(w io.Writer, meta TraceMeta, spans []SpanEvent) error {
+	doc := chromeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData: chromeOther{
+			Schema:  meta.Schema,
+			TraceID: hexID(meta.TraceID),
+			Total:   meta.Total,
+			Dropped: meta.Dropped,
+		},
+		TraceEvents: make([]chromeEvent, 0, 2*len(spans)+4),
+	}
+
+	// Thread-name metadata: the main track plus every worker lane observed.
+	lanes := map[int]bool{}
+	for _, ev := range spans {
+		if ev.Lane >= 0 || ev.Lane == LaneMain {
+			lanes[ev.Lane] = true
+		}
+	}
+	tids := make([]int, 0, len(lanes))
+	for lane := range lanes {
+		tids = append(tids, laneTID(lane))
+	}
+	sort.Ints(tids)
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]string{"name": "adiv"},
+	})
+	for _, tid := range tids {
+		name := "main"
+		if lane := tidLane(tid); lane >= 0 {
+			name = "worker " + strconv.Itoa(lane)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	for _, ev := range spans {
+		args := make(map[string]string, len(ev.Attrs)+2)
+		args["id"] = hexID(ev.ID)
+		if ev.Parent != 0 {
+			args["parent"] = hexID(ev.Parent)
+		}
+		for _, a := range ev.Attrs {
+			args[a.Key] = a.Value
+		}
+		ts := int64(ev.Start / time.Microsecond)
+		switch {
+		case ev.Instant:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: ev.Name, Cat: ev.Cat, Ph: "i", TS: ts, Scope: "g",
+				PID: tracePID, TID: laneTIDOrMain(ev.Lane), Args: args,
+			})
+		case ev.Lane == LaneAsync:
+			doc.TraceEvents = append(doc.TraceEvents,
+				chromeEvent{
+					Name: ev.Name, Cat: ev.Cat, Ph: "b", TS: ts,
+					PID: tracePID, ID: hexID(ev.ID), Args: args,
+				},
+				chromeEvent{
+					Name: ev.Name, Cat: ev.Cat, Ph: "e",
+					TS:  ts + int64(ev.Dur/time.Microsecond),
+					PID: tracePID, ID: hexID(ev.ID),
+				})
+		default:
+			dur := int64(ev.Dur / time.Microsecond)
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: ev.Name, Cat: ev.Cat, Ph: "X", TS: ts, Dur: &dur,
+				PID: tracePID, TID: laneTID(ev.Lane), Args: args,
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: marshaling trace: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}
+
+// laneTIDOrMain maps instants' lanes: laneless instants land on the main
+// track (instants carry no duration, so overlap is harmless).
+func laneTIDOrMain(lane int) int {
+	if lane == LaneAsync {
+		return 0
+	}
+	return laneTID(lane)
+}
+
+// WriteChrome exports the tracer's retained spans as Chrome trace_event
+// JSON. A nil tracer writes an empty (but schema-tagged) trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	meta := TraceMeta{Schema: TraceSchemaVersion}
+	if t != nil {
+		meta.TraceID = t.TraceID()
+		meta.Total, meta.Dropped = t.Stats()
+	}
+	return WriteChromeTrace(w, meta, t.Snapshot())
+}
+
+// WriteChromeFile writes the Chrome trace to path, creating or truncating
+// it.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := t.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: closing trace file: %w", cerr)
+	}
+	return nil
+}
+
+// ReadChromeTrace parses a Chrome trace_event JSON document previously
+// written by WriteChromeTrace back into its meta header and span events
+// (oldest first, by array order; async pairs close at their "e" event). It
+// rejects documents whose otherData names a different schema; documents
+// with no schema tag (foreign Chrome traces) parse with best effort.
+func ReadChromeTrace(r io.Reader) (TraceMeta, []SpanEvent, error) {
+	var doc chromeDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return TraceMeta{}, nil, fmt.Errorf("obs: not a Chrome trace JSON document: %w", err)
+	}
+	if doc.OtherData.Schema != "" && doc.OtherData.Schema != TraceSchemaVersion {
+		return TraceMeta{}, nil, fmt.Errorf("obs: unsupported trace schema %q (want %s)", doc.OtherData.Schema, TraceSchemaVersion)
+	}
+	meta := TraceMeta{
+		Schema:  doc.OtherData.Schema,
+		Total:   doc.OtherData.Total,
+		Dropped: doc.OtherData.Dropped,
+	}
+	if id, err := parseHexID(doc.OtherData.TraceID); err == nil {
+		meta.TraceID = id
+	}
+
+	var spans []SpanEvent
+	open := map[string]int{} // async "b" events awaiting their "e", by id
+	for _, ce := range doc.TraceEvents {
+		switch ce.Ph {
+		case "X":
+			ev := eventFromChrome(ce, meta.TraceID)
+			ev.Lane = tidLane(ce.TID)
+			if ce.Dur != nil {
+				ev.Dur = time.Duration(*ce.Dur) * time.Microsecond
+			}
+			spans = append(spans, ev)
+		case "i", "I":
+			ev := eventFromChrome(ce, meta.TraceID)
+			ev.Lane = LaneAsync
+			ev.Instant = true
+			spans = append(spans, ev)
+		case "b":
+			ev := eventFromChrome(ce, meta.TraceID)
+			ev.Lane = LaneAsync
+			spans = append(spans, ev)
+			open[ce.ID] = len(spans) - 1
+		case "e":
+			if i, ok := open[ce.ID]; ok {
+				end := time.Duration(ce.TS) * time.Microsecond
+				if d := end - spans[i].Start; d > 0 {
+					spans[i].Dur = d
+				}
+				delete(open, ce.ID)
+			}
+		}
+	}
+	return meta, spans, nil
+}
+
+// eventFromChrome rebuilds the common SpanEvent fields of one trace event.
+func eventFromChrome(ce chromeEvent, traceID uint64) SpanEvent {
+	ev := SpanEvent{
+		TraceID: traceID,
+		Name:    ce.Name,
+		Cat:     ce.Cat,
+		Start:   time.Duration(ce.TS) * time.Microsecond,
+	}
+	if id, err := parseHexID(ce.Args["id"]); err == nil {
+		ev.ID = id
+	} else if id, err := parseHexID(ce.ID); err == nil {
+		ev.ID = id
+	}
+	if p, err := parseHexID(ce.Args["parent"]); err == nil {
+		ev.Parent = p
+	}
+	keys := make([]string, 0, len(ce.Args))
+	for k := range ce.Args {
+		if k == "id" || k == "parent" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ev.Attrs = append(ev.Attrs, TraceAttr{Key: k, Value: ce.Args[k]})
+	}
+	return ev
+}
+
+func parseHexID(s string) (uint64, error) {
+	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("obs: empty id")
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// TraceStatus is the JSON document /tracez serves: the tracer's retained
+// spans plus drop accounting, schema adiv.trace/v1.
+type TraceStatus struct {
+	Schema  string       `json:"schema"`
+	TraceID string       `json:"traceId"`
+	Total   int64        `json:"total"`
+	Dropped int64        `json:"dropped"`
+	Spans   []SpanStatus `json:"spans"`
+}
+
+// SpanStatus is one retained span in the /tracez document.
+type SpanStatus struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Cat     string            `json:"cat,omitempty"`
+	Lane    int               `json:"lane"`
+	Instant bool              `json:"instant,omitempty"`
+	StartMs float64           `json:"startMs"`
+	DurMs   float64           `json:"durMs"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Status snapshots the tracer for /tracez. A nil tracer yields an empty
+// (but schema-tagged) document.
+func (t *Tracer) Status() TraceStatus {
+	st := TraceStatus{Schema: TraceSchemaVersion, TraceID: hexID(t.TraceID()), Spans: []SpanStatus{}}
+	if t == nil {
+		return st
+	}
+	st.Total, st.Dropped = t.Stats()
+	for _, ev := range t.Snapshot() {
+		ss := SpanStatus{
+			ID:      hexID(ev.ID),
+			Name:    ev.Name,
+			Cat:     ev.Cat,
+			Lane:    ev.Lane,
+			Instant: ev.Instant,
+			StartMs: durationMs(ev.Start),
+			DurMs:   durationMs(ev.Dur),
+		}
+		if ev.Parent != 0 {
+			ss.Parent = hexID(ev.Parent)
+		}
+		if len(ev.Attrs) > 0 {
+			ss.Attrs = make(map[string]string, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				ss.Attrs[a.Key] = a.Value
+			}
+		}
+		st.Spans = append(st.Spans, ss)
+	}
+	return st
+}

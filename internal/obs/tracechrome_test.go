@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seededTracer builds the fixed trace behind the Chrome-export golden: a
+// main-lane corpus span with a child, two worker-lane cells, a laneless
+// (async) DB build, and one instant — every event shape the exporter emits.
+func seededTracer() *Tracer {
+	tr, advance := manualTracer(32)
+
+	build := tr.Start("corpus/build", "corpus")
+	build.SetLane(LaneMain)
+	train := build.Child("corpus/build/train", "")
+	advance(40 * time.Millisecond)
+	train.End()
+	advance(10 * time.Millisecond)
+	build.End()
+
+	db := tr.Start("seq/db", "db")
+	db.SetAttrInt("width", 5)
+	advance(15 * time.Millisecond)
+	db.End()
+
+	cell0 := tr.Start("cell/stide", "cell")
+	cell0.SetLane(0)
+	cell0.SetAttr("detector", "stide")
+	cell0.SetAttrInt("window", 5)
+	cell0.SetAttrInt("size", 7)
+	cell1 := tr.Start("cell/markov", "cell")
+	cell1.SetLane(1)
+	cell1.SetAttr("detector", "markov")
+	advance(20 * time.Millisecond)
+	cell0.End()
+	advance(5 * time.Millisecond)
+	cell1.End()
+
+	tr.Instant("online/escalated", "alarm", TraceAttr{Key: "position", Value: "42"})
+	return tr
+}
+
+// TestWriteChromeGolden byte-compares the export against the committed
+// golden: the format is an external contract (Perfetto, chrome://tracing,
+// diagnose -trace) and must only change deliberately.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededTracer().WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	path := filepath.Join("testdata", "trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeRoundTrip: exporting and re-reading reconstructs the span events
+// — the property diagnose -trace depends on.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := seededTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	meta, spans, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadChromeTrace: %v", err)
+	}
+	if meta.Schema != TraceSchemaVersion {
+		t.Errorf("schema = %q, want %s", meta.Schema, TraceSchemaVersion)
+	}
+	if meta.TraceID != tr.TraceID() {
+		t.Errorf("trace id = %d, want %d", meta.TraceID, tr.TraceID())
+	}
+	if meta.Total != 6 || meta.Dropped != 0 {
+		t.Errorf("total/dropped = %d/%d, want 6/0", meta.Total, meta.Dropped)
+	}
+
+	orig := tr.Snapshot()
+	if len(spans) != len(orig) {
+		t.Fatalf("round-tripped %d spans, want %d", len(spans), len(orig))
+	}
+	bySpanID := map[uint64]SpanEvent{}
+	for _, ev := range spans {
+		bySpanID[ev.ID] = ev
+	}
+	for _, want := range orig {
+		got, ok := bySpanID[want.ID]
+		if !ok {
+			t.Errorf("span %d (%s) lost in round trip", want.ID, want.Name)
+			continue
+		}
+		// The reader restores lanes for thread-track spans; async spans come
+		// back as LaneAsync by construction. TraceID rides in otherData.
+		want.TraceID = meta.TraceID
+		got.Attrs = sortedAttrs(got.Attrs)
+		want.Attrs = sortedAttrs(want.Attrs)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("span %s round trip:\n got %+v\nwant %+v", want.Name, got, want)
+		}
+	}
+}
+
+// sortedAttrs normalizes attribute order (the JSON args map loses it).
+func sortedAttrs(attrs []TraceAttr) []TraceAttr {
+	out := append([]TraceAttr(nil), attrs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Key < out[j-1].Key; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestReadChromeTraceRejectsForeignSchema(t *testing.T) {
+	doc := `{"displayTimeUnit":"ms","otherData":{"schema":"someone.else/v9"},"traceEvents":[]}`
+	if _, _, err := ReadChromeTrace(strings.NewReader(doc)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChrome: %v", err)
+	}
+	meta, spans, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("re-reading nil export: %v", err)
+	}
+	if meta.Schema != TraceSchemaVersion || len(spans) != 0 {
+		t.Errorf("nil export = %+v, %d spans", meta, len(spans))
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := seededTracer().WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, spans, err := ReadChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 6 {
+		t.Errorf("file round trip kept %d spans, want 6", len(spans))
+	}
+}
+
+func TestTracerStatus(t *testing.T) {
+	st := seededTracer().Status()
+	if st.Schema != TraceSchemaVersion {
+		t.Errorf("schema = %q", st.Schema)
+	}
+	if st.Total != 6 || len(st.Spans) != 6 {
+		t.Fatalf("total=%d spans=%d, want 6/6", st.Total, len(st.Spans))
+	}
+	var cell SpanStatus
+	for _, ss := range st.Spans {
+		if ss.Name == "cell/stide" {
+			cell = ss
+		}
+	}
+	if cell.Lane != 0 || cell.DurMs != 20 || cell.Attrs["detector"] != "stide" {
+		t.Errorf("cell/stide status = %+v", cell)
+	}
+
+	var nilTracer *Tracer
+	if st := nilTracer.Status(); st.Schema != TraceSchemaVersion || len(st.Spans) != 0 {
+		t.Errorf("nil tracer status = %+v", st)
+	}
+}

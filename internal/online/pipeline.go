@@ -35,15 +35,19 @@ type VetoPipeline struct {
 	mEscalated       *obs.Counter
 	mSuppressed      *obs.Counter
 	mSuppressionRate *obs.Gauge
+	tracer           *obs.Tracer
 }
 
 // Instrument records pipeline telemetry into reg: symbols pushed, primary
 // candidate alarms, escalated (corroborated) alarms, suppressed alarms,
-// and the running suppression rate (suppressed / primary candidates). A
+// and the running suppression rate (suppressed / primary candidates). When
+// the registry carries a tracer, escalations and suppressions additionally
+// land as instant markers (category "alarm") on the execution timeline. A
 // nil registry disables instrumentation.
 func (p *VetoPipeline) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		p.mSymbols, p.mPrimary, p.mEscalated, p.mSuppressed, p.mSuppressionRate = nil, nil, nil, nil, nil
+		p.tracer = nil
 		return
 	}
 	p.mSymbols = reg.Counter("online/pipeline/symbols")
@@ -51,6 +55,7 @@ func (p *VetoPipeline) Instrument(reg *obs.Registry) {
 	p.mEscalated = reg.Counter("online/pipeline/escalated")
 	p.mSuppressed = reg.Counter("online/pipeline/suppressed")
 	p.mSuppressionRate = reg.Gauge("online/pipeline/suppression_rate")
+	p.tracer = reg.Tracer()
 }
 
 // EscalatedAlarm is a primary alarm corroborated by the veto detector.
@@ -98,8 +103,15 @@ func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 
 	escalated := p.corroborate(primaryAlarm, primaryRaised, vetoAlarm, vetoRaised)
 	p.expire()
-	if p.mEscalated != nil && len(escalated) > 0 {
-		p.mEscalated.Add(int64(len(escalated)))
+	if len(escalated) > 0 {
+		if p.mEscalated != nil {
+			p.mEscalated.Add(int64(len(escalated)))
+		}
+		for _, e := range escalated {
+			p.tracer.Instant("online/escalated", "alarm",
+				obs.TraceAttr{Key: "position", Value: fmt.Sprint(e.Primary.Position)},
+				obs.TraceAttr{Key: "vetoPosition", Value: fmt.Sprint(e.VetoPosition)})
+		}
 	}
 	return escalated, nil
 }
@@ -183,11 +195,15 @@ func (p *VetoPipeline) expire() {
 		}
 	}
 	p.pending = kept
-	if expired > 0 && p.mSuppressed != nil {
-		p.mSuppressed.Add(int64(expired))
-		if candidates := p.mPrimary.Value(); candidates > 0 {
-			p.mSuppressionRate.Set(float64(p.mSuppressed.Value()) / float64(candidates))
+	if expired > 0 {
+		if p.mSuppressed != nil {
+			p.mSuppressed.Add(int64(expired))
+			if candidates := p.mPrimary.Value(); candidates > 0 {
+				p.mSuppressionRate.Set(float64(p.mSuppressed.Value()) / float64(candidates))
+			}
 		}
+		p.tracer.Instant("online/suppressed", "alarm",
+			obs.TraceAttr{Key: "count", Value: fmt.Sprint(expired)})
 	}
 	keptVeto := p.vetoCovered[:0]
 	for _, vp := range p.vetoCovered {

@@ -5,7 +5,9 @@
 //	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v1)
 //	-progress           emit NDJSON progress events to stderr during the run
 //	-status ADDR        serve live introspection (/metrics, /runz, /eventz,
-//	                    /healthz, /debug/pprof) on ADDR during the run
+//	                    /tracez, /healthz, /debug/pprof) on ADDR during the run
+//	-trace FILE         record per-event execution spans and export them as a
+//	                    Chrome trace_event JSON file (loads in Perfetto) at exit
 //	-cpuprofile FILE    write a CPU profile (runtime/pprof)
 //	-memprofile FILE    write a heap profile at exit
 //	-j N                bound concurrent grid work (default runtime.NumCPU)
@@ -41,7 +43,10 @@ type Flags struct {
 	Progress   bool
 	// Status is the -status listen address; empty disables the embedded
 	// introspection server.
-	Status     string
+	Status string
+	// Trace is the -trace Chrome trace output path; empty disables
+	// execution tracing.
+	Trace      string
 	CPUProfile string
 	MemProfile string
 	// Jobs is the -j bound on concurrent grid tasks (row trainings and
@@ -60,6 +65,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (schema "+obs.SchemaVersion+") to this file at exit")
 	fs.BoolVar(&f.Progress, "progress", false, "emit NDJSON progress events to stderr during the run")
 	fs.StringVar(&f.Status, "status", "", "serve live run introspection (/metrics, /runz, /eventz, /healthz, /debug/pprof) on this address, e.g. 127.0.0.1:6060 (:0 picks a free port, announced as statusAddr in run.start)")
+	fs.StringVar(&f.Trace, "trace", "", "record per-event execution spans and write a Chrome trace_event JSON file (open in Perfetto or chrome://tracing) at exit")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
@@ -85,6 +91,16 @@ type Run struct {
 	ring     *obs.EventRing
 	status   *obs.Server
 	journal  *checkpoint.Journal
+	tracer   *obs.Tracer
+}
+
+// Tracer returns the run's execution tracer, or nil when -trace is unset —
+// tracer methods are nil-safe, so callers wire it unconditionally.
+func (r *Run) Tracer() *obs.Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
 }
 
 // Scheduler returns the run's shared grid-work pool, sized by -j and
@@ -157,7 +173,7 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 		return nil, fmt.Errorf("runflags: -resume requires -checkpoint DIR")
 	}
 	r := &Run{flags: *f, announce: obs.NewEventLog(announceW)}
-	if f.MetricsOut != "" || f.Progress || f.Status != "" {
+	if f.MetricsOut != "" || f.Progress || f.Status != "" || f.Trace != "" {
 		r.Metrics = obs.New()
 		r.progress = obs.NewProgress()
 		r.progress.AttachEvents(r.Metrics)
@@ -178,9 +194,28 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 		default:
 			r.Metrics.SetEventLog(obs.NewEventLog(io.MultiWriter(sinks...)))
 		}
+		if f.Trace != "" {
+			r.tracer = obs.NewTracer(obs.DefaultTraceSpans)
+			r.tracer.Instrument(r.Metrics)
+			if len(sinks) > 0 {
+				// Mirror completed spans onto the NDJSON event stream (the
+				// one -progress prints and /eventz tails) so a live tail sees
+				// spans as they finish, not only at export time.
+				reg := r.Metrics
+				r.tracer.SetSink(func(ev obs.SpanEvent) {
+					reg.Event("trace.span", obs.Fields{
+						"name": ev.Name,
+						"cat":  ev.Cat,
+						"lane": ev.Lane,
+						"us":   ev.Dur.Microseconds(),
+					})
+				})
+			}
+			r.Metrics.SetTracer(r.tracer)
+		}
 	}
 	if f.Status != "" {
-		srv, err := obs.StartServer(f.Status, r.Metrics, r.progress, r.ring)
+		srv, err := obs.StartServer(f.Status, r.Metrics, r.progress, r.ring, r.tracer)
 		if err != nil {
 			return nil, fmt.Errorf("runflags: binding -status %s: %w", f.Status, err)
 		}
@@ -229,8 +264,8 @@ func (r *Run) Announce(event string, fields obs.Fields) {
 var writeHeap = writeHeapProfile
 
 // Close finishes the run: stops the CPU profile, drains the status server,
-// writes the heap profile, closes the checkpoint journal, writes the
-// metrics snapshot, and announces run.done.
+// writes the heap profile, exports the Chrome trace, closes the checkpoint
+// journal, writes the metrics snapshot, and announces run.done.
 // The status server shuts down BEFORE the heap profile is captured — while
 // the server is up its connection and ring buffers are live heap, and a
 // profile taken under them misattributes the run's own allocations; the
@@ -260,6 +295,19 @@ func (r *Run) Close() error {
 		}
 	}
 	done := obs.Fields{}
+	if r.flags.Trace != "" && r.tracer != nil {
+		if err := r.tracer.WriteChromeFile(r.flags.Trace); err != nil {
+			errs = append(errs, err)
+		} else {
+			total, dropped := r.tracer.Stats()
+			done["traceOut"] = r.flags.Trace
+			done["traceSpans"] = total
+			if dropped > 0 {
+				done["traceDropped"] = dropped
+			}
+		}
+		r.tracer = nil
+	}
 	if r.journal != nil {
 		done["journal"] = r.journal.Path()
 		done["journalCells"] = r.journal.Cells()

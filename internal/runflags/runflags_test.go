@@ -326,3 +326,118 @@ func TestStatusBindFailure(t *testing.T) {
 		t.Fatal("Start succeeded with an unbindable -status address")
 	}
 }
+
+// TestTraceFlagLifecycle is the -trace contract: Start creates a registry
+// and tracer, spans recorded during the run land in the Chrome trace the
+// Close writes, and run.done announces the export.
+func TestTraceFlagLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var announce bytes.Buffer
+	run, err := parse(t, "-trace", path).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Metrics == nil {
+		t.Fatal("-trace alone did not create a registry")
+	}
+	tr := run.Tracer()
+	if tr == nil || run.Metrics.Tracer() != tr {
+		t.Fatal("tracer not created or not attached to the registry")
+	}
+
+	sp := run.Metrics.SpanTraced("cell/fake", "cell")
+	sp.SetLane(0)
+	sp.SetAttr("detector", "fake")
+	sp.End()
+	tr.Instant("online/escalated", "alarm")
+
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	meta, spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("exported trace unreadable: %v", err)
+	}
+	if meta.Schema != obs.TraceSchemaVersion || meta.Total != 2 {
+		t.Errorf("trace meta = %+v", meta)
+	}
+	names := map[string]bool{}
+	for _, ev := range spans {
+		names[ev.Name] = true
+	}
+	if !names["cell/fake"] || !names["online/escalated"] {
+		t.Errorf("exported spans = %v", names)
+	}
+	if out := announce.String(); !strings.Contains(out, `"traceOut"`) || !strings.Contains(out, `"traceSpans":2`) {
+		t.Errorf("run.done missing trace fields: %q", out)
+	}
+}
+
+// TestTraceSinkFeedsEventLog: with -progress alongside -trace, completed
+// spans surface live on the NDJSON stream as trace.span events.
+func TestTraceSinkFeedsEventLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var announce bytes.Buffer
+	run, err := parse(t, "-trace", path, "-progress").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	run.Metrics.SpanTraced("cell/fake", "cell").End()
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if out := announce.String(); !strings.Contains(out, `"event":"trace.span"`) || !strings.Contains(out, `"name":"cell/fake"`) {
+		t.Errorf("trace.span event not on the stream: %q", out)
+	}
+}
+
+// TestTraceWithoutSinksStaysQuiet: -trace alone must not force span events
+// into the announcement stream (no -progress, no ring).
+func TestTraceWithoutSinksStaysQuiet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var announce bytes.Buffer
+	run, err := parse(t, "-trace", path).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	run.Metrics.SpanTraced("cell/fake", "cell").End()
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if strings.Contains(announce.String(), "trace.span") {
+		t.Errorf("span events leaked into the announcement log: %q", announce.String())
+	}
+}
+
+// TestStatusServesTracez: with -status and -trace both set, /tracez serves
+// the live span ring.
+func TestStatusServesTracez(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var announce bytes.Buffer
+	run, err := parse(t, "-status", "127.0.0.1:0", "-trace", path).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	run.Metrics.SpanTraced("cell/fake", "cell").End()
+	resp, err := http.Get("http://" + run.StatusAddr() + "/tracez")
+	if err != nil {
+		t.Fatalf("GET /tracez: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st obs.TraceStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/tracez not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != obs.TraceSchemaVersion || len(st.Spans) != 1 || st.Spans[0].Name != "cell/fake" {
+		t.Errorf("/tracez = %+v", st)
+	}
+	if err := run.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

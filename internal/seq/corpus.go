@@ -40,6 +40,7 @@ type Corpus struct {
 	mMisses *obs.Counter
 	tBuild  *obs.Timing
 	gWidths *obs.Gauge
+	tracer  *obs.Tracer
 }
 
 // corpusEntry is one width's build slot. The goroutine that creates the
@@ -68,13 +69,14 @@ func (c *Corpus) Instrument(reg *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if reg == nil {
-		c.mHits, c.mMisses, c.tBuild, c.gWidths = nil, nil, nil, nil
+		c.mHits, c.mMisses, c.tBuild, c.gWidths, c.tracer = nil, nil, nil, nil, nil
 		return
 	}
 	c.mHits = reg.Counter("seq/corpus/hit")
 	c.mMisses = reg.Counter("seq/corpus/miss")
 	c.tBuild = reg.Timing("seq/corpus/build")
 	c.gWidths = reg.Gauge("seq/corpus/widths")
+	c.tracer = reg.Tracer()
 }
 
 // Stream returns the corpus's training stream. The returned slice is the
@@ -120,15 +122,20 @@ func (c *Corpus) DB(width int) (*DB, error) {
 	}
 	e := &corpusEntry{done: make(chan struct{})}
 	c.entries[width] = e
-	misses, tBuild, gWidths := c.mMisses, c.tBuild, c.gWidths
+	misses, tBuild, gWidths, tracer := c.mMisses, c.tBuild, c.gWidths, c.tracer
 	widths := len(c.entries)
 	c.mu.Unlock()
 
 	c.misses.Add(1)
 	misses.Inc()
+	// The singleflight build has no worker identity (whichever training
+	// task lost the race performs it), so the trace span stays laneless.
+	tsp := tracer.Start("seq/db", "db")
+	tsp.SetAttrInt("width", width)
 	start := time.Now()
 	e.db, e.err = Build(c.stream, width)
 	tBuild.Record(time.Since(start))
+	tsp.End()
 	gWidths.Set(float64(widths))
 	close(e.done)
 	return e.db, e.err

@@ -32,14 +32,37 @@ type (
 	Progress = obs.Progress
 	// RunStatus is the JSON document /runz serves (schema adiv.runz/v1).
 	RunStatus = obs.RunStatus
+	// Tracer records per-event execution spans (monotonic start/end,
+	// trace/span/parent IDs, worker lane, key=value attributes) into a
+	// bounded ring for Chrome/Perfetto export. Attach one to a Metrics
+	// registry with SetTracer and upgraded call sites start emitting; a
+	// nil *Tracer no-ops everything at zero cost.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded span or instant marker.
+	TraceEvent = obs.SpanEvent
+	// TraceReport is the analysis diagnose -trace prints: critical path,
+	// per-worker occupancy, top self-time spans, family cost rollups.
+	TraceReport = obs.TraceReport
 )
 
 // MetricsSchemaVersion identifies the snapshot JSON schema downstream
 // tooling can depend on.
 const MetricsSchemaVersion = obs.SchemaVersion
 
+// TraceSchemaVersion identifies the execution-trace export schema carried
+// in the Chrome trace file's otherData block.
+const TraceSchemaVersion = obs.TraceSchemaVersion
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.New() }
+
+// NewTracer returns a tracer retaining the most recent capacity spans
+// (capacity <= 0 selects the default, 65536).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// AnalyzeTrace computes the critical path, per-lane occupancy, top-N
+// self-time spans, and per-detector-family cost rollups of a span set.
+func AnalyzeTrace(spans []TraceEvent, topN int) TraceReport { return obs.AnalyzeTrace(spans, topN) }
 
 // NewEventLog returns an event log writing NDJSON lines to w.
 func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }

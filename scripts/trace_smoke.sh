@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke-test execution tracing end to end: run a quick perfmap with -trace,
+# check the exported file is a Chrome trace_event document carrying the
+# adiv.trace/v1 schema and at least one grid-cell span, then feed it to
+# diagnose -trace and require the critical-path analysis to come back. CI
+# runs this so the trace pipeline (export -> viewer format -> analyzer)
+# cannot silently rot between releases.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trace="$workdir/trace.json"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+echo "building perfmap and diagnose..."
+go build -o "$workdir/perfmap" ./cmd/perfmap
+go build -o "$workdir/diagnose" ./cmd/diagnose
+
+echo "running quick perfmap with -trace..."
+"$workdir/perfmap" -quick -j 2 -trace "$trace" \
+    >"$workdir/stdout.txt" 2>"$workdir/stderr.ndjson"
+
+if [[ ! -s "$trace" ]]; then
+    echo "FAIL: -trace produced no file at $trace" >&2
+    cat "$workdir/stderr.ndjson" >&2
+    exit 1
+fi
+if ! grep -q '"schema": "adiv.trace/v1"' "$trace"; then
+    echo "FAIL: trace file missing adiv.trace/v1 schema tag" >&2
+    head -n 20 "$trace" >&2
+    exit 1
+fi
+if ! grep -q '"traceEvents"' "$trace"; then
+    echo "FAIL: trace file is not a Chrome trace_event document" >&2
+    exit 1
+fi
+if ! grep -q '"name": "cell/' "$trace"; then
+    echo "FAIL: no grid-cell spans on the exported timeline" >&2
+    exit 1
+fi
+if ! grep -q '"traceOut"' "$workdir/stderr.ndjson"; then
+    echo "FAIL: run.done never announced traceOut" >&2
+    cat "$workdir/stderr.ndjson" >&2
+    exit 1
+fi
+cells=$(grep -c '"name": "cell/' "$trace")
+echo "exported Chrome trace with $cells cell events"
+
+echo "analyzing with diagnose -trace..."
+report=$("$workdir/diagnose" -trace "$trace")
+for want in "cell spans:" "critical path" "worker occupancy:"; do
+    if ! grep -q "$want" <<<"$report"; then
+        echo "FAIL: diagnose -trace report missing \"$want\":" >&2
+        echo "$report" >&2
+        exit 1
+    fi
+done
+if grep -q "cell spans: 0" <<<"$report"; then
+    echo "FAIL: analyzer counted zero cell spans" >&2
+    echo "$report" >&2
+    exit 1
+fi
+echo "trace smoke OK"
