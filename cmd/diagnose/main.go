@@ -7,13 +7,16 @@
 // Usage:
 //
 //	diagnose [-detector stide] [-size 7] [-window 5] [-quick]
-//	diagnose -status-url HOST:PORT
+//	diagnose -status-url HOST:PORT[,HOST:PORT...]
 //	diagnose -trace FILE [-top N]
 //
 // With -status-url, diagnose instead inspects a live run: it fetches /runz
 // and /metrics from the introspection server another command exposed with
 // -status and prints one progress table (phase, cells done/total, ETA,
-// per-map rows, top counters).
+// per-map rows, top counters). A comma-separated list of addresses renders
+// the aggregated fleet view of a sharded run (-shard i/N workers): one row
+// per worker plus summed cells and throughput, with the ETA of the slowest
+// worker; unreachable workers are reported without hiding the rest.
 //
 // With -trace, diagnose analyzes an execution trace another command exported
 // with -trace FILE: it prints the critical path (the sequential chain
@@ -43,7 +46,7 @@ func run(w io.Writer, args []string) error {
 	size := fs.Int("size", 7, "anomaly size (2-9)")
 	window := fs.Int("window", 5, "deployed detector window")
 	quick := fs.Bool("quick", true, "use the reduced configuration")
-	statusURL := fs.String("status-url", "", "inspect a live run instead: fetch /runz and /metrics from this -status server (host:port or URL) and print a progress table")
+	statusURL := fs.String("status-url", "", "inspect a live run instead: fetch /runz and /metrics from this -status server (host:port or URL) and print a progress table; a comma-separated list aggregates a sharded run's workers into one fleet view")
 	tracePath := fs.String("trace", "", "analyze an exported execution trace instead: print critical path, worker occupancy, and cost rollups for this Chrome trace JSON file")
 	top := fs.Int("top", 10, "with -trace, how many spans to rank by self-time")
 	if err := fs.Parse(args); err != nil {

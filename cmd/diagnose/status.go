@@ -8,6 +8,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,12 +23,92 @@ import (
 // topCounters is how many exposition counters the snapshot table shows.
 const topCounters = 5
 
-// statusSnapshot fetches base's /runz and /metrics and pretty-prints them.
-func statusSnapshot(w io.Writer, base string) error {
+// statusSnapshot dispatches on the -status-url form: one address renders that
+// run's full progress document; a comma-separated list renders the aggregated
+// fleet view of a sharded run (one row per worker, summed totals).
+func statusSnapshot(w io.Writer, urls string) error {
+	var bases []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			bases = append(bases, normalizeBase(u))
+		}
+	}
+	switch len(bases) {
+	case 0:
+		return fmt.Errorf("diagnose: -status-url holds no addresses")
+	case 1:
+		return statusOne(w, bases[0])
+	default:
+		return statusFleet(w, bases)
+	}
+}
+
+// normalizeBase turns a host:port or URL into a scheme-qualified base URL.
+func normalizeBase(base string) string {
 	base = strings.TrimSuffix(base, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
+	return base
+}
+
+// statusFleet aggregates the /runz documents of a sharded run's workers into
+// one table: a row per worker (its shard identity, phase, cell progress,
+// throughput, ETA), then fleet totals — cells and rates sum, the ETA is the
+// slowest worker's. Unreachable workers render as such and surface in the
+// returned error after the reachable rows are printed, so one dead worker
+// doesn't blind the operator to the rest of the fleet.
+func statusFleet(w io.Writer, bases []string) error {
+	fmt.Fprintf(w, "fleet status from %d workers\n\n", len(bases))
+	fmt.Fprintf(w, "%-28s %-8s %-10s %14s %12s %10s\n", "worker", "shard", "phase", "cells", "rate", "ETA")
+	var errs []error
+	var done, total int
+	var rate, maxETA float64
+	etaUnknown := false
+	for _, base := range bases {
+		var status adiv.RunStatus
+		body, err := fetch(base + "/runz")
+		if err == nil {
+			if jerr := json.Unmarshal(body, &status); jerr != nil {
+				err = fmt.Errorf("diagnose: %s/runz is not a run status document: %w", base, jerr)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(w, "%-28s %s\n", base, "unreachable")
+			errs = append(errs, err)
+			continue
+		}
+		shard := status.Shard
+		if shard == "" {
+			shard = "-"
+		}
+		fmt.Fprintf(w, "%-28s %-8s %-10s %7d/%-6d %9.2f/s %10s\n",
+			base, shard, status.Phase, status.CellsDone, status.CellsTotal,
+			status.CellsPerSec, formatETA(status.ETASeconds))
+		done += status.CellsDone
+		total += status.CellsTotal
+		rate += status.CellsPerSec
+		if status.ETASeconds < 0 {
+			etaUnknown = true
+		} else if status.ETASeconds > maxETA {
+			maxETA = status.ETASeconds
+		}
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	eta := maxETA
+	if etaUnknown {
+		eta = -1
+	}
+	fmt.Fprintf(w, "\nfleet: %d/%d cells (%.1f%%)   rate: %.2f cells/s   ETA: %s\n",
+		done, total, pct, rate, formatETA(eta))
+	return errors.Join(errs...)
+}
+
+// statusOne fetches base's /runz and /metrics and pretty-prints them.
+func statusOne(w io.Writer, base string) error {
 	var status adiv.RunStatus
 	body, err := fetch(base + "/runz")
 	if err != nil {
@@ -57,6 +138,9 @@ func statusSnapshot(w io.Writer, base string) error {
 	pct := 0.0
 	if status.CellsTotal > 0 {
 		pct = 100 * float64(status.CellsDone) / float64(status.CellsTotal)
+	}
+	if status.Shard != "" {
+		fmt.Fprintf(w, "shard: %s of a distributed run\n", status.Shard)
 	}
 	fmt.Fprintf(w, "phase: %-12s uptime: %s\n", status.Phase, (time.Duration(status.UptimeMs) * time.Millisecond).Round(time.Second))
 	fmt.Fprintf(w, "cells: %d/%d (%.1f%%)   rate: %.2f cells/s   ETA: %s\n\n",

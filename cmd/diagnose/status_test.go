@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -120,5 +121,75 @@ func TestStatusSnapshotErrors(t *testing.T) {
 	notFound.Close()
 	if err := run(&sb, []string{"-status-url", unreachable}); err == nil {
 		t.Error("unreachable server not reported")
+	}
+}
+
+// shardStatusServer serves a /runz document for one worker of a sharded run.
+func shardStatusServer(t *testing.T, shard string, done, total int, rate, eta float64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/runz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"schema":"adiv.runz/v1","phase":"grid","shard":%q,`+
+			`"startedAt":"2026-08-06T12:00:00Z","uptimeMs":1000,`+
+			`"cellsDone":%d,"cellsTotal":%d,"cellsPerSec":%g,"etaSeconds":%g,"maps":[]}`,
+			shard, done, total, rate, eta)
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestStatusFleet aggregates three shard workers: one row per worker with its
+// shard identity, summed cells and rates, and the slowest worker's ETA.
+func TestStatusFleet(t *testing.T) {
+	a := shardStatusServer(t, "1/3", 10, 40, 2.0, 15)
+	b := shardStatusServer(t, "2/3", 20, 40, 1.0, 20)
+	c := shardStatusServer(t, "3/3", 40, 40, 0.5, 0)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	var sb strings.Builder
+	urls := a.URL + "," + b.URL + "," + c.URL
+	if err := run(&sb, []string{"-status-url", urls}); err != nil {
+		t.Fatalf("run -status-url fleet: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fleet status from 3 workers",
+		"1/3", "2/3", "3/3",
+		"10/40", "20/40", "40/40",
+		"fleet: 70/120 cells (58.3%)",
+		"rate: 3.50 cells/s",
+		"ETA: 20s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatusFleetPartialOutage keeps rendering reachable workers when one is
+// down, and still reports the failure through the returned error.
+func TestStatusFleetPartialOutage(t *testing.T) {
+	alive := shardStatusServer(t, "1/2", 5, 10, 1.0, 5)
+	defer alive.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	var sb strings.Builder
+	err := run(&sb, []string{"-status-url", alive.URL + "," + deadURL})
+	if err == nil {
+		t.Fatal("dead worker not reported in the error")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1/2") || !strings.Contains(out, "5/10") {
+		t.Errorf("reachable worker not rendered despite outage:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("dead worker row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "fleet: 5/10 cells") {
+		t.Errorf("fleet totals missing:\n%s", out)
 	}
 }

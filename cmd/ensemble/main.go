@@ -12,13 +12,15 @@
 // Usage:
 //
 //	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
-//	         [-checkpoint DIR] [-resume]
+//	         [-checkpoint DIR] [-resume] [-shard i/N]
 //	         [-metrics-out FILE] [-progress] [-status ADDR]
 //	         [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -checkpoint DIR every completed grid cell of the four coverage maps
 // is journaled; an interrupted run restarted with -resume replays the
 // journaled cells bit-identically and evaluates only the remainder.
+// -shard i/N restricts the run to one shard of an N-way grid partition,
+// journaling to DIR/shard-i-of-N for a later checkpoint merge.
 package main
 
 import (
@@ -92,7 +94,7 @@ func run(w io.Writer, args []string) (err error) {
 	}
 
 	obsRun.Progress().SetPhase("coverage")
-	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics); err != nil {
+	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, obsRun.Metrics); err != nil {
 		return err
 	}
 	obsRun.Progress().SetPhase("suppression")
@@ -107,7 +109,7 @@ func run(w io.Writer, args []string) (err error) {
 	return nil
 }
 
-func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
+func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, obsRun *runflags.Run, metrics *adiv.Metrics) error {
 	opts := adiv.DefaultEvalOptions()
 	// The four family maps share one bounded pool: expensive rows of one
 	// family interleave with cheap rows of another. They also report into
@@ -116,6 +118,7 @@ func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridSchedule
 	opts.Scheduler = sched
 	opts.Progress = prog
 	opts.Checkpoint = ckpt
+	opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 	stideMap, err := corpus.PerformanceMapObserved(adiv.DetectorStide, adiv.StideFactory, opts, metrics)
 	if err != nil {
 		return err

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"adiv/internal/checkpoint"
+	"adiv/internal/runflags"
+)
+
+// perProcessFlags are the runtime flags that must not be forwarded to fanout
+// workers: each names a per-process resource (a listen address, an output
+// file) that N workers would fight over, or is the fanout control itself.
+// Workers that need them can be launched by hand with explicit -shard flags.
+var perProcessFlags = map[string]bool{
+	"fanout":      true,
+	"shard":       true,
+	"status":      true,
+	"metrics-out": true,
+	"cpuprofile":  true,
+	"memprofile":  true,
+	"trace":       true,
+}
+
+// stripFlags removes the named flags (with their values) from a parsed
+// argument list, handling the forms -name value, -name=value, and --name.
+// valueless marks flags that never consume a following argument (booleans).
+func stripFlags(args []string, names map[string]bool, valueless map[string]bool) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		name, hasValue := "", false
+		if strings.HasPrefix(arg, "-") {
+			name = strings.TrimLeft(arg, "-")
+			if eq := strings.IndexByte(name, '='); eq >= 0 {
+				name, hasValue = name[:eq], true
+			}
+		}
+		if name != "" && names[name] {
+			if !hasValue && !valueless[name] && i+1 < len(args) {
+				i++ // the flag's value travels with it
+			}
+			continue
+		}
+		out = append(out, arg)
+	}
+	return out
+}
+
+// boolFlags are the perfmap flags that never take a separate value argument;
+// stripFlags needs to know them so it doesn't swallow the argument after a
+// stripped boolean.
+var boolFlags = map[string]bool{
+	"quick": true, "csv": true, "json": true, "progress": true, "resume": true,
+}
+
+// runFanout is the -fanout N coordinator: it re-executes this binary N times
+// with -shard i/N (each worker evaluating its slice of the grid into
+// DIR/shard-i-of-N/grid.journal), waits for all workers, merges the shard
+// journals into DIR/grid.journal with conflict detection, and finally renders
+// the figures in-process from the merged journal via -resume. The final
+// rendering pass replays every cell bit-identically, so fanout output on
+// stdout matches a serial run's byte for byte (coordination narration goes to
+// stderr).
+func runFanout(w io.Writer, args []string, n int, f *runflags.Flags) error {
+	if n < 1 {
+		return fmt.Errorf("-fanout %d: need at least 1 worker", n)
+	}
+	if f.Checkpoint == "" {
+		return fmt.Errorf("-fanout requires -checkpoint DIR (the workers rendezvous through their shard journals)")
+	}
+	if f.Shard != "" {
+		return fmt.Errorf("-fanout and -shard are mutually exclusive: fanout assigns shards itself")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating worker binary: %w", err)
+	}
+
+	workerArgs := stripFlags(args, perProcessFlags, boolFlags)
+	type worker struct {
+		index int
+		cmd   *exec.Cmd
+		log   *os.File
+	}
+	var workers []worker
+	var srcs []string
+	for i := 1; i <= n; i++ {
+		shardDir := filepath.Join(f.Checkpoint, checkpoint.ShardDirName(i, n))
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return err
+		}
+		srcs = append(srcs, filepath.Join(shardDir, checkpoint.JournalFile))
+		// -resume lets a re-run fanout continue partially-journaled shards
+		// instead of refusing them.
+		cargs := append(append([]string(nil), workerArgs...),
+			"-shard", fmt.Sprintf("%d/%d", i, n), "-resume")
+		log, err := os.Create(filepath.Join(shardDir, "worker.log"))
+		if err != nil {
+			return err
+		}
+		cmd := exec.Command(exe, cargs...)
+		cmd.Stdout = log
+		cmd.Stderr = log
+		if err := cmd.Start(); err != nil {
+			log.Close()
+			return fmt.Errorf("starting worker %d/%d: %w", i, n, err)
+		}
+		fmt.Fprintf(os.Stderr, "perfmap: fanout worker %d/%d started (pid %d, log %s)\n",
+			i, n, cmd.Process.Pid, log.Name())
+		workers = append(workers, worker{index: i, cmd: cmd, log: log})
+	}
+
+	var failed []string
+	for _, wk := range workers {
+		err := wk.cmd.Wait()
+		wk.log.Close()
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("worker %d/%d: %v (see %s)", wk.index, n, err, wk.log.Name()))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "perfmap: fanout worker %d/%d finished\n", wk.index, n)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("fanout workers failed:\n  %s", strings.Join(failed, "\n  "))
+	}
+
+	dst := filepath.Join(f.Checkpoint, checkpoint.JournalFile)
+	stats, err := checkpoint.Merge(dst, srcs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "perfmap: merged %d shard journals into %s: %d cells", stats.Shards, dst, stats.Cells)
+	if stats.Duplicates > 0 || stats.Superseded > 0 || stats.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr, " (%d duplicates, %d superseded, %d torn bytes dropped)",
+			stats.Duplicates, stats.Superseded, stats.TornBytes)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	// Final render: the same invocation minus -fanout, resuming from the
+	// merged journal. Every cell replays, so -j no longer affects the bytes.
+	renderArgs := append(stripFlags(args, map[string]bool{"fanout": true, "resume": true}, boolFlags), "-resume")
+	return run(w, renderArgs)
+}

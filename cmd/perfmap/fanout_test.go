@@ -1,0 +1,75 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStripFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{
+			"separate values",
+			[]string{"-quick", "-fanout", "3", "-checkpoint", "dir", "-status", ":0"},
+			[]string{"-quick", "-checkpoint", "dir"},
+		},
+		{
+			"equals form",
+			[]string{"-fanout=3", "-csv", "-metrics-out=m.json", "-j", "4"},
+			[]string{"-csv", "-j", "4"},
+		},
+		{
+			"double dash",
+			[]string{"--fanout", "3", "--trace", "t.json", "--progress"},
+			[]string{"--progress"},
+		},
+		{
+			"boolean before positional stays intact",
+			[]string{"-shard", "2/3", "-quick"},
+			[]string{"-quick"},
+		},
+		{
+			"nothing to strip",
+			[]string{"-quick", "-csv", "-j", "2"},
+			[]string{"-quick", "-csv", "-j", "2"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := stripFlags(tc.in, perProcessFlags, boolFlags)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("stripFlags(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStripFlagsBooleanValueless pins the valueless set: stripping a boolean
+// flag must not swallow the argument after it.
+func TestStripFlagsBooleanValueless(t *testing.T) {
+	got := stripFlags([]string{"-resume", "-checkpoint", "dir"},
+		map[string]bool{"resume": true}, boolFlags)
+	want := []string{"-checkpoint", "dir"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stripFlags = %v, want %v", got, want)
+	}
+}
+
+func TestRunFanoutValidation(t *testing.T) {
+	if err := run(discard{}, []string{"-fanout", "3"}); err == nil {
+		t.Error("fanout without -checkpoint accepted")
+	}
+	if err := run(discard{}, []string{"-fanout", "3", "-checkpoint", t.TempDir(), "-shard", "1/3"}); err == nil {
+		t.Error("-fanout combined with -shard accepted")
+	}
+	if err := run(discard{}, []string{"-fanout", "-2", "-checkpoint", t.TempDir()}); err == nil {
+		t.Error("negative -fanout accepted")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

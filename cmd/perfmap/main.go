@@ -38,6 +38,16 @@
 //	                 skip training outright), remaining cells run live;
 //	                 refused if the journal was written under different
 //	                 parameters
+//	-shard i/N       evaluate only shard i of an N-way grid partition (a
+//	                 deterministic hash of each cell's coordinates),
+//	                 journaling to DIR/shard-i-of-N/grid.journal; N such
+//	                 workers — processes or machines sharing nothing but
+//	                 the configuration — cover the grid exactly once
+//	-fanout N        run the whole distributed pipeline locally: spawn N
+//	                 -shard workers, wait, merge their journals into
+//	                 DIR/grid.journal (refusing conflicting duplicate
+//	                 cells), and render the figures from the merged
+//	                 journal — stdout is byte-identical to a serial run
 package main
 
 import (
@@ -66,9 +76,16 @@ func run(w io.Writer, args []string) (err error) {
 	quick := fs.Bool("quick", false, "use the reduced configuration")
 	csv := fs.Bool("csv", false, "additionally emit maps as CSV")
 	asJSON := fs.Bool("json", false, "additionally emit maps as JSON")
+	fanout := fs.Int("fanout", 0, "spawn N local worker processes, each evaluating one shard of the grid into -checkpoint DIR/shard-i-of-N, then merge the shard journals and render the maps from the merged journal; requires -checkpoint")
 	obsFlags := runflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fanout != 0 {
+		// The fanout coordinator branches before Start: the final rendering
+		// pass it ends with re-enters run() and performs the one Start (and
+		// -status bind, profile capture, ...) of this process.
+		return runFanout(w, args, *fanout, obsFlags)
 	}
 
 	cfg := adiv.DefaultConfig()
@@ -149,6 +166,7 @@ func run(w io.Writer, args []string) (err error) {
 		opts.Scheduler = obsRun.Scheduler()
 		opts.Progress = obsRun.Progress()
 		opts.Checkpoint = ckpt
+		opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 		m, err := corpus.PerformanceMapObserved(name, factory, opts, obsRun.Metrics)
 		if err != nil {
 			return err

@@ -7,7 +7,7 @@
 //
 //	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
 //	       [-status ADDR] [-trace FILE] [-cpuprofile FILE]
-//	       [-memprofile FILE] [-checkpoint DIR] [-resume]
+//	       [-memprofile FILE] [-checkpoint DIR] [-resume] [-shard i/N]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element
 // training stream and takes a few minutes, dominated by the fourteen
@@ -18,7 +18,10 @@
 // (ablation points under parameter-qualified keys), so an interrupted
 // full-scale run restarted with -resume replays the finished cells —
 // including whole finished neural-network rows, which then skip training —
-// and evaluates only the remainder.
+// and evaluates only the remainder. -shard i/N restricts the run to one
+// shard of an N-way grid partition (journaling to DIR/shard-i-of-N), so N
+// worker processes or machines can split a full-scale report and a merged
+// journal renders it.
 package main
 
 import (
@@ -104,7 +107,7 @@ func run(args []string) (err error) {
 		return err
 	}
 	obsRun.Progress().SetPhase("figures")
-	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, metrics)
+	maps, err := figures3to6(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, metrics)
 	if err != nil {
 		return err
 	}
@@ -115,7 +118,7 @@ func run(args []string) (err error) {
 		return err
 	}
 	obsRun.Progress().SetPhase("ablations")
-	if err := ablations(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, metrics); err != nil {
+	if err := ablations(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, metrics); err != nil {
 		return err
 	}
 	return prevalence(w)
@@ -130,7 +133,7 @@ func figure2(w io.Writer, corpus *adiv.Corpus) error {
 	return nil
 }
 
-func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
+func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, obsRun *runflags.Run, metrics *adiv.Metrics) (map[string]*adiv.Map, error) {
 	order := []struct {
 		figure int
 		name   string
@@ -149,6 +152,7 @@ func figures3to6(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, pr
 		opts.Scheduler = sched
 		opts.Progress = prog
 		opts.Checkpoint = ckpt
+		opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 		fmt.Fprintf(os.Stderr, "report: figure %d (%s)...\n", item.figure, item.name)
 		m, err := corpus.PerformanceMapObserved(item.name, factory, opts, metrics)
 		if err != nil {
@@ -241,12 +245,13 @@ func combination(w io.Writer, corpus *adiv.Corpus, maps map[string]*adiv.Map) er
 	return nil
 }
 
-func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
+func ablations(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, obsRun *runflags.Run, metrics *adiv.Metrics) error {
 	fmt.Fprintf(os.Stderr, "report: ablations...\n")
 	opts := adiv.DefaultEvalOptions()
 	opts.Scheduler = sched
 	opts.Progress = prog
 	opts.Checkpoint = ckpt
+	opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 	fmt.Fprintf(w, "## Parameter ablations\n\n")
 	fmt.Fprintf(w, "t-stide rarity cutoff (coverage cells of %d vs false alarms on rare data):\n\n", 112)
 	fmt.Fprintf(w, "| cutoff | capable cells | false alarms |\n|---|---|---|\n")

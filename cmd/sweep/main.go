@@ -29,7 +29,9 @@
 // cutoff) honor -checkpoint DIR / -resume: every grid cell of every
 // parameter point is journaled under a parameter-qualified key (e.g.
 // "nn[epochs=25,lr=0.1]"), so a resumed sweep skips the parameter points
-// it already finished.
+// it already finished. -shard i/N evaluates one shard of an N-way grid
+// partition (journaling to DIR/shard-i-of-N); checkpoint.Merge reassembles
+// the shard journals for a final -resume rendering run.
 package main
 
 import (
@@ -109,9 +111,9 @@ func run(w io.Writer, args []string) (err error) {
 	case "threshold":
 		return thresholdSweep(w, corpus, *window, *size, *trials)
 	case "nn":
-		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics)
+		return nnGrid(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, obsRun.Metrics)
 	case "cutoff":
-		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun.Metrics)
+		return cutoffSweep(w, corpus, *window, *size, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, obsRun.Metrics)
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
@@ -228,13 +230,14 @@ func thresholdSweep(w io.Writer, corpus *adiv.Corpus, window, size, trials int) 
 }
 
 // nnGrid charts coverage across neural-network tuning parameters.
-func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
+func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, obsRun *runflags.Run, metrics *adiv.Metrics) error {
 	total := (corpus.Config.MaxSize - corpus.Config.MinSize + 1) *
 		(corpus.Config.MaxWindow - corpus.Config.MinWindow + 1)
 	opts := adiv.NeuralNetEvalOptions()
 	opts.Scheduler = sched
 	opts.Progress = prog
 	opts.Checkpoint = ckpt
+	opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 	fmt.Fprintln(w, "epochs,learning_rate,capable_cells,total_cells")
 	for _, epochs := range []int{1, 25, 100, 400} {
 		for _, lr := range []float64{0.01, 0.1, 0.25} {
@@ -257,7 +260,7 @@ func nnGrid(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridScheduler, prog *a
 
 // cutoffSweep charts t-stide's coverage and false alarms against its
 // rarity cutoff.
-func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, metrics *adiv.Metrics) error {
+func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv.GridScheduler, prog *adiv.Progress, ckpt *adiv.CheckpointJournal, obsRun *runflags.Run, metrics *adiv.Metrics) error {
 	noisy, err := corpus.NoisyStream(10_000, 1)
 	if err != nil {
 		return err
@@ -270,6 +273,7 @@ func cutoffSweep(w io.Writer, corpus *adiv.Corpus, window, size int, sched *adiv
 	opts.Scheduler = sched
 	opts.Progress = prog
 	opts.Checkpoint = ckpt
+	opts.ShardIndex, opts.ShardCount = obsRun.Shard()
 	fmt.Fprintln(w, "cutoff,capable_cells,false_alarms_on_rare_data")
 	for _, cutoff := range []float64{0.0001, 0.001, 0.005, 0.02, 0.1} {
 		factory := func(dw int) (adiv.Detector, error) { return adiv.NewTStide(dw, cutoff) }

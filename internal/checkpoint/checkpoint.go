@@ -12,6 +12,13 @@
 // with different parameters — a resumed run must be byte-identical to an
 // uninterrupted one, which only holds when alphabet, seeds, grid bounds,
 // detector set, and corpus content all match.
+//
+// The same substrate scales a grid across processes: ShardOf partitions the
+// cell set deterministically by hash(key, window, size) mod N, each worker
+// journals its share under a shard-qualified fingerprint (WithShard) in its
+// own shard directory, and Merge verifies the shards belong to one run,
+// rejects conflicting duplicate cells, and assembles the combined journal a
+// final unsharded -resume run replays into the full map.
 package checkpoint
 
 import (
@@ -31,6 +38,12 @@ const SchemaVersion = "adiv.ckpt/v1"
 
 // JournalFile is the journal's file name inside the checkpoint directory.
 const JournalFile = "grid.journal"
+
+// CorruptSuffix is appended to JournalFile when Open preserves a journal
+// whose header could not be decoded: the unreadable file is renamed to
+// "grid.journal.corrupt" instead of being truncated in place, so completed
+// cells (and the evidence of what corrupted them) survive the restart.
+const CorruptSuffix = ".corrupt"
 
 // maxRecordLen bounds a single record's payload. Cell records are well
 // under a kilobyte; the cap keeps a corrupted length prefix from demanding
@@ -144,8 +157,19 @@ type Journal struct {
 	// resumed counts the records recovered from disk at Open.
 	resumed int
 
+	// superseded counts duplicate appends of an already-journaled cell key
+	// — both at Open (duplicate frames recovered from disk) and live. The
+	// journal's contract is last-write-wins: every frame stays in the file,
+	// the replay map keeps only the latest record per (key, window, size),
+	// and Merge relies on exactly this collapse for its conflict detection.
+	superseded int
+
+	// corruptPath is where Open preserved an unreadable predecessor journal
+	// ("" when the open found a healthy or absent file).
+	corruptPath string
+
 	// Telemetry handles; nil when uninstrumented.
-	replayed, appended, bytes *obs.Counter
+	replayed, appended, bytes, supersededC *obs.Counter
 }
 
 // Open opens (or creates) the journal under dir with the given fingerprint.
@@ -157,8 +181,11 @@ type Journal struct {
 // An existing journal with resume false is refused (the caller must opt in
 // to reuse), as is a fingerprint mismatch — replaying cells computed under
 // different parameters would silently corrupt the resumed run. A journal
-// whose header itself is unreadable carries no provable provenance and is
-// restarted from scratch.
+// whose header itself is unreadable carries no provable provenance and
+// cannot be resumed, but it is never destroyed: without resume Open refuses
+// outright (the file is left untouched for forensics), and with resume the
+// unreadable file is preserved as JournalFile+CorruptSuffix — its path
+// reported by CorruptPath — before a fresh journal is started in its place.
 func Open(dir string, fp Fingerprint, resume bool) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
@@ -176,15 +203,31 @@ func Open(dir string, fp Fingerprint, resume bool) (*Journal, error) {
 		return nil, fmt.Errorf("checkpoint: journal %s was written under a different configuration (journal %s, run %s); refusing to resume",
 			path, hdr.Fingerprint.canonical(), fp.canonical())
 	}
+	corruptPath := ""
+	if hdr == nil && len(data) > 0 {
+		// The file holds bytes but no decodable header: whatever cells it
+		// carried cannot be trusted, but silently truncating them would
+		// destroy completed work with no warning and no backup. Refuse
+		// unless the caller opted into a restart with resume; even then,
+		// preserve the unreadable file beside the fresh journal.
+		preserved := path + CorruptSuffix
+		if !resume {
+			return nil, fmt.Errorf("checkpoint: journal %s exists but its header is unreadable; pass -resume to preserve it as %s and restart, or remove the directory", path, preserved)
+		}
+		if err := os.Rename(path, preserved); err != nil {
+			return nil, fmt.Errorf("checkpoint: preserving corrupt journal: %w", err)
+		}
+		corruptPath = preserved
+	}
 
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	j := &Journal{f: f, path: path, fp: fp, cells: make(map[cellKey]CellRecord, len(recs))}
+	j := &Journal{f: f, path: path, fp: fp, corruptPath: corruptPath, cells: make(map[cellKey]CellRecord, len(recs))}
 	if hdr == nil {
-		// No provable header: restart the journal. Covers both the fresh
-		// file and the pathological corrupt-header case.
+		// Fresh journal: either no prior file, or the corrupt predecessor
+		// was just renamed out of the way.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("checkpoint: truncating %s: %w", path, err)
@@ -213,7 +256,11 @@ func Open(dir string, fp Fingerprint, resume bool) (*Journal, error) {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	for _, rec := range recs {
-		j.cells[cellKey{rec.Key, rec.Window, rec.Size}] = rec
+		k := cellKey{rec.Key, rec.Window, rec.Size}
+		if _, dup := j.cells[k]; dup {
+			j.superseded++
+		}
+		j.cells[k] = rec
 	}
 	j.resumed = len(recs)
 	return j, nil
@@ -221,8 +268,11 @@ func Open(dir string, fp Fingerprint, resume bool) (*Journal, error) {
 
 // Instrument records journal telemetry into reg: ckpt/cells_replayed
 // (journaled cells handed back to a grid builder), ckpt/cells_appended
-// (cells journaled this run), and ckpt/bytes (journal size, including the
-// prefix recovered at Open). A nil registry disables instrumentation.
+// (cells journaled this run), ckpt/bytes (journal size, including the
+// prefix recovered at Open), ckpt/cells_superseded (duplicate appends
+// collapsed by the last-write-wins replay map, counting those already found
+// on disk at Open), and ckpt/corrupt (1 when Open preserved an unreadable
+// predecessor journal). A nil registry disables instrumentation.
 func (j *Journal) Instrument(reg *obs.Registry) {
 	if j == nil || reg == nil {
 		return
@@ -232,6 +282,11 @@ func (j *Journal) Instrument(reg *obs.Registry) {
 	j.replayed = reg.Counter("ckpt/cells_replayed")
 	j.appended = reg.Counter("ckpt/cells_appended")
 	j.bytes = reg.Counter("ckpt/bytes")
+	j.supersededC = reg.Counter("ckpt/cells_superseded")
+	j.supersededC.Add(int64(j.superseded))
+	if j.corruptPath != "" {
+		reg.Counter("ckpt/corrupt").Inc()
+	}
 	if st, err := j.f.Stat(); err == nil {
 		j.bytes.Add(st.Size())
 	}
@@ -259,6 +314,27 @@ func (j *Journal) Resumed() int {
 		return 0
 	}
 	return j.resumed
+}
+
+// CorruptPath returns where Open preserved an unreadable predecessor
+// journal, or "" when the open found a healthy (or absent) file.
+func (j *Journal) CorruptPath() string {
+	if j == nil {
+		return ""
+	}
+	return j.corruptPath
+}
+
+// Superseded returns how many appends overwrote an already-journaled cell
+// key under the last-write-wins contract (including duplicate frames found
+// on disk at Open).
+func (j *Journal) Superseded() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.superseded
 }
 
 // Cells returns how many distinct cells the journal currently holds.
@@ -291,6 +367,13 @@ func (j *Journal) Lookup(key string, window, size int) (CellRecord, bool) {
 // system before Append returns (one unbuffered write), so a process killed
 // an instant later loses at most the record a torn write left half-framed —
 // which the next Open's CRC check truncates away.
+//
+// Appending a cell key that is already journaled is legal and follows the
+// last-write-wins contract: both frames stay in the file (the journal is
+// append-only), but Lookup — and the replay map a later Open rebuilds, and
+// the per-shard collapse Merge performs — returns only the latest record.
+// Each supersession is surfaced through Superseded and the
+// ckpt/cells_superseded counter rather than hidden.
 func (j *Journal) Append(rec CellRecord) error {
 	if j == nil {
 		return nil
@@ -310,7 +393,12 @@ func (j *Journal) Append(rec CellRecord) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
 	}
-	j.cells[cellKey{rec.Key, rec.Window, rec.Size}] = rec
+	k := cellKey{rec.Key, rec.Window, rec.Size}
+	if _, dup := j.cells[k]; dup {
+		j.superseded++
+		j.supersededC.Inc()
+	}
+	j.cells[k] = rec
 	j.appended.Inc()
 	j.bytes.Add(int64(len(frame)))
 	return nil

@@ -238,7 +238,8 @@ func TestJournalRecoversBitFlip(t *testing.T) {
 func TestJournalCorruptHeaderRestarts(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, JournalFile)
-	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+	garbage := []byte("not a journal at all")
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	fp := testFingerprint()
@@ -248,6 +249,22 @@ func TestJournalCorruptHeaderRestarts(t *testing.T) {
 	}
 	if j.Resumed() != 0 {
 		t.Fatalf("Resumed = %d from corrupt header, want 0", j.Resumed())
+	}
+	// The unreadable predecessor is preserved, not destroyed.
+	if got := j.CorruptPath(); got != path+CorruptSuffix {
+		t.Fatalf("CorruptPath = %q, want %q", got, path+CorruptSuffix)
+	}
+	preserved, err := os.ReadFile(path + CorruptSuffix)
+	if err != nil {
+		t.Fatalf("reading preserved corrupt journal: %v", err)
+	}
+	if string(preserved) != string(garbage) {
+		t.Fatalf("preserved corrupt journal content changed: %q", preserved)
+	}
+	reg := obs.New()
+	j.Instrument(reg)
+	if got := reg.Counter("ckpt/corrupt").Value(); got != 1 {
+		t.Errorf("ckpt/corrupt = %d, want 1", got)
 	}
 	if err := j.Append(testRecord("stide", 2, 2)); err != nil {
 		t.Fatalf("Append: %v", err)
@@ -260,6 +277,144 @@ func TestJournalCorruptHeaderRestarts(t *testing.T) {
 	defer back.Close()
 	if back.Resumed() != 1 {
 		t.Fatalf("Resumed = %d after restart, want 1", back.Resumed())
+	}
+	if back.CorruptPath() != "" {
+		t.Errorf("healthy reopen reports CorruptPath %q", back.CorruptPath())
+	}
+}
+
+// TestJournalCorruptHeaderPreservesCells is the data-loss regression test:
+// a journal holding completed cells whose header takes a bit flip must not
+// be clobbered in place. Without -resume the open refuses outright and the
+// file survives byte-for-byte; with -resume the unreadable file is renamed
+// to grid.journal.corrupt — every journaled byte still on disk — and a
+// fresh journal starts in its place.
+func TestJournalCorruptHeaderPreservesCells(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	for size := 2; size <= 6; size++ {
+		if err := j.Append(testRecord("stide", 3, size)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the header payload: the CRC no longer matches,
+	// so the whole journal loses its provenance.
+	flipped := append([]byte(nil), data...)
+	flipped[frameOverhead+2] ^= 0x08
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without resume: hard refusal, file untouched.
+	if _, err := Open(dir, fp, false); err == nil {
+		t.Fatalf("Open over corrupt header without resume succeeded")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("refusal does not mention -resume: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("journal destroyed by refused open: %v", err)
+	}
+	if string(after) != string(flipped) {
+		t.Fatalf("refused open modified the journal in place")
+	}
+
+	// With resume: preserved as .corrupt, byte-for-byte, and a fresh
+	// journal takes its place.
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("Open with resume over corrupt header: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() != 0 {
+		t.Fatalf("Resumed = %d from corrupt journal, want 0", back.Resumed())
+	}
+	preserved, err := os.ReadFile(path + CorruptSuffix)
+	if err != nil {
+		t.Fatalf("corrupt journal not preserved: %v", err)
+	}
+	if string(preserved) != string(flipped) {
+		t.Fatalf("preserved corrupt journal diverges from the original bytes")
+	}
+}
+
+// TestJournalLastWriteWins pins the duplicate-append contract Merge relies
+// on: both frames stay in the file, Lookup and a reopened journal's replay
+// map return the latest record, and the supersession is surfaced through
+// Superseded and ckpt/cells_superseded instead of happening silently.
+func TestJournalLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+	j, err := Open(dir, fp, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	reg := obs.New()
+	j.Instrument(reg)
+
+	first := testRecord("stide", 3, 4)
+	second := first
+	second.RespBits = math.Float64bits(0.875)
+	second.Outcome = 2
+	if err := j.Append(first); err != nil {
+		t.Fatalf("Append first: %v", err)
+	}
+	if err := j.Append(second); err != nil {
+		t.Fatalf("Append duplicate: %v", err)
+	}
+	if got, ok := j.Lookup("stide", 3, 4); !ok || got != second {
+		t.Fatalf("Lookup after duplicate append = %+v ok=%v, want latest %+v", got, ok, second)
+	}
+	if j.Superseded() != 1 {
+		t.Errorf("Superseded = %d, want 1", j.Superseded())
+	}
+	if got := reg.Counter("ckpt/cells_superseded").Value(); got != 1 {
+		t.Errorf("ckpt/cells_superseded = %d, want 1", got)
+	}
+	j.Close()
+
+	// Both frames are in the file (the journal is append-only)...
+	data, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, recs, _ := decodeAll(data); len(recs) != 2 {
+		t.Fatalf("journal holds %d frames, want both duplicate frames (2)", len(recs))
+	}
+
+	// ...but replay keeps only the last, and reports the supersession.
+	back, err := Open(dir, fp, true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer back.Close()
+	if back.Resumed() != 2 {
+		t.Fatalf("Resumed = %d, want 2 frames recovered", back.Resumed())
+	}
+	if back.Cells() != 1 {
+		t.Fatalf("Cells = %d after duplicate replay, want 1", back.Cells())
+	}
+	if got, ok := back.Lookup("stide", 3, 4); !ok || got != second {
+		t.Fatalf("replayed Lookup = %+v ok=%v, want latest %+v", got, ok, second)
+	}
+	if back.Superseded() != 1 {
+		t.Errorf("replayed Superseded = %d, want 1", back.Superseded())
+	}
+	reg2 := obs.New()
+	back.Instrument(reg2)
+	if got := reg2.Counter("ckpt/cells_superseded").Value(); got != 1 {
+		t.Errorf("replayed ckpt/cells_superseded = %d, want 1", got)
 	}
 }
 

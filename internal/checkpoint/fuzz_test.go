@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -70,6 +71,64 @@ func FuzzJournalDecode(f *testing.F) {
 			if recs[i] != recs2[i] {
 				t.Fatalf("record %d changed across re-decode: %+v vs %+v", i, recs[i], recs2[i])
 			}
+		}
+	})
+}
+
+// FuzzMerge drives Merge over three arbitrary shard files: it must never
+// panic, and whenever it succeeds the merged journal must itself be fully
+// valid — a decodable header followed by nothing but valid records, with no
+// torn tail of its own.
+func FuzzMerge(f *testing.F) {
+	valid := fuzzSeedJournal(f)
+	shard1, err := encodeFrame(header{Schema: SchemaVersion, Fingerprint: WithShard(testFingerprint(), 1, 2)})
+	if err != nil {
+		f.Fatalf("encoding shard header: %v", err)
+	}
+	shard2, err := encodeFrame(header{Schema: SchemaVersion, Fingerprint: WithShard(testFingerprint(), 2, 2)})
+	if err != nil {
+		f.Fatalf("encoding shard header: %v", err)
+	}
+	rec, err := encodeFrame(CellRecord{Key: "stide", Detector: "stide", Window: 2, Size: 2, RespBits: math.Float64bits(1.0), Outcome: 3})
+	if err != nil {
+		f.Fatalf("encoding record: %v", err)
+	}
+	f.Add(valid, valid, valid)
+	f.Add(append([]byte(nil), shard1...), append([]byte(nil), shard2...), []byte{})
+	f.Add(append(append([]byte(nil), shard1...), rec...), append(append([]byte(nil), shard2...), rec...), valid[:11])
+	f.Add([]byte("garbage"), valid, valid[:len(valid)-5])
+
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		dir := t.TempDir()
+		var srcs []string
+		for i, data := range [][]byte{a, b, c} {
+			path := filepath.Join(dir, fmt.Sprintf("shard%d.journal", i))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			srcs = append(srcs, path)
+		}
+		dst := filepath.Join(dir, JournalFile)
+		stats, err := Merge(dst, srcs)
+		if err != nil {
+			return // refusal (foreign shards, headerless input, conflicts) is fine
+		}
+		merged, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatalf("successful Merge left no journal: %v", err)
+		}
+		hdr, recs, validLen := decodeAll(merged)
+		if hdr == nil {
+			t.Fatalf("merged journal has no decodable header")
+		}
+		if validLen != len(merged) {
+			t.Fatalf("merged journal carries a torn tail: %d valid of %d bytes", validLen, len(merged))
+		}
+		if len(recs) != stats.Cells {
+			t.Fatalf("merged journal holds %d records, stats claim %d cells", len(recs), stats.Cells)
+		}
+		if ShardLabel(hdr.Fingerprint) != "" {
+			t.Fatalf("merged journal still carries a shard qualifier: %q", hdr.Fingerprint.Extra)
 		}
 	})
 }

@@ -1,0 +1,140 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// MergeStats summarizes a successful Merge.
+type MergeStats struct {
+	// Shards is how many shard journals were merged.
+	Shards int
+	// Cells is how many distinct cells the merged journal holds.
+	Cells int
+	// Duplicates counts cells journaled identically by more than one shard
+	// (a cell re-run after a shard-count change, or an overlapping manual
+	// run); identical duplicates merge silently.
+	Duplicates int
+	// Superseded counts within-shard duplicate appends collapsed by the
+	// journal's last-write-wins contract before cross-shard comparison.
+	Superseded int
+	// TornBytes is how many trailing bytes of torn or corrupt shard tails
+	// were dropped across all shards (each shard keeps its longest valid
+	// prefix, exactly as Open would).
+	TornBytes int64
+}
+
+// Merge assembles the shard journals at srcs into one combined journal at
+// dst, written atomically (temp file + rename).
+//
+// Every shard must carry a decodable header, and after stripping each
+// header's shard qualifier all fingerprints must be equal — shards of
+// different runs (different corpus, grid, detector set, or extra) refuse to
+// merge, naming the offending file. Within a shard, duplicate appends of
+// one cell key collapse last-write-wins (the journal's documented Append
+// contract). Across shards, a cell journaled by more than one shard must be
+// bit-identical everywhere it appears: a conflicting duplicate — same
+// (key, window, size) with differing response bits or outcome — is a hard
+// error naming the cell and both sources, because silently picking either
+// record would make the merged map depend on shard order. Torn tails are
+// tolerated per shard just as Open tolerates them.
+//
+// The merged journal is headed by the base fingerprint (no shard
+// qualifier) and its records are sorted by (key, window, size), so merging
+// the same shards always produces byte-identical output and the combined
+// journal resumes under the unsharded run's own fingerprint.
+func Merge(dst string, srcs []string) (MergeStats, error) {
+	var stats MergeStats
+	if len(srcs) == 0 {
+		return stats, fmt.Errorf("checkpoint: merge: no shard journals given")
+	}
+	var base Fingerprint
+	merged := make(map[cellKey]CellRecord)
+	origin := make(map[cellKey]string)
+	for i, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return stats, fmt.Errorf("checkpoint: merge: %w", err)
+		}
+		hdr, recs, validLen := decodeAll(data)
+		if hdr == nil {
+			return stats, fmt.Errorf("checkpoint: merge: %s has no decodable journal header; not a shard journal (or corrupted past recovery)", src)
+		}
+		b := BaseFingerprint(hdr.Fingerprint)
+		if i == 0 {
+			base = b
+		} else if !base.Equal(b) {
+			return stats, fmt.Errorf("checkpoint: merge: %s was written under a different configuration (%s) than %s (%s); shards of different runs cannot merge",
+				src, b.canonical(), srcs[0], base.canonical())
+		}
+		stats.TornBytes += int64(len(data) - validLen)
+
+		// Collapse within-shard duplicates last-write-wins before the
+		// cross-shard comparison, mirroring the replay map Open builds.
+		local := make(map[cellKey]CellRecord, len(recs))
+		for _, rec := range recs {
+			k := cellKey{rec.Key, rec.Window, rec.Size}
+			if _, dup := local[k]; dup {
+				stats.Superseded++
+			}
+			local[k] = rec
+		}
+		for _, k := range sortedKeys(local) {
+			rec := local[k]
+			prev, seen := merged[k]
+			if !seen {
+				merged[k] = rec
+				origin[k] = src
+				continue
+			}
+			if prev != rec {
+				return stats, fmt.Errorf("checkpoint: merge conflict on cell %s (window %d, size %d): %s holds respBits=%016x outcome=%d, %s holds respBits=%016x outcome=%d; shards disagree on a completed cell",
+					k.key, k.window, k.size, origin[k], prev.RespBits, prev.Outcome, src, rec.RespBits, rec.Outcome)
+			}
+			stats.Duplicates++
+		}
+		stats.Shards++
+	}
+	stats.Cells = len(merged)
+
+	out, err := encodeFrame(header{Schema: SchemaVersion, Fingerprint: base})
+	if err != nil {
+		return stats, err
+	}
+	for _, k := range sortedKeys(merged) {
+		frame, err := encodeFrame(merged[k])
+		if err != nil {
+			return stats, err
+		}
+		out = append(out, frame...)
+	}
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return stats, fmt.Errorf("checkpoint: merge: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of the temp file
+		return stats, fmt.Errorf("checkpoint: merge: %w", err)
+	}
+	return stats, nil
+}
+
+// sortedKeys orders a cell map by (key, window, size) — the journal's
+// deterministic serialization order.
+func sortedKeys(m map[cellKey]CellRecord) []cellKey {
+	keys := make([]cellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key < keys[j].key
+		}
+		if keys[i].window != keys[j].window {
+			return keys[i].window < keys[j].window
+		}
+		return keys[i].size < keys[j].size
+	})
+	return keys
+}

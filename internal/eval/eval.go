@@ -101,6 +101,18 @@ type Options struct {
 	// injected scheduler fault (ErrInjectedFault) is never retried — it
 	// simulates the process dying. 0 disables retry.
 	CellRetries int
+	// ShardIndex/ShardCount partition the grid across cooperating worker
+	// processes (the commands' -shard i/N flag): when ShardCount > 0, only
+	// cells that checkpoint.ShardOf assigns to shard ShardIndex-1 are
+	// evaluated (or replayed); every other cell is skipped outright — not
+	// trained for, not journaled, not counted in progress totals. The
+	// partition is a pure function of (checkpoint key, window, size, N),
+	// so N workers running the same configuration cover the grid exactly
+	// once with no coordination, and checkpoint.Merge reassembles their
+	// journals into the full map. ShardIndex is 1-based; 0/0 (the zero
+	// value) evaluates everything.
+	ShardIndex int
+	ShardCount int
 }
 
 // DefaultOptions matches the paper's exact-threshold regime: only responses
@@ -125,6 +137,15 @@ func (o Options) Validate() error {
 	}
 	if o.CellRetries < 0 {
 		return fmt.Errorf("eval: negative cell retry count %d", o.CellRetries)
+	}
+	if o.ShardCount < 0 || o.ShardIndex < 0 {
+		return fmt.Errorf("eval: negative shard identity %d/%d", o.ShardIndex, o.ShardCount)
+	}
+	if o.ShardCount == 0 && o.ShardIndex != 0 {
+		return fmt.Errorf("eval: shard index %d without a shard count", o.ShardIndex)
+	}
+	if o.ShardCount > 0 && (o.ShardIndex < 1 || o.ShardIndex > o.ShardCount) {
+		return fmt.Errorf("eval: shard index %d outside 1..%d", o.ShardIndex, o.ShardCount)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -206,14 +207,39 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		return nil, err
 	}
 
+	ckKey := opts.CheckpointKey
+	if ckKey == "" {
+		ckKey = name
+	}
+	// Shard partition: a sharded worker owns only the cells ShardOf hashes
+	// to it; everything else is skipped outright, so N workers cover the
+	// grid exactly once between them. The unsharded run owns every cell.
+	inShard := func(window, size int) bool {
+		if opts.ShardCount == 0 {
+			return true
+		}
+		return checkpoint.ShardOf(ckKey, window, size, opts.ShardCount) == opts.ShardIndex-1
+	}
+
 	rows := maxWindow - minWindow + 1
-	totalCells := len(placements) * rows
-	reg.Event("map.start", obs.Fields{
+	totalCells := 0
+	for window := minWindow; window <= maxWindow; window++ {
+		for size := range placements {
+			if inShard(window, size) {
+				totalCells++
+			}
+		}
+	}
+	startFields := obs.Fields{
 		"detector": name,
 		"windows":  fmt.Sprintf("%d-%d", minWindow, maxWindow),
 		"sizes":    fmt.Sprintf("%d-%d", minSize, maxSize),
 		"cells":    totalCells,
-	})
+	}
+	if opts.ShardCount > 0 {
+		startFields["shard"] = fmt.Sprintf("%d/%d", opts.ShardIndex, opts.ShardCount)
+	}
+	reg.Event("map.start", startFields)
 	prog := opts.Progress
 	prog.StartMap(name, rows, totalCells)
 	tr := reg.Tracer()
@@ -229,10 +255,6 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 		sched = NewScheduler(opts.Workers)
 	}
 	ck := opts.Checkpoint
-	ckKey := opts.CheckpointKey
-	if ckKey == "" {
-		ckKey = name
-	}
 
 	type rowResult struct {
 		assessments []Assessment
@@ -269,6 +291,9 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 			live := 0
 			for size := minSize; size <= maxSize; size++ {
 				if _, ok := placements[size]; !ok {
+					continue
+				}
+				if !inShard(window, size) {
 					continue
 				}
 				rec, ok := ck.Lookup(ckKey, window, size)
@@ -354,6 +379,22 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 						// exponential backoff before the row gives up and the
 						// joined map error names this exact cell.
 						if errors.Is(err, ErrInjectedFault) || attempt >= opts.CellRetries {
+							// The cell.fail event carries the recovered
+							// panic's stack (when the failure was a panic):
+							// the joined map error names the cell, but only
+							// the stack says which detector frame blew up.
+							failFields := obs.Fields{
+								"detector": name,
+								"window":   window,
+								"size":     c.size,
+								"attempts": attempt + 1,
+								"error":    err.Error(),
+							}
+							var pe *panicError
+							if errors.As(err, &pe) {
+								failFields["stack"] = string(pe.stack)
+							}
+							reg.Event("cell.fail", failFields)
 							res.err = fmt.Errorf("eval: %s cell (window %d, size %d): %w", name, window, c.size, err)
 							return
 						}
@@ -446,15 +487,34 @@ func runTask(sched *Scheduler, fn func() error) (err error) {
 func runTaskLane(sched *Scheduler, fn func(lane int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if rerr, ok := r.(error); ok {
-				err = fmt.Errorf("panic: %w", rerr)
-			} else {
-				err = fmt.Errorf("panic: %v", r)
-			}
+			// The stack is captured here, inside the recovering frame,
+			// because it is gone the moment this deferred call returns —
+			// reducing a panic to its value alone would leave the
+			// cell-failure report with "panic: index out of range" and no
+			// way back to the detector frame that blew up.
+			err = &panicError{val: r, stack: debug.Stack()}
 		}
 	}()
 	sched.RunLane(func(lane int) { err = fn(lane) })
 	return err
+}
+
+// panicError is a recovered grid-task panic: the panicked value plus the
+// goroutine stack at recovery time. Unwrap exposes a panicked error value,
+// so errors.Is(err, ErrInjectedFault) still recognizes injected scheduler
+// faults through the wrapper.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+func (p *panicError) Unwrap() error {
+	if err, ok := p.val.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Cell-retry backoff: first retry after cellRetryBase, doubling per

@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"adiv/internal/checkpoint"
+	"adiv/internal/detector"
+	"adiv/internal/obs"
+	"adiv/internal/seq"
+)
+
+// TestBuildMapShardPartition is the sharding property test: for several shard
+// counts, every shard-filtered build records exactly the cells ShardOf assigns
+// to it — no more, no fewer — and the shards' union is cell-for-cell (bit for
+// bit in every response) the unsharded map. Disjointness follows: each cell
+// appears in exactly one shard because ShardOf is a function.
+func TestBuildMapShardPartition(t *testing.T) {
+	serial := DefaultOptions()
+	serial.Workers = 1
+	want := buildGraded(t, serial).Cells()
+
+	for _, count := range []int{1, 2, 3, 5} {
+		t.Run(fmt.Sprintf("count=%d", count), func(t *testing.T) {
+			union := make([]Assessment, 0, len(want))
+			for index := 1; index <= count; index++ {
+				opts := DefaultOptions()
+				opts.Workers = 2
+				opts.ShardIndex, opts.ShardCount = index, count
+				cells := buildGraded(t, opts).Cells()
+				for _, a := range cells {
+					// ShardOf keys on the checkpoint key, which defaults to
+					// the map name.
+					if got := checkpoint.ShardOf("fake", a.Window, a.AnomalySize, count); got != index-1 {
+						t.Errorf("shard %d/%d recorded cell (window %d, size %d) owned by shard %d",
+							index, count, a.Window, a.AnomalySize, got+1)
+					}
+				}
+				union = append(union, cells...)
+			}
+			sort.Slice(union, func(i, j int) bool {
+				if union[i].AnomalySize != union[j].AnomalySize {
+					return union[i].AnomalySize < union[j].AnomalySize
+				}
+				return union[i].Window < union[j].Window
+			})
+			requireSameCells(t, union, want)
+		})
+	}
+}
+
+// TestBuildMapShardJournalMerge is the end-to-end distributed-run property at
+// the eval layer: three sharded builds journal into their own shard
+// directories under shard-qualified fingerprints, Merge assembles one journal
+// under the base fingerprint, and a final unsharded build over the merged
+// journal replays every cell — zero new evaluations — into a map identical to
+// the serial reference.
+func TestBuildMapShardJournalMerge(t *testing.T) {
+	serial := DefaultOptions()
+	serial.Workers = 1
+	want := buildGraded(t, serial).Cells()
+
+	const count = 3
+	dir := t.TempDir()
+	var srcs []string
+	for index := 1; index <= count; index++ {
+		shardDir := filepath.Join(dir, checkpoint.ShardDirName(index, count))
+		j, err := checkpoint.Open(shardDir, checkpoint.WithShard(evalTestFingerprint(), index, count), false)
+		if err != nil {
+			t.Fatalf("Open shard %d: %v", index, err)
+		}
+		opts := DefaultOptions()
+		opts.Workers = 2
+		opts.ShardIndex, opts.ShardCount = index, count
+		opts.Checkpoint = j
+		buildGraded(t, opts)
+		if err := j.Close(); err != nil {
+			t.Fatalf("Close shard %d: %v", index, err)
+		}
+		srcs = append(srcs, filepath.Join(shardDir, checkpoint.JournalFile))
+	}
+
+	dst := filepath.Join(dir, checkpoint.JournalFile)
+	stats, err := checkpoint.Merge(dst, srcs)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if stats.Cells != len(want) {
+		t.Fatalf("merged %d cells, want %d", stats.Cells, len(want))
+	}
+	if stats.Duplicates != 0 || stats.Superseded != 0 || stats.TornBytes != 0 {
+		t.Fatalf("clean shard run reported duplicates=%d superseded=%d torn=%d",
+			stats.Duplicates, stats.Superseded, stats.TornBytes)
+	}
+
+	merged, err := checkpoint.Open(dir, evalTestFingerprint(), true)
+	if err != nil {
+		t.Fatalf("Open merged: %v", err)
+	}
+	defer merged.Close()
+	if merged.Resumed() != len(want) {
+		t.Fatalf("merged journal resumed %d cells, want %d", merged.Resumed(), len(want))
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.Checkpoint = merged
+	requireSameCells(t, buildGraded(t, opts).Cells(), want)
+	if merged.Cells() != len(want) {
+		t.Fatalf("replaying a complete merged journal changed it: %d cells, want %d", merged.Cells(), len(want))
+	}
+}
+
+// TestShardOptionsValidate pins the shard-identity envelope: 1-based index,
+// index within count, and no index without a count.
+func TestShardOptionsValidate(t *testing.T) {
+	for _, tc := range []struct{ index, count int }{
+		{-1, 3}, {1, -3}, {2, 0}, {0, 3}, {4, 3},
+	} {
+		opts := DefaultOptions()
+		opts.ShardIndex, opts.ShardCount = tc.index, tc.count
+		if err := opts.Validate(); err == nil {
+			t.Errorf("Validate accepted shard %d/%d", tc.index, tc.count)
+		}
+	}
+	opts := DefaultOptions()
+	opts.ShardIndex, opts.ShardCount = 2, 3
+	if err := opts.Validate(); err != nil {
+		t.Errorf("Validate rejected shard 2/3: %v", err)
+	}
+}
+
+// TestCellPanicStackInEvent asserts a panicking detector surfaces the
+// goroutine stack of the panic site in the cell.fail event — the forensics a
+// retried-then-failed cell otherwise discards.
+func TestCellPanicStackInEvent(t *testing.T) {
+	factory := func(window int) (detector.Detector, error) {
+		return &fakeDetector{
+			name: "boomer", window: window, extent: window,
+			scoreFunc: func(test seq.Stream) []float64 {
+				panic("synthetic cell explosion")
+			},
+		}, nil
+	}
+
+	var buf bytes.Buffer
+	reg := obs.New()
+	reg.SetEventLog(obs.NewEventLog(&buf))
+
+	opts := DefaultOptions()
+	opts.Workers = 1
+	opts.CellRetries = 0
+	_, err := BuildMapCorpus("boomer", factory, seq.NewCorpus(make(seq.Stream, 100)),
+		gradedPlacements(), 2, 3, opts, reg)
+	if err == nil {
+		t.Fatal("BuildMapCorpus succeeded with a panicking detector")
+	}
+	if !strings.Contains(err.Error(), "panic: synthetic cell explosion") {
+		t.Fatalf("error does not surface the panic value: %v", err)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "cell.fail") {
+		t.Fatalf("no cell.fail event emitted:\n%s", log)
+	}
+	// The stack must point at the panic site, not the recovery site.
+	if !strings.Contains(log, "goroutine") || !strings.Contains(log, "scoreFunc") && !strings.Contains(log, "shard_test") {
+		t.Fatalf("cell.fail event carries no usable stack:\n%s", log)
+	}
+}

@@ -39,6 +39,7 @@ type Progress struct {
 	start time.Time
 
 	phase string
+	shard string // "i/N" when this process covers one shard of the grid
 	run   Fields // static run configuration, from run.start
 
 	reg       *Registry // heartbeat event sink; nil emits nothing
@@ -121,6 +122,18 @@ func (p *Progress) SetPhase(phase string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.phase = phase
+}
+
+// SetShard records the process's shard identity ("i/N"); /runz serves it so
+// a fleet aggregator (diagnose -status-url a,b,c) can label each worker's
+// slice of the grid. Empty means the run covers the whole grid.
+func (p *Progress) SetShard(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shard = label
 }
 
 // SetRunInfo records the run's static configuration (the run.start fields);
@@ -306,9 +319,12 @@ type MapStatus struct {
 
 // RunStatus is the machine-readable run progress served at /runz.
 type RunStatus struct {
-	Schema     string  `json:"schema"`
-	Run        Fields  `json:"run,omitempty"`
-	Phase      string  `json:"phase,omitempty"`
+	Schema string `json:"schema"`
+	Run    Fields `json:"run,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+	// Shard is the process's shard identity ("i/N") when the run covers one
+	// shard of a distributed grid; empty for whole-grid runs.
+	Shard      string  `json:"shard,omitempty"`
 	StartedAt  string  `json:"startedAt"`
 	UptimeMs   float64 `json:"uptimeMs"`
 	CellsDone  int     `json:"cellsDone"`
@@ -333,6 +349,7 @@ func (p *Progress) Status() RunStatus {
 	now := p.now()
 	s.Run = p.run
 	s.Phase = p.phase
+	s.Shard = p.shard
 	s.StartedAt = p.start.UTC().Format(time.RFC3339Nano)
 	s.UptimeMs = durationMs(now.Sub(p.start))
 	s.CellsDone = p.cellsDone

@@ -13,6 +13,8 @@
 //	-j N                bound concurrent grid work (default runtime.NumCPU)
 //	-checkpoint DIR     journal completed grid cells to DIR/grid.journal
 //	-resume             continue an existing journal in -checkpoint DIR
+//	-shard i/N          evaluate only shard i of an N-way grid partition,
+//	                    journaling to DIR/shard-i-of-N/grid.journal
 //
 // — and threads the resulting *obs.Registry, *obs.Progress, shared
 // *eval.Scheduler and *checkpoint.Journal through the corpus builders and
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -57,6 +60,12 @@ type Flags struct {
 	Checkpoint string
 	// Resume is the -resume opt-in to continue an existing journal.
 	Resume bool
+	// Shard is the -shard worker identity, "i/N" (1-based): this process
+	// evaluates only the grid cells checkpoint.ShardOf assigns to shard i-1
+	// of N, journaling them under -checkpoint DIR/shard-i-of-N. Empty means
+	// the run covers the whole grid. checkpoint.Merge reassembles the shard
+	// journals into DIR/grid.journal for the final rendering run.
+	Shard string
 }
 
 // Register adds the shared runtime flags to fs.
@@ -71,6 +80,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "journal completed grid cells to DIR/grid.journal so an interrupted run can resume (see -resume)")
 	fs.BoolVar(&f.Resume, "resume", false, "resume from the journal in -checkpoint DIR: journaled cells replay bit-identically, remaining cells run live")
+	fs.StringVar(&f.Shard, "shard", "", "evaluate shard i of an N-way grid partition, format i/N with 1 <= i <= N; requires -checkpoint, journals to DIR/shard-i-of-N/grid.journal")
 	return f
 }
 
@@ -81,11 +91,12 @@ type Run struct {
 	// Metrics is the run's registry, or nil when observation is disabled.
 	Metrics *obs.Registry
 
-	flags     Flags
-	announce  *obs.EventLog
-	cpu       *os.File
-	schedOnce sync.Once
-	sched     *eval.Scheduler
+	flags                  Flags
+	shardIndex, shardCount int // parsed -shard identity; 0/0 unsharded
+	announce               *obs.EventLog
+	cpu                    *os.File
+	schedOnce              sync.Once
+	sched                  *eval.Scheduler
 
 	progress *obs.Progress
 	ring     *obs.EventRing
@@ -101,6 +112,31 @@ func (r *Run) Tracer() *obs.Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Shard returns the run's parsed -shard identity as a 1-based (index, count)
+// pair, or (0, 0) when the run covers the whole grid. Drivers assign the pair
+// to EvalOptions.ShardIndex/ShardCount on every map of the run.
+func (r *Run) Shard() (index, count int) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.shardIndex, r.shardCount
+}
+
+// parseShard parses a -shard value "i/N" into its 1-based (index, count)
+// pair; an empty value is the unsharded (0, 0).
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if n, _ := fmt.Sscanf(s, "%d/%d", &index, &count); n != 2 || fmt.Sprintf("%d/%d", index, count) != s {
+		return 0, 0, fmt.Errorf("runflags: -shard %q: want i/N, e.g. 2/3", s)
+	}
+	if count < 1 || index < 1 || index > count {
+		return 0, 0, fmt.Errorf("runflags: -shard %s: need 1 <= i <= N", s)
+	}
+	return index, count, nil
 }
 
 // Scheduler returns the run's shared grid-work pool, sized by -j and
@@ -135,20 +171,39 @@ func (r *Run) Progress() *obs.Progress {
 // result unconditionally. Call it once the corpus exists (the fingerprint
 // embeds the corpus hash) and set the journal as EvalOptions.Checkpoint on
 // every map of the run; Close closes it.
+// Under -shard i/N the journal lives in DIR/shard-i-of-N and its fingerprint
+// carries the shard qualifier, so one shard's journal can never be resumed as
+// another shard's (or as the whole grid's) by mistake; checkpoint.Merge strips
+// the qualifier when it reassembles DIR/grid.journal.
 func (r *Run) OpenJournal(fp checkpoint.Fingerprint) (*checkpoint.Journal, error) {
 	if r == nil || r.flags.Checkpoint == "" {
 		return nil, nil
 	}
-	j, err := checkpoint.Open(r.flags.Checkpoint, fp, r.flags.Resume)
+	dir := r.flags.Checkpoint
+	if r.shardCount > 0 {
+		dir = filepath.Join(dir, checkpoint.ShardDirName(r.shardIndex, r.shardCount))
+		fp = checkpoint.WithShard(fp, r.shardIndex, r.shardCount)
+	}
+	j, err := checkpoint.Open(dir, fp, r.flags.Resume)
 	if err != nil {
 		return nil, err
 	}
 	j.Instrument(r.Metrics)
 	r.journal = j
-	r.Announce("ckpt.open", obs.Fields{
+	if preserved := j.CorruptPath(); preserved != "" {
+		r.Announce("ckpt.corrupt", obs.Fields{
+			"preserved": preserved,
+			"journal":   j.Path(),
+		})
+	}
+	fields := obs.Fields{
 		"journal": j.Path(),
 		"resumed": j.Resumed(),
-	})
+	}
+	if label := checkpoint.ShardLabel(j.Fingerprint()); label != "" {
+		fields["shard"] = label
+	}
+	r.Announce("ckpt.open", fields)
 	return j, nil
 }
 
@@ -172,7 +227,17 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 	if f.Resume && f.Checkpoint == "" {
 		return nil, fmt.Errorf("runflags: -resume requires -checkpoint DIR")
 	}
-	r := &Run{flags: *f, announce: obs.NewEventLog(announceW)}
+	shardIndex, shardCount, err := parseShard(f.Shard)
+	if err != nil {
+		return nil, err
+	}
+	if shardCount > 0 && f.Checkpoint == "" {
+		// A shard's only output is its journal slice — without -checkpoint
+		// the work would evaporate and the partial map it renders would be
+		// mistaken for the whole grid.
+		return nil, fmt.Errorf("runflags: -shard requires -checkpoint DIR (the shard's results live in its journal)")
+	}
+	r := &Run{flags: *f, shardIndex: shardIndex, shardCount: shardCount, announce: obs.NewEventLog(announceW)}
 	if f.MetricsOut != "" || f.Progress || f.Status != "" || f.Trace != "" {
 		r.Metrics = obs.New()
 		r.progress = obs.NewProgress()
@@ -246,12 +311,22 @@ func (r *Run) Announce(event string, fields obs.Fields) {
 		return
 	}
 	if event == "run.start" {
+		extra := obs.Fields{}
 		if addr := r.status.Addr(); addr != "" {
-			augmented := make(obs.Fields, len(fields)+1)
+			extra["statusAddr"] = addr
+		}
+		if r.shardCount > 0 {
+			extra["shard"] = fmt.Sprintf("%d/%d", r.shardIndex, r.shardCount)
+			r.progress.SetShard(fmt.Sprintf("%d/%d", r.shardIndex, r.shardCount))
+		}
+		if len(extra) > 0 {
+			augmented := make(obs.Fields, len(fields)+len(extra))
 			for k, v := range fields {
 				augmented[k] = v
 			}
-			augmented["statusAddr"] = addr
+			for k, v := range extra {
+				augmented[k] = v
+			}
 			fields = augmented
 		}
 		r.progress.SetRunInfo(fields)

@@ -441,3 +441,119 @@ func TestStatusServesTracez(t *testing.T) {
 		t.Errorf("Close: %v", err)
 	}
 }
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in           string
+		index, count int
+		ok           bool
+	}{
+		{"", 0, 0, true},
+		{"1/1", 1, 1, true},
+		{"2/3", 2, 3, true},
+		{"3/3", 3, 3, true},
+		{"0/3", 0, 0, false},
+		{"4/3", 0, 0, false},
+		{"-1/3", 0, 0, false},
+		{"2/-3", 0, 0, false},
+		{"2", 0, 0, false},
+		{"2/3/4", 0, 0, false},
+		{"02/3", 0, 0, false},
+		{"2/3x", 0, 0, false},
+		{"a/b", 0, 0, false},
+	} {
+		index, count, err := parseShard(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseShard(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if index != tc.index || count != tc.count {
+			t.Errorf("parseShard(%q) = %d/%d, want %d/%d", tc.in, index, count, tc.index, tc.count)
+		}
+	}
+}
+
+func TestShardRequiresCheckpoint(t *testing.T) {
+	if _, err := parse(t, "-shard", "1/3").Start(io.Discard); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("Start with -shard but no -checkpoint: err = %v, want a refusal naming -checkpoint", err)
+	}
+	if _, err := parse(t, "-shard", "bogus", "-checkpoint", t.TempDir()).Start(io.Discard); err == nil {
+		t.Fatal("Start accepted a malformed -shard value")
+	}
+}
+
+// TestShardJournalIdentity pins the shard journal layout and identity: the
+// journal lands in DIR/shard-i-of-N under a shard-qualified fingerprint (so a
+// different shard, or the unsharded run, refuses to resume it), run.start and
+// ckpt.open announce the shard, and /runz progress carries the label.
+func TestShardJournalIdentity(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	fp := checkpoint.Fingerprint{Command: "test", AlphabetSize: 8, CorpusHash: "fnv1a:x"}
+
+	var announce bytes.Buffer
+	run, err := parse(t, "-shard", "2/3", "-checkpoint", dir, "-progress").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if i, n := run.Shard(); i != 2 || n != 3 {
+		t.Fatalf("Shard() = %d/%d, want 2/3", i, n)
+	}
+	j, err := run.OpenJournal(fp)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	wantPath := filepath.Join(dir, "shard-2-of-3", checkpoint.JournalFile)
+	if j.Path() != wantPath {
+		t.Errorf("journal path %q, want %q", j.Path(), wantPath)
+	}
+	if got := checkpoint.ShardLabel(j.Fingerprint()); got != "2/3" {
+		t.Errorf("journal fingerprint shard label %q, want 2/3", got)
+	}
+	run.Announce("run.start", obs.Fields{"cmd": "test"})
+	if !strings.Contains(announce.String(), `"shard":"2/3"`) {
+		t.Errorf("announcements missing shard identity: %q", announce.String())
+	}
+	if got := run.Progress().Status().Shard; got != "2/3" {
+		t.Errorf("progress shard %q, want 2/3", got)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// An unsharded run pointed at the shard's directory must not adopt its
+	// journal: the shard qualifier in the fingerprint refuses the resume.
+	other, err := parse(t, "-checkpoint", filepath.Join(dir, "shard-2-of-3"), "-resume").Start(io.Discard)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer other.Close()
+	if _, err := other.OpenJournal(fp); err == nil {
+		t.Error("unsharded run resumed shard 2/3's journal")
+	}
+}
+
+// TestOpenJournalAnnouncesCorruptHeader pins the corrupt-header recovery
+// announcement: a journal whose header is unreadable is preserved as
+// grid.journal.corrupt under -resume, and the rename is announced.
+func TestOpenJournalAnnouncesCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, checkpoint.JournalFile), []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var announce bytes.Buffer
+	run, err := parse(t, "-checkpoint", dir, "-resume").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer run.Close()
+	j, err := run.OpenJournal(checkpoint.Fingerprint{Command: "test"})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if j.CorruptPath() == "" {
+		t.Fatal("corrupt journal not preserved")
+	}
+	if !strings.Contains(announce.String(), `"event":"ckpt.corrupt"`) {
+		t.Errorf("ckpt.corrupt not announced: %q", announce.String())
+	}
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Smoke-test distributed grid runs end to end: run a quick perfmap serially
+# as the reference, run the same configuration as `-fanout 3` (three -shard
+# worker processes journaling into shard-i-of-3 directories, merged into one
+# grid.journal, figures rendered from the merged journal), and require the
+# fanout stdout to match the serial run byte for byte. Then corrupt a
+# journal header and require the data-loss guardrails: refusal without
+# -resume with the file left intact, preservation as grid.journal.corrupt
+# with -resume.
+#
+# The training-DB cache summary is filtered from the comparison: the final
+# rendering pass replays every cell from the merged journal and trains
+# nothing, so its cache counters legitimately differ while every rendered
+# map byte must not.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+args=(-quick -csv -j 1)
+journal_dir="$workdir/ckpt"
+journal="$journal_dir/grid.journal"
+
+echo "building perfmap..."
+go build -o "$workdir/perfmap" ./cmd/perfmap
+
+echo "serial reference run..."
+"$workdir/perfmap" "${args[@]}" >"$workdir/ref.txt" 2>/dev/null
+
+echo "fanout run: 3 shard workers + merge + render..."
+"$workdir/perfmap" -quick -csv -j 2 -fanout 3 -checkpoint "$journal_dir" \
+    >"$workdir/fanout.txt" 2>"$workdir/fanout.stderr"
+
+for i in 1 2 3; do
+    shard="$journal_dir/shard-$i-of-3/grid.journal"
+    if [[ ! -s "$shard" ]]; then
+        echo "FAIL: shard journal $shard missing or empty" >&2
+        cat "$workdir/fanout.stderr" >&2
+        exit 1
+    fi
+done
+if [[ ! -s "$journal" ]]; then
+    echo "FAIL: merged journal $journal missing" >&2
+    cat "$workdir/fanout.stderr" >&2
+    exit 1
+fi
+if ! grep -q 'merged 3 shard journals' "$workdir/fanout.stderr"; then
+    echo "FAIL: fanout never announced the merge:" >&2
+    cat "$workdir/fanout.stderr" >&2
+    exit 1
+fi
+
+if ! diff <(grep -v 'training-DB cache' "$workdir/ref.txt") \
+          <(grep -v 'training-DB cache' "$workdir/fanout.txt"); then
+    echo "FAIL: fanout output differs from the serial reference" >&2
+    exit 1
+fi
+echo "fanout output is byte-identical to the serial run"
+
+# Corrupt-header guardrails: clobber the merged journal's header and rerun.
+corrupt_dir="$workdir/corrupt"
+mkdir -p "$corrupt_dir"
+printf 'this is not a journal header' >"$corrupt_dir/grid.journal"
+before=$(cksum "$corrupt_dir/grid.journal")
+
+if "$workdir/perfmap" "${args[@]}" -checkpoint "$corrupt_dir" \
+    >/dev/null 2>"$workdir/corrupt.stderr"; then
+    echo "FAIL: run over an unreadable journal succeeded without -resume" >&2
+    exit 1
+fi
+if ! grep -q -- '-resume' "$workdir/corrupt.stderr"; then
+    echo "FAIL: corrupt-journal refusal does not mention -resume:" >&2
+    cat "$workdir/corrupt.stderr" >&2
+    exit 1
+fi
+after=$(cksum "$corrupt_dir/grid.journal")
+if [[ "$before" != "$after" ]]; then
+    echo "FAIL: refused run still modified the unreadable journal" >&2
+    exit 1
+fi
+echo "unreadable journal refused without -resume, file left intact"
+
+"$workdir/perfmap" "${args[@]}" -checkpoint "$corrupt_dir" -resume \
+    >/dev/null 2>"$workdir/preserve.stderr"
+if [[ ! -s "$corrupt_dir/grid.journal.corrupt" ]]; then
+    echo "FAIL: unreadable journal was not preserved as grid.journal.corrupt" >&2
+    ls -la "$corrupt_dir" >&2
+    exit 1
+fi
+if ! grep -q '"event":"ckpt.corrupt"' "$workdir/preserve.stderr"; then
+    echo "FAIL: preservation never announced ckpt.corrupt:" >&2
+    cat "$workdir/preserve.stderr" >&2
+    exit 1
+fi
+echo "unreadable journal preserved as grid.journal.corrupt under -resume"
+echo "shard smoke OK"
