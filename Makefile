@@ -6,10 +6,12 @@
 #   make vet     gofmt check + go vet
 #   make bench   run every benchmark once with allocation stats
 #   make bench-snapshot   record benchmarks to BENCH_<date>.json
+#   make bench-check      compare a fresh run against the latest snapshot;
+#                         fails on >10% ns/op regressions or alloc increases
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-snapshot clean
+.PHONY: all build test race vet bench bench-snapshot bench-check clean
 
 all: vet build test
 
@@ -34,6 +36,9 @@ bench:
 
 bench-snapshot:
 	./scripts/bench_snapshot.sh
+
+bench-check:
+	./scripts/bench_snapshot.sh -check
 
 clean:
 	rm -f BENCH_*.json *.pprof m.json

@@ -185,6 +185,7 @@ func BenchmarkDetectorScore(b *testing.B) {
 			corpus := benchCorpus(b)
 			det := trainedDetector(b, name, 8)
 			stream := corpus.Placements[6].Stream
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := det.Score(stream); err != nil {
@@ -205,6 +206,7 @@ func BenchmarkDetectorTrain(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := det.Train(corpus.Training); err != nil {
@@ -224,6 +226,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 			corpus := benchCorpus(b)
 			det := trainedDetector(b, adiv.DetectorStide, dw)
 			stream := corpus.Placements[6].Stream
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := det.Score(stream); err != nil {
@@ -248,6 +251,7 @@ func BenchmarkAblationNNDepth(b *testing.B) {
 		cfg := configs[name]
 		b.Run(name, func(b *testing.B) {
 			corpus := benchCorpus(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det, err := adiv.NewNeuralNet(6, cfg)
@@ -270,6 +274,7 @@ func BenchmarkAblationNNEpochs(b *testing.B) {
 			corpus := benchCorpus(b)
 			cfg := adiv.DefaultNNConfig()
 			cfg.Epochs = epochs
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det, err := adiv.NewNeuralNet(6, cfg)
@@ -284,24 +289,56 @@ func BenchmarkAblationNNEpochs(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamingScore measures the per-symbol overhead of the online
-// scoring adapter relative to batch scoring (BenchmarkDetectorScore/stide).
+// BenchmarkStreamingScore measures the online scoring adapter: "stream" is
+// a whole-stream PushAll including scorer construction (comparable to
+// BenchmarkDetectorScore/stide), "push" is the steady-state per-symbol hot
+// path, which must not allocate at all — the benchmark asserts the
+// zero-alloc contract outright, like BenchmarkWindowCursor.
 func BenchmarkStreamingScore(b *testing.B) {
 	corpus := benchCorpus(b)
 	det := trainedDetector(b, adiv.DetectorStide, 8)
 	stream := corpus.Placements[6].Stream
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scorer, err := adiv.NewStreamScorer(det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := scorer.PushAll(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(stream)))
+	})
+	b.Run("push", func(b *testing.B) {
 		scorer, err := adiv.NewStreamScorer(det)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := scorer.PushAll(stream); err != nil {
-			b.Fatal(err)
+		// Warm past the initial window fill so every timed push scores.
+		for _, sym := range stream[:16] {
+			if _, _, err := scorer.Push(sym); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	b.SetBytes(int64(len(stream)))
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := scorer.Push(stream[0]); err != nil {
+				b.Fatal(err)
+			}
+		}); allocs != 0 {
+			b.Fatalf("steady-state push allocates %v times, want 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := scorer.Push(stream[i%len(stream)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(1)
+	})
 }
 
 // BenchmarkAblationLFC compares raw Stide against LFC-smoothed Stide — the
@@ -323,6 +360,7 @@ func BenchmarkAblationLFC(b *testing.B) {
 				}
 			}
 			stream := corpus.Placements[6].Stream
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := det.Score(stream); err != nil {
@@ -348,6 +386,7 @@ func BenchmarkAblationMarkovSmoothing(b *testing.B) {
 				b.Fatal(err)
 			}
 			stream := corpus.Placements[6].Stream
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := det.Score(stream); err != nil {
@@ -424,39 +463,61 @@ func BenchmarkDiagnose(b *testing.B) {
 }
 
 // BenchmarkHMM measures the extension detector's Baum-Welch training and
-// forward-recursion scoring.
+// forward-recursion scoring, per (states × alphabet) configuration so the
+// kernel's cost scaling is visible per shape. "train" and "score" with no
+// shape suffix are the evaluation default (DefaultHMMConfig, inferred
+// alphabet), comparable across snapshots.
 func BenchmarkHMM(b *testing.B) {
 	corpus := benchCorpus(b)
-	b.Run("train", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			det, err := adiv.NewHMM(adiv.DefaultHMMConfig())
+	shapes := []struct {
+		label    string
+		states   int
+		alphabet int // 0 infers from training, the default
+	}{
+		{"", 10, 0},
+		{"states=4,k=auto", 4, 0},
+		{"states=10,k=64", 10, 64},
+	}
+	for _, sh := range shapes {
+		cfg := adiv.DefaultHMMConfig()
+		cfg.States = sh.states
+		cfg.AlphabetSize = sh.alphabet
+		trainName, scoreName := "train", "score"
+		if sh.label != "" {
+			trainName += "/" + sh.label
+			scoreName += "/" + sh.label
+		}
+		b.Run(trainName, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				det, err := adiv.NewHMM(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := det.Train(corpus.Training); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(scoreName, func(b *testing.B) {
+			det, err := adiv.NewHMM(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if err := det.Train(corpus.Training); err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("score", func(b *testing.B) {
-		det, err := adiv.NewHMM(adiv.DefaultHMMConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := det.Train(corpus.Training); err != nil {
-			b.Fatal(err)
-		}
-		stream := corpus.Placements[6].Stream
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := det.Score(stream); err != nil {
-				b.Fatal(err)
+			stream := corpus.Placements[6].Stream
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Score(stream); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-		b.SetBytes(int64(len(stream)))
-	})
+			b.SetBytes(int64(len(stream)))
+		})
+	}
 }
 
 // BenchmarkInjection measures the boundary-safe injection search.
@@ -617,6 +678,7 @@ func BenchmarkDetectorScoreObserved(b *testing.B) {
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			det := v.wrap(trainedDetector(b, adiv.DetectorStide, 8))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := det.Score(stream); err != nil {

@@ -117,7 +117,7 @@ func run(w io.Writer, args []string) (err error) {
 	case "profile":
 		return profiles(w, corpus, *window)
 	case "hmm":
-		return hmmStates(w, corpus)
+		return hmmStates(w, corpus, obsRun.Scheduler().Workers())
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -127,12 +127,15 @@ func run(w io.Writer, args []string) (err error) {
 // model tracks the clean background (its maximum response after burn-in):
 // too few states alias a cycle position and the predictive probability
 // collapses to ~0.5 there; enough states track the process down to the
-// excursion mass.
-func hmmStates(w io.Writer, corpus *adiv.Corpus) error {
+// excursion mass. The shared -j flag sets the Baum-Welch E-step workers;
+// the trained model is bit-identical for every worker count, so -j only
+// changes wall-clock.
+func hmmStates(w io.Writer, corpus *adiv.Corpus, workers int) error {
 	fmt.Fprintln(w, "states,max_background_response,mean_background_response")
 	for _, states := range []int{4, 6, 8, 10, 12, 16} {
 		cfg := adiv.DefaultHMMConfig()
 		cfg.States = states
+		cfg.Workers = workers
 		det, err := adiv.NewHMM(cfg)
 		if err != nil {
 			return err

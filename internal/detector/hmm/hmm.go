@@ -14,6 +14,11 @@
 // against a recurrent hidden state, so its "window" is effectively
 // unbounded; it is provided as an extension point on the same Detector
 // interface (Window = Extent = 1).
+//
+// Training runs on flat row-major parameter and trellis arrays with one
+// scratch allocation per Train call (kernel.go); the pre-kernel
+// implementation is retained verbatim in reference_test.go and the trained
+// model is pinned bit-for-bit against it, for every seed and worker count.
 package hmm
 
 import (
@@ -44,6 +49,13 @@ type Config struct {
 	// Smoothing is the additive constant applied when normalizing
 	// re-estimated rows, keeping the model ergodic.
 	Smoothing float64
+	// Workers bounds the goroutines of the Baum-Welch E-step; 0 or 1 runs
+	// the fused sequential kernel. The parallel E-step partitions work so
+	// that no floating-point reduction ever crosses a goroutine boundary
+	// (per-timestep normalizers, per-state accumulator rows), so the
+	// trained model is bit-identical for every worker count — worker count
+	// only affects wall-clock, never the model.
+	Workers int
 }
 
 // DefaultConfig returns a configuration suited to the evaluation data:
@@ -77,16 +89,26 @@ func (c Config) Validate() error {
 	if c.Smoothing < 0 {
 		return fmt.Errorf("hmm: negative smoothing %v", c.Smoothing)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("hmm: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
 // Detector is an HMM anomaly detector. Construct with New.
+//
+// The trained model lives in flat row-major arrays: trans[i*n+j] is
+// P(state j | state i), emit[i*k+o] is P(symbol o | state i), and emitT is
+// the k×n transpose of emit kept alongside so the forward recursions read
+// per-symbol emission columns with unit stride.
 type Detector struct {
 	cfg   Config
-	k     int         // alphabet size
-	pi    []float64   // initial state distribution
-	trans [][]float64 // trans[i][j] = P(state j | state i)
-	emit  [][]float64 // emit[i][o] = P(symbol o | state i)
+	n     int       // state count (== cfg.States, cached for indexing)
+	k     int       // alphabet size
+	pi    []float64 // initial state distribution
+	trans []float64 // n×n row-major: trans[i*n+j] = P(state j | state i)
+	emit  []float64 // n×k row-major: emit[i*k+o] = P(symbol o | state i)
+	emitT []float64 // k×n transpose of emit
 }
 
 var _ detector.Detector = (*Detector)(nil)
@@ -135,183 +157,35 @@ func (d *Detector) Train(train seq.Stream) error {
 
 	n := d.cfg.States
 	src := rng.New(d.cfg.Seed)
-	pi := randomDistribution(src, n)
-	trans := make([][]float64, n)
-	emit := make([][]float64, n)
+	pi := make([]float64, n)
+	trans := make([]float64, n*n)
+	emit := make([]float64, n*k)
+	// Identical RNG consumption order to the reference: pi first, then per
+	// state one transition row followed by one emission row.
+	randomDistributionInto(src, pi)
 	for i := 0; i < n; i++ {
-		trans[i] = randomDistribution(src, n)
-		emit[i] = randomDistribution(src, k)
+		randomDistributionInto(src, trans[i*n:(i+1)*n])
+		randomDistributionInto(src, emit[i*k:(i+1)*k])
 	}
 
+	sc := newBWScratch(len(obs), n, k)
+	sc.setEmitT(emit)
 	for iter := 0; iter < d.cfg.Iterations; iter++ {
-		baumWelchPass(obs, pi, trans, emit, d.cfg.Smoothing)
+		baumWelchPassFlat(obs, pi, trans, emit, d.cfg.Smoothing, sc, d.cfg.Workers)
 	}
-	d.k, d.pi, d.trans, d.emit = k, pi, trans, emit
+	d.n, d.k, d.pi, d.trans, d.emit = n, k, pi, trans, emit
+	d.emitT = append([]float64(nil), sc.emitT...)
 	return nil
 }
 
-// randomDistribution draws a random probability vector bounded away from
-// zero so that EM starts ergodic.
-func randomDistribution(src *rng.Source, n int) []float64 {
-	p := make([]float64, n)
+// randomDistributionInto fills p with a random probability vector bounded
+// away from zero so that EM starts ergodic — the same draws and arithmetic
+// as the reference's randomDistribution, minus its allocation.
+func randomDistributionInto(src *rng.Source, p []float64) {
 	sum := 0.0
 	for i := range p {
 		p[i] = 0.1 + src.Float64()
 		sum += p[i]
-	}
-	for i := range p {
-		p[i] /= sum
-	}
-	return p
-}
-
-// baumWelchPass performs one EM pass with scaled forward-backward,
-// updating pi, trans and emit in place.
-func baumWelchPass(obs seq.Stream, pi []float64, trans, emit [][]float64, smoothing float64) {
-	n := len(pi)
-	k := len(emit[0])
-	T := len(obs)
-
-	alpha := make([][]float64, T)
-	beta := make([][]float64, T)
-	scale := make([]float64, T)
-	for t := range alpha {
-		alpha[t] = make([]float64, n)
-		beta[t] = make([]float64, n)
-	}
-
-	// Scaled forward.
-	for i := 0; i < n; i++ {
-		alpha[0][i] = pi[i] * emit[i][obs[0]]
-	}
-	scale[0] = normalize(alpha[0])
-	for t := 1; t < T; t++ {
-		for j := 0; j < n; j++ {
-			s := 0.0
-			for i := 0; i < n; i++ {
-				s += alpha[t-1][i] * trans[i][j]
-			}
-			alpha[t][j] = s * emit[j][obs[t]]
-		}
-		scale[t] = normalize(alpha[t])
-	}
-
-	// Scaled backward (using the forward scales).
-	for i := 0; i < n; i++ {
-		beta[T-1][i] = 1
-	}
-	for t := T - 2; t >= 0; t-- {
-		for i := 0; i < n; i++ {
-			s := 0.0
-			for j := 0; j < n; j++ {
-				s += trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j]
-			}
-			beta[t][i] = s / safeScale(scale[t+1])
-		}
-	}
-
-	// Accumulate expected counts.
-	transNum := zeroMatrix(n, n)
-	gammaSum := make([]float64, n)   // over t < T-1, for transition rows
-	emitNum := zeroMatrix(n, k)      // gamma-weighted emissions
-	gammaTotal := make([]float64, n) // over all t, for emission rows
-	gamma0 := make([]float64, n)
-
-	for t := 0; t < T; t++ {
-		gt := 0.0
-		g := make([]float64, n)
-		for i := 0; i < n; i++ {
-			g[i] = alpha[t][i] * beta[t][i]
-			gt += g[i]
-		}
-		if gt == 0 {
-			continue
-		}
-		for i := 0; i < n; i++ {
-			g[i] /= gt
-			gammaTotal[i] += g[i]
-			emitNum[i][obs[t]] += g[i]
-			if t == 0 {
-				gamma0[i] = g[i]
-			}
-			if t < T-1 {
-				gammaSum[i] += g[i]
-			}
-		}
-		if t < T-1 {
-			den := 0.0
-			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					den += alpha[t][i] * trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j]
-				}
-			}
-			if den == 0 {
-				continue
-			}
-			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					xi := alpha[t][i] * trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j] / den
-					transNum[i][j] += xi
-				}
-			}
-		}
-	}
-
-	// Re-estimate with additive smoothing.
-	copy(pi, gamma0)
-	addSmoothAndNormalize(pi, smoothing)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			trans[i][j] = transNum[i][j]
-		}
-		addSmoothAndNormalize(trans[i], smoothing)
-		for o := 0; o < k; o++ {
-			emit[i][o] = emitNum[i][o]
-		}
-		addSmoothAndNormalize(emit[i], smoothing)
-	}
-}
-
-func zeroMatrix(rows, cols int) [][]float64 {
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i] = make([]float64, cols)
-	}
-	return m
-}
-
-// normalize scales p to sum 1 and returns the pre-normalization sum.
-func normalize(p []float64) float64 {
-	sum := 0.0
-	for _, v := range p {
-		sum += v
-	}
-	if sum > 0 {
-		for i := range p {
-			p[i] /= sum
-		}
-	}
-	return sum
-}
-
-func safeScale(s float64) float64 {
-	if s <= 0 {
-		return 1
-	}
-	return s
-}
-
-func addSmoothAndNormalize(p []float64, smoothing float64) {
-	sum := 0.0
-	for i := range p {
-		p[i] += smoothing
-		sum += p[i]
-	}
-	if sum == 0 {
-		for i := range p {
-			p[i] = 1 / float64(len(p))
-		}
-		return
 	}
 	for i := range p {
 		p[i] /= sum
@@ -325,7 +199,7 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	if err := detector.CheckScorable(d.pi != nil, 1, test); err != nil {
 		return nil, err
 	}
-	n := d.cfg.States
+	n := d.n
 	cur := append([]float64(nil), d.pi...)
 	next := make([]float64, n)
 	out := make([]float64, len(test))
@@ -333,18 +207,28 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 		o := int(sym)
 		p := 0.0
 		if o < d.k {
+			et := d.emitT[o*n : o*n+n]
 			if t == 0 {
-				for i := 0; i < n; i++ {
-					next[i] = cur[i] * d.emit[i][o]
+				for i := range next {
+					next[i] = cur[i] * et[i]
 					p += next[i]
 				}
 			} else {
-				for j := 0; j < n; j++ {
-					s := 0.0
-					for i := 0; i < n; i++ {
-						s += cur[i] * d.trans[i][j]
+				// The belief update Σ_i cur[i]·trans[i][j] runs i-outer over
+				// unit-stride transition rows; each next[j] still sums its
+				// terms in ascending i, so the responses match the reference
+				// recursion bit for bit.
+				for j := range next {
+					next[j] = 0
+				}
+				for i, cv := range cur {
+					row := d.trans[i*n : i*n+n]
+					for j := range row {
+						next[j] += cv * row[j]
 					}
-					next[j] = s * d.emit[j][o]
+				}
+				for j := range next {
+					next[j] *= et[j]
 					p += next[j]
 				}
 			}
@@ -375,4 +259,29 @@ func (d *Detector) PredictiveProb(test seq.Stream) ([]float64, error) {
 		responses[i] = 1 - r
 	}
 	return responses, nil
+}
+
+// ScoreWindowBytes implements detector.WindowByteScorer for streaming
+// deployment: the HMM's extent is one symbol, and the single-window
+// response is one minus the symbol's probability under the initial state
+// distribution — exactly Score of a one-symbol stream, without its trellis
+// allocations. (The batch recursion's evolving belief state is a property
+// of scoring one long stream; the streaming adapter scores each window
+// independently for every detector family.)
+func (d *Detector) ScoreWindowBytes(w []byte) (float64, error) {
+	if d.pi == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(w) != 1 {
+		return 0, fmt.Errorf("hmm: window length %d, want 1", len(w))
+	}
+	o := int(w[0])
+	p := 0.0
+	if o < d.k {
+		et := d.emitT[o*d.n:][:d.n]
+		for i, pv := range d.pi {
+			p += pv * et[i]
+		}
+	}
+	return 1 - math.Min(1, p), nil
 }

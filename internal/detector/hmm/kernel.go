@@ -1,0 +1,387 @@
+package hmm
+
+import (
+	"sync"
+
+	"adiv/internal/seq"
+)
+
+// This file is the Baum-Welch training kernel: one EM pass over flat
+// row-major trellis arrays with all scratch preallocated once per Train
+// call, replacing the reference implementation's per-pass [][]float64
+// trellises and per-timestep gamma slices (~60K allocations per pass on
+// the evaluation config).
+//
+// Determinism contract: every floating-point operation keeps the operand
+// values and evaluation order of the reference pass in reference_test.go,
+// so the trained model is bit-identical to it. The optional parallel
+// E-step preserves the contract for every worker count by only
+// parallelizing computations whose outputs are disjoint — per-timestep
+// normalizers (gt, den) across time chunks, per-state accumulator rows
+// across state chunks — and never splitting a floating-point reduction
+// across goroutines.
+
+// bwScratch holds every buffer one Baum-Welch pass needs, sized once for a
+// (T, n, k) shape and reused across iterations.
+type bwScratch struct {
+	T, n, k int
+
+	alpha []float64 // T×n row-major forward trellis
+	beta  []float64 // T×n row-major backward trellis
+	scale []float64 // T forward scale factors
+	emitT []float64 // k×n transpose of emit, rebuilt after each M-step
+
+	g     []float64 // n: per-timestep gamma row (sequential path)
+	xiBuf []float64 // n×n: per-timestep xi numerators (sequential path)
+
+	gt  []float64 // T: per-timestep gamma normalizers (parallel path)
+	den []float64 // T: per-timestep xi denominators (parallel path)
+
+	transNum   []float64 // n×n expected transition counts
+	emitNum    []float64 // n×k expected emission counts
+	gammaSum   []float64 // n, over t < T-1, for transition rows
+	gammaTotal []float64 // n, over all t, for emission rows
+	gamma0     []float64 // n, gamma at t = 0
+}
+
+// newBWScratch allocates scratch for a (T, n, k) training shape.
+func newBWScratch(T, n, k int) *bwScratch {
+	return &bwScratch{
+		T: T, n: n, k: k,
+		alpha:      make([]float64, T*n),
+		beta:       make([]float64, T*n),
+		scale:      make([]float64, T),
+		emitT:      make([]float64, k*n),
+		g:          make([]float64, n),
+		xiBuf:      make([]float64, n*n),
+		gt:         make([]float64, T),
+		den:        make([]float64, T),
+		transNum:   make([]float64, n*n),
+		emitNum:    make([]float64, n*k),
+		gammaSum:   make([]float64, n),
+		gammaTotal: make([]float64, n),
+		gamma0:     make([]float64, n),
+	}
+}
+
+// setEmitT rebuilds the k×n emission transpose from the n×k emit matrix.
+// A pure relayout: the forward and backward recursions read emission
+// probabilities per observed symbol, and the transpose makes that a
+// unit-stride row instead of a stride-k gather.
+func (s *bwScratch) setEmitT(emit []float64) {
+	n, k := s.n, s.k
+	for i := 0; i < n; i++ {
+		for o := 0; o < k; o++ {
+			s.emitT[o*n+i] = emit[i*k+o]
+		}
+	}
+}
+
+// baumWelchPassFlat performs one EM pass with scaled forward-backward over
+// the flat parameter arrays, updating pi, trans and emit in place. obs must
+// be an index-safe symbol stream (values < k); workers > 1 selects the
+// deterministic parallel E-step.
+func baumWelchPassFlat(obs seq.Stream, pi, trans, emit []float64, smoothing float64, s *bwScratch, workers int) {
+	n, k, T := s.n, s.k, s.T
+	alpha, beta, scale, emitT := s.alpha, s.beta, s.scale, s.emitT
+
+	// Scaled forward. The reference computes alpha[t][j] as
+	// Σ_i alpha[t-1][i]·trans[i][j] scaled by emit[j][obs[t]]; running the
+	// sum i-outer over unit-stride transition rows accumulates each j's
+	// terms in the same ascending-i order, so every value is bit-identical.
+	{
+		et := emitT[int(obs[0])*n:][:n]
+		a0 := alpha[:n]
+		for i := range a0 {
+			a0[i] = pi[i] * et[i]
+		}
+		scale[0] = normalizeFlat(a0)
+	}
+	for t := 1; t < T; t++ {
+		ar := alpha[t*n:][:n]
+		for j := range ar {
+			ar[j] = 0
+		}
+		prev := alpha[(t-1)*n:][:n]
+		for i, av := range prev {
+			row := trans[i*n:][:n]
+			for j, tv := range row {
+				ar[j] += av * tv
+			}
+		}
+		et := emitT[int(obs[t])*n:][:n]
+		for j := range ar {
+			ar[j] *= et[j]
+		}
+		scale[t] = normalizeFlat(ar)
+	}
+
+	// Scaled backward (using the forward scales).
+	{
+		bl := beta[(T-1)*n:][:n]
+		for i := range bl {
+			bl[i] = 1
+		}
+	}
+	for t := T - 2; t >= 0; t-- {
+		et := emitT[int(obs[t+1])*n:][:n]
+		bn := beta[(t+1)*n:][:n]
+		br := beta[t*n:][:n]
+		sc := safeScaleFlat(scale[t+1])
+		for i := range br {
+			row := trans[i*n:][:n]
+			sum := 0.0
+			for j, tv := range row {
+				sum += tv * et[j] * bn[j]
+			}
+			br[i] = sum / sc
+		}
+	}
+
+	// Expected counts.
+	zeroFlat(s.transNum)
+	zeroFlat(s.emitNum)
+	zeroFlat(s.gammaSum)
+	zeroFlat(s.gammaTotal)
+	zeroFlat(s.gamma0)
+	if workers > 1 {
+		accumulateParallel(obs, trans, s, workers)
+	} else {
+		accumulateSequential(obs, trans, s)
+	}
+
+	// Re-estimate with additive smoothing.
+	copy(pi, s.gamma0)
+	addSmoothAndNormalizeFlat(pi, smoothing)
+	for i := 0; i < n; i++ {
+		copy(trans[i*n:][:n], s.transNum[i*n:][:n])
+		addSmoothAndNormalizeFlat(trans[i*n:][:n], smoothing)
+		copy(emit[i*k:][:k], s.emitNum[i*k:][:k])
+		addSmoothAndNormalizeFlat(emit[i*k:][:k], smoothing)
+	}
+	s.setEmitT(emit)
+}
+
+// accumulateSequential is the fused single-worker E-step: one loop over t
+// computing the gamma row and the xi numerators, with the xi numerators
+// staged in an n×n buffer so the denominator sum and the count update share
+// one product evaluation instead of recomputing the four-factor chain.
+func accumulateSequential(obs seq.Stream, trans []float64, s *bwScratch) {
+	n, k, T := s.n, s.k, s.T
+	alpha, beta, emitT := s.alpha, s.beta, s.emitT
+	g, xiBuf := s.g, s.xiBuf
+	gammaTotal, gammaSum, gamma0 := s.gammaTotal, s.gammaSum, s.gamma0
+	emitNum, transNum := s.emitNum, s.transNum
+
+	for t := 0; t < T; t++ {
+		ar := alpha[t*n:][:n]
+		br := beta[t*n:][:n]
+		gt := 0.0
+		for i := range g {
+			g[i] = ar[i] * br[i]
+			gt += g[i]
+		}
+		if gt == 0 {
+			continue
+		}
+		o := int(obs[t])
+		last := t == T-1
+		for i := range g {
+			gi := g[i] / gt
+			gammaTotal[i] += gi
+			emitNum[i*k+o] += gi
+			if t == 0 {
+				gamma0[i] = gi
+			}
+			if !last {
+				gammaSum[i] += gi
+			}
+		}
+		if last {
+			continue
+		}
+		et := emitT[int(obs[t+1])*n:][:n]
+		bn := beta[(t+1)*n:][:n]
+		den := 0.0
+		for i, av := range ar {
+			row := trans[i*n:][:n]
+			xb := xiBuf[i*n:][:n]
+			for j, tv := range row {
+				p := av * tv * et[j] * bn[j]
+				xb[j] = p
+				den += p
+			}
+		}
+		if den == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			xb := xiBuf[i*n:][:n]
+			tn := transNum[i*n:][:n]
+			for j := range xb {
+				tn[j] += xb[j] / den
+			}
+		}
+	}
+}
+
+// accumulateParallel is the deterministic multi-worker E-step. Two
+// barrier-separated phases: first the per-timestep normalizers gt[t] and
+// den[t], parallel over contiguous time chunks (each t's reduction is
+// computed whole by one worker, in the reference's operand order); then the
+// per-state accumulators, parallel over contiguous state chunks (each
+// accumulator slot is owned by exactly one worker and accumulates its
+// per-timestep contributions in ascending t, the reference order). No
+// floating-point sum ever crosses a worker boundary, so the result is
+// bit-identical to the sequential path for every worker count.
+func accumulateParallel(obs seq.Stream, trans []float64, s *bwScratch, workers int) {
+	n, k, T := s.n, s.k, s.T
+	alpha, beta, emitT := s.alpha, s.beta, s.emitT
+	gt, den := s.gt, s.den
+
+	// Phase 1: normalizers, parallel over time.
+	runChunks(T, workers, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			ar := alpha[t*n:][:n]
+			br := beta[t*n:][:n]
+			sum := 0.0
+			for i := range ar {
+				sum += ar[i] * br[i]
+			}
+			gt[t] = sum
+			if t == T-1 || sum == 0 {
+				continue
+			}
+			et := emitT[int(obs[t+1])*n:][:n]
+			bn := beta[(t+1)*n:][:n]
+			d := 0.0
+			for i, av := range ar {
+				row := trans[i*n:][:n]
+				for j, tv := range row {
+					d += av * tv * et[j] * bn[j]
+				}
+			}
+			den[t] = d
+		}
+	})
+
+	// Phase 2: accumulators, parallel over states. Each worker owns the
+	// rows of a contiguous state chunk and walks t ascending, so every
+	// accumulator slot sums exactly the reference's contribution sequence.
+	runChunks(n, workers, func(ilo, ihi int) {
+		gammaTotal, gammaSum, gamma0 := s.gammaTotal, s.gammaSum, s.gamma0
+		emitNum, transNum := s.emitNum, s.transNum
+		for t := 0; t < T; t++ {
+			gtv := gt[t]
+			if gtv == 0 {
+				continue
+			}
+			ar := alpha[t*n:][:n]
+			br := beta[t*n:][:n]
+			o := int(obs[t])
+			last := t == T-1
+			for i := ilo; i < ihi; i++ {
+				gi := (ar[i] * br[i]) / gtv
+				gammaTotal[i] += gi
+				emitNum[i*k+o] += gi
+				if t == 0 {
+					gamma0[i] = gi
+				}
+				if !last {
+					gammaSum[i] += gi
+				}
+			}
+			if last {
+				continue
+			}
+			d := den[t]
+			if d == 0 {
+				continue
+			}
+			et := emitT[int(obs[t+1])*n:][:n]
+			bn := beta[(t+1)*n:][:n]
+			for i := ilo; i < ihi; i++ {
+				av := ar[i]
+				row := trans[i*n:][:n]
+				tn := transNum[i*n:][:n]
+				for j, tv := range row {
+					tn[j] += av * tv * et[j] * bn[j] / d
+				}
+			}
+		}
+	})
+}
+
+// runChunks splits [0, total) into one contiguous chunk per worker and runs
+// fn on each concurrently. The chunk boundaries depend only on total and
+// workers, never on scheduling.
+func runChunks(total, workers int, fn func(lo, hi int)) {
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fn(0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * total / workers
+		hi := (w + 1) * total / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func zeroFlat(p []float64) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// normalizeFlat scales p to sum 1 and returns the pre-normalization sum —
+// the reference's normalize on a flat row.
+func normalizeFlat(p []float64) float64 {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range p {
+			p[i] /= sum
+		}
+	}
+	return sum
+}
+
+func safeScaleFlat(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// addSmoothAndNormalizeFlat is the reference's addSmoothAndNormalize on a
+// flat row.
+func addSmoothAndNormalizeFlat(p []float64, smoothing float64) {
+	sum := 0.0
+	for i := range p {
+		p[i] += smoothing
+		sum += p[i]
+	}
+	if sum == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

@@ -1,0 +1,409 @@
+package hmm
+
+// This file retains the pre-kernel Baum-Welch and forward-scoring
+// implementation verbatim ([][]float64 trellises, per-pass and per-timestep
+// allocation) as a test-only reference. The equivalence tests below train
+// both implementations on the same data and assert the model parameters and
+// responses are bit-for-bit identical — the repo's determinism contract for
+// the flat kernel, across seeds, shapes and worker counts.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+// refModel is the reference's trained model: pi, trans and emit as nested
+// slices, exactly as the pre-kernel Detector stored them.
+type refModel struct {
+	k     int
+	pi    []float64
+	trans [][]float64
+	emit  [][]float64
+}
+
+// refTrain is the pre-kernel Detector.Train, verbatim apart from returning
+// the model instead of storing it on the receiver.
+func refTrain(cfg Config, train seq.Stream) (*refModel, error) {
+	k := cfg.AlphabetSize
+	if k == 0 {
+		for _, s := range train {
+			if int(s)+1 > k {
+				k = int(s) + 1
+			}
+		}
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("hmm: degenerate alphabet of size %d", k)
+	}
+	obs := train
+	if cfg.MaxTrainSymbols > 0 && len(obs) > cfg.MaxTrainSymbols {
+		obs = obs[:cfg.MaxTrainSymbols]
+	}
+	if len(obs) < 2 {
+		return nil, fmt.Errorf("hmm: training stream of length %d too short", len(obs))
+	}
+
+	n := cfg.States
+	src := rng.New(cfg.Seed)
+	pi := refRandomDistribution(src, n)
+	trans := make([][]float64, n)
+	emit := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		trans[i] = refRandomDistribution(src, n)
+		emit[i] = refRandomDistribution(src, k)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		refBaumWelchPass(obs, pi, trans, emit, cfg.Smoothing)
+	}
+	return &refModel{k: k, pi: pi, trans: trans, emit: emit}, nil
+}
+
+func refRandomDistribution(src *rng.Source, n int) []float64 {
+	p := make([]float64, n)
+	sum := 0.0
+	for i := range p {
+		p[i] = 0.1 + src.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+func refBaumWelchPass(obs seq.Stream, pi []float64, trans, emit [][]float64, smoothing float64) {
+	n := len(pi)
+	k := len(emit[0])
+	T := len(obs)
+
+	alpha := make([][]float64, T)
+	beta := make([][]float64, T)
+	scale := make([]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, n)
+		beta[t] = make([]float64, n)
+	}
+
+	// Scaled forward.
+	for i := 0; i < n; i++ {
+		alpha[0][i] = pi[i] * emit[i][obs[0]]
+	}
+	scale[0] = refNormalize(alpha[0])
+	for t := 1; t < T; t++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += alpha[t-1][i] * trans[i][j]
+			}
+			alpha[t][j] = s * emit[j][obs[t]]
+		}
+		scale[t] = refNormalize(alpha[t])
+	}
+
+	// Scaled backward (using the forward scales).
+	for i := 0; i < n; i++ {
+		beta[T-1][i] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s / refSafeScale(scale[t+1])
+		}
+	}
+
+	// Accumulate expected counts.
+	transNum := refZeroMatrix(n, n)
+	gammaSum := make([]float64, n)   // over t < T-1, for transition rows
+	emitNum := refZeroMatrix(n, k)   // gamma-weighted emissions
+	gammaTotal := make([]float64, n) // over all t, for emission rows
+	gamma0 := make([]float64, n)
+
+	for t := 0; t < T; t++ {
+		gt := 0.0
+		g := make([]float64, n)
+		for i := 0; i < n; i++ {
+			g[i] = alpha[t][i] * beta[t][i]
+			gt += g[i]
+		}
+		if gt == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			g[i] /= gt
+			gammaTotal[i] += g[i]
+			emitNum[i][obs[t]] += g[i]
+			if t == 0 {
+				gamma0[i] = g[i]
+			}
+			if t < T-1 {
+				gammaSum[i] += g[i]
+			}
+		}
+		if t < T-1 {
+			den := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					den += alpha[t][i] * trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j]
+				}
+			}
+			if den == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					xi := alpha[t][i] * trans[i][j] * emit[j][obs[t+1]] * beta[t+1][j] / den
+					transNum[i][j] += xi
+				}
+			}
+		}
+	}
+
+	// Re-estimate with additive smoothing.
+	copy(pi, gamma0)
+	refAddSmoothAndNormalize(pi, smoothing)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			trans[i][j] = transNum[i][j]
+		}
+		refAddSmoothAndNormalize(trans[i], smoothing)
+		for o := 0; o < k; o++ {
+			emit[i][o] = emitNum[i][o]
+		}
+		refAddSmoothAndNormalize(emit[i], smoothing)
+	}
+}
+
+func refZeroMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+func refNormalize(p []float64) float64 {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range p {
+			p[i] /= sum
+		}
+	}
+	return sum
+}
+
+func refSafeScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+func refAddSmoothAndNormalize(p []float64, smoothing float64) {
+	sum := 0.0
+	for i := range p {
+		p[i] += smoothing
+		sum += p[i]
+	}
+	if sum == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}
+
+// refScore is the pre-kernel Detector.Score, verbatim on a refModel.
+func (m *refModel) refScore(test seq.Stream) []float64 {
+	n := len(m.pi)
+	cur := append([]float64(nil), m.pi...)
+	next := make([]float64, n)
+	out := make([]float64, len(test))
+	for t, sym := range test {
+		o := int(sym)
+		p := 0.0
+		if o < m.k {
+			if t == 0 {
+				for i := 0; i < n; i++ {
+					next[i] = cur[i] * m.emit[i][o]
+					p += next[i]
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for i := 0; i < n; i++ {
+						s += cur[i] * m.trans[i][j]
+					}
+					next[j] = s * m.emit[j][o]
+					p += next[j]
+				}
+			}
+		}
+		out[t] = 1 - math.Min(1, p)
+		if p > 0 {
+			for i := 0; i < n; i++ {
+				next[i] /= p
+			}
+			cur, next = next, cur
+		} else {
+			copy(cur, m.pi)
+		}
+	}
+	return out
+}
+
+// refTrainStream synthesizes a deterministic quasi-cyclic training stream
+// over the given alphabet: a repeating base cycle with seeded excursions,
+// enough structure for Baum-Welch to move parameters on every pass.
+func refTrainStream(seed uint64, length, k int) seq.Stream {
+	src := rng.New(seed)
+	out := make(seq.Stream, 0, length)
+	pos := 0
+	for len(out) < length {
+		if src.Float64() < 0.1 {
+			out = append(out, alphabet.Symbol(src.Intn(k)), alphabet.Symbol(src.Intn(k)))
+		}
+		out = append(out, alphabet.Symbol(pos%k))
+		pos++
+	}
+	return out[:length]
+}
+
+// TestKernelMatchesReference trains the flat kernel and the verbatim
+// reference on identical data across seeds, shapes and worker counts and
+// requires bit-for-bit identical models and responses.
+func TestKernelMatchesReference(t *testing.T) {
+	shapes := []struct {
+		states, k int
+	}{
+		{4, 6},
+		{10, 8},
+		{7, 12},
+	}
+	for _, shape := range shapes {
+		for _, seed := range []uint64{1, 7, 13, 99} {
+			for _, workers := range []int{0, 1, 2, 3, 8} {
+				name := fmt.Sprintf("states=%d/k=%d/seed=%d/workers=%d", shape.states, shape.k, seed, workers)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{
+						States:     shape.states,
+						Iterations: 8,
+						Seed:       seed,
+						Smoothing:  1e-6,
+						Workers:    workers,
+					}
+					train := refTrainStream(seed+101, 700, shape.k)
+					test := refTrainStream(seed+202, 300, shape.k)
+
+					ref, err := refTrain(cfg, train)
+					if err != nil {
+						t.Fatal(err)
+					}
+					det, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := det.Train(train); err != nil {
+						t.Fatal(err)
+					}
+
+					if det.k != ref.k {
+						t.Fatalf("alphabet size %d, reference %d", det.k, ref.k)
+					}
+					n := cfg.States
+					compareBits(t, "pi", det.pi, ref.pi)
+					for i := 0; i < n; i++ {
+						compareBits(t, fmt.Sprintf("trans[%d]", i), det.trans[i*n:(i+1)*n], ref.trans[i])
+						compareBits(t, fmt.Sprintf("emit[%d]", i), det.emit[i*det.k:(i+1)*det.k], ref.emit[i])
+					}
+
+					got, err := det.Score(test)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareBits(t, "responses", got, ref.refScore(test))
+				})
+			}
+		}
+	}
+}
+
+// TestKernelWorkerCountInvariance pins the stronger per-pass property on a
+// longer stream: the model is a pure function of (data, config) with the
+// worker count erased.
+func TestKernelWorkerCountInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 4
+	train := refTrainStream(5, 4_000, 8)
+
+	var base *Detector
+	for _, workers := range []int{1, 2, 5, 16} {
+		c := cfg
+		c.Workers = workers
+		det, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = det
+			continue
+		}
+		compareBits(t, fmt.Sprintf("pi(workers=%d)", workers), det.pi, base.pi)
+		compareBits(t, fmt.Sprintf("trans(workers=%d)", workers), det.trans, base.trans)
+		compareBits(t, fmt.Sprintf("emit(workers=%d)", workers), det.emit, base.emit)
+	}
+}
+
+// TestTrainAllocs pins the kernel's allocation budget: a full Train must
+// cost a fixed handful of allocations (model + scratch), not per-pass or
+// per-timestep garbage. The reference implementation spends ~60K
+// allocations per pass on this shape.
+func TestTrainAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+	train := refTrainStream(9, 5_000, 8)
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := det.Train(train); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 40 {
+		t.Fatalf("Train allocates %v times, want a fixed scratch budget (<= 40)", allocs)
+	}
+}
+
+// compareBits asserts two float slices are bit-for-bit identical.
+func compareBits(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x (%v), reference %x (%v)",
+				what, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}

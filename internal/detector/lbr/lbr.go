@@ -176,3 +176,26 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// ScoreWindowBytes implements detector.WindowByteScorer: the single-window
+// streaming fast path — the batch loop's best-similarity search over the
+// normal profile, with no allocation.
+func (d *Detector) ScoreWindowBytes(w []byte) (float64, error) {
+	if d.normal == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(w) != d.window {
+		return 0, fmt.Errorf("lbr: window length %d, want %d", len(w), d.window)
+	}
+	simMax := float64(MaxSimilarity(d.window))
+	best := 0
+	for _, normal := range d.normal {
+		if s := similarityBytes(normal, w); s > best {
+			best = s
+			if best == int(simMax) {
+				break
+			}
+		}
+	}
+	return 1 - float64(best)/simMax, nil
+}

@@ -172,3 +172,15 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// ScoreWindowBytes implements detector.WindowByteScorer: the single-gram
+// streaming fast path, two counted lookups and no allocation.
+func (d *Detector) ScoreWindowBytes(w []byte) (float64, error) {
+	if d.contexts == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(w) != d.window+1 {
+		return 0, fmt.Errorf("markovdet: gram length %d, want %d", len(w), d.window+1)
+	}
+	return 1 - d.probBytes(w), nil
+}

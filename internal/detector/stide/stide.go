@@ -125,3 +125,18 @@ func LFC(responses []float64, frame int) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// ScoreWindowBytes implements detector.WindowByteScorer: the single-window
+// streaming fast path, one hash lookup and no allocation.
+func (d *Detector) ScoreWindowBytes(w []byte) (float64, error) {
+	if d.normal == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(w) != d.window {
+		return 0, fmt.Errorf("stide: window length %d, want %d", len(w), d.window)
+	}
+	if !d.normal.ContainsBytes(w) {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -105,3 +105,21 @@ func (d *Detector) Score(test seq.Stream) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// ScoreWindowBytes implements detector.WindowByteScorer: the single-window
+// streaming fast path — one counted lookup against the same rarity limit
+// the batch loop computes, and no allocation.
+func (d *Detector) ScoreWindowBytes(w []byte) (float64, error) {
+	if d.normal == nil {
+		return 0, detector.ErrNotTrained
+	}
+	if len(w) != d.window {
+		return 0, fmt.Errorf("tstide: window length %d, want %d", len(w), d.window)
+	}
+	limit := d.cutoff * float64(d.normal.Total())
+	c := d.normal.CountBytes(w)
+	if c == 0 || float64(c) < limit {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -25,13 +25,34 @@ import (
 // histogram, matching the batch profile resolution.
 const responseBins = 10
 
+// responseRingLen is the capacity of the scorer's recent-response ring:
+// enough context for a corroboration window or a status probe, small
+// enough to live inline in the Scorer.
+const responseRingLen = 64
+
 // Scorer scores a symbol stream incrementally with a trained detector.
 // It is not safe for concurrent use.
+//
+// When the detector offers the detector.WindowByteScorer fast path
+// (captured once at construction, never re-asserted per push), the scorer
+// maintains the sliding window directly in a pooled byte buffer and each
+// steady-state push performs zero allocations: no response slice, no
+// stream re-encoding, no interface re-boxing. Detectors without the fast
+// path keep the batch-Score push path unchanged (retained verbatim as the
+// reference in reference_test.go, which pins both paths response-for-
+// response against it).
 type Scorer struct {
 	det    detector.Detector
+	fast   detector.WindowByteScorer // nil: slow path via det.Score
 	extent int
-	buf    seq.Stream
+	buf    seq.Stream // slow-path sliding window
+	bbuf   []byte     // fast-path byte-encoded sliding window
 	seen   int
+
+	// ring holds the most recent responses (newest at (ringN-1) mod len),
+	// preallocated so recording a response never allocates.
+	ring  [responseRingLen]float64
+	ringN int
 
 	// Telemetry handles; nil when uninstrumented (the default), costing a
 	// single pointer test per push.
@@ -65,11 +86,17 @@ func NewScorer(det detector.Detector) (*Scorer, error) {
 	if extent < 1 {
 		return nil, fmt.Errorf("online: detector %s reports extent %d", det.Name(), extent)
 	}
-	return &Scorer{
+	s := &Scorer{
 		det:    det,
 		extent: extent,
-		buf:    make(seq.Stream, 0, extent),
-	}, nil
+	}
+	if fast, ok := detector.AsWindowByteScorer(det); ok {
+		s.fast = fast
+		s.bbuf = make([]byte, 0, extent)
+	} else {
+		s.buf = make(seq.Stream, 0, extent)
+	}
+	return s, nil
 }
 
 // Detector returns the wrapped detector.
@@ -78,10 +105,37 @@ func (s *Scorer) Detector() detector.Detector { return s.det }
 // Seen returns the number of symbols pushed since construction or Reset.
 func (s *Scorer) Seen() int { return s.seen }
 
-// Reset clears the sliding buffer, starting a new stream.
+// Reset clears the sliding buffer and response ring, starting a new
+// stream.
 func (s *Scorer) Reset() {
 	s.buf = s.buf[:0]
+	s.bbuf = s.bbuf[:0]
 	s.seen = 0
+	s.ringN = 0
+}
+
+// record books a completed window's response into the ring and telemetry.
+func (s *Scorer) record(r float64) {
+	s.ring[s.ringN%responseRingLen] = r
+	s.ringN++
+	if s.responses != nil {
+		s.responses.Observe(r)
+		s.lastResponse.Set(r)
+	}
+}
+
+// Recent appends the most recent responses (up to responseRingLen, oldest
+// first) to dst and returns it — the live tail a corroboration layer or a
+// status probe reads without touching the push path.
+func (s *Scorer) Recent(dst []float64) []float64 {
+	n := s.ringN
+	if n > responseRingLen {
+		n = responseRingLen
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.ring[(s.ringN-n+i)%responseRingLen])
+	}
+	return dst
 }
 
 // Push feeds one symbol. Once the buffer holds a full extent, every push
@@ -92,14 +146,31 @@ func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err er
 	if s.symbols != nil {
 		s.symbols.Inc()
 	}
+	if s.fast != nil {
+		if len(s.bbuf) < s.extent {
+			s.bbuf = append(s.bbuf, byte(sym))
+			if len(s.bbuf) < s.extent {
+				return 0, false, nil
+			}
+		} else {
+			copy(s.bbuf, s.bbuf[1:])
+			s.bbuf[s.extent-1] = byte(sym)
+		}
+		r, err := s.fast.ScoreWindowBytes(s.bbuf)
+		if err != nil {
+			return 0, false, fmt.Errorf("online: %w", err)
+		}
+		s.record(r)
+		return r, true, nil
+	}
 	if len(s.buf) < s.extent {
 		s.buf = append(s.buf, sym)
+		if len(s.buf) < s.extent {
+			return 0, false, nil
+		}
 	} else {
 		copy(s.buf, s.buf[1:])
 		s.buf[s.extent-1] = sym
-	}
-	if len(s.buf) < s.extent {
-		return 0, false, nil
 	}
 	responses, err := s.det.Score(s.buf)
 	if err != nil {
@@ -108,24 +179,25 @@ func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err er
 	if len(responses) != 1 {
 		return 0, false, fmt.Errorf("online: scoring one window yielded %d responses", len(responses))
 	}
-	if s.responses != nil {
-		s.responses.Observe(responses[0])
-		s.lastResponse.Set(responses[0])
-	}
+	s.record(responses[0])
 	return responses[0], true, nil
 }
 
 // PushAll feeds a whole slice and returns the responses produced, one per
 // completed window — identical to the detector's batch Score of the same
-// data when the Scorer starts empty.
+// data when the Scorer starts empty. The response slice is sized once on
+// the first completed window, the call's only allocation on the fast path.
 func (s *Scorer) PushAll(stream seq.Stream) ([]float64, error) {
 	var out []float64
-	for _, sym := range stream {
+	for i, sym := range stream {
 		r, ready, err := s.Push(sym)
 		if err != nil {
 			return nil, err
 		}
 		if ready {
+			if out == nil {
+				out = make([]float64, 0, len(stream)-i)
+			}
 			out = append(out, r)
 		}
 	}

@@ -10,23 +10,106 @@ package seq
 // Construction is Blumer/Crochemore online construction in O(n · alphabet)
 // time and O(n) states; occurrence counts are endpos-set sizes, aggregated
 // over the suffix-link tree in a counting sort by state length.
+//
+// Transitions live in a flat dense table when the stream's alphabet is at
+// most denseMaxAlphabet symbols: one []int32 row of stride k per state,
+// storing target+1 so the zero value means "no edge". System-call alphabets
+// sit far below the cutoff, so the map-per-state representation (kept as a
+// fallback for wide alphabets, and verbatim as the construction reference
+// in automaton_reference_test.go) is off the hot path: building the dense
+// automaton performs a handful of slice allocations instead of one map per
+// state — the churn that used to dominate the MFS scan.
 type Automaton struct {
-	next   []map[byte]int32 // transitions
+	k      int              // dense transition stride; 0 selects map mode
+	dense  []int32          // states×k rows; dense[s*k+c] = target+1, 0 = absent
+	next   []map[byte]int32 // map-mode transitions (alphabet > denseMaxAlphabet)
 	link   []int32          // suffix links
 	length []int32          // longest substring length per state
 	count  []int64          // occurrence count (endpos size) per state
 	n      int              // stream length
 }
 
+// denseMaxAlphabet bounds the alphabet size for the dense transition table:
+// beyond it the k-per-state rows would outgrow the map representation they
+// replace (256 symbols × ~2n states ≈ 2 KiB per state).
+const denseMaxAlphabet = 64
+
 // BuildAutomaton constructs the suffix automaton of the stream.
 func BuildAutomaton(stream Stream) *Automaton {
-	a := &Automaton{n: len(stream)}
+	k := 0
+	for _, sym := range stream {
+		if int(sym)+1 > k {
+			k = int(sym) + 1
+		}
+	}
+	if k > denseMaxAlphabet {
+		return buildAutomatonMap(stream)
+	}
+	if k == 0 {
+		k = 1 // empty stream: keep a non-degenerate dense stride
+	}
+
+	a := &Automaton{k: k, n: len(stream)}
 	// Reserve for the worst case of 2n-1 states plus the root.
-	cap := 2*len(stream) + 2
-	a.next = make([]map[byte]int32, 0, cap)
-	a.link = make([]int32, 0, cap)
-	a.length = make([]int32, 0, cap)
-	a.count = make([]int64, 0, cap)
+	states := 2*len(stream) + 2
+	a.dense = make([]int32, 0, states*k)
+	a.link = make([]int32, 0, states)
+	a.length = make([]int32, 0, states)
+	a.count = make([]int64, 0, states)
+	zeroRow := make([]int32, k)
+
+	newState := func(length, link int32) int32 {
+		a.dense = append(a.dense, zeroRow...)
+		a.link = append(a.link, link)
+		a.length = append(a.length, length)
+		a.count = append(a.count, 0)
+		return int32(len(a.link) - 1)
+	}
+	root := newState(0, -1)
+	last := root
+
+	for _, sym := range stream {
+		c := int32(sym)
+		cur := newState(a.length[last]+1, root)
+		a.count[cur] = 1 // cur's endpos gains this position
+		p := last
+		for p != -1 && a.dense[int(p)*k+int(c)] == 0 {
+			a.dense[int(p)*k+int(c)] = cur + 1
+			p = a.link[p]
+		}
+		if p == -1 {
+			a.link[cur] = root
+		} else {
+			q := a.dense[int(p)*k+int(c)] - 1
+			if a.length[p]+1 == a.length[q] {
+				a.link[cur] = q
+			} else {
+				clone := newState(a.length[p]+1, a.link[q])
+				copy(a.dense[int(clone)*k:int(clone+1)*k], a.dense[int(q)*k:int(q+1)*k])
+				for p != -1 && a.dense[int(p)*k+int(c)] == q+1 {
+					a.dense[int(p)*k+int(c)] = clone + 1
+					p = a.link[p]
+				}
+				a.link[q] = clone
+				a.link[cur] = clone
+			}
+		}
+		last = cur
+	}
+
+	a.aggregateCounts()
+	return a
+}
+
+// buildAutomatonMap is the map-per-state construction, used when the
+// alphabet is too wide for the dense table.
+func buildAutomatonMap(stream Stream) *Automaton {
+	a := &Automaton{n: len(stream)}
+	states := 2*len(stream) + 2
+	a.next = make([]map[byte]int32, 0, states)
+	a.link = make([]int32, 0, states)
+	a.length = make([]int32, 0, states)
+	a.count = make([]int64, 0, states)
 
 	newState := func(length, link int32) int32 {
 		a.next = append(a.next, nil)
@@ -91,6 +174,21 @@ func cloneEdges(m map[byte]int32) map[byte]int32 {
 	return out
 }
 
+// edge returns the transition from state s on symbol c, or -1.
+func (a *Automaton) edge(s int32, c byte) int32 {
+	if a.k > 0 {
+		if int(c) >= a.k {
+			return -1
+		}
+		return a.dense[int(s)*a.k+int(c)] - 1
+	}
+	t, ok := a.next[s][c]
+	if !ok {
+		return -1
+	}
+	return t
+}
+
 // aggregateCounts propagates endpos sizes up the suffix-link tree by
 // processing states in decreasing length order (counting sort on length).
 func (a *Automaton) aggregateCounts() {
@@ -124,9 +222,8 @@ func (a *Automaton) aggregateCounts() {
 func (a *Automaton) state(w Stream) int32 {
 	s := int32(0)
 	for _, sym := range w {
-		m := a.next[s]
-		t, ok := m[byte(sym)]
-		if !ok {
+		t := a.edge(s, byte(sym))
+		if t < 0 {
 			return -1
 		}
 		s = t
@@ -163,8 +260,45 @@ func (a *Automaton) IsMinimalForeign(w Stream) bool {
 	return a.IsForeign(w) && a.Contains(w[:len(w)-1]) && a.Contains(w[1:])
 }
 
+// AppendMatchLens appends the matching statistics of test against the
+// indexed stream to dst and returns it: for every prefix test[:j+1], the
+// length of the longest suffix of that prefix that occurs in the indexed
+// stream. The walk follows suffix links on mismatch — the classic matching
+// statistics traversal — and visits each symbol O(1) amortized times,
+// allocating nothing when dst has capacity.
+//
+// Matching statistics turn foreignness queries into arithmetic: with
+// S = AppendMatchLens(nil, test), the window test[i:j] occurs in the
+// indexed stream if and only if j-S[j-1] <= i, because S[j-1] is the
+// longest occurring suffix ending at j. The MFS scanner builds its whole
+// single-pass sweep on that identity.
+func (a *Automaton) AppendMatchLens(dst []int32, test Stream) []int32 {
+	s, l := int32(0), int32(0)
+	for _, sym := range test {
+		c := byte(sym)
+		if t := a.edge(s, c); t >= 0 {
+			s, l = t, l+1
+		} else {
+			for {
+				s = a.link[s]
+				if s < 0 {
+					s, l = 0, 0
+					break
+				}
+				if t := a.edge(s, c); t >= 0 {
+					l = a.length[s] + 1
+					s = t
+					break
+				}
+			}
+		}
+		dst = append(dst, l)
+	}
+	return dst
+}
+
 // States returns the number of automaton states (diagnostics).
-func (a *Automaton) States() int { return len(a.next) }
+func (a *Automaton) States() int { return len(a.link) }
 
 // StreamLen returns the length of the indexed stream.
 func (a *Automaton) StreamLen() int { return a.n }

@@ -1,0 +1,219 @@
+package seq
+
+// The map-per-state suffix automaton construction retained verbatim as the
+// reference for the dense flat-table construction: refBuildAutomaton is the
+// exact pre-kernel BuildAutomaton (modulo renamed helpers), and the tests
+// pin the dense automaton's structure — state count, links, lengths,
+// counts, and every transition — against it on random streams, then check
+// the matching-statistics walk against a brute-force suffix search.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/rng"
+)
+
+type refAutomaton struct {
+	next   []map[byte]int32
+	link   []int32
+	length []int32
+	count  []int64
+	n      int
+}
+
+// refBuildAutomaton is the retained pre-kernel map-based construction.
+func refBuildAutomaton(stream Stream) *refAutomaton {
+	a := &refAutomaton{n: len(stream)}
+	cap := 2*len(stream) + 2
+	a.next = make([]map[byte]int32, 0, cap)
+	a.link = make([]int32, 0, cap)
+	a.length = make([]int32, 0, cap)
+	a.count = make([]int64, 0, cap)
+
+	newState := func(length, link int32) int32 {
+		a.next = append(a.next, nil)
+		a.link = append(a.link, link)
+		a.length = append(a.length, length)
+		a.count = append(a.count, 0)
+		return int32(len(a.next) - 1)
+	}
+	root := newState(0, -1)
+	last := root
+
+	for _, sym := range stream {
+		c := byte(sym)
+		cur := newState(a.length[last]+1, root)
+		a.count[cur] = 1
+		p := last
+		for p != -1 && !hasEdge(a.next[p], c) {
+			setEdge(&a.next[p], c, cur)
+			p = a.link[p]
+		}
+		if p == -1 {
+			a.link[cur] = root
+		} else {
+			q := a.next[p][c]
+			if a.length[p]+1 == a.length[q] {
+				a.link[cur] = q
+			} else {
+				clone := newState(a.length[p]+1, a.link[q])
+				a.next[clone] = cloneEdges(a.next[q])
+				for p != -1 && hasEdge(a.next[p], c) && a.next[p][c] == q {
+					setEdge(&a.next[p], c, clone)
+					p = a.link[p]
+				}
+				a.link[q] = clone
+				a.link[cur] = clone
+			}
+		}
+		last = cur
+	}
+
+	// Counting-sort aggregation, as in aggregateCounts.
+	maxLen := 0
+	for _, l := range a.length {
+		if int(l) > maxLen {
+			maxLen = int(l)
+		}
+	}
+	buckets := make([]int, maxLen+2)
+	for _, l := range a.length {
+		buckets[l]++
+	}
+	for i := 1; i <= maxLen; i++ {
+		buckets[i] += buckets[i-1]
+	}
+	order := make([]int32, len(a.length))
+	for s := range a.length {
+		buckets[a.length[s]]--
+		order[buckets[a.length[s]]] = int32(s)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		if a.link[s] >= 0 {
+			a.count[a.link[s]] += a.count[s]
+		}
+	}
+	return a
+}
+
+func refRandomStream(seed uint64, length, k int) Stream {
+	src := rng.New(seed)
+	out := make(Stream, length)
+	for i := range out {
+		if src.Float64() < 0.2 {
+			out[i] = alphabet.Symbol(src.Intn(k))
+		} else {
+			out[i] = alphabet.Symbol(i % k)
+		}
+	}
+	return out
+}
+
+// TestAutomatonMatchesReferenceStructure pins the dense construction
+// state-for-state against the retained map-based reference: the two
+// constructions visit states in the same order, so every array must match
+// element-wise and every transition must agree.
+func TestAutomatonMatchesReferenceStructure(t *testing.T) {
+	for _, k := range []int{2, 5, 11, 31} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			stream := refRandomStream(seed, 700, k)
+			got := BuildAutomaton(stream)
+			want := refBuildAutomaton(stream)
+
+			if got.States() != len(want.next) {
+				t.Fatalf("k=%d seed=%d: %d states, reference %d", k, seed, got.States(), len(want.next))
+			}
+			for s := 0; s < got.States(); s++ {
+				if got.link[s] != want.link[s] {
+					t.Fatalf("k=%d seed=%d state %d: link %d, reference %d", k, seed, s, got.link[s], want.link[s])
+				}
+				if got.length[s] != want.length[s] {
+					t.Fatalf("k=%d seed=%d state %d: length %d, reference %d", k, seed, s, got.length[s], want.length[s])
+				}
+				if got.count[s] != want.count[s] {
+					t.Fatalf("k=%d seed=%d state %d: count %d, reference %d", k, seed, s, got.count[s], want.count[s])
+				}
+				for c := 0; c < k+2; c++ {
+					wantTo := int32(-1)
+					if to, ok := want.next[s][byte(c)]; ok {
+						wantTo = to
+					}
+					if gotTo := got.edge(int32(s), byte(c)); gotTo != wantTo {
+						t.Fatalf("k=%d seed=%d state %d symbol %d: edge %d, reference %d", k, seed, s, c, gotTo, wantTo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAutomatonWideAlphabetFallback drives the map-mode fallback (alphabet
+// beyond the dense cutoff) through the same structural pin.
+func TestAutomatonWideAlphabetFallback(t *testing.T) {
+	stream := refRandomStream(9, 500, denseMaxAlphabet+30)
+	got := BuildAutomaton(stream)
+	if got.k != 0 {
+		t.Fatalf("alphabet of %d symbols should select map mode, got dense stride %d", denseMaxAlphabet+30, got.k)
+	}
+	want := refBuildAutomaton(stream)
+	if got.States() != len(want.next) {
+		t.Fatalf("%d states, reference %d", got.States(), len(want.next))
+	}
+	for s := 0; s < got.States(); s++ {
+		if got.link[s] != want.link[s] || got.length[s] != want.length[s] || got.count[s] != want.count[s] {
+			t.Fatalf("state %d diverges from reference", s)
+		}
+	}
+}
+
+// TestAppendMatchLens checks the matching-statistics walk against a
+// brute-force longest-occurring-suffix search on random stream pairs.
+func TestAppendMatchLens(t *testing.T) {
+	check := func(rawTrain, rawTest []byte) bool {
+		train := FromBytes(clampSymbols(rawTrain, 4))
+		test := FromBytes(clampSymbols(rawTest, 5)) // one symbol foreign by construction
+		if len(train) > 200 {
+			train = train[:200]
+		}
+		if len(test) > 120 {
+			test = test[:120]
+		}
+		a := BuildAutomaton(train)
+		ms := a.AppendMatchLens(nil, test)
+		if len(ms) != len(test) {
+			return false
+		}
+		for j := 1; j <= len(test); j++ {
+			want := int32(0)
+			for l := 1; l <= j; l++ {
+				if a.Contains(test[j-l : j]) {
+					want = int32(l)
+				} else {
+					break // a non-occurring suffix can't extend to occurring
+				}
+			}
+			if ms[j-1] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildAutomatonAllocs bounds construction allocations: the dense build
+// replaces one map per state (~2n maps) with a fixed handful of slices.
+func TestBuildAutomatonAllocs(t *testing.T) {
+	stream := refRandomStream(4, 3000, 12)
+	allocs := testing.AllocsPerRun(5, func() {
+		BuildAutomaton(stream)
+	})
+	if allocs > 16 {
+		t.Fatalf("dense automaton build allocated %.0f times, want <= 16", allocs)
+	}
+}

@@ -1,0 +1,178 @@
+package trace
+
+// The pre-kernel ScanMFS — the per-position, per-length automaton probe
+// loop — retained verbatim as the behavioral reference for the single-pass
+// matching-statistics scan. refScanMFS is the exact implementation the
+// sweep replaced; TestScanMatchesReference compares the full MFSStats
+// (counts, examples, occurrence order) across random streams and probe
+// bounds.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/rng"
+	"adiv/internal/seq"
+)
+
+// refScanMFS is the retained pre-kernel implementation of ScanMFS.
+func refScanMFS(trainIx *seq.Index, test seq.Stream, maxSize int) (MFSStats, error) {
+	if maxSize < 2 {
+		return MFSStats{}, fmt.Errorf("trace: maxSize %d too small for minimal foreign sequences", maxSize)
+	}
+	stats := MFSStats{
+		CountBySize: make(map[int]int),
+		Examples:    make(map[int]seq.Stream),
+		Positions:   len(test),
+	}
+	auto := trainIx.Automaton()
+	for i := 0; i < len(test); i++ {
+		// Find the shortest L such that test[i:i+L] is foreign. Once a
+		// prefix is foreign every extension is too, so stop at the first.
+		for l := 1; l <= maxSize && i+l <= len(test); l++ {
+			candidate := test[i : i+l]
+			if !auto.IsForeign(candidate) {
+				continue
+			}
+			if l < 2 {
+				break // a foreign symbol, not an MFS
+			}
+			// The prefix test[i:i+l-1] occurs (l was the *first* foreign
+			// length); minimality still requires the suffix to occur.
+			if auto.Contains(candidate[1:]) {
+				stats.CountBySize[l]++
+				stats.occurrences = append(stats.occurrences, occurrence{pos: i, size: l})
+				if _, ok := stats.Examples[l]; !ok {
+					stats.Examples[l] = candidate.Clone()
+				}
+			}
+			break
+		}
+	}
+	return stats, nil
+}
+
+// refScanStream synthesizes a stream with enough structure that foreign
+// windows of several lengths arise: a noisy cycle over k symbols.
+func refScanStream(seed uint64, length, k int) seq.Stream {
+	src := rng.New(seed)
+	out := make(seq.Stream, length)
+	for i := range out {
+		if src.Float64() < 0.15 {
+			out[i] = alphabet.Symbol(src.Intn(k))
+		} else {
+			out[i] = alphabet.Symbol(i % k)
+		}
+	}
+	return out
+}
+
+// TestScanMatchesReference compares ScanMFS against the retained reference
+// over random train/test pairs, alphabet widths and probe bounds: identical
+// counts, identical examples, identical occurrence positions in identical
+// order.
+func TestScanMatchesReference(t *testing.T) {
+	for _, k := range []int{3, 6, 17} {
+		for _, maxSize := range []int{2, 4, 9} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				train := refScanStream(seed, 600, k)
+				test := refScanStream(seed+100, 400, k)
+				ix := seq.NewIndex(train)
+
+				want, err := refScanMFS(ix, test, maxSize)
+				if err != nil {
+					t.Fatalf("reference scan: %v", err)
+				}
+				got, err := ScanMFS(ix, test, maxSize)
+				if err != nil {
+					t.Fatalf("scan: %v", err)
+				}
+
+				name := fmt.Sprintf("k=%d maxSize=%d seed=%d", k, maxSize, seed)
+				if !reflect.DeepEqual(got.CountBySize, want.CountBySize) {
+					t.Fatalf("%s: CountBySize %v, reference %v", name, got.CountBySize, want.CountBySize)
+				}
+				if !reflect.DeepEqual(got.Examples, want.Examples) {
+					t.Fatalf("%s: Examples %v, reference %v", name, got.Examples, want.Examples)
+				}
+				if !reflect.DeepEqual(got.occurrences, want.occurrences) {
+					t.Fatalf("%s: occurrences %v, reference %v", name, got.occurrences, want.occurrences)
+				}
+				if got.Positions != want.Positions {
+					t.Fatalf("%s: Positions %d, reference %d", name, got.Positions, want.Positions)
+				}
+			}
+		}
+	}
+}
+
+// TestScanMatchesReferenceForeignSymbols covers test streams containing
+// symbols the training stream never emits (no automaton edge anywhere).
+func TestScanMatchesReferenceForeignSymbols(t *testing.T) {
+	train := refScanStream(3, 500, 5)
+	test := refScanStream(7, 300, 9) // symbols 5..8 are foreign to training
+	ix := seq.NewIndex(train)
+	want, err := refScanMFS(ix, test, 6)
+	if err != nil {
+		t.Fatalf("reference scan: %v", err)
+	}
+	got, err := ScanMFS(ix, test, 6)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !reflect.DeepEqual(got.CountBySize, want.CountBySize) {
+		t.Fatalf("CountBySize %v, reference %v", got.CountBySize, want.CountBySize)
+	}
+	if !reflect.DeepEqual(got.occurrences, want.occurrences) {
+		t.Fatalf("occurrences diverge from reference")
+	}
+}
+
+// TestScanSweepAllocs guards the scan inner loop: with the automaton built
+// and matching statistics in hand, the sweep itself performs only the
+// bounded map/occurrence bookkeeping — far under one allocation per
+// position — so window-probe churn can't silently return.
+func TestScanSweepAllocs(t *testing.T) {
+	train := refScanStream(11, 2000, 8)
+	test := refScanStream(12, 1500, 8)
+	auto := seq.NewIndex(train).Automaton()
+	ms := auto.AppendMatchLens(make([]int32, 0, len(test)), test)
+
+	stats := MFSStats{
+		CountBySize: make(map[int]int),
+		Examples:    make(map[int]seq.Stream),
+		Positions:   len(test),
+		occurrences: make([]occurrence, 0, len(test)),
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		stats.occurrences = stats.occurrences[:0]
+		scanMFSMatchStats(test, ms, 9, &stats)
+	})
+	// Steady state re-fills the preallocated occurrence list and touches
+	// already-populated maps; a handful of allocations covers map growth
+	// jitter, versus two automaton walks per position before the kernel.
+	if allocs > 8 {
+		t.Fatalf("MFS sweep allocated %.0f times per scan, want <= 8", allocs)
+	}
+	if math.IsNaN(allocs) {
+		t.Fatalf("AllocsPerRun returned NaN")
+	}
+}
+
+// TestMatchLensAllocs pins AppendMatchLens as allocation-free when dst has
+// capacity.
+func TestMatchLensAllocs(t *testing.T) {
+	train := refScanStream(21, 1000, 6)
+	test := refScanStream(22, 800, 6)
+	auto := seq.NewIndex(train).Automaton()
+	dst := make([]int32, 0, len(test))
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = auto.AppendMatchLens(dst[:0], test)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMatchLens allocated %.0f times, want 0", allocs)
+	}
+}

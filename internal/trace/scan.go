@@ -90,41 +90,70 @@ func NaturalPlacements(trainIx *seq.Index, test seq.Stream, maxSize int, opts in
 // that sequence's proper subsequences all occur it is minimal by
 // construction of "shortest" on the prefix side, and the suffix side is
 // verified explicitly.
+//
+// The scan is a single pass over the automaton's matching statistics
+// (retained as the per-position probe loop in reference_test.go, which pins
+// this implementation's full output). With S[j-1] the longest suffix of
+// test[:j] occurring in training, d(j) = j - S[j-1] is the start of that
+// suffix and is non-decreasing in j, and test[i:j] occurs iff d(j) <= i. So
+// for each i the shortest foreign window ends at the first j > i with
+// d(j) > i — a two-pointer sweep, O(len(test)) total instead of O(len(test)
+// · maxSize) automaton walks, allocating one int32 slice for S.
 func ScanMFS(trainIx *seq.Index, test seq.Stream, maxSize int) (MFSStats, error) {
 	if maxSize < 2 {
 		return MFSStats{}, fmt.Errorf("trace: maxSize %d too small for minimal foreign sequences", maxSize)
 	}
+	// The maps hold at most maxSize-1 keys. The oversized hint keeps the
+	// bucket count well past the key count so overflow-bucket allocation —
+	// a function of the per-process map hash seed — cannot occur, keeping
+	// the scan's allocs/op stable run-to-run for the bench-check contract.
 	stats := MFSStats{
-		CountBySize: make(map[int]int),
-		Examples:    make(map[int]seq.Stream),
+		CountBySize: make(map[int]int, 4*maxSize),
+		Examples:    make(map[int]seq.Stream, 4*maxSize),
 		Positions:   len(test),
 	}
-	// The scan probes many lengths per position; the suffix automaton
-	// answers each probe in O(length) regardless of length, where per-width
-	// databases would need one build per width.
 	auto := trainIx.Automaton()
-	for i := 0; i < len(test); i++ {
-		// Find the shortest L such that test[i:i+L] is foreign. Once a
-		// prefix is foreign every extension is too, so stop at the first.
-		for l := 1; l <= maxSize && i+l <= len(test); l++ {
-			candidate := test[i : i+l]
-			if !auto.IsForeign(candidate) {
-				continue
+	ms := auto.AppendMatchLens(make([]int32, 0, len(test)), test)
+	scanMFSMatchStats(test, ms, maxSize, &stats)
+	return stats, nil
+}
+
+// scanMFSMatchStats is the allocation-free sweep at the core of ScanMFS,
+// split out so the regression guard can assert its steady-state allocation
+// count. ms must be the matching statistics of test (AppendMatchLens).
+func scanMFSMatchStats(test seq.Stream, ms []int32, maxSize int, stats *MFSStats) {
+	n := len(test)
+	j := 0 // exclusive end of the current candidate window, 1-based
+	for i := 0; i < n; i++ {
+		if j < i+1 {
+			j = i + 1
+		}
+		// Advance to the first j whose window test[i:j] is foreign:
+		// d(j) = j - S[j-1] > i. d is non-decreasing, so j never retreats
+		// as i grows and the sweep is linear.
+		for j <= n && int(j-int(ms[j-1])) <= i {
+			j++
+		}
+		if j > n {
+			// Even test[i:n] occurs in training; by monotonicity the same
+			// holds for every later start.
+			return
+		}
+		l := j - i
+		if l < 2 || l > maxSize {
+			// A foreign single symbol, or first foreignness beyond the
+			// probe bound — the reference records nothing here.
+			continue
+		}
+		// The prefix test[i:j-1] occurs (j was the *first* foreign end);
+		// minimality still requires the suffix test[i+1:j] to occur, i.e.
+		// d(j) <= i+1, and d(j) > i already, so d(j) == i+1 exactly.
+		if int(j-int(ms[j-1])) == i+1 {
+			stats.CountBySize[l]++
+			stats.occurrences = append(stats.occurrences, occurrence{pos: i, size: l})
+			if _, ok := stats.Examples[l]; !ok {
+				stats.Examples[l] = test[i:j].Clone()
 			}
-			if l < 2 {
-				break // a foreign symbol, not an MFS
-			}
-			// The prefix test[i:i+l-1] occurs (l was the *first* foreign
-			// length); minimality still requires the suffix to occur.
-			if auto.Contains(candidate[1:]) {
-				stats.CountBySize[l]++
-				stats.occurrences = append(stats.occurrences, occurrence{pos: i, size: l})
-				if _, ok := stats.Examples[l]; !ok {
-					stats.Examples[l] = candidate.Clone()
-				}
-			}
-			break
 		}
 	}
-	return stats, nil
 }

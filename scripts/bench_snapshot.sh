@@ -1,47 +1,110 @@
 #!/bin/sh
 # bench_snapshot.sh — record the repo's benchmark suite to a dated JSON
 # file (BENCH_<yyyy-mm-dd>.json) so performance can be compared across
-# commits. Runs every benchmark once with -benchmem; pass a -benchtime
-# value as $1 for steadier numbers (e.g. ./scripts/bench_snapshot.sh 3x).
+# commits.
 #
-# Before writing the new snapshot, the most recent existing BENCH_*.json is
-# diffed against the fresh run: per-benchmark ns/op and allocs/op deltas are
-# printed for every benchmark present in both, so a regression shows up in
-# the run that introduces it, not in a later archaeology session.
+# Usage:
+#   ./scripts/bench_snapshot.sh [benchtime]         record a snapshot
+#   ./scripts/bench_snapshot.sh -check [benchtime]  compare only (no write)
+#
+# Benchmarks run with -benchmem and a time-based default -benchtime of
+# 300ms: single-shot numbers (the old 1x default) jitter enough that
+# compare-mode deltas were noise, and a handful of iterations cannot
+# amortize run-to-run allocation jitter (Go's tiny allocator packs small
+# allocations differently depending on process history, so allocs/op over
+# 3 iterations can differ by 1-2 between a full-suite run and a filtered
+# one — over hundreds of iterations the difference floors away). Explicit
+# iteration counts are still accepted with a minimum of 3x; time-based
+# values pass through. The snapshot header records the CPU model and
+# GOMAXPROCS alongside date/go/commit, so cross-machine comparisons are
+# visibly cross-machine.
+#
+# Snapshot mode diffs the most recent existing BENCH_*.json against the
+# fresh run before writing, printing per-benchmark ns/op and allocs/op
+# deltas. Check mode (-check, backing `make bench-check`) performs the same
+# comparison and exits nonzero if any benchmark present in both runs
+# regressed more than 10% in ns/op or increased its allocs/op at all;
+# nothing is written. BENCH_FILTER limits the benchmarks run (a go test
+# -bench regexp; default all) — benchmarks missing from the run are
+# reported but never fail the check. Compare like with like: allocs/op on
+# allocation-heavy benchmarks couples to GC cadence (each cycle resets the
+# runtime's tiny-allocation block), which depends on what else ran in the
+# process — a filtered run can report a stable 1-2 allocs/op more than the
+# same benchmark inside the full suite. Use BENCH_FILTER for quick
+# iteration; gate against a full-suite snapshot with a full-suite check.
 #
 # Output schema:
 #   { "schema": "adiv.bench/v1", "date": ..., "go": ..., "commit": ...,
+#     "cpu": ..., "gomaxprocs": ...,
 #     "benchmarks": [ {"name":..., "iterations":..., "ns_per_op":...,
 #                      "bytes_per_op":..., "allocs_per_op":...}, ... ] }
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benchtime="${1:-1x}"
+mode="snapshot"
+if [ "${1:-}" = "-check" ]; then
+    mode="check"
+    shift
+fi
+
+benchtime="${1:-300ms}"
+# Enforce the 3x minimum on explicit iteration counts.
+case "$benchtime" in
+*x)
+    iters="${benchtime%x}"
+    case "$iters" in
+    '' | *[!0-9]*) ;; # not a plain count; leave it alone
+    *)
+        if [ "$iters" -lt 3 ]; then
+            echo "bumping -benchtime ${benchtime} to the 3x minimum" >&2
+            benchtime="3x"
+        fi
+        ;;
+    esac
+    ;;
+esac
+
+filter="${BENCH_FILTER:-.}"
 date_tag="$(date -u +%Y-%m-%d)"
 out="BENCH_${date_tag}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+fresh="$(mktemp)"
+trap 'rm -f "$raw" "$fresh"' EXIT
 
 # Latest snapshot on disk (lexicographic order == date order for the
-# BENCH_yyyy-mm-dd naming), excluding today's if re-running.
+# BENCH_yyyy-mm-dd naming). Snapshot mode excludes today's file (a re-run
+# should diff against the previous snapshot, not overwrite-and-match);
+# check mode compares against the newest snapshot, today's included.
 prev=""
 for f in BENCH_*.json; do
     [ -e "$f" ] || continue
-    [ "$f" = "$out" ] && continue
+    [ "$mode" = "snapshot" ] && [ "$f" = "$out" ] && continue
     prev="$f"
 done
 
-echo "running benchmarks (-benchtime $benchtime)..." >&2
-go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw"
+echo "running benchmarks (-benchtime $benchtime, -bench '$filter')..." >&2
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... >"$raw"
 
 go_version="$(go version | awk '{print $3}')"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# The cpu line go test prints for the benchmarked package; fall back to
+# /proc/cpuinfo for environments where it is absent.
+cpu="$(awk -F': ' '/^cpu: /{print $2; exit}' "$raw")"
+if [ -z "$cpu" ]; then
+    cpu="$(awk -F': ' '/^model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+fi
+gomaxprocs="$(go env GOMAXPROCS 2>/dev/null || true)"
+if [ -z "$gomaxprocs" ] || [ "$gomaxprocs" = "0" ]; then
+    gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+fi
 
-awk -v date="$date_tag" -v gover="$go_version" -v commit="$commit" '
+awk -v date="$date_tag" -v gover="$go_version" -v commit="$commit" \
+    -v cpu="$cpu" -v gomaxprocs="$gomaxprocs" '
 BEGIN {
     printf "{\n  \"schema\": \"adiv.bench/v1\",\n"
     printf "  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", date, gover, commit
+    printf "  \"cpu\": \"%s\",\n  \"gomaxprocs\": %d,\n", cpu, gomaxprocs
     printf "  \"benchmarks\": [\n"
     n = 0
 }
@@ -61,46 +124,77 @@ BEGIN {
     n++
 }
 END { printf "\n  ]\n}\n" }
-' "$raw" >"$out"
+' "$raw" >"$fresh"
 
-count="$(grep -c '"name"' "$out" || true)"
-echo "wrote $out ($count benchmarks)" >&2
+if [ "$mode" = "snapshot" ]; then
+    cp "$fresh" "$out"
+    count="$(grep -c '"name"' "$out" || true)"
+    echo "wrote $out ($count benchmarks)" >&2
+fi
 
-if [ -n "$prev" ]; then
-    echo "" >&2
-    echo "comparison against $prev (ns/op, allocs/op):" >&2
-    # Both files carry one benchmark object per line; join on name.
-    awk '
-    function fld(line, key,   rest) {
-        if (index(line, "\"" key "\":") == 0) return ""
-        rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
-        gsub(/^[ ]*/, "", rest)
-        sub(/[,}].*$/, "", rest)
-        gsub(/"/, "", rest)
+if [ -z "$prev" ]; then
+    if [ "$mode" = "check" ]; then
+        echo "bench-check: no previous BENCH_*.json found; nothing to compare" >&2
+        exit 0
+    fi
+    echo "no previous BENCH_*.json found; skipping comparison" >&2
+    exit 0
+fi
+
+echo "" >&2
+echo "comparison against $prev (ns/op, allocs/op):" >&2
+# Both files carry one benchmark object per line; join on name. In check
+# mode a >10% ns/op regression or any allocs/op increase is a failure.
+awk -v check="$([ "$mode" = "check" ] && echo 1 || echo 0)" '
+function fld(line, key,   rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ ]*/, "", rest)
+    if (substr(rest, 1, 1) == "\"") {
+        # Quoted string: cut at the closing quote (names may contain commas).
+        rest = substr(rest, 2)
+        sub(/".*$/, "", rest)
         return rest
     }
-    /"name"/ {
-        name = fld($0, "name")
-        if (name == "") next
-        if (NR == FNR) {
-            old_ns[name] = fld($0, "ns_per_op")
-            old_allocs[name] = fld($0, "allocs_per_op")
-            next
+    sub(/[,}].*$/, "", rest)
+    return rest
+}
+/"name"/ {
+    name = fld($0, "name")
+    if (name == "") next
+    if (NR == FNR) {
+        old_ns[name] = fld($0, "ns_per_op")
+        old_allocs[name] = fld($0, "allocs_per_op")
+        next
+    }
+    ns = fld($0, "ns_per_op"); allocs = fld($0, "allocs_per_op")
+    if (!(name in old_ns)) { printf "  %-55s NEW  %s ns/op  %s allocs/op\n", name, ns, allocs; next }
+    ons = old_ns[name] + 0; oal = old_allocs[name] + 0
+    dns = "n/a"; if (ons > 0) dns = sprintf("%+.1f%%", (ns - ons) * 100.0 / ons)
+    dal = "n/a"; if (oal > 0) dal = sprintf("%+.1f%%", (allocs - oal) * 100.0 / oal)
+    else if (allocs + 0 == oal) dal = "+0.0%"
+    printf "  %-55s %12s -> %-12s (%s)   allocs %6s -> %-6s (%s)\n", \
+        name, ons, ns, dns, old_allocs[name], allocs, dal
+    seen[name] = 1
+    if (check) {
+        if (ons > 0 && (ns - ons) * 100.0 / ons > 10.0) {
+            printf "  FAIL %s: ns/op regressed %s (limit +10%%)\n", name, dns
+            failed = 1
         }
-        ns = fld($0, "ns_per_op"); allocs = fld($0, "allocs_per_op")
-        if (!(name in old_ns)) { printf "  %-55s NEW  %s ns/op  %s allocs/op\n", name, ns, allocs; next }
-        ons = old_ns[name] + 0; oal = old_allocs[name] + 0
-        dns = "n/a"; if (ons > 0) dns = sprintf("%+.1f%%", (ns - ons) * 100.0 / ons)
-        dal = "n/a"; if (oal > 0) dal = sprintf("%+.1f%%", (allocs - oal) * 100.0 / oal)
-        else if (allocs + 0 == oal) dal = "+0.0%"
-        printf "  %-55s %12s -> %-12s (%s)   allocs %6s -> %-6s (%s)\n", \
-            name, ons, ns, dns, old_allocs[name], allocs, dal
-        seen[name] = 1
+        if (allocs + 0 > oal) {
+            printf "  FAIL %s: allocs/op increased %s -> %s\n", name, old_allocs[name], allocs
+            failed = 1
+        }
     }
-    END {
-        for (name in old_ns) if (!(name in seen)) printf "  %-55s GONE\n", name
-    }
-    ' "$prev" "$out" >&2
-else
-    echo "no previous BENCH_*.json found; skipping comparison" >&2
+}
+END {
+    for (name in old_ns) if (!(name in seen)) printf "  %-55s GONE\n", name
+    if (check && failed) exit 1
+}
+' "$prev" "$fresh" >&2 || {
+    echo "bench-check: performance regression detected" >&2
+    exit 1
+}
+if [ "$mode" = "check" ]; then
+    echo "bench-check: no regressions against $prev" >&2
 fi
