@@ -341,6 +341,52 @@ func BenchmarkStreamingScore(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamingScoreTelemetry is BenchmarkStreamingScore/push with the
+// full detection-telemetry stack attached — per-family latency and response
+// sketches, alarm counters, and an alert journal on the thresholding layer.
+// The delta against the uninstrumented push is the whole telemetry cost,
+// and the zero-allocation steady-state contract must survive it (asserted
+// outright, like the uninstrumented benchmark).
+func BenchmarkStreamingScoreTelemetry(b *testing.B) {
+	corpus := benchCorpus(b)
+	det := trainedDetector(b, adiv.DetectorStide, 8)
+	// Steady state means non-alarming: journal appends happen only on
+	// alarms, so the benchmark pushes the training stream (every window
+	// known to the detector) rather than anomaly-bearing test data.
+	stream := corpus.Training
+	alarmer, err := adiv.NewStreamAlarmer(det, 0.999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alarmer.Instrument(adiv.NewMetrics())
+	alarmer.SetJournal(adiv.NewAlertJournal(nil))
+	// Warm past the initial window fill so every timed push scores.
+	for _, sym := range stream[:16] {
+		if _, _, err := alarmer.Push(sym); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The probe walks the stream in order (a constant symbol would form a
+	// foreign window, alarm, and journal — not steady state).
+	next := 16
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := alarmer.Push(stream[next%len(stream)]); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}); allocs != 0 {
+		b.Fatalf("instrumented steady-state push allocates %v times, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := alarmer.Push(stream[(next+i)%len(stream)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1)
+}
+
 // BenchmarkAblationLFC compares raw Stide against LFC-smoothed Stide — the
 // post-processing stage the paper's evaluation sets aside.
 func BenchmarkAblationLFC(b *testing.B) {

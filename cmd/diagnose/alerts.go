@@ -1,0 +1,21 @@
+package main
+
+import (
+	"io"
+
+	"adiv"
+)
+
+// alertsReport renders the -alerts analysis: parse the NDJSON journal
+// (tolerating a torn final line from an interrupted run), aggregate
+// per-detector disposition counts and score quantiles, and replay the
+// watchdog rules offline over the journal's position buckets.
+func alertsReport(w io.Writer, path string) error {
+	recs, err := adiv.ReadAlertsFile(path)
+	if err != nil {
+		return err
+	}
+	rep := adiv.AnalyzeAlerts(recs, adiv.AlertAnalysisOptions{})
+	rep.WriteText(w)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	diagnose [-detector stide] [-size 7] [-window 5] [-quick]
 //	diagnose -status-url HOST:PORT[,HOST:PORT...]
 //	diagnose -trace FILE [-top N]
+//	diagnose -alerts FILE
 //
 // With -status-url, diagnose instead inspects a live run: it fetches /runz
 // and /metrics from the introspection server another command exposed with
@@ -22,6 +23,13 @@
 // with -trace FILE: it prints the critical path (the sequential chain
 // bounding the run's wall clock), per-worker occupancy and idle time, the
 // top spans by self-time, and per-detector-family cost rollups.
+//
+// With -alerts, diagnose analyzes a streaming alert journal another command
+// wrote with -alerts FILE (NDJSON, schema adiv.alerts/v1): per-detector
+// disposition counts (raised / escalated / suppressed / pending), score
+// quantiles at sketch resolution, alert rate per 1000 stream positions, and
+// an offline replay of the detector-health watchdog rules (storm, saturated,
+// silent) over the journal's position buckets.
 package main
 
 import (
@@ -49,6 +57,7 @@ func run(w io.Writer, args []string) error {
 	statusURL := fs.String("status-url", "", "inspect a live run instead: fetch /runz and /metrics from this -status server (host:port or URL) and print a progress table; a comma-separated list aggregates a sharded run's workers into one fleet view")
 	tracePath := fs.String("trace", "", "analyze an exported execution trace instead: print critical path, worker occupancy, and cost rollups for this Chrome trace JSON file")
 	top := fs.Int("top", 10, "with -trace, how many spans to rank by self-time")
+	alertsPath := fs.String("alerts", "", "analyze a streaming alert journal instead: print per-detector disposition counts, score quantiles, and offline watchdog findings for this NDJSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +66,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *tracePath != "" {
 		return traceReport(w, *tracePath, *top)
+	}
+	if *alertsPath != "" {
+		return alertsReport(w, *alertsPath)
 	}
 
 	cfg := adiv.DefaultConfig()

@@ -13,7 +13,7 @@
 //
 //	ensemble [-quick] [-window N] [-size N] [-noisy N] [-j N]
 //	         [-checkpoint DIR] [-resume] [-shard i/N]
-//	         [-metrics-out FILE] [-progress] [-status ADDR]
+//	         [-metrics-out FILE] [-progress] [-status ADDR] [-alerts FILE]
 //	         [-trace FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -checkpoint DIR every completed grid cell of the four coverage maps
@@ -21,6 +21,15 @@
 // journaled cells bit-identically and evaluates only the remainder.
 // -shard i/N restricts the run to one shard of an N-way grid partition,
 // journaling to DIR/shard-i-of-N for a later checkpoint merge.
+//
+// With -alerts FILE the run additionally replays the suppression
+// experiment's rare-containing stream through the streaming veto pipeline
+// (Markov primary, Stide veto) before the coverage analysis, journaling
+// every alarm disposition — raised, escalated, suppressed — to FILE as
+// NDJSON (schema adiv.alerts/v1). Under -status the journal tail is served
+// live at /alertz while the coverage grids evaluate, and the detector-health
+// watchdog degrades /healthz on alarm storms or a silenced stream. Analyze
+// the journal afterwards with diagnose -alerts FILE.
 package main
 
 import (
@@ -93,6 +102,14 @@ func run(w io.Writer, args []string) (err error) {
 		return err
 	}
 
+	if obsRun.Alerts() != nil {
+		// Streaming replay first: the journal (and /alertz under -status)
+		// carries records for the whole duration of the long coverage phase.
+		obsRun.Progress().SetPhase("alerts")
+		if err := streamingAlertAnalysis(w, corpus, *window, *size, *noisyLen, obsRun); err != nil {
+			return err
+		}
+	}
 	obsRun.Progress().SetPhase("coverage")
 	if err := coverageAnalysis(w, corpus, obsRun.Scheduler(), obsRun.Progress(), ckpt, obsRun, obsRun.Metrics); err != nil {
 		return err
@@ -157,6 +174,62 @@ func coverageAnalysis(w io.Writer, corpus *adiv.Corpus, sched *adiv.GridSchedule
 	}
 	fmt.Fprintf(w, "stide+lb union detects %d cells (stide alone: %d)\n",
 		union.CountOutcome(adiv.OutcomeCapable), stideMap.CountOutcome(adiv.OutcomeCapable))
+	return nil
+}
+
+// streamingAlertAnalysis replays the suppression experiment's stream through
+// the streaming veto pipeline with the run's alert journal attached: the
+// Markov primary journals every candidate alarm as raised and the
+// Stide-gated pipeline resolves each to escalated or suppressed, so -alerts
+// captures the full disposition history of the Section-7 recipe in its
+// deployment shape. Runs only under -alerts; the batch suppression analysis
+// and its output are unchanged without it.
+func streamingAlertAnalysis(w io.Writer, corpus *adiv.Corpus, window, size, noisyLen int, obsRun *runflags.Run) error {
+	rep, ok := corpus.Anomalies[size]
+	if !ok {
+		return fmt.Errorf("corpus has no size-%d anomaly", size)
+	}
+	g, err := gen.New(corpus.Config.Gen)
+	if err != nil {
+		return err
+	}
+	noisy := g.Noisy(noisyLen, 1)
+	placement, err := injectIntoNoisy(corpus, noisy, rep.Sequence, window)
+	if err != nil {
+		return err
+	}
+	markov, err := adiv.NewMarkov(window)
+	if err != nil {
+		return err
+	}
+	stide, err := adiv.NewStide(window)
+	if err != nil {
+		return err
+	}
+	if err := adiv.TrainAllWithCorpus(corpus.TrainingDBs(), markov, stide); err != nil {
+		return err
+	}
+	pipe, err := adiv.NewVetoPipeline(markov, stide, adiv.RareSensitiveThreshold, adiv.StrictThreshold)
+	if err != nil {
+		return err
+	}
+	pipe.Instrument(obsRun.Metrics)
+	pipe.SetJournal(obsRun.Alerts())
+	escalated, err := pipe.PushAll(placement.Stream)
+	if err != nil {
+		return err
+	}
+	counts := obsRun.Alerts().Counts()
+	fmt.Fprintf(w, "\n== streaming alert replay (-alerts, DW=%d, AS=%d) ==\n", window, size)
+	fmt.Fprintf(w, "replayed %d symbols through the markov→stide veto pipeline:\n", len(placement.Stream))
+	fmt.Fprintf(w, "%d raised, %d escalated, %d suppressed (journal: %s)\n",
+		counts[adiv.DispositionRaised], len(escalated), pipe.Suppressed(), obsRun.AlertsPath())
+	obsRun.Announce("alerts.replay", adiv.EventFields{
+		"symbols":    len(placement.Stream),
+		"raised":     counts[adiv.DispositionRaised],
+		"escalated":  len(escalated),
+		"suppressed": pipe.Suppressed(),
+	})
 	return nil
 }
 

@@ -1,14 +1,54 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"adiv"
 )
 
 func TestRunBadFlags(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, []string{"-nosuch"}); err == nil {
 		t.Errorf("unknown flag accepted")
+	}
+}
+
+// TestRunAlertsJournal: with -alerts the run replays the rare-containing
+// stream through the streaming veto pipeline and the journal on disk carries
+// the full disposition history — raised candidates resolved to escalated
+// (the injected foreign anomaly) and suppressed (uncorroborated rare
+// sequences), the same split the batch suppression analysis reports.
+func TestRunAlertsJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full combination analysis skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "alerts.ndjson")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-quick", "-noisy", "6000", "-alerts", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out := sb.String(); !strings.Contains(out, "== streaming alert replay") {
+		t.Errorf("output missing the streaming replay section:\n%s", out)
+	}
+	recs, err := adiv.ReadAlertsFile(path)
+	if err != nil {
+		t.Fatalf("journal unreadable: %v", err)
+	}
+	byDisp := map[string]int{}
+	for _, rec := range recs {
+		if rec.Detector != "markov" {
+			t.Errorf("journaled detector %q, want markov (the veto must not journal)", rec.Detector)
+		}
+		byDisp[rec.Disposition]++
+	}
+	if byDisp[adiv.DispositionRaised] == 0 || byDisp[adiv.DispositionEscalated] == 0 || byDisp[adiv.DispositionSuppressed] == 0 {
+		t.Errorf("journal dispositions = %v, want all three represented", byDisp)
+	}
+	rep := adiv.AnalyzeAlerts(recs, adiv.AlertAnalysisOptions{})
+	if len(rep.Families) != 1 || rep.Families[0].Score.Count == 0 {
+		t.Errorf("analysis families = %+v", rep.Families)
 	}
 }
 

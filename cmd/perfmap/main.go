@@ -17,16 +17,23 @@
 //	                 per-cell evaluation timing) to F at exit
 //	-progress        emit NDJSON progress events to stderr during grid runs
 //	-status ADDR     serve live introspection on ADDR while the run is in
-//	                 flight: /metrics (Prometheus text), /runz (JSON grid
-//	                 progress + ETA), /eventz (recent events), /tracez
-//	                 (live span timeline stats), /healthz, /debug/pprof;
-//	                 :0 picks a free port, announced as statusAddr in the
-//	                 run.start event
+//	                 flight: /metrics (Prometheus text, histograms and
+//	                 quantile-sketch summaries included), /runz (JSON grid
+//	                 progress + ETA + sketch quantiles), /eventz (recent
+//	                 events), /alertz (alert-journal tail, with -alerts),
+//	                 /tracez (live span timeline stats), /healthz,
+//	                 /debug/pprof; :0 picks a free port, announced as
+//	                 statusAddr in the run.start event
 //	-trace F         record per-event execution spans (corpus synthesis,
 //	                 per-window trainings, every grid cell with its worker
 //	                 lane) and write a Chrome trace_event JSON file to F at
 //	                 exit; open it in Perfetto (ui.perfetto.dev) or feed it
 //	                 to `diagnose -trace F` for critical-path analysis
+//	-alerts F        journal streaming alarm dispositions to F as NDJSON
+//	                 (schema adiv.alerts/v1) and arm the detector-health
+//	                 watchdog; mainly useful under ensemble, which replays
+//	                 a stream through the veto pipeline — analyze with
+//	                 `diagnose -alerts F`
 //	-cpuprofile F / -memprofile F   write runtime/pprof profiles
 //	-j N             bound concurrent grid work (default runtime.NumCPU);
 //	                 one pool is shared across all maps of the run

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	report [-quick] [-out FILE] [-metrics-out FILE] [-progress]
-//	       [-status ADDR] [-trace FILE] [-cpuprofile FILE]
+//	       [-status ADDR] [-trace FILE] [-alerts FILE] [-cpuprofile FILE]
 //	       [-memprofile FILE] [-checkpoint DIR] [-resume] [-shard i/N]
 //
 // The default (full-scale) run synthesizes the paper's one-million-element

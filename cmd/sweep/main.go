@@ -23,7 +23,7 @@
 // configuration, because most modes retrain dozens of detectors; pass
 // -quick=false for the paper-scale run. The active configuration is
 // announced as a run.start event on stderr at startup. The shared
-// observability flags (-metrics-out, -progress, -status, -trace,
+// observability flags (-metrics-out, -progress, -status, -trace, -alerts,
 // -cpuprofile, -memprofile) are also accepted; -status serves live grid progress at
 // /runz while the nn and cutoff modes run. The map-building modes (nn,
 // cutoff) honor -checkpoint DIR / -resume: every grid cell of every

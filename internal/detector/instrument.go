@@ -21,6 +21,10 @@ const responseBins = 10
 //   - gauge throughput_sps/<name>      — cumulative scoring throughput
 //   - hist  responses/<name>           — response distribution (10 bins,
 //     exact-extreme counts mirroring eval.Profile)
+//   - sketch score_latency/<name>      — per-Score-call latency quantiles
+//     (seconds)
+//   - sketch responses_q/<name>        — response quantiles at sketch
+//     resolution (the histogram's 10 bins cannot resolve a p99)
 //
 // Training carries no trace span of its own: in grid runs the scheduler's
 // lane-stamped train task span covers the same interval with worker
@@ -44,6 +48,8 @@ func Observed(d Detector, reg *obs.Registry) Detector {
 		symbols:    reg.Counter("symbols/" + name),
 		throughput: reg.Gauge("throughput_sps/" + name),
 		responses:  reg.Histogram("responses/"+name, responseBins),
+		scoreLat:   reg.Sketch("score_latency/" + name),
+		responsesQ: reg.Sketch("responses_q/" + name),
 	}
 }
 
@@ -60,6 +66,8 @@ type observed struct {
 	symbols    *obs.Counter
 	throughput *obs.Gauge
 	responses  *obs.Histogram
+	scoreLat   *obs.Sketch
+	responsesQ *obs.Sketch
 }
 
 // Unwrap returns the detector being observed.
@@ -87,12 +95,13 @@ func (o *observed) Score(test seq.Stream) ([]float64, error) {
 	sp := o.reg.SpanTraced(o.scoreSpan, "score")
 	sp.SetAttr("detector", o.name)
 	responses, err := o.Detector.Score(test)
-	sp.End()
+	o.scoreLat.Observe(sp.End().Seconds())
 	if err != nil {
 		return nil, err
 	}
 	o.symbols.Add(int64(len(test)))
 	o.responses.ObserveAll(responses)
+	o.responsesQ.ObserveAll(responses)
 	if total := o.score.Total(); total > 0 {
 		o.throughput.Set(float64(o.symbols.Value()) / total.Seconds())
 	}

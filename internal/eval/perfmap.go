@@ -368,6 +368,10 @@ func BuildMapCorpus(name string, factory Factory, tc *seq.Corpus, placements map
 							var aerr error
 							a, aerr = Assess(det, placement, opts)
 							cellMs = float64(cellSpan.End().Nanoseconds()) / 1e6
+							// Live cells only: replays complete in
+							// microseconds and would collapse the latency
+							// quantiles.
+							reg.Sketch("cell_latency/" + name).Observe(cellMs / 1e3)
 							return aerr
 						})
 						if err == nil {

@@ -42,7 +42,7 @@ func TestStatusServerDuringBuildMapCorpus(t *testing.T) {
 	prog := obs.NewProgress()
 	prog.AttachEvents(reg)
 	prog.SetPhase("grid")
-	ts := httptest.NewServer(obs.NewHandler(reg, prog, nil, nil))
+	ts := httptest.NewServer(obs.NewHandler(obs.Endpoints{Registry: reg, Progress: prog}))
 	defer ts.Close()
 
 	scrape := func(path string) (int, []byte) {

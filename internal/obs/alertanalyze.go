@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Alert-journal analysis: the offline digest `diagnose -alerts` prints.
+// AnalyzeAlerts rolls a journal up per detector family (counts by
+// disposition, alert rate over the covered position span, score quantiles
+// via the same Sketch the live pipeline uses) and replays the watchdog
+// rules over position buckets, so a finished run's journal answers the
+// questions the live /healthz would have: did a detector go silent, did one
+// saturate the pipeline, was there an alert storm.
+
+// AlertAnalysisOptions tunes the offline watchdog replay.
+type AlertAnalysisOptions struct {
+	// Buckets is how many equal position buckets the covered span is split
+	// into for storm and silence detection (< 1 keeps 20).
+	Buckets int
+	// StormBurst flags any bucket where one family raises at least this
+	// many alerts (< 1 keeps 50).
+	StormBurst int
+	// SaturatedPer1k flags a family whose raised-alert rate exceeds this
+	// many per 1000 positions (<= 0 keeps 100).
+	SaturatedPer1k float64
+	// SilentTailBuckets flags a family active in the journal's first half
+	// that raises nothing in this many trailing buckets (< 1 keeps 5).
+	SilentTailBuckets int
+}
+
+func (o AlertAnalysisOptions) withDefaults() AlertAnalysisOptions {
+	if o.Buckets < 1 {
+		o.Buckets = 20
+	}
+	if o.StormBurst < 1 {
+		o.StormBurst = 50
+	}
+	if o.SaturatedPer1k <= 0 {
+		o.SaturatedPer1k = 100
+	}
+	if o.SilentTailBuckets < 1 {
+		o.SilentTailBuckets = 5
+	}
+	return o
+}
+
+// AlertReport is the digest of one alert journal.
+type AlertReport struct {
+	Total int
+	// MinPosition/MaxPosition bound the symbol positions the journal covers.
+	MinPosition, MaxPosition int
+	// ByDisposition counts records by disposition across all families.
+	ByDisposition map[string]int
+	// Families rolls the journal up per detector, sorted by name.
+	Families []AlertFamilyReport
+	// Firings are the offline watchdog findings, sorted.
+	Firings []string
+}
+
+// AlertFamilyReport is one detector family's slice of the journal.
+type AlertFamilyReport struct {
+	Detector  string
+	Raised    int
+	Escalated int
+	// Suppressed counts explicit suppressions; Pending is raised alerts
+	// with neither resolution (the run ended inside their veto window).
+	Suppressed int
+	Pending    int
+	// RatePer1k is raised alerts per 1000 positions of the covered span.
+	RatePer1k float64
+	// Score summarizes the raised-alert response scores (sketch quantiles).
+	Score SketchStats
+}
+
+// AnalyzeAlerts digests journal records into an AlertReport.
+func AnalyzeAlerts(recs []AlertRecord, opts AlertAnalysisOptions) AlertReport {
+	opts = opts.withDefaults()
+	rep := AlertReport{Total: len(recs), ByDisposition: map[string]int{}}
+	if len(recs) == 0 {
+		return rep
+	}
+
+	rep.MinPosition, rep.MaxPosition = recs[0].Position, recs[0].Position
+	type famAcc struct {
+		AlertFamilyReport
+		sketch *Sketch
+		// raisedByBucket counts raised alerts per position bucket.
+		raisedByBucket []int
+	}
+	fams := map[string]*famAcc{}
+	for _, rec := range recs {
+		if rec.Position < rep.MinPosition {
+			rep.MinPosition = rec.Position
+		}
+		if rec.Position > rep.MaxPosition {
+			rep.MaxPosition = rec.Position
+		}
+		rep.ByDisposition[rec.Disposition]++
+	}
+	span := rep.MaxPosition - rep.MinPosition + 1
+	bucketOf := func(pos int) int {
+		b := (pos - rep.MinPosition) * opts.Buckets / span
+		if b >= opts.Buckets {
+			b = opts.Buckets - 1
+		}
+		return b
+	}
+	for _, rec := range recs {
+		f := fams[rec.Detector]
+		if f == nil {
+			f = &famAcc{
+				AlertFamilyReport: AlertFamilyReport{Detector: rec.Detector},
+				sketch:            NewSketch(),
+				raisedByBucket:    make([]int, opts.Buckets),
+			}
+			fams[rec.Detector] = f
+		}
+		switch rec.Disposition {
+		case DispositionRaised:
+			f.Raised++
+			f.sketch.Observe(rec.Score)
+			f.raisedByBucket[bucketOf(rec.Position)]++
+		case DispositionEscalated:
+			f.Escalated++
+		case DispositionSuppressed:
+			f.Suppressed++
+		}
+	}
+
+	var firings []string
+	famNames := make([]string, 0, len(fams))
+	for name := range fams {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+	for _, name := range famNames {
+		f := fams[name]
+		f.Pending = f.Raised - f.Escalated - f.Suppressed
+		if f.Pending < 0 {
+			f.Pending = 0
+		}
+		f.RatePer1k = float64(f.Raised) * 1000 / float64(span)
+		f.Score = f.sketch.Stats()
+		rep.Families = append(rep.Families, f.AlertFamilyReport)
+
+		// Offline watchdog replay over the position buckets.
+		if f.RatePer1k > opts.SaturatedPer1k {
+			firings = append(firings, fmt.Sprintf(
+				"saturated: %s raised %.1f alerts/1k positions (bound %.1f)",
+				name, f.RatePer1k, opts.SaturatedPer1k))
+		}
+		for b, n := range f.raisedByBucket {
+			if n >= opts.StormBurst {
+				firings = append(firings, fmt.Sprintf(
+					"storm: %s raised %d alerts in bucket %d/%d (burst bound %d)",
+					name, n, b+1, opts.Buckets, opts.StormBurst))
+				break
+			}
+		}
+		if tail := opts.SilentTailBuckets; tail < opts.Buckets {
+			activeEarly, activeTail := false, false
+			for b, n := range f.raisedByBucket {
+				if n == 0 {
+					continue
+				}
+				if b < opts.Buckets-tail {
+					activeEarly = true
+				} else {
+					activeTail = true
+				}
+			}
+			if activeEarly && !activeTail {
+				firings = append(firings, fmt.Sprintf(
+					"silent: %s raised nothing in the last %d/%d position buckets",
+					name, tail, opts.Buckets))
+			}
+		}
+	}
+	sort.Strings(firings)
+	rep.Firings = firings
+	return rep
+}
+
+// WriteText renders the report as the human-readable `diagnose -alerts`
+// section.
+func (rep AlertReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Alert journal: %d record(s)", rep.Total)
+	if rep.Total == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, " over positions %d..%d\n", rep.MinPosition, rep.MaxPosition)
+	for _, d := range sortedKeys(rep.ByDisposition) {
+		fmt.Fprintf(w, "  %-11s %d\n", d, rep.ByDisposition[d])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %10s %10s %10s %10s\n",
+		"detector", "raised", "escal", "suppr", "pending", "per1k", "p50", "p90", "p99")
+	for _, f := range rep.Families {
+		fmt.Fprintf(w, "%-10s %8d %8d %8d %8d %10.2f %10.4f %10.4f %10.4f\n",
+			f.Detector, f.Raised, f.Escalated, f.Suppressed, f.Pending,
+			f.RatePer1k, f.Score.P50, f.Score.P90, f.Score.P99)
+	}
+	fmt.Fprintln(w)
+	if len(rep.Firings) == 0 {
+		fmt.Fprintln(w, "Watchdog: no rule fired")
+		return
+	}
+	fmt.Fprintf(w, "Watchdog: %d firing(s)\n", len(rep.Firings))
+	for _, f := range rep.Firings {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+}

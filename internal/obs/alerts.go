@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// AlertSchemaVersion identifies the alert-journal NDJSON schema: one
+// AlertRecord per line, every line self-describing via its schema field so a
+// journal survives being concatenated across runs or truncated mid-write.
+const AlertSchemaVersion = "adiv.alerts/v1"
+
+// Alert dispositions. Every alert enters the journal as DispositionRaised
+// when a detector's response crosses its threshold; a corroboration pipeline
+// then resolves it to DispositionEscalated (a second family agreed within
+// the veto window) or DispositionSuppressed (the window expired unanswered).
+// The invariant raised = escalated + suppressed + pending holds per family.
+const (
+	DispositionRaised     = "raised"
+	DispositionEscalated  = "escalated"
+	DispositionSuppressed = "suppressed"
+)
+
+// AlertRecord is one line of the alert journal: which detector alarmed on
+// which symbol position, at what response score against what threshold, and
+// how the alert was ultimately dispositioned.
+type AlertRecord struct {
+	Schema      string  `json:"schema"`
+	TS          string  `json:"ts"`
+	Position    int     `json:"position"`
+	Detector    string  `json:"detector"`
+	Score       float64 `json:"score"`
+	Threshold   float64 `json:"threshold"`
+	Disposition string  `json:"disposition"`
+}
+
+// DefaultAlertRingLines is the /alertz retention the drivers install.
+const DefaultAlertRingLines = 512
+
+// AlertJournal is an append-only NDJSON stream of AlertRecords plus a
+// bounded in-memory tail, so one journal serves both the durable -alerts
+// file and the live /alertz endpoint. Appends happen only when an alarm
+// fires — off the per-push hot path — so the journal may allocate; writes
+// are serialized by a mutex. A nil journal discards everything, the same
+// disabled-path contract as the rest of this package.
+type AlertJournal struct {
+	mu     sync.Mutex
+	w      io.Writer // durable sink; may be nil (ring-only journal)
+	now    func() time.Time
+	lines  [][]byte // retained tail for /alertz
+	next   int
+	total  int64
+	counts map[string]int64 // per-disposition totals
+}
+
+// NewAlertJournal returns a journal appending NDJSON lines to w (nil keeps
+// only the in-memory tail) and retaining the last DefaultAlertRingLines
+// records for /alertz.
+func NewAlertJournal(w io.Writer) *AlertJournal {
+	return &AlertJournal{
+		w:      w,
+		now:    time.Now,
+		lines:  make([][]byte, DefaultAlertRingLines),
+		counts: make(map[string]int64),
+	}
+}
+
+// SetClock replaces the journal's time source (tests use a deterministic
+// fake).
+func (j *AlertJournal) SetClock(now func() time.Time) {
+	if j == nil || now == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.now = now
+}
+
+// Append records one alert. The record's Schema and TS fields are stamped by
+// the journal; the caller fills the rest. Serialization failures are
+// swallowed — telemetry must never fail the run.
+func (j *AlertJournal) Append(rec AlertRecord) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec.Schema = AlertSchemaVersion
+	rec.TS = j.now().UTC().Format("2006-01-02T15:04:05.000Z07:00")
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	if j.w != nil {
+		j.w.Write(data) //nolint:errcheck // telemetry must never fail the run
+	}
+	j.lines[j.next] = data
+	j.next = (j.next + 1) % len(j.lines)
+	j.total++
+	j.counts[rec.Disposition]++
+}
+
+// Total returns how many records were ever appended.
+func (j *AlertJournal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Counts returns the per-disposition totals (nil on a nil or empty journal).
+func (j *AlertJournal) Counts() map[string]int64 {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.counts) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(j.counts))
+	for k, v := range j.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTail copies the last n retained records, oldest first, to w; n < 0
+// means every retained record, n == 0 writes nothing. This is the /alertz
+// read path.
+func (j *AlertJournal) WriteTail(w io.Writer, n int) (int64, error) {
+	if j == nil || n == 0 {
+		return 0, nil
+	}
+	j.mu.Lock()
+	size := len(j.lines)
+	skip := 0
+	if n >= 0 {
+		populated := 0
+		for i := 0; i < size; i++ {
+			if len(j.lines[(j.next+i)%size]) > 0 {
+				populated++
+			}
+		}
+		if populated > n {
+			skip = populated - n
+		}
+	}
+	out := make([]byte, 0, 1024)
+	for i := 0; i < size; i++ {
+		line := j.lines[(j.next+i)%size]
+		if len(line) == 0 {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		out = append(out, line...)
+	}
+	j.mu.Unlock()
+	written, err := w.Write(out)
+	return int64(written), err
+}
+
+// ReadAlerts parses an alert-journal NDJSON stream. Blank lines are skipped;
+// lines with an unknown schema fail loudly (a journal from a future format
+// must not be silently misread), as does malformed JSON — except a final
+// partial line, which is dropped: a run killed mid-append must not poison
+// its journal for diagnosis.
+func ReadAlerts(r io.Reader) ([]AlertRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []AlertRecord
+	var deferred error // unmarshal failure pending a later line to prove it wasn't the torn tail
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if deferred != nil {
+			return nil, deferred
+		}
+		var rec AlertRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			deferred = fmt.Errorf("obs: alert journal line %d: %w", lineNo, err)
+			continue
+		}
+		if rec.Schema != AlertSchemaVersion {
+			return nil, fmt.Errorf("obs: alert journal line %d: schema %q (want %q)", lineNo, rec.Schema, AlertSchemaVersion)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading alert journal: %w", err)
+	}
+	return recs, nil
+}
+
+// ReadAlertsFile parses the alert journal at path.
+func ReadAlertsFile(path string) ([]AlertRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return ReadAlerts(f)
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func seedJournal(j *AlertJournal) {
+	j.SetClock(newFakeClock(time.Second).Now)
+	j.Append(AlertRecord{Position: 100, Detector: "stide", Score: 0.97, Threshold: 0.95, Disposition: DispositionRaised})
+	j.Append(AlertRecord{Position: 100, Detector: "stide", Score: 0.97, Threshold: 0.95, Disposition: DispositionEscalated})
+	j.Append(AlertRecord{Position: 250, Detector: "nn", Score: 0.99, Threshold: 0.95, Disposition: DispositionRaised})
+	j.Append(AlertRecord{Position: 250, Detector: "nn", Score: 0.99, Threshold: 0.95, Disposition: DispositionSuppressed})
+}
+
+func TestAlertJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewAlertJournal(&buf)
+	seedJournal(j)
+
+	if j.Total() != 4 {
+		t.Errorf("total = %d", j.Total())
+	}
+	counts := j.Counts()
+	if counts[DispositionRaised] != 2 || counts[DispositionEscalated] != 1 || counts[DispositionSuppressed] != 1 {
+		t.Errorf("counts = %+v", counts)
+	}
+
+	recs, err := ReadAlerts(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAlerts: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	first := recs[0]
+	if first.Schema != AlertSchemaVersion || first.Position != 100 || first.Detector != "stide" ||
+		first.Score != 0.97 || first.Threshold != 0.95 || first.Disposition != DispositionRaised {
+		t.Errorf("first record = %+v", first)
+	}
+	if first.TS == "" {
+		t.Error("record missing timestamp")
+	}
+}
+
+func TestAlertJournalRingOnly(t *testing.T) {
+	j := NewAlertJournal(nil) // no durable sink; /alertz tail still works
+	seedJournal(j)
+	var tail bytes.Buffer
+	if _, err := j.WriteTail(&tail, -1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAlerts(&tail)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("tail round trip: %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestAlertJournalWriteTailLimit(t *testing.T) {
+	j := NewAlertJournal(nil)
+	seedJournal(j)
+	var tail bytes.Buffer
+	j.WriteTail(&tail, 1)
+	recs, err := ReadAlerts(&tail)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("limited tail: %d recs, err %v", len(recs), err)
+	}
+	if recs[0].Disposition != DispositionSuppressed {
+		t.Errorf("tail should keep the newest record, got %+v", recs[0])
+	}
+	if n, err := j.WriteTail(&tail, 0); n != 0 || err != nil {
+		t.Errorf("n=0 tail wrote %d bytes, err %v", n, err)
+	}
+}
+
+func TestAlertJournalNil(t *testing.T) {
+	var j *AlertJournal
+	j.Append(AlertRecord{}) // must not panic
+	if j.Total() != 0 || j.Counts() != nil {
+		t.Error("nil journal must report zeros")
+	}
+	if n, _ := j.WriteTail(&bytes.Buffer{}, -1); n != 0 {
+		t.Error("nil journal tail must be empty")
+	}
+}
+
+func TestReadAlertsTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewAlertJournal(&buf)
+	seedJournal(j)
+	// A run killed mid-append leaves a torn final line: dropped, not fatal.
+	torn := buf.String() + `{"schema":"adiv.alerts/v1","posi`
+	recs, err := ReadAlerts(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must not fail: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("read %d records", len(recs))
+	}
+	// The same garbage mid-stream is corruption and must fail loudly.
+	corrupt := `{"schema":"adiv.alerts/v1","posi` + "\n" + buf.String()
+	if _, err := ReadAlerts(strings.NewReader(corrupt)); err == nil {
+		t.Error("mid-stream corruption must fail")
+	}
+}
+
+func TestReadAlertsRejectsUnknownSchema(t *testing.T) {
+	in := `{"schema":"adiv.alerts/v9","position":1,"detector":"x"}` + "\n"
+	if _, err := ReadAlerts(strings.NewReader(in)); err == nil {
+		t.Error("unknown schema must fail")
+	}
+}
+
+func TestReadAlertsFile(t *testing.T) {
+	if _, err := ReadAlertsFile("testdata/definitely-missing.ndjson"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestAnalyzeAlerts(t *testing.T) {
+	var recs []AlertRecord
+	// stide: steady low-rate alerts over the full span, all escalated.
+	for pos := 0; pos < 10000; pos += 500 {
+		recs = append(recs,
+			AlertRecord{Position: pos, Detector: "stide", Score: 0.97, Threshold: 0.95, Disposition: DispositionRaised},
+			AlertRecord{Position: pos, Detector: "stide", Score: 0.97, Threshold: 0.95, Disposition: DispositionEscalated})
+	}
+	// nn: an alert storm in one early bucket, then silence — must trip both
+	// the storm rule and the silent-tail rule.
+	for i := 0; i < 60; i++ {
+		recs = append(recs, AlertRecord{Position: 1000 + i, Detector: "nn", Score: 0.999, Threshold: 0.95, Disposition: DispositionRaised})
+	}
+	// markov: saturating rate across the span, nothing resolved.
+	for pos := 0; pos < 10000; pos += 8 {
+		recs = append(recs, AlertRecord{Position: pos, Detector: "markov", Score: 0.96, Threshold: 0.95, Disposition: DispositionRaised})
+	}
+
+	rep := AnalyzeAlerts(recs, AlertAnalysisOptions{})
+	if rep.Total != len(recs) {
+		t.Errorf("total = %d, want %d", rep.Total, len(recs))
+	}
+	if rep.MinPosition != 0 || rep.MaxPosition != 9992 {
+		t.Errorf("span = %d..%d", rep.MinPosition, rep.MaxPosition)
+	}
+	if len(rep.Families) != 3 {
+		t.Fatalf("families = %+v", rep.Families)
+	}
+	byName := map[string]AlertFamilyReport{}
+	for _, f := range rep.Families {
+		byName[f.Detector] = f
+	}
+	st := byName["stide"]
+	if st.Raised != 20 || st.Escalated != 20 || st.Suppressed != 0 || st.Pending != 0 {
+		t.Errorf("stide = %+v", st)
+	}
+	if re := relErr(st.Score.P50, 0.97); re > SketchAlpha {
+		t.Errorf("stide p50 = %v", st.Score.P50)
+	}
+	if byName["markov"].Pending != byName["markov"].Raised {
+		t.Errorf("markov pending = %+v", byName["markov"])
+	}
+
+	// ≥1 watchdog firing per seeded pathology.
+	wantFirings := map[string]bool{"storm": false, "silent": false, "saturated": false}
+	for _, f := range rep.Firings {
+		for kind := range wantFirings {
+			if strings.HasPrefix(f, kind+":") {
+				wantFirings[kind] = true
+			}
+		}
+	}
+	for kind, seen := range wantFirings {
+		if !seen {
+			t.Errorf("no %s firing in %v", kind, rep.Firings)
+		}
+	}
+
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"Alert journal:", "stide", "markov", "Watchdog:", "storm: nn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeAlertsEmpty(t *testing.T) {
+	rep := AnalyzeAlerts(nil, AlertAnalysisOptions{})
+	if rep.Total != 0 || len(rep.Families) != 0 || len(rep.Firings) != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "0 record(s)") {
+		t.Errorf("empty report text = %q", buf.String())
+	}
+}

@@ -70,6 +70,72 @@ func BenchmarkTimingRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkSketchObserve pins the quantile-sketch observe path: one mutex
+// hold, a log, and an array increment — and zero allocations, the contract
+// the online push hot path (which observes a latency per push) depends on.
+func BenchmarkSketchObserve(b *testing.B) {
+	s := New().Sketch("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(3.5e-7)
+	}
+}
+
+func BenchmarkSketchObserveDisabled(b *testing.B) {
+	var r *Registry
+	s := r.Sketch("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(3.5e-7)
+	}
+}
+
+// BenchmarkSketchObserveAll measures the batched path (one lock per batch)
+// against BenchmarkSketchObservePerElement (one lock per value) on the same
+// 1024-value batch — the delta is the cost the batch API removes.
+func BenchmarkSketchObserveAll(b *testing.B) {
+	s := New().Sketch("x")
+	vs := make([]float64, 1024)
+	for i := range vs {
+		vs[i] = float64(i+1) * 1e-6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObserveAll(vs)
+	}
+}
+
+func BenchmarkSketchObservePerElement(b *testing.B) {
+	s := New().Sketch("x")
+	vs := make([]float64, 1024)
+	for i := range vs {
+		vs[i] = float64(i+1) * 1e-6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vs {
+			s.Observe(v)
+		}
+	}
+}
+
+// BenchmarkHistogramObservePerElement is the per-element counterpart of
+// BenchmarkHistogramObserveAllEnabled: the pairing documents what the
+// batch-lock ObserveAll API saves on the instrumented-Score path (one lock
+// acquisition per response vs one per batch).
+func BenchmarkHistogramObservePerElement(b *testing.B) {
+	h := New().Histogram("x", 10)
+	vs := make([]float64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vs {
+			h.Observe(v)
+		}
+	}
+}
+
 // benchFields is a representative -progress cell event payload.
 var benchFields = Fields{
 	"detector": "stide",

@@ -16,8 +16,9 @@ const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // WriteProm renders the registry's current state in Prometheus text
 // exposition format v0.0.4: counters and gauges as single samples,
-// histograms as cumulative le-labeled buckets with _sum and _count, and
-// accumulated timings as summaries (_sum in seconds, _count). Metric names
+// histograms as cumulative le-labeled buckets with _sum and _count,
+// quantile sketches as summaries with quantile-labeled p50/p90/p99 samples,
+// and accumulated timings as summaries (_sum in seconds, _count). Metric names
 // are the registry names prefixed with "adiv_" and sanitized to the
 // Prometheus grammar ("cell/stide" becomes "adiv_cell_stide"); within each
 // family names render in sorted order, so the exposition is byte-stable for
@@ -58,6 +59,16 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 		fmt.Fprintf(&buf, "%s_sum %s\n", pn, promFloat(h.Sum))
 		fmt.Fprintf(&buf, "%s_count %d\n", pn, h.Count)
+	}
+	for _, name := range sortedKeys(s.Sketches) {
+		sk := s.Sketches[name]
+		pn := promName(name)
+		fmt.Fprintf(&buf, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&buf, "%s{quantile=\"0.5\"} %s\n", pn, promFloat(sk.P50))
+		fmt.Fprintf(&buf, "%s{quantile=\"0.9\"} %s\n", pn, promFloat(sk.P90))
+		fmt.Fprintf(&buf, "%s{quantile=\"0.99\"} %s\n", pn, promFloat(sk.P99))
+		fmt.Fprintf(&buf, "%s_sum %s\n", pn, promFloat(sk.Sum))
+		fmt.Fprintf(&buf, "%s_count %d\n", pn, sk.Count)
 	}
 	for _, name := range sortedKeys(s.Spans) {
 		t := s.Spans[name]

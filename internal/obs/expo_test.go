@@ -31,6 +31,10 @@ func seededRegistry() *Registry {
 	}
 	r.Timing("cell/stide").Record(1500 * time.Millisecond)
 	r.Timing("cell/stide").Record(500 * time.Millisecond)
+	sk := r.Sketch("score_latency/stide")
+	for _, v := range []float64{0.001, 0.002, 0.002, 0.004, 0.050} {
+		sk.Observe(v)
+	}
 	return r
 }
 

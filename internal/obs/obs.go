@@ -1,6 +1,8 @@
 // Package obs is the repository's dependency-free observability layer: a
-// metrics registry (counters, gauges, fixed-bin histograms over [0,1]),
-// nestable timing spans, and a structured NDJSON event log. The long batch
+// metrics registry (counters, gauges, fixed-bin histograms over [0,1],
+// fixed-memory quantile sketches), nestable timing spans, a structured
+// NDJSON event log, an append-only alert journal, and detector-health
+// watchdog rules. The long batch
 // runs that produce the paper's performance maps — corpus synthesis, dozens
 // of detector trainings, the 8×14 evaluation grid — report where time goes
 // and whether they are making progress through this package, and every run
@@ -31,6 +33,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	timings  map[string]*Timing
+	sketches map[string]*Sketch
 	events   *EventLog
 	tracer   *Tracer
 
@@ -45,6 +48,7 @@ func New() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		timings:  make(map[string]*Timing),
+		sketches: make(map[string]*Sketch),
 		now:      time.Now,
 	}
 	r.start = r.now()
@@ -172,6 +176,22 @@ func (r *Registry) Histogram(name string, bins int) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// counterValue reads the named counter without creating it — the watchdog's
+// read-only view: a rule watching a counter its subsystem never registered
+// must stay dormant, not conjure the counter into every snapshot.
+func (r *Registry) counterValue(name string) (value int64, exists bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0, false
+	}
+	return c.Value(), true
 }
 
 // Timing returns the named duration accumulator, creating it on first use.

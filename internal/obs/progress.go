@@ -335,6 +335,11 @@ type RunStatus struct {
 	CellsPerSec   float64     `json:"cellsPerSec"`
 	ETASeconds    float64     `json:"etaSeconds"`
 	Maps          []MapStatus `json:"maps"`
+	// Quantiles is the live quantile-sketch view (per-push latency,
+	// per-family response distributions) the /runz handler fills from the
+	// registry; omitted when no sketches are registered, so pre-sketch
+	// consumers keep their existing /runz shape.
+	Quantiles map[string]SketchStats `json:"quantiles,omitempty"`
 }
 
 // Status captures the tracker's current state. A nil tracker yields an

@@ -4,12 +4,16 @@
 // pipeline would keep it up for the life of the process.
 //
 //	/metrics        Prometheus text exposition of the live registry
-//	/runz           JSON run status: config, grid progress, throughput, ETA
+//	/runz           JSON run status: config, grid progress, throughput, ETA,
+//	                live quantile sketches
 //	/eventz         the last N NDJSON events (ring-buffer tee of -progress);
 //	                ?n=K limits the response to the last K lines
+//	/alertz         the last N alert-journal records (adiv.alerts/v1 NDJSON);
+//	                ?n=K limits the response to the last K records
 //	/tracez         JSON snapshot of the -trace span ring (adiv.trace/v1)
 //	/debug/pprof/*  net/http/pprof for in-flight CPU/heap/goroutine profiles
-//	/healthz        liveness probe
+//	/healthz        liveness probe; appends "degraded: ..." lines while
+//	                watchdog rules fire
 package obs
 
 import (
@@ -124,16 +128,49 @@ func (r *EventRing) WriteTail(w io.Writer, n int) (int64, error) {
 	return int64(written), err
 }
 
+// Endpoints bundles the sources the status server serves. Any field may be
+// nil: /metrics then serves an empty exposition, /runz an empty
+// schema-tagged status, /eventz and /alertz nothing, /tracez an empty
+// schema-tagged trace, /healthz plain "ok".
+type Endpoints struct {
+	Registry *Registry
+	Progress *Progress
+	Events   *EventRing
+	Tracer   *Tracer
+	Alerts   *AlertJournal
+	Watchdog *Watchdog
+}
+
+// tailParam parses the shared ?n=K tail limit of the NDJSON endpoints
+// (-1 when absent). It writes the error response itself on a bad value.
+func tailParam(w http.ResponseWriter, req *http.Request, endpoint string) (n int, ok bool) {
+	raw := req.URL.Query().Get("n")
+	if raw == "" {
+		return -1, true
+	}
+	parsed, err := strconv.Atoi(raw)
+	if err != nil || parsed < 0 {
+		http.Error(w, fmt.Sprintf("%s: bad n=%q (want a non-negative integer)", endpoint, raw), http.StatusBadRequest)
+		return 0, false
+	}
+	return parsed, true
+}
+
 // NewHandler returns the status server's route table over the given
-// sources. Any source may be nil: /metrics then serves an empty exposition,
-// /runz an empty schema-tagged status, /eventz nothing, /tracez an empty
-// schema-tagged trace. The handler is what StartServer serves; tests mount
-// it on httptest servers directly.
-func NewHandler(reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) http.Handler {
+// sources. The handler is what StartServer serves; tests mount it on
+// httptest servers directly. The live views (/runz, /eventz, /alertz)
+// carry Cache-Control: no-store — a cached run status is worse than none.
+func NewHandler(ep Endpoints) http.Handler {
+	reg, prog, ring, tracer := ep.Registry, ep.Progress, ep.Events, ep.Tracer
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n") //nolint:errcheck // best-effort probe
+		// Watchdog degradation reports in the body, not the status code: a
+		// silent detector means the run needs attention, not a restart.
+		for _, d := range ep.Watchdog.Degraded() {
+			fmt.Fprintf(w, "degraded: %s\n", d)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", PromContentType)
@@ -141,7 +178,10 @@ func NewHandler(reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) 
 	})
 	mux.HandleFunc("/runz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		data, err := json.MarshalIndent(prog.Status(), "", "  ")
+		w.Header().Set("Cache-Control", "no-store")
+		status := prog.Status()
+		status.Quantiles = reg.SketchSnapshots()
+		data, err := json.MarshalIndent(status, "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -149,17 +189,22 @@ func NewHandler(reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) 
 		w.Write(append(data, '\n')) //nolint:errcheck
 	})
 	mux.HandleFunc("/eventz", func(w http.ResponseWriter, req *http.Request) {
-		n := -1
-		if raw := req.URL.Query().Get("n"); raw != "" {
-			parsed, err := strconv.Atoi(raw)
-			if err != nil || parsed < 0 {
-				http.Error(w, fmt.Sprintf("eventz: bad n=%q (want a non-negative integer)", raw), http.StatusBadRequest)
-				return
-			}
-			n = parsed
+		n, ok := tailParam(w, req, "eventz")
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
 		ring.WriteTail(w, n) //nolint:errcheck
+	})
+	mux.HandleFunc("/alertz", func(w http.ResponseWriter, req *http.Request) {
+		n, ok := tailParam(w, req, "alertz")
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		ep.Alerts.WriteTail(w, n) //nolint:errcheck
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -189,14 +234,14 @@ type Server struct {
 
 // StartServer binds addr (host:0 picks a free port) and serves the status
 // endpoints on a background goroutine until Close.
-func StartServer(addr string, reg *Registry, prog *Progress, ring *EventRing, tracer *Tracer) (*Server, error) {
+func StartServer(addr string, ep Endpoints) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: NewHandler(reg, prog, ring, tracer), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: NewHandler(ep), ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr().String(),
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close

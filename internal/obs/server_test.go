@@ -33,7 +33,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	ring := NewEventRing(8)
 	NewEventLog(ring).Emit("cell", Fields{"done": 1})
 
-	ts := httptest.NewServer(NewHandler(reg, prog, ring, nil))
+	ts := httptest.NewServer(NewHandler(Endpoints{Registry: reg, Progress: prog, Events: ring}))
 	defer ts.Close()
 
 	code, body, hdr := get(t, ts.URL+"/healthz")
@@ -78,7 +78,7 @@ func TestHandlerEndpoints(t *testing.T) {
 // TestHandlerNilSources pins the degenerate wiring: every endpoint stays
 // 200 with nil registry, progress, and ring.
 func TestHandlerNilSources(t *testing.T) {
-	ts := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	ts := httptest.NewServer(NewHandler(Endpoints{}))
 	defer ts.Close()
 	for path, want := range map[string]string{
 		"/healthz": "ok",
@@ -97,7 +97,7 @@ func TestHandlerNilSources(t *testing.T) {
 }
 
 func TestStartServerLifecycle(t *testing.T) {
-	srv, err := StartServer("127.0.0.1:0", New(), NewProgress(), nil, nil)
+	srv, err := StartServer("127.0.0.1:0", Endpoints{Registry: New(), Progress: NewProgress()})
 	if err != nil {
 		t.Fatalf("StartServer: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestEventzTailLimit(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		fmt.Fprintf(ring, "line%d\n", i)
 	}
-	ts := httptest.NewServer(NewHandler(nil, nil, ring, nil))
+	ts := httptest.NewServer(NewHandler(Endpoints{Events: ring}))
 	defer ts.Close()
 
 	for query, want := range map[string]string{
@@ -217,7 +217,7 @@ func TestEventRingWriteTailPartial(t *testing.T) {
 }
 
 func TestTracezEndpoint(t *testing.T) {
-	ts := httptest.NewServer(NewHandler(nil, nil, nil, seededTracer()))
+	ts := httptest.NewServer(NewHandler(Endpoints{Tracer: seededTracer()}))
 	defer ts.Close()
 	code, body, hdr := get(t, ts.URL+"/tracez")
 	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
@@ -232,10 +232,103 @@ func TestTracezEndpoint(t *testing.T) {
 	}
 
 	// No tracer attached: still 200 with an empty schema-tagged document.
-	ts2 := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	ts2 := httptest.NewServer(NewHandler(Endpoints{}))
 	defer ts2.Close()
 	code, body, _ = get(t, ts2.URL+"/tracez")
 	if code != http.StatusOK || !strings.Contains(body, TraceSchemaVersion) {
 		t.Errorf("nil-tracer /tracez = %d %q", code, body)
+	}
+}
+
+// TestAlertzEndpoint: /alertz serves the journal tail as NDJSON with the
+// same ?n= contract as /eventz, and stays 200-empty with no journal wired.
+func TestAlertzEndpoint(t *testing.T) {
+	j := NewAlertJournal(nil)
+	seedJournal(j)
+	ts := httptest.NewServer(NewHandler(Endpoints{Alerts: j}))
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts.URL+"/alertz")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/x-ndjson" {
+		t.Errorf("/alertz = %d, Content-Type %q", code, hdr.Get("Content-Type"))
+	}
+	recs, err := ReadAlerts(strings.NewReader(body))
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("/alertz body: %d recs, err %v\n%s", len(recs), err, body)
+	}
+	if recs[0].Detector != "stide" || recs[0].Disposition != DispositionRaised {
+		t.Errorf("first alert = %+v", recs[0])
+	}
+
+	_, body, _ = get(t, ts.URL+"/alertz?n=1")
+	if recs, _ := ReadAlerts(strings.NewReader(body)); len(recs) != 1 {
+		t.Errorf("/alertz?n=1 served %d records", len(recs))
+	}
+	if code, _, _ := get(t, ts.URL+"/alertz?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/alertz?n=bogus = %d, want 400", code)
+	}
+
+	ts2 := httptest.NewServer(NewHandler(Endpoints{}))
+	defer ts2.Close()
+	code, body, _ = get(t, ts2.URL+"/alertz")
+	if code != http.StatusOK || body != "" {
+		t.Errorf("nil-journal /alertz = %d %q", code, body)
+	}
+}
+
+// TestLiveViewsNoStore pins the Cache-Control header on the live views: a
+// proxy caching /runz or /eventz would show a stalled run as progressing.
+func TestLiveViewsNoStore(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(Endpoints{}))
+	defer ts.Close()
+	for _, path := range []string{"/runz", "/eventz", "/alertz"} {
+		_, _, hdr := get(t, ts.URL+path)
+		if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+}
+
+// TestHealthzDegraded: firing watchdog rules append degraded lines to the
+// probe body while the status stays 200 (attention, not restart).
+func TestHealthzDegraded(t *testing.T) {
+	reg := New()
+	reg.Counter("online/responses/stide").Add(5)
+	wd := NewWatchdog(reg)
+	wd.AddSilent("stide-silent", "online/responses/stide", 1)
+	wd.Tick() // baseline (counter active, rule armed)
+	wd.Tick() // silent tick — fires
+	if !wd.Firing("stide-silent") {
+		t.Fatal("rule should fire")
+	}
+	ts := httptest.NewServer(NewHandler(Endpoints{Registry: reg, Watchdog: wd}))
+	defer ts.Close()
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200 even when degraded", code)
+	}
+	if !strings.HasPrefix(body, "ok\n") || !strings.Contains(body, "degraded: stide-silent") {
+		t.Errorf("/healthz body = %q", body)
+	}
+}
+
+// TestRunzQuantiles: the /runz handler folds the registry's live sketch
+// stats into the status document.
+func TestRunzQuantiles(t *testing.T) {
+	reg := New()
+	reg.Sketch("online/push_latency/stide").ObserveAll([]float64{1e-6, 2e-6, 4e-6})
+	ts := httptest.NewServer(NewHandler(Endpoints{Registry: reg, Progress: NewProgress()}))
+	defer ts.Close()
+	_, body, _ := get(t, ts.URL+"/runz")
+	var st RunStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/runz: %v", err)
+	}
+	q, ok := st.Quantiles["online/push_latency/stide"]
+	if !ok || q.Count != 3 {
+		t.Fatalf("quantiles = %+v", st.Quantiles)
+	}
+	if q.P50 <= 0 || q.P99 < q.P50 {
+		t.Errorf("sketch stats = %+v", q)
 	}
 }

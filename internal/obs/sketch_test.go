@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// relErr returns |got-want|/want (0 when want is 0 and got is 0).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestSketchErrorBound is the accuracy golden: on a deterministic reference
+// distribution spanning several orders of magnitude (log-normal latencies,
+// the shape the sketch was built for), every reported quantile must be
+// within the documented SketchAlpha relative error of the true sample
+// quantile. This is the bound README/DESIGN document, so it is pinned here.
+func TestSketchErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 50000
+	s := NewSketch()
+	vals := make([]float64, n)
+	for i := range vals {
+		// exp(N(ln 1ms, 2)) — microseconds to seconds, heavy right tail.
+		v := math.Exp(math.Log(1e-3) + 2*rng.NormFloat64())
+		vals[i] = v
+		s.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := vals[rank]
+		got := s.Quantile(q)
+		if re := relErr(got, want); re > SketchAlpha {
+			t.Errorf("q=%v: got %v want %v (rel err %.4f > alpha %v)", q, got, want, re, SketchAlpha)
+		}
+	}
+	if s.Count() != n {
+		t.Errorf("count = %d, want %d", s.Count(), n)
+	}
+}
+
+// TestSketchUniformBound repeats the bound check on a uniform distribution —
+// a different shape than the log-normal golden, same contract.
+func TestSketchUniformBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	s := NewSketch()
+	vals := make([]float64, n)
+	for i := range vals {
+		v := rng.Float64()*100 + 1e-6
+		vals[i] = v
+		s.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		want := vals[rank]
+		if re := relErr(s.Quantile(q), want); re > SketchAlpha {
+			t.Errorf("q=%v: rel err %.4f > %v", q, re, SketchAlpha)
+		}
+	}
+}
+
+func TestSketchExactSmallStream(t *testing.T) {
+	s := NewSketch()
+	s.ObserveAll([]float64{1, 2, 3, 4})
+	// Rank semantics: ceil(q·n) as a 1-based order statistic.
+	for q, want := range map[float64]float64{
+		0.0:  1, // rank clamps to 1
+		0.25: 1,
+		0.5:  2,
+		0.75: 3,
+		1.0:  4,
+	} {
+		if re := relErr(s.Quantile(q), want); re > SketchAlpha {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v%%", q, s.Quantile(q), want, 100*SketchAlpha)
+		}
+	}
+	st := s.Stats()
+	if st.Count != 4 || st.Sum != 10 || st.Min != 1 || st.Max != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSketchEmptyAndNil(t *testing.T) {
+	var nilSketch *Sketch
+	nilSketch.Observe(1)      // must not panic
+	nilSketch.ObserveAll(nil) // must not panic
+	if nilSketch.Count() != 0 || nilSketch.Quantile(0.5) != 0 {
+		t.Error("nil sketch must report zeros")
+	}
+	if st := nilSketch.Stats(); st != (SketchStats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+
+	empty := NewSketch()
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Error("empty sketch must report zeros")
+	}
+	if st := empty.Stats(); st != (SketchStats{}) {
+		t.Errorf("empty stats = %+v", st)
+	}
+
+	var r *Registry
+	if r.Sketch("x") != nil {
+		t.Error("nil registry must hand out nil sketch handles")
+	}
+	if r.SketchSnapshots() != nil {
+		t.Error("nil registry SketchSnapshots must be nil")
+	}
+}
+
+func TestSketchIgnoresNonFinite(t *testing.T) {
+	s := NewSketch()
+	s.Observe(math.NaN())
+	s.Observe(math.Inf(1))
+	s.Observe(math.Inf(-1))
+	s.ObserveAll([]float64{math.NaN(), 5, math.Inf(1)})
+	if s.Count() != 1 {
+		t.Errorf("count = %d, want 1 (non-finite values dropped)", s.Count())
+	}
+	if re := relErr(s.Quantile(0.5), 5); re > SketchAlpha {
+		t.Errorf("median = %v, want 5", s.Quantile(0.5))
+	}
+}
+
+// TestSketchLowBucket: values at or below sketchMinValue (zero included)
+// collapse into the low bucket and report as the observed minimum — the
+// sketch must not invent a positive magnitude for them.
+func TestSketchLowBucket(t *testing.T) {
+	s := NewSketch()
+	s.ObserveAll([]float64{0, 0, 0, 1e-12})
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of sub-minimum stream = %v, want 0 (observed min)", got)
+	}
+	st := s.Stats()
+	if st.Count != 4 || st.Min != 0 || st.Max != 1e-12 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Negative values also land in the low bucket (they are below minValue).
+	s2 := NewSketch()
+	s2.Observe(-3)
+	s2.Observe(2)
+	if got := s2.Quantile(0.0); got != -3 {
+		t.Errorf("min quantile = %v, want -3", got)
+	}
+}
+
+// TestSketchClampRange: values beyond sketchMaxValue clamp into the top
+// bucket but quantile estimates clamp to the observed max, never past it.
+func TestSketchClampRange(t *testing.T) {
+	s := NewSketch()
+	s.Observe(5e9) // above sketchMaxValue
+	s.Observe(1)
+	if got := s.Quantile(1.0); got != 5e9 {
+		t.Errorf("max quantile = %v, want observed max 5e9", got)
+	}
+}
+
+func TestSketchRegistryReuse(t *testing.T) {
+	r := New()
+	a := r.Sketch("push_latency")
+	b := r.Sketch("push_latency")
+	if a != b {
+		t.Error("same name must return the same sketch")
+	}
+	a.Observe(0.5)
+	snaps := r.SketchSnapshots()
+	if len(snaps) != 1 || snaps["push_latency"].Count != 1 {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+	if New().SketchSnapshots() != nil {
+		t.Error("registry with no sketches must snapshot nil")
+	}
+}
+
+func TestSketchConcurrent(t *testing.T) {
+	s := New().Sketch("x")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe(float64(g*per+i+1) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count(), goroutines*per)
+	}
+	// Median of 1..8000 µs is ~4000 µs.
+	if re := relErr(s.Quantile(0.5), 4000e-6); re > SketchAlpha {
+		t.Errorf("median = %v, rel err %v", s.Quantile(0.5), re)
+	}
+}
+
+// TestSketchObserveAllocs pins the observe-path allocation contract: the
+// online push hot path observes a latency per push and must stay at zero
+// allocations with telemetry enabled.
+func TestSketchObserveAllocs(t *testing.T) {
+	s := New().Sketch("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(3.5e-7)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v/op, want 0", allocs)
+	}
+	vs := []float64{1e-6, 2e-6, 3e-6}
+	allocs = testing.AllocsPerRun(1000, func() {
+		s.ObserveAll(vs)
+	})
+	if allocs != 0 {
+		t.Errorf("ObserveAll allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSketchStatsQuantileOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSketch()
+	for i := 0; i < 5000; i++ {
+		s.Observe(rng.ExpFloat64())
+	}
+	st := s.Stats()
+	if !(st.Min <= st.P50 && st.P50 <= st.P90 && st.P90 <= st.P99 && st.P99 <= st.Max) {
+		t.Errorf("quantiles out of order: %+v", st)
+	}
+}

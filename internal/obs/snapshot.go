@@ -11,8 +11,8 @@ import (
 // SchemaVersion identifies the snapshot JSON schema. Downstream tooling
 // (benchmark-trajectory tracking, dashboards) keys on it; field names and
 // ordering are pinned by a golden test and must only change with a version
-// bump.
-const SchemaVersion = "adiv.obs/v1"
+// bump. v2 added the sketches section (streaming quantile estimates).
+const SchemaVersion = "adiv.obs/v2"
 
 // Snapshot is the machine-readable state of a registry at one instant.
 // encoding/json emits map keys in sorted order, so the serialized form is
@@ -24,6 +24,7 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]float64        `json:"gauges"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	Sketches   map[string]SketchStats    `json:"sketches"`
 	Spans      map[string]SpanStats      `json:"spans"`
 }
 
@@ -54,6 +55,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramStats{},
+		Sketches:   map[string]SketchStats{},
 		Spans:      map[string]SpanStats{},
 	}
 	if r == nil {
@@ -76,6 +78,10 @@ func (r *Registry) Snapshot() Snapshot {
 	timings := make(map[string]*Timing, len(r.timings))
 	for k, v := range r.timings {
 		timings[k] = v
+	}
+	sketches := make(map[string]*Sketch, len(r.sketches))
+	for k, v := range r.sketches {
+		sketches[k] = v
 	}
 	r.mu.RUnlock()
 
@@ -101,6 +107,9 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Mean = hs.Sum / float64(hs.Count)
 		}
 		s.Histograms[name] = hs
+	}
+	for name, sk := range sketches {
+		s.Sketches[name] = sk.Stats()
 	}
 	for name, t := range timings {
 		count, total, min, max := t.Stats()

@@ -23,6 +23,7 @@ func buildGoldenRegistry() *Registry {
 	sp.Child("train").End()
 	sp.End()
 	r.RecordDuration("train/stide/dw02", 25*time.Millisecond)
+	r.Sketch("online/push_latency/stide").ObserveAll([]float64{1e-7, 2e-7, 2e-7, 4e-7})
 	return r
 }
 

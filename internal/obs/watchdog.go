@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Watchdog evaluates detector-health rules against the registry's counters
+// on snapshot ticks. Each rule watches one counter by name and compares
+// per-tick deltas against its condition:
+//
+//   - silent: an armed detector (one that has produced responses before)
+//     stops producing them for N consecutive ticks — a wedged worker, a
+//     starved stream.
+//   - saturated: the alert rate stays above a bound for N consecutive ticks
+//     — a detector drowning the pipeline, a threshold gone wrong.
+//   - storm: a single tick's alert burst exceeds a bound — the acute form
+//     of saturation, flagged immediately.
+//
+// Rules reference counters read-only (a rule whose counter was never
+// registered stays dormant — it must not conjure metrics into snapshots).
+// State transitions emit watch.<kind> events on firing and watch.clear on
+// recovery; Degraded lists the currently-firing rules, the field /healthz
+// appends. Drivers tick the watchdog from a wall-clock goroutine; tests
+// call Tick directly for determinism. All methods are safe for concurrent
+// use and no-ops on a nil receiver.
+type Watchdog struct {
+	mu    sync.Mutex
+	reg   *Registry
+	rules []*watchRule
+	ticks int64
+}
+
+// Watchdog rule kinds, as emitted in watch.* event names.
+const (
+	watchSilent    = "silent"
+	watchSaturated = "saturated"
+	watchStorm     = "storm"
+)
+
+type watchRule struct {
+	name    string // rule name, for events and Degraded
+	kind    string
+	counter string // registry counter the rule watches
+	windows int    // consecutive ticks the condition must hold
+	bound   int64  // per-tick delta bound (saturated max, storm burst)
+
+	last   int64 // counter value at the previous tick
+	seen   bool  // counter existed at some prior tick (delta is defined)
+	armed  bool  // counter has incremented at least once (silent rules only)
+	hits   int   // consecutive ticks the condition held
+	firing bool
+	detail string // human-readable firing description
+}
+
+// NewWatchdog returns a watchdog over reg's counters with no rules.
+func NewWatchdog(reg *Registry) *Watchdog {
+	return &Watchdog{reg: reg}
+}
+
+// AddSilent adds a rule that fires when the counter — having incremented at
+// least once before — advances by zero for windows consecutive ticks
+// (windows < 1 clamps to 1).
+func (w *Watchdog) AddSilent(name, counter string, windows int) {
+	w.add(&watchRule{name: name, kind: watchSilent, counter: counter, windows: windows})
+}
+
+// AddSaturated adds a rule that fires when the counter advances by more than
+// maxPerTick for windows consecutive ticks (windows < 1 clamps to 1).
+func (w *Watchdog) AddSaturated(name, counter string, maxPerTick int64, windows int) {
+	w.add(&watchRule{name: name, kind: watchSaturated, counter: counter, windows: windows, bound: maxPerTick})
+}
+
+// AddStorm adds a rule that fires the moment the counter advances by burst
+// or more within a single tick.
+func (w *Watchdog) AddStorm(name, counter string, burst int64) {
+	w.add(&watchRule{name: name, kind: watchStorm, counter: counter, windows: 1, bound: burst})
+}
+
+func (w *Watchdog) add(r *watchRule) {
+	if w == nil || r.name == "" || r.counter == "" {
+		return
+	}
+	if r.windows < 1 {
+		r.windows = 1
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rules = append(w.rules, r)
+}
+
+// Tick evaluates every rule against the current counter values. The first
+// tick only baselines (deltas need two reads); rules whose counter does not
+// exist stay dormant. Firing transitions emit watch.<kind> events and
+// recoveries emit watch.clear, both outside the watchdog's lock.
+func (w *Watchdog) Tick() {
+	if w == nil {
+		return
+	}
+	type emission struct {
+		event  string
+		fields Fields
+	}
+	var emits []emission
+	w.mu.Lock()
+	reg := w.reg
+	w.ticks++
+	for _, r := range w.rules {
+		value, exists := reg.counterValue(r.counter)
+		if !exists {
+			continue
+		}
+		if !r.seen {
+			r.seen = true
+			r.last = value
+			if value > 0 {
+				r.armed = true
+			}
+			continue
+		}
+		delta := value - r.last
+		r.last = value
+		if delta > 0 {
+			r.armed = true
+		}
+
+		hit := false
+		switch r.kind {
+		case watchSilent:
+			hit = r.armed && delta == 0
+			// An active tick both misses and disarms the streak below.
+		case watchSaturated:
+			hit = delta > r.bound
+		case watchStorm:
+			hit = delta >= r.bound
+		}
+		if hit {
+			r.hits++
+		} else {
+			r.hits = 0
+		}
+
+		shouldFire := r.hits >= r.windows
+		switch {
+		case shouldFire && !r.firing:
+			r.firing = true
+			r.detail = watchDetail(r, delta)
+			emits = append(emits, emission{"watch." + r.kind, Fields{
+				"rule":    r.name,
+				"counter": r.counter,
+				"delta":   delta,
+				"detail":  r.detail,
+			}})
+		case !shouldFire && r.firing:
+			r.firing = false
+			r.detail = ""
+			emits = append(emits, emission{"watch.clear", Fields{
+				"rule":    r.name,
+				"counter": r.counter,
+			}})
+		}
+	}
+	w.mu.Unlock()
+	for _, e := range emits {
+		reg.Event(e.event, e.fields)
+	}
+}
+
+// watchDetail renders a rule's firing description.
+func watchDetail(r *watchRule, delta int64) string {
+	switch r.kind {
+	case watchSilent:
+		return fmt.Sprintf("%s: %s produced no responses for %d tick(s)", r.name, r.counter, r.windows)
+	case watchSaturated:
+		return fmt.Sprintf("%s: %s rate %d/tick above bound %d for %d tick(s)", r.name, r.counter, delta, r.bound, r.windows)
+	default:
+		return fmt.Sprintf("%s: %s burst %d >= %d in one tick", r.name, r.counter, delta, r.bound)
+	}
+}
+
+// Degraded returns the firing rules' descriptions in sorted order — empty
+// when healthy, and on a nil watchdog. /healthz appends these below its
+// "ok" line.
+func (w *Watchdog) Degraded() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, r := range w.rules {
+		if r.firing {
+			out = append(out, r.detail)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Firing reports whether the named rule is currently firing.
+func (w *Watchdog) Firing(name string) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range w.rules {
+		if r.name == name {
+			return r.firing
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWatchdogSilent(t *testing.T) {
+	r := New()
+	var events bytes.Buffer
+	r.SetEventLog(NewEventLog(&events))
+	w := NewWatchdog(r)
+	w.AddSilent("stide-silent", "online/responses/stide", 2)
+
+	c := r.Counter("online/responses/stide")
+	w.Tick() // baseline
+	if w.Firing("stide-silent") {
+		t.Error("must not fire on the baseline tick")
+	}
+	// Never-active counter: zero deltas must NOT fire (the rule is unarmed).
+	w.Tick()
+	w.Tick()
+	w.Tick()
+	if w.Firing("stide-silent") {
+		t.Error("unarmed rule fired on a counter that never incremented")
+	}
+
+	c.Add(10) // activity arms the rule
+	w.Tick()
+	w.Tick() // silent tick 1
+	if w.Firing("stide-silent") {
+		t.Error("fired before the window filled")
+	}
+	w.Tick() // silent tick 2 — window filled
+	if !w.Firing("stide-silent") {
+		t.Error("armed rule must fire after 2 silent ticks")
+	}
+	if d := w.Degraded(); len(d) != 1 || !strings.Contains(d[0], "stide-silent") {
+		t.Errorf("degraded = %v", d)
+	}
+	if !strings.Contains(events.String(), `"event":"watch.silent"`) {
+		t.Errorf("no watch.silent event in %s", events.String())
+	}
+
+	// Recovery clears the rule and emits watch.clear.
+	c.Inc()
+	w.Tick()
+	if w.Firing("stide-silent") {
+		t.Error("rule must clear on renewed activity")
+	}
+	if len(w.Degraded()) != 0 {
+		t.Errorf("degraded after recovery = %v", w.Degraded())
+	}
+	if !strings.Contains(events.String(), `"event":"watch.clear"`) {
+		t.Errorf("no watch.clear event in %s", events.String())
+	}
+}
+
+func TestWatchdogSaturated(t *testing.T) {
+	r := New()
+	w := NewWatchdog(r)
+	w.AddSaturated("alarm-sat", "online/alarms/stide", 5, 2)
+	c := r.Counter("online/alarms/stide")
+	w.Tick() // baseline
+	c.Add(10)
+	w.Tick() // over bound, tick 1
+	if w.Firing("alarm-sat") {
+		t.Error("fired before the window filled")
+	}
+	c.Add(10)
+	w.Tick() // over bound, tick 2
+	if !w.Firing("alarm-sat") {
+		t.Error("must fire after 2 over-bound ticks")
+	}
+	c.Add(1)
+	w.Tick() // back under bound
+	if w.Firing("alarm-sat") {
+		t.Error("must clear when the rate drops")
+	}
+}
+
+func TestWatchdogStorm(t *testing.T) {
+	r := New()
+	w := NewWatchdog(r)
+	w.AddStorm("alarm-storm", "online/alarms/nn", 100)
+	c := r.Counter("online/alarms/nn")
+	w.Tick() // baseline
+	c.Add(99)
+	w.Tick()
+	if w.Firing("alarm-storm") {
+		t.Error("fired below the burst bound")
+	}
+	c.Add(100)
+	w.Tick()
+	if !w.Firing("alarm-storm") {
+		t.Error("must fire the tick the burst lands")
+	}
+}
+
+// TestWatchdogDormantRule: a rule watching a counter its subsystem never
+// registered must stay dormant and must not create the counter.
+func TestWatchdogDormantRule(t *testing.T) {
+	r := New()
+	w := NewWatchdog(r)
+	w.AddSilent("ghost", "never/registered", 1)
+	w.Tick()
+	w.Tick()
+	w.Tick()
+	if w.Firing("ghost") {
+		t.Error("dormant rule fired")
+	}
+	if _, exists := r.counterValue("never/registered"); exists {
+		t.Error("watchdog conjured the watched counter into the registry")
+	}
+}
+
+func TestWatchdogNil(t *testing.T) {
+	var w *Watchdog
+	w.AddSilent("x", "c", 1) // must not panic
+	w.AddSaturated("x", "c", 1, 1)
+	w.AddStorm("x", "c", 1)
+	w.Tick()
+	if w.Degraded() != nil || w.Firing("x") {
+		t.Error("nil watchdog must be inert")
+	}
+	// A watchdog over a nil registry is also inert (counterValue nil-safe).
+	w2 := NewWatchdog(nil)
+	w2.AddSilent("x", "c", 1)
+	w2.Tick()
+	if w2.Firing("x") {
+		t.Error("watchdog over nil registry fired")
+	}
+}

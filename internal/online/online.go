@@ -14,6 +14,7 @@ package online
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"adiv/internal/alphabet"
 	"adiv/internal/detector"
@@ -56,24 +57,37 @@ type Scorer struct {
 
 	// Telemetry handles; nil when uninstrumented (the default), costing a
 	// single pointer test per push.
-	symbols      *obs.Counter
-	responses    *obs.Histogram
-	lastResponse *obs.Gauge
+	symbols       *obs.Counter
+	responses     *obs.Histogram
+	lastResponse  *obs.Gauge
+	pushLatency   *obs.Sketch  // per-push wall latency, seconds
+	responsesQ    *obs.Sketch  // per-family response quantiles
+	responseCount *obs.Counter // per-family responses, the watchdog's pulse
 }
 
 // Instrument records streaming telemetry into reg: the online/symbols
-// pushed counter, the online/responses distribution histogram, and the
+// pushed counter, the online/responses distribution histogram, the
 // online/last_response live gauge (what a /metrics scrape of a long-lived
-// streaming deployment reads as "the detector's current output"). A nil
-// registry disables instrumentation.
+// streaming deployment reads as "the detector's current output"), and the
+// per-family detection-quality sketches — online/push_latency/<family>
+// (per-push wall latency in seconds) and online/responses_q/<family>
+// (response quantiles) — plus the online/responses/<family> counter the
+// silent-detector watchdog rule watches. A nil registry disables
+// instrumentation. All telemetry preserves the zero-allocation
+// steady-state push contract.
 func (s *Scorer) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		s.symbols, s.responses, s.lastResponse = nil, nil, nil
+		s.pushLatency, s.responsesQ, s.responseCount = nil, nil, nil
 		return
 	}
+	family := s.det.Name()
 	s.symbols = reg.Counter("online/symbols")
 	s.responses = reg.Histogram("online/responses", responseBins)
 	s.lastResponse = reg.Gauge("online/last_response")
+	s.pushLatency = reg.Sketch("online/push_latency/" + family)
+	s.responsesQ = reg.Sketch("online/responses_q/" + family)
+	s.responseCount = reg.Counter("online/responses/" + family)
 }
 
 // NewScorer wraps a trained detector. Training state is verified lazily on
@@ -121,6 +135,8 @@ func (s *Scorer) record(r float64) {
 	if s.responses != nil {
 		s.responses.Observe(r)
 		s.lastResponse.Set(r)
+		s.responsesQ.Observe(r)
+		s.responseCount.Inc()
 	}
 }
 
@@ -140,8 +156,21 @@ func (s *Scorer) Recent(dst []float64) []float64 {
 
 // Push feeds one symbol. Once the buffer holds a full extent, every push
 // yields the response for the window ending at this symbol; ready is false
-// during the initial fill.
+// during the initial fill. Instrumented scorers additionally observe the
+// push's wall latency into the per-family latency sketch (time.Now and
+// Sketch.Observe both allocate nothing, so the steady-state contract
+// holds).
 func (s *Scorer) Push(sym alphabet.Symbol) (response float64, ready bool, err error) {
+	if s.pushLatency == nil {
+		return s.push(sym)
+	}
+	start := time.Now()
+	response, ready, err = s.push(sym)
+	s.pushLatency.Observe(time.Since(start).Seconds())
+	return response, ready, err
+}
+
+func (s *Scorer) push(sym alphabet.Symbol) (response float64, ready bool, err error) {
 	s.seen++
 	if s.symbols != nil {
 		s.symbols.Inc()
@@ -219,22 +248,44 @@ type Alarmer struct {
 	scorer    *Scorer
 	threshold float64
 	alarms    *obs.Counter
+
+	// Per-family telemetry and the structured alert journal; all nil when
+	// disabled (alarms are rare, so journaling sits off the hot path).
+	alarmsFam    *obs.Counter
+	interArrival *obs.Sketch // symbol-position gaps between alarms
+	lastAlarmPos int
+	journal      *obs.AlertJournal
 }
 
 // Instrument records streaming telemetry into reg: the underlying scorer's
-// metrics, the online/alarms raised counter, and the deployed detection
-// threshold as the online/threshold gauge, so a /metrics scrape shows the
-// operating point alongside the alarm counts it produced. A nil registry
+// metrics, the online/alarms raised counter (plus the per-family
+// online/alarms/<family> counter the saturation watchdog rules watch), the
+// deployed detection threshold as the online/threshold gauge, and the
+// online/alarm_interarrival/<family> sketch of symbol-position gaps
+// between consecutive alarms (position gaps, not wall time, so the
+// distribution is deterministic for a given stream). A nil registry
 // disables instrumentation.
 func (a *Alarmer) Instrument(reg *obs.Registry) {
 	a.scorer.Instrument(reg)
 	if reg == nil {
-		a.alarms = nil
+		a.alarms, a.alarmsFam, a.interArrival = nil, nil, nil
 		return
 	}
+	family := a.scorer.det.Name()
 	a.alarms = reg.Counter("online/alarms")
+	a.alarmsFam = reg.Counter("online/alarms/" + family)
+	a.interArrival = reg.Sketch("online/alarm_interarrival/" + family)
 	reg.Gauge("online/threshold").Set(a.threshold)
 }
+
+// SetJournal attaches a structured alert journal: every alarm this Alarmer
+// raises is appended as a DispositionRaised record. A nil journal detaches.
+func (a *Alarmer) SetJournal(j *obs.AlertJournal) {
+	a.journal = j
+}
+
+// Threshold returns the deployed detection threshold.
+func (a *Alarmer) Threshold() float64 { return a.threshold }
 
 // NewAlarmer wraps a trained detector with a detection threshold.
 func NewAlarmer(det detector.Detector, threshold float64) (*Alarmer, error) {
@@ -245,7 +296,7 @@ func NewAlarmer(det detector.Detector, threshold float64) (*Alarmer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Alarmer{scorer: scorer, threshold: threshold}, nil
+	return &Alarmer{scorer: scorer, threshold: threshold, lastAlarmPos: -1}, nil
 }
 
 // Push feeds one symbol and reports whether it completed an alarming
@@ -255,13 +306,26 @@ func (a *Alarmer) Push(sym alphabet.Symbol) (Alarm, bool, error) {
 	if err != nil || !ready || r < a.threshold {
 		return Alarm{}, false, err
 	}
-	if a.alarms != nil {
-		a.alarms.Inc()
-	}
-	return Alarm{
+	alarm := Alarm{
 		Position: a.scorer.Seen() - a.scorer.extent,
 		Response: r,
-	}, true, nil
+	}
+	if a.alarms != nil {
+		a.alarms.Inc()
+		a.alarmsFam.Inc()
+		if a.lastAlarmPos >= 0 {
+			a.interArrival.Observe(float64(alarm.Position - a.lastAlarmPos))
+		}
+	}
+	a.lastAlarmPos = alarm.Position
+	a.journal.Append(obs.AlertRecord{
+		Position:    alarm.Position,
+		Detector:    a.scorer.det.Name(),
+		Score:       alarm.Response,
+		Threshold:   a.threshold,
+		Disposition: obs.DispositionRaised,
+	})
+	return alarm, true, nil
 }
 
 // PushAll feeds a slice and collects the alarms raised.
@@ -279,5 +343,8 @@ func (a *Alarmer) PushAll(stream seq.Stream) ([]Alarm, error) {
 	return out, nil
 }
 
-// Reset clears the underlying scorer.
-func (a *Alarmer) Reset() { a.scorer.Reset() }
+// Reset clears the underlying scorer and the alarm inter-arrival state.
+func (a *Alarmer) Reset() {
+	a.scorer.Reset()
+	a.lastAlarmPos = -1
+}

@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"time"
 
 	"adiv/internal/alphabet"
 	"adiv/internal/detector"
@@ -35,18 +36,31 @@ type VetoPipeline struct {
 	mEscalated       *obs.Counter
 	mSuppressed      *obs.Counter
 	mSuppressionRate *obs.Gauge
+	mPushLatency     *obs.Sketch // whole-pipeline per-push latency, seconds
+	mEscInterArrival *obs.Sketch // symbol-position gaps between escalations
+	lastEscalatedPos int
 	tracer           *obs.Tracer
+
+	// journal receives escalated/suppressed disposition records; the
+	// primary Alarmer journals the matching raised records.
+	journal *obs.AlertJournal
 }
 
 // Instrument records pipeline telemetry into reg: symbols pushed, primary
 // candidate alarms, escalated (corroborated) alarms, suppressed alarms,
-// and the running suppression rate (suppressed / primary candidates). When
-// the registry carries a tracer, escalations and suppressions additionally
-// land as instant markers (category "alarm") on the execution timeline. A
-// nil registry disables instrumentation.
+// the running suppression rate (suppressed / primary candidates), the
+// online/pipeline/push_latency sketch (whole-pipeline per-push wall
+// latency, both detectors plus corroboration), and the
+// online/pipeline/escalation_interarrival sketch of symbol-position gaps
+// between consecutive escalations. When the registry carries a tracer,
+// escalations and suppressions additionally land as instant markers
+// (category "alarm") on the execution timeline. A nil registry disables
+// instrumentation; the nested Alarmers are instrumented separately (their
+// metrics would collide — both scorers share the online/* names).
 func (p *VetoPipeline) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		p.mSymbols, p.mPrimary, p.mEscalated, p.mSuppressed, p.mSuppressionRate = nil, nil, nil, nil, nil
+		p.mPushLatency, p.mEscInterArrival = nil, nil
 		p.tracer = nil
 		return
 	}
@@ -55,7 +69,21 @@ func (p *VetoPipeline) Instrument(reg *obs.Registry) {
 	p.mEscalated = reg.Counter("online/pipeline/escalated")
 	p.mSuppressed = reg.Counter("online/pipeline/suppressed")
 	p.mSuppressionRate = reg.Gauge("online/pipeline/suppression_rate")
+	p.mPushLatency = reg.Sketch("online/pipeline/push_latency")
+	p.mEscInterArrival = reg.Sketch("online/pipeline/escalation_interarrival")
 	p.tracer = reg.Tracer()
+}
+
+// SetJournal attaches a structured alert journal to the pipeline and its
+// primary Alarmer: the primary journals every candidate as raised, the
+// pipeline resolves each candidate to escalated (corroborated) or
+// suppressed (expired unanswered), so the journal carries the full
+// disposition history and the invariant raised = escalated + suppressed +
+// pending holds. The veto detector does not journal — its alarms are
+// corroborations, not alerts. A nil journal detaches.
+func (p *VetoPipeline) SetJournal(j *obs.AlertJournal) {
+	p.journal = j
+	p.primary.SetJournal(j)
 }
 
 // EscalatedAlarm is a primary alarm corroborated by the veto detector.
@@ -77,17 +105,32 @@ func NewVetoPipeline(primary, veto detector.Detector, primaryThreshold, vetoThre
 		return nil, fmt.Errorf("online: veto: %w", err)
 	}
 	return &VetoPipeline{
-		primary:       pa,
-		veto:          va,
-		primaryExtent: primary.Extent(),
-		vetoExtent:    veto.Extent(),
+		primary:          pa,
+		veto:             va,
+		primaryExtent:    primary.Extent(),
+		vetoExtent:       veto.Extent(),
+		lastEscalatedPos: -1,
 	}, nil
 }
 
 // Push feeds one symbol to both detectors and returns any alarms escalated
 // by it (a symbol can complete both a primary and a corroborating veto
-// window, or corroborate older pending alarms).
+// window, or corroborate older pending alarms). Instrumented pipelines
+// observe the whole push's wall latency; journaled pipelines append one
+// disposition record per escalation.
 func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
+	var start time.Time
+	if p.mPushLatency != nil {
+		start = time.Now()
+	}
+	escalated, err := p.push(sym)
+	if p.mPushLatency != nil {
+		p.mPushLatency.Observe(time.Since(start).Seconds())
+	}
+	return escalated, err
+}
+
+func (p *VetoPipeline) push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 	p.seen++
 	if p.mSymbols != nil {
 		p.mSymbols.Inc()
@@ -108,6 +151,19 @@ func (p *VetoPipeline) Push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 			p.mEscalated.Add(int64(len(escalated)))
 		}
 		for _, e := range escalated {
+			if p.mEscInterArrival != nil {
+				if p.lastEscalatedPos >= 0 {
+					p.mEscInterArrival.Observe(float64(e.Primary.Position - p.lastEscalatedPos))
+				}
+				p.lastEscalatedPos = e.Primary.Position
+			}
+			p.journal.Append(obs.AlertRecord{
+				Position:    e.Primary.Position,
+				Detector:    p.primary.scorer.det.Name(),
+				Score:       e.Primary.Response,
+				Threshold:   p.primary.threshold,
+				Disposition: obs.DispositionEscalated,
+			})
 			p.tracer.Instant("online/escalated", "alarm",
 				obs.TraceAttr{Key: "position", Value: fmt.Sprint(e.Primary.Position)},
 				obs.TraceAttr{Key: "vetoPosition", Value: fmt.Sprint(e.VetoPosition)})
@@ -192,6 +248,13 @@ func (p *VetoPipeline) expire() {
 		} else {
 			p.suppressed++
 			expired++
+			p.journal.Append(obs.AlertRecord{
+				Position:    pa.Position,
+				Detector:    p.primary.scorer.det.Name(),
+				Score:       pa.Response,
+				Threshold:   p.primary.threshold,
+				Disposition: obs.DispositionSuppressed,
+			})
 		}
 	}
 	p.pending = kept

@@ -2,12 +2,17 @@
 // every long-running command (sweep, perfmap, report, ensemble) registers
 // the same flags —
 //
-//	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v1)
+//	-metrics-out FILE   write a JSON metrics snapshot (schema adiv.obs/v2)
 //	-progress           emit NDJSON progress events to stderr during the run
 //	-status ADDR        serve live introspection (/metrics, /runz, /eventz,
-//	                    /tracez, /healthz, /debug/pprof) on ADDR during the run
+//	                    /alertz, /tracez, /healthz, /debug/pprof) on ADDR
+//	                    during the run
 //	-trace FILE         record per-event execution spans and export them as a
 //	                    Chrome trace_event JSON file (loads in Perfetto) at exit
+//	-alerts FILE        journal streaming alarm dispositions as NDJSON
+//	                    (schema adiv.alerts/v1) and arm the detector-health
+//	                    watchdog (silent / saturated / storm rules over the
+//	                    online counters, degradations surfaced on /healthz)
 //	-cpuprofile FILE    write a CPU profile (runtime/pprof)
 //	-memprofile FILE    write a heap profile at exit
 //	-j N                bound concurrent grid work (default runtime.NumCPU)
@@ -34,6 +39,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"time"
 
 	"adiv/internal/checkpoint"
 	"adiv/internal/eval"
@@ -49,7 +55,10 @@ type Flags struct {
 	Status string
 	// Trace is the -trace Chrome trace output path; empty disables
 	// execution tracing.
-	Trace      string
+	Trace string
+	// Alerts is the -alerts NDJSON alert-journal path; empty disables
+	// alert journaling and the detector-health watchdog.
+	Alerts     string
 	CPUProfile string
 	MemProfile string
 	// Jobs is the -j bound on concurrent grid tasks (row trainings and
@@ -75,6 +84,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Progress, "progress", false, "emit NDJSON progress events to stderr during the run")
 	fs.StringVar(&f.Status, "status", "", "serve live run introspection (/metrics, /runz, /eventz, /healthz, /debug/pprof) on this address, e.g. 127.0.0.1:6060 (:0 picks a free port, announced as statusAddr in run.start)")
 	fs.StringVar(&f.Trace, "trace", "", "record per-event execution spans and write a Chrome trace_event JSON file (open in Perfetto or chrome://tracing) at exit")
+	fs.StringVar(&f.Alerts, "alerts", "", "journal streaming alarm dispositions to this file as NDJSON (schema "+obs.AlertSchemaVersion+") and arm the detector-health watchdog; served live at /alertz under -status")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.IntVar(&f.Jobs, "j", runtime.NumCPU(), "worker goroutines for grid evaluation (shared across all maps of the run)")
@@ -103,7 +113,62 @@ type Run struct {
 	status   *obs.Server
 	journal  *checkpoint.Journal
 	tracer   *obs.Tracer
+
+	alerts     *obs.AlertJournal
+	alertsFile *os.File
+	watchdog   *obs.Watchdog
+	watchStop  chan struct{}
+	watchDone  sync.WaitGroup
 }
+
+// Alerts returns the run's structured alert journal, or nil when -alerts is
+// unset — journal methods are nil-safe, so drivers attach it unconditionally
+// (Alarmer.SetJournal / VetoPipeline.SetJournal accept the nil).
+func (r *Run) Alerts() *obs.AlertJournal {
+	if r == nil {
+		return nil
+	}
+	return r.alerts
+}
+
+// AlertsPath returns the -alerts journal path, or "" when unset — drivers
+// name it in their output so the operator knows what to hand diagnose.
+func (r *Run) AlertsPath() string {
+	if r == nil {
+		return ""
+	}
+	return r.flags.Alerts
+}
+
+// Watchdog returns the run's detector-health watchdog, or nil when -alerts
+// is unset. The default rules watch the shared online counters —
+//
+//	silent:alarm-stream   online/symbols stopped after having flowed
+//	saturated:alarm-rate  online/alarms sustained above watchSaturatedPerTick
+//	storm:alarm-storm     online/alarms burst of watchStormBurst in one tick
+//
+// — and drivers may add per-family rules before the stream starts. The run
+// ticks the watchdog every watchTickInterval on a background goroutine;
+// firings land as watch.* events on the run's event stream and degrade
+// /healthz until they clear.
+func (r *Run) Watchdog() *obs.Watchdog {
+	if r == nil {
+		return nil
+	}
+	return r.watchdog
+}
+
+// Watchdog defaults: the tick cadence and the rule bounds over the shared
+// online counters. The bounds are deliberately loose — the watchdog flags
+// pathologies (a detector gone quiet, an alarm storm drowning the operator),
+// not ordinary detection activity.
+const (
+	watchTickInterval    = time.Second
+	watchSilentWindows   = 5   // ticks of silence after activity
+	watchSaturatedPer    = 100 // alarms per tick, sustained
+	watchSaturatedEpochs = 3   // consecutive over-bound ticks
+	watchStormBurst      = 500 // alarms in a single tick
+)
 
 // Tracer returns the run's execution tracer, or nil when -trace is unset —
 // tracer methods are nil-safe, so callers wire it unconditionally.
@@ -238,7 +303,7 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 		return nil, fmt.Errorf("runflags: -shard requires -checkpoint DIR (the shard's results live in its journal)")
 	}
 	r := &Run{flags: *f, shardIndex: shardIndex, shardCount: shardCount, announce: obs.NewEventLog(announceW)}
-	if f.MetricsOut != "" || f.Progress || f.Status != "" || f.Trace != "" {
+	if f.MetricsOut != "" || f.Progress || f.Status != "" || f.Trace != "" || f.Alerts != "" {
 		r.Metrics = obs.New()
 		r.progress = obs.NewProgress()
 		r.progress.AttachEvents(r.Metrics)
@@ -279,9 +344,44 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 			r.Metrics.SetTracer(r.tracer)
 		}
 	}
-	if f.Status != "" {
-		srv, err := obs.StartServer(f.Status, r.Metrics, r.progress, r.ring, r.tracer)
+	if f.Alerts != "" {
+		af, err := os.Create(f.Alerts)
 		if err != nil {
+			return nil, fmt.Errorf("runflags: creating -alerts journal: %w", err)
+		}
+		r.alertsFile = af
+		r.alerts = obs.NewAlertJournal(af)
+		r.watchdog = obs.NewWatchdog(r.Metrics)
+		r.watchdog.AddSilent("alarm-stream", "online/symbols", watchSilentWindows)
+		r.watchdog.AddSaturated("alarm-rate", "online/alarms", watchSaturatedPer, watchSaturatedEpochs)
+		r.watchdog.AddStorm("alarm-storm", "online/alarms", watchStormBurst)
+		r.watchStop = make(chan struct{})
+		r.watchDone.Add(1)
+		go func(wd *obs.Watchdog, stop <-chan struct{}) {
+			defer r.watchDone.Done()
+			tick := time.NewTicker(watchTickInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					wd.Tick()
+				}
+			}
+		}(r.watchdog, r.watchStop)
+	}
+	if f.Status != "" {
+		srv, err := obs.StartServer(f.Status, obs.Endpoints{
+			Registry: r.Metrics,
+			Progress: r.progress,
+			Events:   r.ring,
+			Tracer:   r.tracer,
+			Alerts:   r.alerts,
+			Watchdog: r.watchdog,
+		})
+		if err != nil {
+			r.stopWatchdog()
 			return nil, fmt.Errorf("runflags: binding -status %s: %w", f.Status, err)
 		}
 		r.status = srv
@@ -289,17 +389,29 @@ func (f *Flags) Start(announceW io.Writer) (*Run, error) {
 	if f.CPUProfile != "" {
 		cpu, err := os.Create(f.CPUProfile)
 		if err != nil {
+			r.stopWatchdog()
 			r.status.Close() //nolint:errcheck // unwinding a failed Start
 			return nil, fmt.Errorf("runflags: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpu); err != nil {
 			cpu.Close()
+			r.stopWatchdog()
 			r.status.Close() //nolint:errcheck // unwinding a failed Start
 			return nil, fmt.Errorf("runflags: starting CPU profile: %w", err)
 		}
 		r.cpu = cpu
 	}
 	return r, nil
+}
+
+// stopWatchdog halts the watchdog ticker goroutine. Safe to call more than
+// once; a run without -alerts has no goroutine and this is a no-op.
+func (r *Run) stopWatchdog() {
+	if r.watchStop != nil {
+		close(r.watchStop)
+		r.watchDone.Wait()
+		r.watchStop = nil
+	}
 }
 
 // Announce emits a run-level event to the announcement log (always on,
@@ -358,11 +470,25 @@ func (r *Run) Close() error {
 		}
 		r.cpu = nil
 	}
+	// The watchdog gets one final tick (so alarms raised since the last
+	// wall-clock tick still register) before its goroutine stops; the alert
+	// journal file closes only after the status server has drained, so a
+	// late /alertz scrape never races the close.
+	if r.watchdog != nil {
+		r.watchdog.Tick()
+		r.stopWatchdog()
+	}
 	if r.status != nil {
 		if err := r.status.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("runflags: draining status server: %w", err))
 		}
 		r.status = nil
+	}
+	if r.alertsFile != nil {
+		if err := r.alertsFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("runflags: closing -alerts journal: %w", err))
+		}
+		r.alertsFile = nil
 	}
 	if r.flags.MemProfile != "" {
 		if err := writeHeap(r.flags.MemProfile); err != nil {
@@ -390,6 +516,13 @@ func (r *Run) Close() error {
 			errs = append(errs, err)
 		}
 		r.journal = nil
+	}
+	if r.flags.Alerts != "" && r.alerts != nil {
+		done["alertsOut"] = r.flags.Alerts
+		done["alertsRecords"] = r.alerts.Total()
+		if deg := r.watchdog.Degraded(); len(deg) > 0 {
+			done["watchdog"] = deg
+		}
 	}
 	if r.flags.MetricsOut != "" && r.Metrics != nil {
 		if err := r.Metrics.WriteSnapshotFile(r.flags.MetricsOut); err != nil {

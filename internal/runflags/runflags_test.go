@@ -442,6 +442,94 @@ func TestStatusServesTracez(t *testing.T) {
 	}
 }
 
+// TestAlertsFlagLifecycle is the -alerts contract: Start creates a registry,
+// the journal, and the armed watchdog; records appended during the run land
+// in the NDJSON file and on /alertz; watchdog firings degrade /healthz; and
+// run.done announces the journal.
+func TestAlertsFlagLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.ndjson")
+	var announce bytes.Buffer
+	run, err := parse(t, "-alerts", path, "-status", "127.0.0.1:0").Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Metrics == nil {
+		t.Fatal("-alerts alone did not create a registry")
+	}
+	j := run.Alerts()
+	if j == nil {
+		t.Fatal("no alert journal with -alerts")
+	}
+	wd := run.Watchdog()
+	if wd == nil {
+		t.Fatal("no watchdog with -alerts")
+	}
+
+	j.Append(obs.AlertRecord{Position: 41, Detector: "stide", Score: 1, Threshold: 0.75, Disposition: obs.DispositionRaised})
+
+	// Drive the storm rule by hand (the background ticker's cadence is a
+	// second; tests tick directly against the same watchdog). The counter
+	// must exist before the baseline tick — rules over unregistered
+	// counters stay dormant.
+	alarms := run.Metrics.Counter("online/alarms")
+	wd.Tick() // baseline
+	alarms.Add(2 * watchStormBurst)
+	wd.Tick()
+	if !wd.Firing("alarm-storm") {
+		t.Fatalf("storm rule not firing; degraded = %v", wd.Degraded())
+	}
+
+	addr := run.StatusAddr()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/alertz"); code != http.StatusOK || !strings.Contains(body, `"detector":"stide"`) {
+		t.Errorf("/alertz = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "degraded: alarm-storm:") {
+		t.Errorf("/healthz = %d %q (want a degraded line while the storm fires)", code, body)
+	}
+
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, err := obs.ReadAlertsFile(path)
+	if err != nil || len(recs) != 1 || recs[0].Detector != "stide" {
+		t.Errorf("journal file: %d recs, err %v", len(recs), err)
+	}
+	out := announce.String()
+	if !strings.Contains(out, `"alertsOut"`) || !strings.Contains(out, `"alertsRecords":1`) {
+		t.Errorf("run.done missing alert fields: %q", out)
+	}
+}
+
+// TestAlertsUnsetIsNil: without -alerts every handle is nil and attaching
+// them anyway is the supported no-op.
+func TestAlertsUnsetIsNil(t *testing.T) {
+	var announce bytes.Buffer
+	run, err := parse(t).Start(&announce)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if run.Alerts() != nil || run.Watchdog() != nil {
+		t.Errorf("alert handles non-nil without -alerts")
+	}
+	run.Alerts().Append(obs.AlertRecord{Detector: "x"})
+	run.Watchdog().Tick()
+	if err := run.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
 func TestParseShard(t *testing.T) {
 	for _, tc := range []struct {
 		in           string

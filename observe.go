@@ -12,7 +12,7 @@ import (
 // synthesis, dozens of detector trainings, the 8×14 evaluation grid, the
 // streaming pipeline — can record run telemetry into a Metrics registry
 // and narrate progress as NDJSON events. The registry's JSON snapshot
-// (schema adiv.obs/v1, pinned by a golden test) is the substrate for
+// (schema adiv.obs/v2, pinned by a golden test) is the substrate for
 // benchmark-trajectory tracking across PRs. All instrumentation is
 // disabled by passing a nil registry, at zero cost.
 type (
@@ -43,6 +43,31 @@ type (
 	// TraceReport is the analysis diagnose -trace prints: critical path,
 	// per-worker occupancy, top self-time spans, family cost rollups.
 	TraceReport = obs.TraceReport
+	// QuantileSketch is a fixed-memory streaming quantile estimator
+	// (DDSketch-style, ±1% relative error, ~17KB regardless of stream
+	// length). Registries hand them out by name; snapshots, /metrics, and
+	// /runz surface their p50/p90/p99.
+	QuantileSketch = obs.Sketch
+	// SketchStats is one sketch's snapshot: count, sum, extremes, and the
+	// p50/p90/p99 estimates.
+	SketchStats = obs.SketchStats
+	// AlertJournal records streaming alarm dispositions as NDJSON (schema
+	// adiv.alerts/v1): Alarmers journal raised, a VetoPipeline resolves
+	// each to escalated or suppressed. Nil-safe like every obs handle.
+	AlertJournal = obs.AlertJournal
+	// AlertRecord is one journaled alarm disposition.
+	AlertRecord = obs.AlertRecord
+	// AlertReport is the offline analysis diagnose -alerts prints:
+	// per-family disposition counts, score quantiles, and the replayed
+	// watchdog findings.
+	AlertReport = obs.AlertReport
+	// AlertAnalysisOptions tunes the offline alert analysis; the zero
+	// value selects the documented defaults.
+	AlertAnalysisOptions = obs.AlertAnalysisOptions
+	// Watchdog evaluates detector-health rules (silent / saturated /
+	// storm) against a registry's counters on ticks; firing rules degrade
+	// /healthz and emit watch.* events.
+	Watchdog = obs.Watchdog
 )
 
 // MetricsSchemaVersion identifies the snapshot JSON schema downstream
@@ -52,6 +77,37 @@ const MetricsSchemaVersion = obs.SchemaVersion
 // TraceSchemaVersion identifies the execution-trace export schema carried
 // in the Chrome trace file's otherData block.
 const TraceSchemaVersion = obs.TraceSchemaVersion
+
+// AlertSchemaVersion identifies the alert-journal NDJSON record schema.
+const AlertSchemaVersion = obs.AlertSchemaVersion
+
+// Alert dispositions: every alarm is journaled as raised; a veto pipeline
+// later resolves it to escalated (corroborated) or suppressed (expired
+// without corroboration).
+const (
+	DispositionRaised     = obs.DispositionRaised
+	DispositionEscalated  = obs.DispositionEscalated
+	DispositionSuppressed = obs.DispositionSuppressed
+)
+
+// NewAlertJournal returns an alert journal writing NDJSON records to w (a
+// nil writer keeps only the in-memory tail /alertz serves).
+func NewAlertJournal(w io.Writer) *AlertJournal { return obs.NewAlertJournal(w) }
+
+// ReadAlertsFile parses an NDJSON alert journal, tolerating a torn final
+// line from an interrupted run.
+func ReadAlertsFile(path string) ([]AlertRecord, error) { return obs.ReadAlertsFile(path) }
+
+// AnalyzeAlerts computes per-family disposition counts, score quantiles,
+// and replayed watchdog findings (storm / saturated / silent over symbol
+// positions) from journaled alert records.
+func AnalyzeAlerts(recs []AlertRecord, opts AlertAnalysisOptions) AlertReport {
+	return obs.AnalyzeAlerts(recs, opts)
+}
+
+// NewWatchdog returns a detector-health watchdog over m's counters with no
+// rules; add silent/saturated/storm rules and tick it on a wall clock.
+func NewWatchdog(m *Metrics) *Watchdog { return obs.NewWatchdog(m) }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.New() }

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Smoke-test the alert-journal stack end to end: launch a quick ensemble run
+# with -alerts and -status 127.0.0.1:0, recover the bound address from the
+# run.start announcement on stderr, poll /alertz mid-run until journaled
+# records appear, and after the run finishes require the NDJSON journal on
+# disk to parse through `diagnose -alerts` with per-family rows. CI runs
+# this so the streaming alert path cannot silently rot between releases.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+stderr_log="$workdir/stderr.ndjson"
+alerts_file="$workdir/alerts.ndjson"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "building ensemble and diagnose..."
+go build -o "$workdir/ensemble" ./cmd/ensemble
+go build -o "$workdir/diagnose" ./cmd/diagnose
+
+# A long rare-containing stream keeps the streaming replay phase (the first
+# phase of the run) alive for a few seconds, so the mid-run /alertz poll has
+# a live journal to tail.
+"$workdir/ensemble" -quick -noisy 150000 -alerts "$alerts_file" -status 127.0.0.1:0 \
+    >"$workdir/stdout.txt" 2>"$stderr_log" &
+pid=$!
+
+# The run.start event carries "statusAddr":"127.0.0.1:PORT".
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*"statusAddr":"\([^"]*\)".*/\1/p' "$stderr_log" | head -n1)
+    [[ -n "$addr" ]] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: ensemble exited before announcing a status address" >&2
+        cat "$stderr_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "FAIL: no statusAddr in run.start within 10s" >&2
+    cat "$stderr_log" >&2
+    exit 1
+fi
+echo "status server at $addr"
+
+# Poll /alertz until the live journal tail carries records (the streaming
+# replay raises its first alarms within the first stretch of the stream).
+tail_body=""
+for _ in $(seq 1 200); do
+    tail_body=$(curl -sS "http://$addr/alertz" 2>/dev/null || true)
+    if grep -q '"schema":"adiv.alerts/v1"' <<<"$tail_body"; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if ! grep -q '"schema":"adiv.alerts/v1"' <<<"$tail_body"; then
+    echo "FAIL: /alertz never served an adiv.alerts/v1 record mid-run" >&2
+    echo "$tail_body" >&2
+    exit 1
+fi
+echo "polled /alertz mid-run ($(grep -c '"schema"' <<<"$tail_body") records)"
+if ! curl -sS -o /dev/null -w '%{http_code}' "http://$addr/healthz" | grep -q '^200$'; then
+    echo "FAIL: /healthz not 200 mid-run" >&2
+    exit 1
+fi
+echo "scraped /healthz mid-run"
+
+if ! wait "$pid"; then
+    echo "FAIL: ensemble run failed" >&2
+    cat "$stderr_log" >&2
+    exit 1
+fi
+pid=""
+
+# The journal on disk must parse: every line an adiv.alerts/v1 record, and
+# the diagnose -alerts analysis must render the markov family's dispositions.
+if [[ ! -s "$alerts_file" ]]; then
+    echo "FAIL: -alerts journal missing or empty" >&2
+    exit 1
+fi
+if grep -v '"schema":"adiv.alerts/v1"' "$alerts_file" | grep -q .; then
+    echo "FAIL: journal contains non-v1 lines:" >&2
+    grep -v '"schema":"adiv.alerts/v1"' "$alerts_file" >&2
+    exit 1
+fi
+report=$("$workdir/diagnose" -alerts "$alerts_file")
+echo "$report"
+if ! grep -q '^Alert journal: [1-9]' <<<"$report"; then
+    echo "FAIL: diagnose -alerts reports no records" >&2
+    exit 1
+fi
+if ! grep -q '^markov ' <<<"$report"; then
+    echo "FAIL: diagnose -alerts missing the markov family row" >&2
+    exit 1
+fi
+if ! grep -q '"event":"alerts.replay"' "$stderr_log"; then
+    echo "FAIL: alerts.replay never announced" >&2
+    exit 1
+fi
+echo "alerts smoke OK"
