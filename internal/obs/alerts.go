@@ -31,8 +31,12 @@ const (
 // which symbol position, at what response score against what threshold, and
 // how the alert was ultimately dispositioned.
 type AlertRecord struct {
-	Schema      string  `json:"schema"`
-	TS          string  `json:"ts"`
+	Schema string `json:"schema"`
+	TS     string `json:"ts"`
+	// Tenant identifies whose stream alarmed in a multi-tenant serving
+	// deployment; empty (and omitted) in the single-stream drivers, so the
+	// field is additive to the adiv.alerts/v1 schema.
+	Tenant      string  `json:"tenant,omitempty"`
 	Position    int     `json:"position"`
 	Detector    string  `json:"detector"`
 	Score       float64 `json:"score"`

@@ -41,6 +41,7 @@ type Progress struct {
 	phase string
 	shard string // "i/N" when this process covers one shard of the grid
 	run   Fields // static run configuration, from run.start
+	extra Fields // live workload counts, replaced wholesale by SetExtra
 
 	reg       *Registry // heartbeat event sink; nil emits nothing
 	beatEvery time.Duration
@@ -149,6 +150,24 @@ func (p *Progress) SetRunInfo(fields Fields) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.run = cp
+}
+
+// SetExtra records live workload fields served verbatim under /runz's
+// "extra" key — the serving daemon's tenant/accepted/scored counts, or any
+// other progress shape the grid-oriented map tracking does not fit. The
+// fields are copied, and each call replaces the previous set wholesale (a
+// published map is never mutated, so a concurrent Status marshal is safe).
+func (p *Progress) SetExtra(fields Fields) {
+	if p == nil {
+		return
+	}
+	cp := make(Fields, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extra = cp
 }
 
 // StartMap registers a performance-map build of rows rows and cells total
@@ -321,7 +340,11 @@ type MapStatus struct {
 type RunStatus struct {
 	Schema string `json:"schema"`
 	Run    Fields `json:"run,omitempty"`
-	Phase  string `json:"phase,omitempty"`
+	// Extra carries live workload fields (SetExtra) — e.g. the serving
+	// daemon's tenant and accepted/scored event counts; omitted when unset,
+	// so the grid drivers' /runz shape is unchanged.
+	Extra Fields `json:"extra,omitempty"`
+	Phase string `json:"phase,omitempty"`
 	// Shard is the process's shard identity ("i/N") when the run covers one
 	// shard of a distributed grid; empty for whole-grid runs.
 	Shard      string  `json:"shard,omitempty"`
@@ -353,6 +376,7 @@ func (p *Progress) Status() RunStatus {
 	defer p.mu.Unlock()
 	now := p.now()
 	s.Run = p.run
+	s.Extra = p.extra
 	s.Phase = p.phase
 	s.Shard = p.shard
 	s.StartedAt = p.start.UTC().Format(time.RFC3339Nano)

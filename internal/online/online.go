@@ -120,12 +120,20 @@ func (s *Scorer) Detector() detector.Detector { return s.det }
 func (s *Scorer) Seen() int { return s.seen }
 
 // Reset clears the sliding buffer and response ring, starting a new
-// stream.
+// stream. The trained model is retained; everything per-stream — the
+// sliding window, Seen, and the Recent ring — is cleared, so a Reset
+// scorer is observationally identical to a freshly constructed one. This
+// is the contract the multi-tenant serving tier's scorer pool relies on: a
+// scorer recycled from one tenant to another must not leak the previous
+// tenant's ring contents or Seen count. The ring slots are zeroed
+// explicitly (not just the logical length) so even a future ring-reading
+// bug cannot resurrect another tenant's responses.
 func (s *Scorer) Reset() {
 	s.buf = s.buf[:0]
 	s.bbuf = s.bbuf[:0]
 	s.seen = 0
 	s.ringN = 0
+	s.ring = [responseRingLen]float64{}
 }
 
 // record books a completed window's response into the ring and telemetry.
@@ -142,7 +150,10 @@ func (s *Scorer) record(r float64) {
 
 // Recent appends the most recent responses (up to responseRingLen, oldest
 // first) to dst and returns it — the live tail a corroboration layer or a
-// status probe reads without touching the push path.
+// status probe reads without touching the push path. Recent reflects only
+// the current stream: after Reset it returns nothing until new windows
+// complete, and it can never surface responses recorded before the Reset
+// (the multi-tenant recycling guarantee; see Reset).
 func (s *Scorer) Recent(dst []float64) []float64 {
 	n := s.ringN
 	if n > responseRingLen {
@@ -255,6 +266,10 @@ type Alarmer struct {
 	interArrival *obs.Sketch // symbol-position gaps between alarms
 	lastAlarmPos int
 	journal      *obs.AlertJournal
+
+	// tenant stamps journal records in multi-tenant deployments; empty in
+	// the single-stream drivers, which keeps their journal lines unchanged.
+	tenant string
 }
 
 // Instrument records streaming telemetry into reg: the underlying scorer's
@@ -284,6 +299,19 @@ func (a *Alarmer) SetJournal(j *obs.AlertJournal) {
 	a.journal = j
 }
 
+// SetTenant sets the tenant identity stamped into every journal record this
+// Alarmer appends — a multi-tenant serving tier journals all tenants into
+// one file and the tenant field is what keeps their alert streams apart.
+// Empty (the default) omits the field, preserving the single-stream
+// drivers' journal shape. A pooled Alarmer keeps its tenant until re-set,
+// so the serving tier re-stamps on every pool Get.
+func (a *Alarmer) SetTenant(tenant string) {
+	a.tenant = tenant
+}
+
+// Scorer returns the underlying stream scorer (for Seen/Recent probes).
+func (a *Alarmer) Scorer() *Scorer { return a.scorer }
+
 // Threshold returns the deployed detection threshold.
 func (a *Alarmer) Threshold() float64 { return a.threshold }
 
@@ -302,11 +330,19 @@ func NewAlarmer(det detector.Detector, threshold float64) (*Alarmer, error) {
 // Push feeds one symbol and reports whether it completed an alarming
 // window; if so the returned alarm describes it.
 func (a *Alarmer) Push(sym alphabet.Symbol) (Alarm, bool, error) {
+	_, _, alarm, raised, err := a.PushScored(sym)
+	return alarm, raised, err
+}
+
+// PushScored feeds one symbol and returns both the window response (the
+// serving tier replies with responses whether or not they alarm) and any
+// alarm it raised. ready is false during the initial window fill.
+func (a *Alarmer) PushScored(sym alphabet.Symbol) (response float64, ready bool, alarm Alarm, raised bool, err error) {
 	r, ready, err := a.scorer.Push(sym)
 	if err != nil || !ready || r < a.threshold {
-		return Alarm{}, false, err
+		return r, ready, Alarm{}, false, err
 	}
-	alarm := Alarm{
+	alarm = Alarm{
 		Position: a.scorer.Seen() - a.scorer.extent,
 		Response: r,
 	}
@@ -319,13 +355,14 @@ func (a *Alarmer) Push(sym alphabet.Symbol) (Alarm, bool, error) {
 	}
 	a.lastAlarmPos = alarm.Position
 	a.journal.Append(obs.AlertRecord{
+		Tenant:      a.tenant,
 		Position:    alarm.Position,
 		Detector:    a.scorer.det.Name(),
 		Score:       alarm.Response,
 		Threshold:   a.threshold,
 		Disposition: obs.DispositionRaised,
 	})
-	return alarm, true, nil
+	return r, true, alarm, true, nil
 }
 
 // PushAll feeds a slice and collects the alarms raised.

@@ -44,6 +44,9 @@ type VetoPipeline struct {
 	// journal receives escalated/suppressed disposition records; the
 	// primary Alarmer journals the matching raised records.
 	journal *obs.AlertJournal
+	// tenant stamps the pipeline's own journal records; the primary
+	// Alarmer stamps its raised records with the same value via SetTenant.
+	tenant string
 }
 
 // Instrument records pipeline telemetry into reg: symbols pushed, primary
@@ -84,6 +87,27 @@ func (p *VetoPipeline) Instrument(reg *obs.Registry) {
 func (p *VetoPipeline) SetJournal(j *obs.AlertJournal) {
 	p.journal = j
 	p.primary.SetJournal(j)
+}
+
+// SetTenant stamps the tenant identity into every journal record the
+// pipeline (and its primary Alarmer) appends; see Alarmer.SetTenant.
+func (p *VetoPipeline) SetTenant(tenant string) {
+	p.tenant = tenant
+	p.primary.SetTenant(tenant)
+}
+
+// Reset clears all per-stream state — both detectors' sliding windows and
+// rings, the pending and veto-coverage horizons, and the suppression
+// counter — so a pooled pipeline recycled to a new tenant behaves exactly
+// like a freshly constructed one. The trained models are retained.
+func (p *VetoPipeline) Reset() {
+	p.primary.Reset()
+	p.veto.Reset()
+	p.pending = p.pending[:0]
+	p.vetoCovered = p.vetoCovered[:0]
+	p.seen = 0
+	p.suppressed = 0
+	p.lastEscalatedPos = -1
 }
 
 // EscalatedAlarm is a primary alarm corroborated by the veto detector.
@@ -158,6 +182,7 @@ func (p *VetoPipeline) push(sym alphabet.Symbol) ([]EscalatedAlarm, error) {
 				p.lastEscalatedPos = e.Primary.Position
 			}
 			p.journal.Append(obs.AlertRecord{
+				Tenant:      p.tenant,
 				Position:    e.Primary.Position,
 				Detector:    p.primary.scorer.det.Name(),
 				Score:       e.Primary.Response,
@@ -249,6 +274,7 @@ func (p *VetoPipeline) expire() {
 			p.suppressed++
 			expired++
 			p.journal.Append(obs.AlertRecord{
+				Tenant:      p.tenant,
 				Position:    pa.Position,
 				Detector:    p.primary.scorer.det.Name(),
 				Score:       pa.Response,

@@ -1,0 +1,115 @@
+package online
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pooling: a multi-tenant serving tier keeps one streaming component
+// (Scorer, Alarmer, or VetoPipeline) per live tenant, and tenants churn —
+// streams open, drain, and close by the thousand. Constructing a component
+// is cheap once the training databases are cached, but not free (detector
+// construction, model wiring, buffer allocation), so the serving tier
+// recycles them through a free list.
+//
+// The pool's contract is strict because its failure mode is cross-tenant
+// data leakage: a component handed out by Get carries NO state from its
+// previous tenant — Put resets it before it joins the free list, so a
+// recycled Scorer reports Seen() == 0, Recent() empty, and produces
+// push-for-push the same responses a freshly constructed one would.
+// online_test.go pins that with a recycled-vs-fresh bit-equality test.
+
+// Resettable is the component contract the pool recycles: Reset must return
+// the component to its just-constructed state (model retained, all
+// per-stream state cleared).
+type Resettable interface {
+	Reset()
+}
+
+// Pool is a free list of per-tenant streaming components over a shared
+// factory. Safe for concurrent use. The zero value is unusable; construct
+// with NewPool.
+type Pool[T Resettable] struct {
+	mu      sync.Mutex
+	factory func() (T, error)
+	free    []T
+	created int64
+	reused  int64
+}
+
+// NewPool returns a pool that manufactures components with factory when the
+// free list is empty. The factory typically closes over a shared read-only
+// seq.Corpus so per-component training is a cache lookup, not a stream pass.
+func NewPool[T Resettable](factory func() (T, error)) (*Pool[T], error) {
+	if factory == nil {
+		return nil, errors.New("online: nil pool factory")
+	}
+	return &Pool[T]{factory: factory}, nil
+}
+
+// Get returns a clean component: a recycled one from the free list (reset
+// at Put time) or a freshly manufactured one.
+func (p *Pool[T]) Get() (T, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		var zero T
+		p.free[n-1] = zero // don't retain beyond the hand-off
+		p.free = p.free[:n-1]
+		p.reused++
+		p.mu.Unlock()
+		return x, nil
+	}
+	p.created++
+	p.mu.Unlock()
+	return p.factory()
+}
+
+// Put resets the component and returns it to the free list. Resetting here
+// rather than in Get means a component never sits in the pool carrying a
+// previous tenant's stream state.
+func (p *Pool[T]) Put(x T) {
+	x.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, x)
+	p.mu.Unlock()
+}
+
+// Stats reports how many components were ever manufactured and how many
+// Gets were satisfied from the free list.
+func (p *Pool[T]) Stats() (created, reused int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, p.reused
+}
+
+// Idle returns the current free-list length.
+func (p *Pool[T]) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// ScorerPool is a pool of per-tenant stream scorers.
+type ScorerPool = Pool[*Scorer]
+
+// NewScorerPool returns a pool of Scorers over the factory.
+func NewScorerPool(factory func() (*Scorer, error)) (*ScorerPool, error) {
+	return NewPool(factory)
+}
+
+// AlarmerPool is a pool of per-tenant thresholded alarmers.
+type AlarmerPool = Pool[*Alarmer]
+
+// NewAlarmerPool returns a pool of Alarmers over the factory.
+func NewAlarmerPool(factory func() (*Alarmer, error)) (*AlarmerPool, error) {
+	return NewPool(factory)
+}
+
+// PipelinePool is a pool of per-tenant veto pipelines.
+type PipelinePool = Pool[*VetoPipeline]
+
+// NewPipelinePool returns a pool of VetoPipelines over the factory.
+func NewPipelinePool(factory func() (*VetoPipeline, error)) (*PipelinePool, error) {
+	return NewPool(factory)
+}

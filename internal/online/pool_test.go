@@ -1,0 +1,201 @@
+package online
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"adiv/internal/detector/stide"
+	"adiv/internal/obs"
+)
+
+func scorerFactory(t *testing.T) func() (*Scorer, error) {
+	t.Helper()
+	return func() (*Scorer, error) {
+		det, err := stide.New(3)
+		if err != nil {
+			return nil, err
+		}
+		if err := det.Train(trainStream()); err != nil {
+			return nil, err
+		}
+		return NewScorer(det)
+	}
+}
+
+func TestPoolRecycledScorerIsClean(t *testing.T) {
+	pool, err := NewScorerPool(scorerFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mk(0, 1, 2, 3, 0, 1, 2, 3, 2, 1, 0)
+	if _, err := s1.PushAll(first); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Seen() != len(first) {
+		t.Fatalf("Seen = %d, want %d", s1.Seen(), len(first))
+	}
+	if got := s1.Recent(nil); len(got) == 0 {
+		t.Fatal("first tenant recorded no responses")
+	}
+
+	pool.Put(s1)
+	s2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Fatal("pool did not recycle the returned scorer")
+	}
+	// The recycled scorer must carry nothing of the previous tenant.
+	if s2.Seen() != 0 {
+		t.Fatalf("recycled scorer leaks Seen = %d", s2.Seen())
+	}
+	if got := s2.Recent(nil); len(got) != 0 {
+		t.Fatalf("recycled scorer leaks %d ring responses: %v", len(got), got)
+	}
+
+	// And it must score a new tenant's stream bit-identically to a fresh
+	// scorer — including the partial-ring case, where a stale ring would
+	// be most visible.
+	second := mk(3, 2, 1, 0, 3, 2, 1, 0, 1, 2)
+	gotResp, err := s2.PushAll(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := scorerFactory(t)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResp, err := fresh.PushAll(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotResp) != len(wantResp) {
+		t.Fatalf("recycled scorer yielded %d responses, fresh %d", len(gotResp), len(wantResp))
+	}
+	for i := range gotResp {
+		if math.Float64bits(gotResp[i]) != math.Float64bits(wantResp[i]) {
+			t.Fatalf("response %d: recycled %v != fresh %v", i, gotResp[i], wantResp[i])
+		}
+	}
+	gotRing, wantRing := s2.Recent(nil), fresh.Recent(nil)
+	if len(gotRing) != len(wantRing) {
+		t.Fatalf("recycled ring holds %d responses, fresh %d", len(gotRing), len(wantRing))
+	}
+	for i := range gotRing {
+		if math.Float64bits(gotRing[i]) != math.Float64bits(wantRing[i]) {
+			t.Fatalf("ring %d: recycled %v != fresh %v", i, gotRing[i], wantRing[i])
+		}
+	}
+
+	created, reused := pool.Stats()
+	if created != 1 || reused != 1 {
+		t.Fatalf("pool stats = (%d created, %d reused), want (1, 1)", created, reused)
+	}
+	if pool.Idle() != 0 {
+		t.Fatalf("pool idle = %d, want 0", pool.Idle())
+	}
+}
+
+func TestPoolFactoryRequired(t *testing.T) {
+	if _, err := NewScorerPool(nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+func TestPoolFactoryErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	pool, err := NewPool(func() (*Scorer, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(); !errors.Is(err, boom) {
+		t.Fatalf("Get error = %v, want %v", err, boom)
+	}
+}
+
+func TestPooledAlarmerReStampsTenant(t *testing.T) {
+	pool, err := NewAlarmerPool(func() (*Alarmer, error) {
+		det, err := stide.New(3)
+		if err != nil {
+			return nil, err
+		}
+		if err := det.Train(trainStream()); err != nil {
+			return nil, err
+		}
+		return NewAlarmer(det, 1.0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := obs.NewAlertJournal(nil)
+	// 3-window "3 3 3" never occurs in the 0-1-2-3 training cycle, so the
+	// strict-threshold stide alarmer fires on it.
+	foreign := mk(0, 1, 2, 3, 3, 3, 0, 1, 2, 3)
+
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetJournal(journal)
+	a.SetTenant("tenant-a")
+	alarms, err := a.PushAll(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("foreign stream raised no alarms")
+	}
+	pool.Put(a)
+
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatal("pool did not recycle the alarmer")
+	}
+	if b.Scorer().Seen() != 0 {
+		t.Fatalf("recycled alarmer leaks Seen = %d", b.Scorer().Seen())
+	}
+	b.SetTenant("tenant-b")
+	if _, err := b.PushAll(foreign); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := journalRecords(t, journal)
+	var sawA, sawB bool
+	for _, rec := range recs {
+		switch rec.Tenant {
+		case "tenant-a":
+			sawA = true
+		case "tenant-b":
+			sawB = true
+		default:
+			t.Fatalf("record with unexpected tenant %q", rec.Tenant)
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("journal missing a tenant's records (a=%v b=%v) in %d records", sawA, sawB, len(recs))
+	}
+}
+
+// journalRecords parses the journal's in-memory tail back into records.
+func journalRecords(t *testing.T, j *obs.AlertJournal) []obs.AlertRecord {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := j.WriteTail(&buf, -1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadAlerts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxRequestLine bounds one NDJSON request line; batches are bounded
+// separately by Config.MaxBatch, this only guards the scanner.
+const maxRequestLine = 1 << 20
+
+// NewHTTPHandler serves the NDJSON ingest API on POST /v1/push: one
+// PushRequest per body line, one PushResponse line back per processed
+// request, in order. Lines are processed sequentially — a rejected line
+// stops the batch, and the status code reports the first failure: 400 for a
+// malformed line, 429 when the tenant's shard is saturated (the processed
+// prefix is still returned, so the client resumes from the rejected line),
+// 503 while draining.
+func NewHTTPHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/push", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		status := http.StatusOK
+		var out bytes.Buffer
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), maxRequestLine)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			req, err := ParsePushRequest(line)
+			if err != nil {
+				status = http.StatusBadRequest
+				appendResponseLine(&out, PushResponse{Error: err.Error()})
+				break
+			}
+			res, err := s.submitAndWait(req)
+			if err != nil {
+				switch {
+				case errors.Is(err, ErrBusy):
+					status = http.StatusTooManyRequests
+				case errors.Is(err, ErrDraining):
+					status = http.StatusServiceUnavailable
+				default:
+					status = http.StatusBadRequest
+				}
+				appendResponseLine(&out, PushResponse{Tenant: req.Tenant, Error: err.Error()})
+				break
+			}
+			resp := PushResponse{
+				Tenant:   req.Tenant,
+				Accepted: len(req.Symbols),
+				Alarms:   res.Alarms,
+				Closed:   res.Closed,
+			}
+			if !req.Quiet {
+				resp.Responses = res.Responses
+			}
+			if res.Err != nil {
+				resp.Error = res.Err.Error()
+				status = http.StatusInternalServerError
+			}
+			appendResponseLine(&out, resp)
+			if res.Err != nil {
+				break
+			}
+		}
+		if err := sc.Err(); err != nil && status == http.StatusOK {
+			status = http.StatusBadRequest
+			appendResponseLine(&out, PushResponse{Error: err.Error()})
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(status)
+		w.Write(out.Bytes()) //nolint:errcheck // client gone; nothing to do
+	})
+	return mux
+}
+
+// submitAndWait bridges the async Submit to the handler's sequential
+// request/response model.
+func (s *Server) submitAndWait(req PushRequest) (Result, error) {
+	ch := make(chan Result, 1)
+	err := s.Submit(req.Tenant, SymbolsOf(req), req.Close, func(res Result) { ch <- res })
+	if err != nil {
+		return Result{}, err
+	}
+	return <-ch, nil
+}
+
+func appendResponseLine(out *bytes.Buffer, resp PushResponse) {
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	out.Write(data)
+	out.WriteByte('\n')
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameEvents, Tenant: "t0", Body: []byte{0, 1, 2, 3}},
+		{Type: FrameEventsQuiet, Tenant: "a-much-longer-tenant-name", Body: bytes.Repeat([]byte{7}, 1000)},
+		{Type: FrameScores, Tenant: "t1", Body: AppendScoresBody(nil, 4, 1, []float64{0, 0.5, 1})},
+		{Type: FrameBusy, Tenant: "t2", Body: []byte("busy")},
+		{Type: FrameError, Body: []byte("nope")},
+		{Type: FrameClose, Tenant: "t3"},
+		{Type: FrameClosed, Tenant: "t3", Body: AppendScoresBody(nil, 0, 0, nil)},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = AppendFrame(wire, f)
+	}
+	// Decode from the concatenated buffer.
+	rest := wire
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Tenant != want.Tenant || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if !bytes.Equal(AppendFrame(nil, got), rest[:n]) {
+			t.Fatalf("frame %d: re-encode is not canonical", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	// And via the io path.
+	r := bytes.NewReader(wire)
+	for i, want := range frames {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Tenant != want.Tenant || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("ReadFrame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Type: FrameEvents, Tenant: "t", Body: []byte{1, 2}})
+	cases := []struct {
+		name string
+		b    []byte
+		max  int
+		want error
+	}{
+		{"empty", nil, 0, ErrShortFrame},
+		{"truncated prefix", valid[:3], 0, ErrShortFrame},
+		{"truncated payload", valid[:len(valid)-1], 0, ErrShortFrame},
+		{"oversized", valid, 4, ErrOversizedFrame},
+		{"undersized length", []byte{0, 0, 0, 2, 0xAD, 0x5E}, 0, ErrBadFrame},
+		{"foreign magic", []byte{0, 0, 0, 5, 0x12, 0x34, 1, 1, 0}, 0, ErrBadMagic},
+		{"foreign magic (HTTP)", []byte("GET / HTTP/1.1\r\n\r\n"), 0, ErrOversizedFrame},
+		{"bad version", mutate(valid, 6, 99), 0, ErrBadVersion},
+		{"bad type", mutate(valid, 7, 200), 0, ErrBadFrameType},
+		{"tenant overrun", mutate(valid, 8, 255), 0, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeFrame(tc.b, tc.max)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// mutate copies b and sets b[i] = v.
+func mutate(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+func TestDecodeFrameForeignLengthNotTrusted(t *testing.T) {
+	// A foreign stream whose first 4 bytes happen to decode as a huge length
+	// must be rejected as oversized, not buffered.
+	b := []byte("\xff\xff\xff\xff garbage")
+	if _, _, err := DecodeFrame(b, 0); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("err = %v, want ErrOversizedFrame", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(b), 0); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("ReadFrame err = %v, want ErrOversizedFrame", err)
+	}
+}
+
+func TestReadFrameTornPayload(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Type: FrameEvents, Tenant: "t", Body: []byte{1, 2, 3}})
+	_, err := ReadFrame(bytes.NewReader(valid[:len(valid)-2]), 0)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestScoresBodyRoundTrip(t *testing.T) {
+	resp := []float64{0, 1, 0.25, math.Inf(1), math.SmallestNonzeroFloat64}
+	body := AppendScoresBody(nil, 5, 2, resp)
+	accepted, alarms, got, err := ParseScoresBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 5 || alarms != 2 {
+		t.Fatalf("counts = (%d, %d), want (5, 2)", accepted, alarms)
+	}
+	if len(got) != len(resp) {
+		t.Fatalf("%d responses, want %d", len(got), len(resp))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(resp[i]) {
+			t.Fatalf("response %d: %v != %v", i, got[i], resp[i])
+		}
+	}
+	if _, _, _, err := ParseScoresBody(body[:7]); err == nil {
+		t.Fatal("short scores body accepted")
+	}
+	if _, _, _, err := ParseScoresBody(body[:len(body)-3]); err == nil {
+		t.Fatal("ragged scores body accepted")
+	}
+}
+
+func TestParsePushRequest(t *testing.T) {
+	req, err := ParsePushRequest([]byte(`{"tenant":"t0","symbols":[0,1,7],"quiet":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Tenant != "t0" || len(req.Symbols) != 3 || !req.Quiet || req.Close {
+		t.Fatalf("bad parse: %+v", req)
+	}
+	syms := SymbolsOf(req)
+	if len(syms) != 3 || syms[2] != 7 {
+		t.Fatalf("bad symbols: %v", syms)
+	}
+	for _, bad := range []string{
+		``,
+		`not json`,
+		`{"symbols":[1]}`,                // missing tenant
+		`{"tenant":"t","symbols":[-1]}`,  // negative symbol
+		`{"tenant":"t","symbols":[256]}`, // beyond byte range
+		`{"tenant":"` + string(bytes.Repeat([]byte{'x'}, 300)) + `"}`, // tenant too long
+	} {
+		if _, err := ParsePushRequest([]byte(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: FrameEvents, Tenant: "t0", Body: []byte{1, 2, 3}}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameScores, Tenant: "x", Body: AppendScoresBody(nil, 3, 1, []float64{0.5})}))
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add([]byte{0, 0, 0, 5, 0xAD, 0x5E, 1, 1, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frame, n, err := DecodeFrame(b, 0)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < frameHeaderLen+4 || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		// Accepted frames must re-encode canonically.
+		if !bytes.Equal(AppendFrame(nil, frame), b[:n]) {
+			t.Fatalf("round-trip mismatch for %d-byte frame", n)
+		}
+		// And survive the io path identically.
+		got, err := ReadFrame(bytes.NewReader(b[:n]), 0)
+		if err != nil {
+			t.Fatalf("ReadFrame rejects what DecodeFrame accepted: %v", err)
+		}
+		if got.Type != frame.Type || got.Tenant != frame.Tenant || !bytes.Equal(got.Body, frame.Body) {
+			t.Fatal("ReadFrame disagrees with DecodeFrame")
+		}
+	})
+}
+
+func FuzzNDJSONRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"t0","symbols":[0,1,2]}`))
+	f.Add([]byte(`{"tenant":"t0","close":true}`))
+	f.Add([]byte(`{"tenant":"","symbols":[300]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := ParsePushRequest(line)
+		if err != nil {
+			return
+		}
+		if req.Tenant == "" || len(req.Tenant) > 255 {
+			t.Fatalf("accepted invalid tenant %q", req.Tenant)
+		}
+		syms := SymbolsOf(req)
+		if len(syms) != len(req.Symbols) {
+			t.Fatalf("symbol conversion lost events: %d != %d", len(syms), len(req.Symbols))
+		}
+		for i, s := range req.Symbols {
+			if s < 0 || s > 255 {
+				t.Fatalf("accepted out-of-range symbol %d", s)
+			}
+			if int(syms[i]) != s {
+				t.Fatalf("symbol %d mangled: %d -> %d", i, s, syms[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adiv/internal/alphabet"
+	"adiv/internal/detector"
+	"adiv/internal/detector/stide"
+	"adiv/internal/gen"
+	"adiv/internal/online"
+	"adiv/internal/seq"
+)
+
+// testWindow keeps the test detectors cheap while still exercising the
+// window machinery.
+const testWindow = 4
+
+// testGen builds a small deterministic generator shared by the serving
+// tests.
+func testGen(t testing.TB) *gen.Generator {
+	t.Helper()
+	cfg := gen.DefaultConfig()
+	cfg.TrainLen = 20_000
+	cfg.BackgroundLen = 2_000
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// tenantFactory returns a NewTenant hook training stide detectors against a
+// shared corpus — the same amortization the real daemon uses.
+func tenantFactory(t testing.TB, g *gen.Generator, threshold float64) func() (TenantScorer, error) {
+	t.Helper()
+	corpus := seq.NewCorpus(g.Training())
+	return func() (TenantScorer, error) {
+		det, err := stide.New(testWindow)
+		if err != nil {
+			return nil, err
+		}
+		if err := detector.TrainWith(det, corpus); err != nil {
+			return nil, err
+		}
+		if threshold > 0 {
+			a, err := online.NewAlarmer(det, threshold)
+			if err != nil {
+				return nil, err
+			}
+			return AlarmerTenant{A: a}, nil
+		}
+		s, err := online.NewScorer(det)
+		if err != nil {
+			return nil, err
+		}
+		return ScorerTenant{S: s}, nil
+	}
+}
+
+func newTestServer(t testing.TB, shards, queueDepth int, threshold float64) *Server {
+	t.Helper()
+	s, err := NewServer(Config{
+		Shards:     shards,
+		QueueDepth: queueDepth,
+		NewTenant:  tenantFactory(t, testGen(t), threshold),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// submitWait submits one batch and blocks for its result, retrying ErrBusy —
+// the client contract under backpressure.
+func submitWait(t testing.TB, s *Server, tenant string, syms []alphabet.Symbol, closeAfter bool) Result {
+	t.Helper()
+	ch := make(chan Result, 1)
+	for {
+		err := s.Submit(tenant, syms, closeAfter, func(res Result) { ch <- res })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("Submit(%s): %v", tenant, err)
+		}
+		runtime.Gosched()
+	}
+	return <-ch
+}
+
+// serialResponses is the ground truth: the same stream through a fresh
+// serial Scorer.
+func serialResponses(t testing.TB, g *gen.Generator, stream seq.Stream) []float64 {
+	t.Helper()
+	sc, err := tenantFactory(t, g, 0)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses, _, err := sc.PushBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return responses
+}
+
+// TestServingEquivalence is the core property: concurrent tenants batched
+// through the sharded server receive responses bit-identical to a serial
+// online.Scorer.PushAll of their stream, for every shard count.
+func TestServingEquivalence(t *testing.T) {
+	g := testGen(t)
+	const tenants = 6
+	const events = 1_500
+	streams := make([]seq.Stream, tenants)
+	want := make([][]float64, tenants)
+	for i := range streams {
+		streams[i] = g.Noisy(events, uint64(i))
+		want[i] = serialResponses(t, g, streams[i])
+	}
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := newTestServer(t, shards, 8, 0)
+			var wg sync.WaitGroup
+			got := make([][]float64, tenants)
+			for i := 0; i < tenants; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					tenant := fmt.Sprintf("tenant-%d", i)
+					stream := streams[i]
+					// Ragged batch size so batch boundaries never align
+					// with window boundaries.
+					for off := 0; off < len(stream); off += 97 {
+						end := off + 97
+						if end > len(stream) {
+							end = len(stream)
+						}
+						res := submitWait(t, s, tenant, stream[off:end], end == len(stream))
+						if res.Err != nil {
+							t.Errorf("tenant %d: %v", i, res.Err)
+							return
+						}
+						got[i] = append(got[i], res.Responses...)
+					}
+				}(i)
+			}
+			wg.Wait()
+			stats := s.Drain()
+			if stats.Accepted != stats.Scored {
+				t.Fatalf("drain: accepted %d != scored %d", stats.Accepted, stats.Scored)
+			}
+			if stats.Accepted != int64(tenants*events) {
+				t.Fatalf("accepted %d, want %d", stats.Accepted, tenants*events)
+			}
+			for i := range got {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("tenant %d: %d responses, want %d", i, len(got[i]), len(want[i]))
+				}
+				for j := range got[i] {
+					if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+						t.Fatalf("tenant %d response %d: served %v != serial %v", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// tenantOnShard finds a tenant id hashing to the given shard.
+func tenantOnShard(t testing.TB, s *Server, shard int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		id := fmt.Sprintf("probe-%d", i)
+		if s.TenantShard(id) == shard {
+			return id
+		}
+	}
+	t.Fatalf("no tenant id found for shard %d", shard)
+	return ""
+}
+
+// TestBackpressureStalledShard pins one shard's worker and shows the
+// contract: that shard's tenants get ErrBusy immediately (no blocking, no
+// queue growth past the bound), while tenants on other shards stream
+// unimpeded.
+func TestBackpressureStalledShard(t *testing.T) {
+	const depth = 2
+	s := newTestServer(t, 2, depth, 0)
+	defer s.Drain()
+
+	stalled := tenantOnShard(t, s, 0)
+	flowing := tenantOnShard(t, s, 1)
+	syms := []alphabet.Symbol{0, 1, 2, 3}
+
+	// Occupy shard 0's worker with a task that blocks until released.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.Submit(stalled, syms, false, func(Result) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Fill shard 0's queue to its bound...
+	for i := 0; i < depth; i++ {
+		if err := s.Submit(stalled, syms, false, func(Result) {}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// ...after which submissions reject instantly instead of blocking.
+	done := make(chan error, 1)
+	go func() { done <- s.Submit(stalled, syms, false, func(Result) {}) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("saturated shard: %v, want ErrBusy", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit blocked on a saturated shard")
+	}
+	if got := s.Stats().Busy; got == 0 {
+		t.Fatal("busy rejection not counted")
+	}
+
+	// The other shard is unaffected.
+	for i := 0; i < 2*depth; i++ {
+		if res := submitWait(t, s, flowing, syms, false); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	close(release)
+}
+
+// TestDrainZeroLoss is the shutdown invariant: Drain mid-load loses no
+// accepted event — every batch acknowledged to a submitter is scored, and
+// its done callback fires, before Drain returns.
+func TestDrainZeroLoss(t *testing.T) {
+	s := newTestServer(t, 4, 16, 0)
+	const submitters = 8
+	syms := []alphabet.Symbol{0, 1, 2, 3, 4, 5}
+
+	var accepted, completed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("drain-%d", i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := s.Submit(tenant, syms, false, func(Result) {
+					completed.Add(int64(len(syms)))
+				})
+				switch {
+				case err == nil:
+					accepted.Add(int64(len(syms)))
+				case errors.Is(err, ErrBusy):
+					runtime.Gosched()
+				case errors.Is(err, ErrDraining):
+					return
+				default:
+					t.Errorf("tenant %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stats := s.Drain()
+	close(stop)
+	wg.Wait()
+
+	if stats.Accepted != stats.Scored {
+		t.Fatalf("accepted %d != scored %d after drain", stats.Accepted, stats.Scored)
+	}
+	// Submitters may have had acks in flight when Drain snapshotted; settle
+	// against the final counters.
+	final := s.Stats()
+	if got := accepted.Load(); got != final.Accepted {
+		t.Fatalf("submitters acked %d, server accepted %d", got, final.Accepted)
+	}
+	if got := completed.Load(); got != final.Scored {
+		t.Fatalf("callbacks delivered %d events, server scored %d", got, final.Scored)
+	}
+	if final.Accepted == 0 {
+		t.Fatal("drain test accepted no events")
+	}
+	// Post-drain submissions are refused.
+	if err := s.Submit("late", syms, false, func(Result) {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestCloseRecyclesScorer checks the pool path end to end: closing a tenant
+// returns its scorer, and a re-opened tenant starts a fresh stream rather
+// than resuming the old window.
+func TestCloseRecyclesScorer(t *testing.T) {
+	g := testGen(t)
+	s := newTestServer(t, 2, 8, 0)
+	defer s.Drain()
+
+	stream := g.Noisy(600, 1)
+	want := serialResponses(t, g, stream)
+
+	for round := 0; round < 3; round++ {
+		res := submitWait(t, s, "recycled", stream, false)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if len(res.Responses) != len(want) {
+			t.Fatalf("round %d: %d responses, want %d", round, len(res.Responses), len(want))
+		}
+		for j := range want {
+			if math.Float64bits(res.Responses[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("round %d response %d: %v != %v", round, j, res.Responses[j], want[j])
+			}
+		}
+		closed := submitWait(t, s, "recycled", nil, true)
+		if !closed.Closed {
+			t.Fatalf("round %d: close not acknowledged", round)
+		}
+	}
+	if s.Stats().Tenants != 0 {
+		t.Fatalf("%d tenants left after closes", s.Stats().Tenants)
+	}
+}
+
+// TestSubmitValidation: invalid batches are rejected synchronously, before
+// acceptance, so they can never violate the drain invariant.
+func TestSubmitValidation(t *testing.T) {
+	g := testGen(t)
+	s, err := NewServer(Config{
+		NewTenant:    tenantFactory(t, g, 0),
+		AlphabetSize: g.Alphabet().Size(),
+		MaxBatch:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	noop := func(Result) {}
+	if err := s.Submit("", []alphabet.Symbol{1}, false, noop); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	if err := s.Submit("t", []alphabet.Symbol{255}, false, noop); err == nil {
+		t.Fatal("out-of-alphabet symbol accepted")
+	}
+	if err := s.Submit("t", make([]alphabet.Symbol, 9), false, noop); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if got := s.Stats().Accepted; got != 0 {
+		t.Fatalf("rejections counted as accepted: %d", got)
+	}
+}
+
+func TestAlarmerTenantCountsAlarms(t *testing.T) {
+	g := testGen(t)
+	s, err := NewServer(Config{NewTenant: tenantFactory(t, g, 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	// A noisy stream with a canonical rare sequence planted mid-stream must
+	// raise at least one alarm at threshold 1 (stide alarms on any window
+	// containing foreign content).
+	mfs, err := gen.CanonicalMFS(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append(seq.Stream{}, g.Background()[:800]...), mfs...)
+	stream = append(stream, g.Background()[800:1600]...)
+	res := submitWait(t, s, "alarming", stream, false)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Alarms == 0 {
+		t.Fatal("planted rare sequence raised no alarms")
+	}
+	if s.Stats().Alarms != int64(res.Alarms) {
+		t.Fatalf("stats alarms %d != result %d", s.Stats().Alarms, res.Alarms)
+	}
+}
+
+// BenchmarkServeIngest drives the submit path with a single hot tenant and
+// reports per-event cost; the harness runs it with -benchmem so allocation
+// regressions on the ingest path are visible.
+func BenchmarkServeIngest(b *testing.B) {
+	s := newTestServer(b, runtime.NumCPU(), 256, 0)
+	const batch = 512
+	g := testGen(b)
+	stream := g.Noisy(batch, 42)
+	ch := make(chan Result, 1)
+	done := func(res Result) { ch <- res }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := s.Submit("bench", stream, false, done)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrBusy) {
+				b.Fatal(err)
+			}
+			runtime.Gosched()
+		}
+		res := <-ch
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(batch*b.N)/elapsed, "events/s")
+	}
+	s.Drain()
+}
